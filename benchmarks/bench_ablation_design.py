@@ -1,0 +1,114 @@
+"""Ablations of AMPED's design choices (DESIGN.md A1-A4).
+
+A1 — shard granularity (shards per GPU) trades schedule balance against
+     per-grid overheads;
+A2 — static LPT assignment vs dynamic earliest-available dispatch (the
+     paper argues dynamic scheduling overhead hurts at billion scale);
+A3 — ring all-gather vs direct all-to-all exchange (§4.9's justification);
+A4 — threadblock column count P/θ (§5.1.5 fixes 32).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.harness import run_amped_model
+from repro.bench.report import render_table
+from repro.core.config import AmpedConfig
+from repro.core.elementwise import threadblock_ec
+from repro.datasets.workload import paper_workload
+from repro.simgpu.kernel import KernelCostModel
+from repro.util.humanize import format_seconds
+
+import numpy as np
+
+
+def _model_time(profile: str, **cfg_overrides) -> float:
+    cfg = AmpedConfig(**cfg_overrides)
+    wl = paper_workload(profile, cfg, KernelCostModel())
+    return run_amped_model(wl, cfg).total_time
+
+
+def test_a1_shard_granularity(benchmark):
+    """Sweep shards-per-GPU on Twitch (the imbalance-sensitive dataset)."""
+    def sweep():
+        return {
+            spg: _model_time("twitch", shards_per_gpu=spg)
+            for spg in (1, 4, 16, 64)
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[spg, format_seconds(t)] for spg, t in times.items()]
+    write_report(
+        "ablation_a1_shards",
+        render_table(["shards/GPU", "twitch model time"], rows,
+                     title="Ablation A1: shard granularity"),
+    )
+    # one shard per GPU cannot balance Twitch's skew
+    assert times[16] <= times[1]
+
+
+def test_a2_static_vs_dynamic(benchmark):
+    def sweep():
+        return {
+            name: {
+                sched: _model_time(name, schedule=sched)
+                for sched in ("static", "dynamic")
+            }
+            for name in ("amazon", "twitch")
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [name, format_seconds(d["static"]), format_seconds(d["dynamic"])]
+        for name, d in times.items()
+    ]
+    write_report(
+        "ablation_a2_schedule",
+        render_table(["tensor", "static LPT", "dynamic dispatch"], rows,
+                     title="Ablation A2: shard scheduling policy"),
+    )
+    for d in times.values():
+        # dynamic must be competitive; it pays dispatch overhead only
+        assert d["dynamic"] <= d["static"] * 1.5
+
+
+def test_a3_ring_vs_direct_allgather(benchmark):
+    def sweep():
+        return {
+            name: {
+                ag: _model_time(name, allgather=ag)
+                for ag in ("ring", "direct")
+            }
+            for name in ("amazon", "twitch")
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [name, format_seconds(d["ring"]), format_seconds(d["direct"])]
+        for name, d in times.items()
+    ]
+    write_report(
+        "ablation_a3_allgather",
+        render_table(["tensor", "ring (Alg 3)", "direct all-to-all"], rows,
+                     title="Ablation A3: all-gather strategy"),
+    )
+    for name, d in times.items():
+        assert d["ring"] <= d["direct"], name  # §4.9's choice
+
+
+@pytest.mark.parametrize("cols", [8, 32, 128])
+def test_a4_threadblock_cols_functional(benchmark, cols, scaled_tensors, scaled_factors):
+    """P/θ sweep on the batched EC path (result invariant, cost varies)."""
+    tensor = scaled_tensors["patents"]
+    factors = scaled_factors["patents"]
+
+    def run():
+        out = np.zeros((tensor.shape[0], 32))
+        threadblock_ec(
+            tensor.indices, tensor.values, factors, 0, out,
+            threadblock_cols=cols,
+        )
+        return out
+
+    out = benchmark(run)
+    assert out.shape == (tensor.shape[0], 32)

@@ -1,0 +1,79 @@
+"""Extension benchmark: heterogeneous platforms (paper §6 future work).
+
+Compares homogeneous 4x Ada against mixed nodes under weighted vs
+unweighted shard balancing — quantifying what DESIGN.md's heterogeneity
+extension buys.
+"""
+
+from benchmarks.conftest import write_report
+from repro.bench.report import render_table
+from repro.core.config import AmpedConfig
+from repro.core.hetero import device_speeds, hetero_workload, simulate_hetero
+from repro.datasets.workload import paper_workload
+from repro.simgpu.hetero import CPU_AS_DEVICE, HeteroPlatform
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import (
+    A100_40GB,
+    EPYC_9654_DUAL,
+    PCIE_GEN4_X16,
+    P2P_PCIE,
+    RTX6000_ADA,
+)
+from repro.util.humanize import format_seconds
+
+
+def _platform(specs):
+    return HeteroPlatform(
+        device_specs=specs,
+        host=EPYC_9654_DUAL,
+        host_links=[PCIE_GEN4_X16],
+        p2p_link=P2P_PCIE,
+    )
+
+
+def test_hetero_weighted_vs_unweighted(benchmark):
+    cost = KernelCostModel()
+    cfg = AmpedConfig()
+    base = paper_workload("amazon", cfg, cost)
+    specs = [RTX6000_ADA, A100_40GB, RTX6000_ADA, CPU_AS_DEVICE(EPYC_9654_DUAL)]
+
+    def run():
+        unweighted = simulate_hetero(_platform(specs), cost, base, cfg)
+        speeds = device_speeds(_platform(specs), cost, base, rank=cfg.rank)
+        weighted = simulate_hetero(
+            _platform(specs), cost, hetero_workload(base, speeds), cfg
+        )
+        return unweighted, weighted
+
+    unweighted, weighted = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert weighted.total_time < unweighted.total_time
+    rows = [
+        ["unweighted LPT", format_seconds(unweighted.total_time),
+         f"{unweighted.compute_overhead():.1%}"],
+        ["throughput-weighted LPT", format_seconds(weighted.total_time),
+         f"{weighted.compute_overhead():.1%}"],
+    ]
+    write_report(
+        "extension_hetero",
+        render_table(
+            ["balancing", "amazon iter time", "compute imbalance"],
+            rows,
+            title="Heterogeneous node (2x Ada + A100 + host CPU), Amazon",
+        ),
+    )
+
+
+def test_hetero_simulation_cost(benchmark):
+    """Wall-clock of the heterogeneous simulation (stays interactive)."""
+    cost = KernelCostModel()
+    cfg = AmpedConfig()
+    base = paper_workload("reddit", cfg, cost)
+    specs = [RTX6000_ADA, A100_40GB, RTX6000_ADA, A100_40GB]
+    speeds = device_speeds(_platform(specs), cost, base, rank=cfg.rank)
+    wl = hetero_workload(base, speeds)
+
+    def run():
+        return simulate_hetero(_platform(specs), cost, wl, cfg)
+
+    res = benchmark(run)
+    assert res.ok

@@ -1,0 +1,33 @@
+"""Figure 10: preprocessing time (AMPED's per-mode copies vs BLCO)."""
+
+from benchmarks.conftest import write_report
+from repro.bench import experiments
+from repro.core.config import AmpedConfig
+from repro.core.preprocess import build_plan_timed
+from repro.tensor.formats.blco import BLCOTensor
+
+
+def test_fig10_model_report(benchmark):
+    result = benchmark.pedantic(experiments.fig10, rounds=1, iterations=1)
+    for name, d in result.data.items():
+        assert d["amped"] > d["blco"], name
+    write_report("fig10", result.text)
+
+
+def test_amped_preprocessing_measured(benchmark, scaled_tensors):
+    """Real (wall-clock) AMPED preprocessing on the scaled dataset."""
+    tensor = scaled_tensors["amazon"]
+
+    def preprocess():
+        plan, _ = build_plan_timed(tensor, AmpedConfig(shards_per_gpu=8))
+        return plan
+
+    plan = benchmark(preprocess)
+    assert plan.nmodes == 3
+
+
+def test_blco_preprocessing_measured(benchmark, scaled_tensors):
+    """Real (wall-clock) BLCO linearization+blocking on the scaled dataset."""
+    tensor = scaled_tensors["amazon"]
+    blco = benchmark(BLCOTensor.from_coo, tensor)
+    assert blco.nnz == tensor.nnz

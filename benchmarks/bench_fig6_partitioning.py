@@ -1,0 +1,23 @@
+"""Figure 6: AMPED's sharded partitioning vs the equal-nnz split."""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.baselines import EqualNnzBackend
+from repro.bench import experiments
+
+
+def test_fig6_model_report(benchmark):
+    result = benchmark.pedantic(experiments.fig6, rounds=1, iterations=1)
+    for name, ratio in result.data["ratios"].items():
+        assert ratio > 1.0, name
+    write_report("fig6", result.text)
+
+
+@pytest.mark.parametrize("name", ["amazon", "reddit"])
+def test_equal_nnz_functional(benchmark, name, scaled_tensors, scaled_factors):
+    """The strawman's functional path (partials + host merge), for contrast
+    with the AMPED sweep timed in bench_fig5."""
+    backend = EqualNnzBackend(scaled_tensors[name], rank=32, n_gpus=4)
+    out = benchmark(backend.mttkrp, scaled_factors[name], 0)
+    assert out.shape[0] == scaled_tensors[name].shape[0]

@@ -1,0 +1,22 @@
+"""Figure 7: execution-time breakdown (compute / host-GPU / GPU-GPU)."""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench import experiments
+from repro.datasets.profiles import ALL_PROFILES
+
+
+def test_fig7_model_report(benchmark):
+    result = benchmark.pedantic(experiments.fig7, rounds=1, iterations=1)
+    for bd in result.data["breakdowns"].values():
+        assert sum(bd.values()) == pytest.approx(1.0)
+    write_report("fig7", result.text)
+
+
+@pytest.mark.parametrize("name", [p.name for p in ALL_PROFILES])
+def test_simulation_cost(benchmark, name, amped_executors):
+    """Wall-clock of the timing simulation itself (it must stay cheap —
+    the whole point of model mode is avoiding billion-scale execution)."""
+    res = benchmark(amped_executors[name].simulate)
+    assert res.ok

@@ -1,0 +1,19 @@
+"""Figure 8: per-GPU compute-time imbalance under the partitioning scheme."""
+
+from benchmarks.conftest import write_report
+from repro.bench import experiments
+from repro.partition.plan import build_partition_plan
+
+
+def test_fig8_model_report(benchmark):
+    result = benchmark.pedantic(experiments.fig8, rounds=1, iterations=1)
+    ov = result.data["overheads"]
+    assert ov["twitch"] == max(ov.values())
+    write_report("fig8", result.text)
+
+
+def test_lpt_plan_construction(benchmark, scaled_tensors):
+    """Cost of building the balanced partition plan for the skewed dataset."""
+    tensor = scaled_tensors["twitch"]
+    plan = benchmark(build_partition_plan, tensor, 4, shards_per_gpu=16)
+    assert plan.n_gpus == 4

@@ -1,0 +1,29 @@
+"""Figure 9: scalability of AMPED from 1 to 4 GPUs."""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench import experiments
+from repro.core.amped import AmpedMTTKRP
+from repro.core.config import AmpedConfig
+
+
+def test_fig9_model_report(benchmark):
+    result = benchmark.pedantic(experiments.fig9, rounds=1, iterations=1)
+    geo = result.data["geomeans"]
+    assert geo[2] < geo[3] < geo[4]
+    write_report("fig9", result.text)
+
+
+@pytest.mark.parametrize("n_gpus", [1, 2, 3, 4])
+def test_amped_functional_by_gpu_count(
+    benchmark, n_gpus, scaled_tensors, scaled_factors
+):
+    """Functional sweep partitioned for each GPU count (result identical,
+    partitioning differs — the executor's work is what is timed)."""
+    tensor = scaled_tensors["reddit"]
+    ex = AmpedMTTKRP(
+        tensor, AmpedConfig(n_gpus=n_gpus, shards_per_gpu=8), name="reddit"
+    )
+    outs = benchmark(ex.mttkrp_all_modes, scaled_factors["reddit"])
+    assert len(outs) == 3

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the functional compute kernels.
+
+These are the hot paths of the measured-mode harness; tracking them guards
+against regressions in the NumPy vectorization (guide: profile before
+optimizing, then keep the receipts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor.formats.csf import CSFTensor
+from repro.tensor.generate import zipf_coo
+from repro.tensor.kernels import (
+    ec_contributions,
+    mttkrp_sorted_segments,
+    scatter_rows_atomic,
+)
+
+
+@pytest.fixture(scope="module")
+def kernel_data():
+    tensor = zipf_coo((5000, 3000, 2000), 200_000, exponents=1.0, seed=0)
+    rng = np.random.default_rng(1)
+    factors = [rng.random((s, 32)) for s in tensor.shape]
+    return tensor, factors
+
+
+def test_ec_contributions(benchmark, kernel_data):
+    tensor, factors = kernel_data
+    out = benchmark(
+        ec_contributions, tensor.indices, tensor.values, factors, 0
+    )
+    assert out.shape == (tensor.nnz, 32)
+
+
+def test_scatter_rows_atomic(benchmark, kernel_data):
+    tensor, factors = kernel_data
+    contrib = ec_contributions(tensor.indices, tensor.values, factors, 0)
+    rows = tensor.indices[:, 0]
+
+    def run():
+        out = np.zeros((tensor.shape[0], 32))
+        scatter_rows_atomic(out, rows, contrib)
+        return out
+
+    out = benchmark(run)
+    assert out.shape[0] == tensor.shape[0]
+
+
+def test_mttkrp_sorted_segments(benchmark, kernel_data):
+    tensor, factors = kernel_data
+    sorted_t = tensor.sorted_by_mode(0)
+
+    def run():
+        out = np.zeros((tensor.shape[0], 32))
+        mttkrp_sorted_segments(
+            sorted_t.indices, sorted_t.values, factors, 0, out
+        )
+        return out
+
+    out = benchmark(run)
+    assert out.shape[0] == tensor.shape[0]
+
+
+def test_csf_tree_mttkrp(benchmark, kernel_data):
+    tensor, factors = kernel_data
+    csf = CSFTensor.from_coo(tensor)
+    out = benchmark(csf.mttkrp, factors, 0)
+    assert out.shape == (tensor.shape[0], 32)
+
+
+def test_csf_construction(benchmark, kernel_data):
+    tensor, _ = kernel_data
+    csf = benchmark(CSFTensor.from_coo, tensor)
+    assert csf.nnz == tensor.nnz

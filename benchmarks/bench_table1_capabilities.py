@@ -1,0 +1,10 @@
+"""Table 1: related-work capability matrix (regenerated from the registry)."""
+
+from benchmarks.conftest import write_report
+from repro.bench import experiments
+
+
+def test_table1_capabilities(benchmark):
+    result = benchmark(experiments.table1)
+    assert len(result.data["rows"]) == 6
+    write_report("table1", result.text)

@@ -1,0 +1,18 @@
+"""Table 3: dataset characteristics (profiles + scaled instantiation cost)."""
+
+from benchmarks.conftest import write_report
+from repro.bench import experiments
+from repro.datasets.profiles import AMAZON
+from repro.datasets.synthetic import materialize
+
+
+def test_table3_report(benchmark):
+    result = benchmark(experiments.table3)
+    assert "amazon" in result.text
+    write_report("table3", result.text)
+
+
+def test_materialize_scaled_amazon(benchmark):
+    """Cost of generating one scaled functional instance (workload setup)."""
+    tensor = benchmark(materialize, AMAZON, 30_000, seed=0)
+    assert tensor.nnz > 0

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+Each figure/table benchmark does two things:
+
+* **measured** — wall-clocks the functional NumPy execution path on
+  scaled-down dataset instances (pytest-benchmark timings);
+* **model** — regenerates the paper's series at full billion-scale via the
+  timing simulation, printing the rows and writing them to
+  ``benchmarks/reports/<experiment>.txt`` so the artifacts survive output
+  capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.amped import AmpedMTTKRP
+from repro.core.config import AmpedConfig
+from repro.datasets.profiles import ALL_PROFILES, profile_by_name
+from repro.datasets.synthetic import materialize
+
+#: functional-scale nonzero budget per dataset (kept modest so benchmark
+#: rounds stay sub-second; increase for higher-fidelity measured runs)
+FUNCTIONAL_NNZ = 60_000
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a model-scale report and echo it to stdout."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def scaled_tensors():
+    """Scaled functional instances of all four datasets (session cache)."""
+    return {
+        p.name: materialize(p, FUNCTIONAL_NNZ, seed=42) for p in ALL_PROFILES
+    }
+
+
+@pytest.fixture(scope="session")
+def scaled_factors(scaled_tensors):
+    """Rank-32 factor matrices per dataset (paper's R)."""
+    out = {}
+    for name, tensor in scaled_tensors.items():
+        rng = np.random.default_rng(7)
+        out[name] = [rng.random((s, 32)) for s in tensor.shape]
+    return out
+
+
+@pytest.fixture(scope="session")
+def amped_executors(scaled_tensors):
+    """One AMPED executor per dataset at the paper's default configuration."""
+    return {
+        name: AmpedMTTKRP(
+            tensor, AmpedConfig(shards_per_gpu=8), name=name
+        )
+        for name, tensor in scaled_tensors.items()
+    }

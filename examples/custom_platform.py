@@ -1,0 +1,103 @@
+"""Scenario: evaluating AMPED on a different GPU platform (A100 vs Ada).
+
+Run:  python examples/custom_platform.py
+
+The simulator is parameterized by device specs, so "what if we ran on A100s
+with NVLink-class interconnect?" is a configuration change. This example
+compares the paper's RTX 6000 Ada node against an A100 node with a faster
+P2P fabric and shows how the bottleneck (and the FLYCOO crossover on
+Twitch) moves.
+"""
+
+from repro.baselines import make_backend
+from repro.bench.report import render_table
+from repro.core.config import AmpedConfig
+from repro.core.simulate import simulate_amped
+from repro.datasets import ALL_PROFILES
+from repro.datasets.workload import paper_workload
+from repro.simgpu.device import GPUSpec
+from repro.simgpu.interconnect import Link
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.platform import MultiGPUPlatform
+from repro.simgpu.presets import (
+    A100_40GB,
+    EPYC_9654_DUAL,
+    PCIE_GEN4_X16,
+    P2P_PCIE,
+    RTX6000_ADA,
+)
+from repro.util.humanize import format_seconds
+
+# A100s in an NVLink-equipped server: much faster GPU-GPU fabric.
+NVLINK = Link(name="NVLink 3", bandwidth=200e9, latency=5e-6)
+
+PLATFORMS: dict[str, tuple[GPUSpec, Link, Link]] = {
+    "4x RTX 6000 Ada (paper)": (RTX6000_ADA, PCIE_GEN4_X16, P2P_PCIE),
+    "4x A100-40GB + NVLink": (A100_40GB, PCIE_GEN4_X16, NVLINK),
+}
+
+
+def build(gpu: GPUSpec, host_link: Link, p2p: Link) -> MultiGPUPlatform:
+    return MultiGPUPlatform(
+        gpu_spec=gpu,
+        n_gpus=4,
+        host=EPYC_9654_DUAL,
+        host_link=host_link,
+        p2p_link=p2p,
+    )
+
+
+def main() -> None:
+    cost = KernelCostModel()
+    cfg = AmpedConfig()
+
+    rows = []
+    for profile in ALL_PROFILES:
+        wl = paper_workload(profile, cfg, cost)
+        cells = [profile.name]
+        for label, (gpu, hlink, plink) in PLATFORMS.items():
+            res = simulate_amped(build(gpu, hlink, plink), cost, wl, cfg)
+            bd = res.breakdown()
+            cells.append(
+                f"{format_seconds(res.total_time)} (p2p {bd['gpu_gpu_comm']:.0%})"
+            )
+        rows.append(cells)
+    print(
+        render_table(
+            ["tensor", *PLATFORMS.keys()],
+            rows,
+            title="AMPED iteration time by platform (model scale)",
+        )
+    )
+
+    # Does a faster fabric flip the Twitch verdict vs FLYCOO-GPU?
+    print("\nTwitch: AMPED vs FLYCOO-GPU by fabric")
+    wl = paper_workload("twitch", cfg, cost)
+    for label, (gpu, hlink, plink) in PLATFORMS.items():
+        amped = simulate_amped(build(gpu, hlink, plink), cost, wl, cfg)
+        fly = make_backend(
+            "flycoo-gpu", workload=wl, cost=cost,
+            platform=build(gpu, hlink, plink),
+        )
+        # FLYCOO is single-GPU: reuse device 0 of the same platform spec.
+        fly_res = fly.simulate()
+        verdict = (
+            "FLYCOO wins"
+            if fly_res.ok and fly_res.total_time < amped.total_time
+            else "AMPED wins"
+        )
+        fly_t = format_seconds(fly_res.total_time) if fly_res.ok else "OOM"
+        print(
+            f"  {label:<26} AMPED {format_seconds(amped.total_time)}, "
+            f"FLYCOO {fly_t} -> {verdict}"
+        )
+    print(
+        "\n(An NVLink-class fabric removes most of AMPED's GPU-GPU cost and "
+        "narrows the Twitch gap, but FLYCOO keeps winning: its tensor is "
+        "resident, while AMPED still streams shards from the host each "
+        "mode. Only dropping the per-mode streaming would flip the verdict.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Scenario: AMPED on a heterogeneous node (the paper's §6 future work).
+
+Run:  python examples/heterogeneous_node.py
+
+The paper's conclusion proposes adapting the algorithm to platforms mixing
+CPUs, GPUs, and FPGAs. The sharding's task independence makes this a pure
+balancing problem: this example runs the billion-scale Amazon workload on
+mixed device sets (Ada + A100, GPUs + host CPU as a compute device) with
+throughput-weighted shard assignment, and shows when an extra weak device
+pays off.
+"""
+
+from repro.bench.report import render_table
+from repro.core.config import AmpedConfig
+from repro.core.hetero import device_speeds, hetero_workload, simulate_hetero
+from repro.datasets.workload import paper_workload
+from repro.simgpu.device import GPUSpec
+from repro.simgpu.hetero import CPU_AS_DEVICE, HeteroPlatform
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import (
+    A100_40GB,
+    EPYC_9654_DUAL,
+    PCIE_GEN4_X16,
+    P2P_PCIE,
+    RTX6000_ADA,
+)
+from repro.util.humanize import format_seconds
+
+CPU_DEV = CPU_AS_DEVICE(EPYC_9654_DUAL)
+
+NODES: dict[str, list[GPUSpec]] = {
+    "4x Ada (paper)": [RTX6000_ADA] * 4,
+    "2x Ada + 2x A100": [RTX6000_ADA, A100_40GB, RTX6000_ADA, A100_40GB],
+    "3x Ada + host CPU": [RTX6000_ADA] * 3 + [CPU_DEV],
+    "2x Ada only": [RTX6000_ADA] * 2,
+    "2x Ada + host CPU": [RTX6000_ADA] * 2 + [CPU_DEV],
+}
+
+
+def main() -> None:
+    cost = KernelCostModel()
+    rows = []
+    for label, specs in NODES.items():
+        platform = HeteroPlatform(
+            device_specs=specs,
+            host=EPYC_9654_DUAL,
+            host_links=[PCIE_GEN4_X16],
+            p2p_link=P2P_PCIE,
+        )
+        cfg = AmpedConfig(n_gpus=len(specs))
+        base = paper_workload("amazon", cfg, cost)
+        speeds = device_speeds(platform, cost, base, rank=cfg.rank)
+        wl = hetero_workload(base, speeds)
+        res = simulate_hetero(platform, cost, wl, cfg)
+        shares = wl.modes[0].gpu_nnz() / wl.nnz
+        rows.append(
+            [
+                label,
+                format_seconds(res.total_time),
+                " / ".join(f"{s:.0%}" for s in shares),
+                f"{res.compute_overhead():.1%}",
+            ]
+        )
+    print(
+        render_table(
+            ["node", "amazon iter time", "nnz share per device", "imbalance"],
+            rows,
+            title="AMPED on heterogeneous nodes (model scale, Amazon 1.7B nnz)",
+        )
+    )
+    print(
+        "\nObservations: behind identical 64 GB/s PCIe links the A100s are "
+        "stream-bound like the Adas, so the weighted split stays even and "
+        "the mixed node ties the paper platform — the link, not the GPU, "
+        "is the resource that matters. A host-CPU helper device takes a "
+        "minority share and pays off when the node is short on GPUs "
+        "(compare the 2x Ada rows); note the compute-imbalance column is "
+        "expected to be large on mixed nodes, since a slower device spends "
+        "more compute time on fewer nonzeros while *finishing* on time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: sparse MTTKRP and CP decomposition with AMPED.
+
+Run:  python examples/quickstart.py
+
+Builds a small synthetic sparse tensor, computes MTTKRP along every mode
+through the AMPED multi-GPU executor (functional NumPy execution + simulated
+4x RTX 6000 Ada timing), verifies against the reference implementation, and
+finishes with a CP-ALS decomposition.
+"""
+
+import numpy as np
+
+from repro import AmpedConfig, AmpedMTTKRP
+from repro.cpd import cp_als
+from repro.tensor.generate import lowrank_coo, zipf_coo
+from repro.tensor.reference import mttkrp_coo_reference
+from repro.util.humanize import format_seconds
+
+
+def main() -> None:
+    # --- 1. a sparse tensor with realistic index skew -------------------
+    tensor = zipf_coo(
+        shape=(3000, 2000, 1500),
+        nnz=200_000,
+        exponents=(1.0, 0.9, 1.1),
+        seed=0,
+    )
+    print(f"tensor: {tensor}")
+
+    # --- 2. the AMPED executor on the paper's default platform ----------
+    config = AmpedConfig(n_gpus=4, rank=32)  # §5.1.5 defaults
+    executor = AmpedMTTKRP(tensor, config, name="quickstart")
+
+    rng = np.random.default_rng(1)
+    factors = [rng.random((s, config.rank)) for s in tensor.shape]
+
+    # functional MTTKRP along every mode, checked against the oracle
+    for mode in range(tensor.nmodes):
+        out = executor.mttkrp(factors, mode)
+        ref = mttkrp_coo_reference(tensor, factors, mode)
+        assert np.allclose(out, ref)
+        print(f"mode {mode}: MTTKRP output {out.shape}, matches reference")
+
+    # --- 3. simulated execution time on 4x RTX 6000 Ada -----------------
+    result = executor.simulate()
+    print(
+        f"\nsimulated iteration time on {result.n_gpus} GPUs: "
+        f"{format_seconds(result.total_time)}"
+    )
+    for key, share in result.breakdown().items():
+        print(f"  {key:<15} {share:6.1%}")
+    print(f"  per-GPU compute imbalance: {result.compute_overhead():.2%}")
+
+    # --- 4. full CP decomposition through the AMPED backend -------------
+    data = lowrank_coo((400, 300, 200), 40_000, rank=8, noise=0.01, seed=2)
+    ex2 = AmpedMTTKRP(data, AmpedConfig(n_gpus=4, rank=8), name="cpd-demo")
+    als = cp_als(data, rank=8, n_iters=20, seed=3, mttkrp=ex2.mttkrp)
+    print(
+        f"\nCP-ALS: fit={als.final_fit:.4f} after {als.n_iters} iterations "
+        f"({format_seconds(als.wall_seconds)} wall)"
+    )
+
+
+if __name__ == "__main__":
+    main()

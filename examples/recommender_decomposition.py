@@ -1,0 +1,67 @@
+"""Domain scenario: decomposing an Amazon-style review tensor.
+
+Run:  python examples/recommender_decomposition.py
+
+The paper's motivating workload is tensor decomposition of billion-scale
+recommender data (Amazon reviews: user x item x word). This example builds a
+scaled functional instance of the Amazon profile, runs CP-ALS through the
+AMPED backend, and inspects the learned components — then projects what the
+same decomposition costs per iteration at the full 1.7 B-nonzero scale on
+the paper's 4-GPU platform.
+"""
+
+import numpy as np
+
+from repro.core import AmpedConfig, AmpedMTTKRP
+from repro.cpd import cp_als
+from repro.bench.harness import run_amped_model
+from repro.datasets import AMAZON, materialize
+from repro.datasets.workload import paper_workload
+from repro.simgpu.kernel import KernelCostModel
+from repro.util.humanize import format_count, format_seconds
+
+RANK = 16
+
+
+def main() -> None:
+    # --- scaled functional instance of the Amazon profile ---------------
+    tensor = materialize(AMAZON, 150_000, seed=0)
+    print(
+        f"Amazon (scaled): shape={tensor.shape}, nnz={format_count(tensor.nnz)} "
+        f"(full dataset: {format_count(AMAZON.nnz)})"
+    )
+
+    executor = AmpedMTTKRP(
+        tensor, AmpedConfig(n_gpus=4, rank=RANK), name="amazon-scaled"
+    )
+    result = cp_als(tensor, rank=RANK, n_iters=15, seed=1, mttkrp=executor.mttkrp)
+    print(f"CP-ALS fit after {result.n_iters} iterations: {result.final_fit:.4f}")
+
+    # --- inspect components: top "users"/"items"/"words" per component --
+    model = result.model
+    mode_names = ("user", "item", "word")
+    print("\nstrongest components (top indices per mode):")
+    for r in range(min(3, model.rank)):
+        tops = []
+        for m, name in enumerate(mode_names):
+            col = np.abs(model.factors[m][:, r])
+            tops.append(f"{name}s {np.argsort(col)[-3:][::-1].tolist()}")
+        print(f"  component {r} (weight {model.weights[r]:.2f}): " + "; ".join(tops))
+
+    # --- per-iteration MTTKRP cost at the true billion scale ------------
+    cfg = AmpedConfig(n_gpus=4, rank=RANK)
+    workload = paper_workload(AMAZON, cfg, KernelCostModel())
+    sim = run_amped_model(workload, cfg)
+    per_iter = sim.total_time
+    print(
+        f"\nprojected MTTKRP time per ALS iteration at {format_count(AMAZON.nnz)} "
+        f"nonzeros on 4x RTX 6000 Ada: {format_seconds(per_iter)}"
+    )
+    print(
+        f"projected time for a 25-iteration decomposition: "
+        f"{format_seconds(25 * per_iter)} (MTTKRP portion)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Run:  python examples/reproduce_paper.py [experiment ...]
+
+With no arguments, reproduces Table 1, Table 3, and Figures 5-10 plus the
+abstract's headline numbers, printing each in the paper's row/series format.
+Pass experiment names (e.g. ``fig5 fig9``) to run a subset.
+"""
+
+import sys
+
+from repro.bench import experiments
+
+EXPERIMENTS = {
+    "table1": experiments.table1,
+    "table3": experiments.table3,
+    "fig5": experiments.fig5,
+    "fig6": experiments.fig6,
+    "fig7": experiments.fig7,
+    "fig8": experiments.fig8,
+    "fig9": experiments.fig9,
+    "fig10": experiments.fig10,
+    "headline": experiments.headline,
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

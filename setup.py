@@ -1,0 +1,8 @@
+"""Thin setup.py shim so editable installs work without the `wheel` package
+(this environment is offline; modern PEP 660 editable installs need
+bdist_wheel, which `wheel` provides). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Baseline MTTKRP systems re-implemented on the simulated platform.
+
+Each backend keeps its defining storage format and traffic pattern
+(DESIGN.md §4) so that Figure 5/6 comparisons against AMPED measure the
+algorithmic differences the paper claims:
+
+* :class:`BLCOBackend` — single GPU, blocked-linearized format, host-
+  resident tensor streamed block-by-block every mode (out-of-memory mode);
+* :class:`MMCSFBackend` — single GPU, one CSF tree per mode resident in
+  device memory (OOMs on billion-scale tensors);
+* :class:`HiCOOGPUBackend` — ParTI-GPU: single blocked-COO copy resident on
+  one GPU, 3-mode kernels only;
+* :class:`FlyCOOGPUBackend` — single GPU, two resident tensor copies with
+  dynamic remapping between modes, zero host traffic during execution;
+* :class:`EqualNnzBackend` — multi-GPU strawman of §5.3: equal element
+  split, host-merged partial results.
+"""
+
+from repro.baselines.base import MTTKRPBackend, BackendCapabilities
+from repro.baselines.blco import BLCOBackend
+from repro.baselines.mm_csf import MMCSFBackend
+from repro.baselines.hicoo_gpu import HiCOOGPUBackend
+from repro.baselines.flycoo_gpu import FlyCOOGPUBackend
+from repro.baselines.equal_nnz_multi import EqualNnzBackend
+from repro.baselines.registry import (
+    BACKEND_REGISTRY,
+    capability_table,
+    make_backend,
+)
+
+__all__ = [
+    "MTTKRPBackend",
+    "BackendCapabilities",
+    "BLCOBackend",
+    "MMCSFBackend",
+    "HiCOOGPUBackend",
+    "FlyCOOGPUBackend",
+    "EqualNnzBackend",
+    "BACKEND_REGISTRY",
+    "capability_table",
+    "make_backend",
+]

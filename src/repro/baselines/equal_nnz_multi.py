@@ -1,0 +1,166 @@
+"""Equal-nonzero multi-GPU baseline — the Figure 6 comparison point.
+
+Same platform and GPU count as AMPED, but the tensor is split into equal
+element chunks with no regard for output indices. Consequences, all modeled:
+
+* every GPU's chunk is unsorted w.r.t. the output mode → atomic-scatter
+  kernel with poor output locality;
+* every GPU produces a *partial* output factor matrix over all rows →
+  device→host gather, host CPU merge, and host→device broadcast per mode
+  (:func:`repro.comm.collectives.host_gather_merge_time`), serialized with
+  the GPUs idle — the overhead chain the paper measures at 5.3-10.3×.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BackendCapabilities, MTTKRPBackend
+from repro.comm.collectives import host_gather_merge, host_gather_merge_time
+from repro.core.results import ModeTiming, RunResult
+from repro.core.workload import TensorWorkload
+from repro.errors import DeviceMemoryError, ReproError
+from repro.partition.equal_nnz import EqualNnzPartition, equal_nnz_partition
+from repro.simgpu.trace import Category
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.kernels import ec_contributions, scatter_rows_atomic
+
+__all__ = ["EqualNnzBackend"]
+
+
+class EqualNnzBackend(MTTKRPBackend):
+    """Multi-GPU MTTKRP with naive equal element distribution."""
+
+    #: same device kernels as AMPED, minus the sorted layout
+    kernel_efficiency: float = 0.85
+
+    name = "equal-nnz"
+    capabilities = BackendCapabilities(
+        name="Equal-nnz split",
+        tensor_copies="1",
+        multi_gpu=True,
+        load_balancing=False,
+        billion_scale=True,
+        task_independent_partitioning=False,
+    )
+
+    def __init__(self, *args, n_gpus: int = 4, **kw) -> None:
+        self._n_gpus = n_gpus
+        super().__init__(*args, **kw)
+
+    def default_gpus(self) -> int:
+        return self._n_gpus
+
+    def prepare(self, tensor: SparseTensorCOO) -> None:
+        super().prepare(tensor)
+        self.partition: EqualNnzPartition = equal_nnz_partition(
+            tensor, self.platform.n_gpus
+        )
+
+    # ------------------------------------------------------------------
+    def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
+        """Functional path: per-GPU partials merged exactly like the host."""
+        if self.tensor is None:
+            raise ReproError("equal-nnz: functional run needs a tensor")
+        rank = factors[0].shape[1]
+        partials = []
+        for part in range(self.partition.n_parts):
+            idx, vals = self.partition.part_elements(part)
+            local = np.zeros((self.tensor.shape[mode], rank), dtype=np.float64)
+            if idx.shape[0]:
+                contrib = ec_contributions(idx, vals, factors, mode)
+                scatter_rows_atomic(local, idx[:, mode], contrib)
+            partials.append(local)
+        return host_gather_merge(partials)
+
+    # ------------------------------------------------------------------
+    def simulate(self, workload: TensorWorkload | None = None) -> RunResult:
+        wl = self._resolve_workload(workload)
+        result = self._start_result(wl)
+        m = self.platform.n_gpus
+        elem_bytes = self.cost.coo_element_bytes(wl.nmodes)
+        per_gpu_nnz = -(-wl.nnz // m)
+        allocations = {
+            "factor_matrices": wl.factor_bytes(self.rank, self.cost.rank_value_bytes),
+            "chunk_staging": 2 * min(per_gpu_nnz, 128 * 2**20) * elem_bytes,
+        }
+        held = []
+        try:
+            for g in range(m):
+                for name, nbytes in allocations.items():
+                    self.platform.gpu(g).memory.allocate(name, nbytes)
+                    held.append((g, name))
+        except DeviceMemoryError as exc:
+            for g, name in held:
+                self.platform.gpu(g).memory.free(name)
+            result.error = f"runtime error: {exc}"
+            return result
+        try:
+            t = 0.0
+            chunk_nnz = 128 * 2**20
+            for mw in wl.modes:
+                mode_start = t
+                input_bytes = wl.input_factor_bytes(mw.mode, self.rank)
+                done = []
+                for g in range(m):
+                    nnz_g = per_gpu_nnz if g < m - 1 else wl.nnz - per_gpu_nnz * (m - 1)
+                    nnz_g = max(nnz_g, 0)
+                    remaining = nnz_g
+                    compute_end = mode_start
+                    c = 0
+                    while remaining > 0:
+                        nnz = min(chunk_nnz, remaining)
+                        remaining -= nnz
+                        h2d_end = self.platform.h2d(
+                            g, nnz * elem_bytes, mode_start,
+                            label=f"m{mw.mode}.chunk{c}",
+                        )
+                        ktime = self.cost.mttkrp_time(
+                            self.platform.gpu_spec,
+                            nnz,
+                            self.rank,
+                            wl.nmodes,
+                            elem_bytes=elem_bytes,
+                            factor_hit=mw.factor_hit,
+                            input_factor_bytes=input_bytes,
+                            sorted_output=False,  # chunks ignore output order
+                            # Unsorted atomics serialize on hot output rows
+                            # (catastrophic on Patents' 46-index mode).
+                            atomic_contention=True,
+                            avg_nnz_per_row=wl.nnz / max(mw.extent, 1),
+                            bandwidth_efficiency=self.kernel_efficiency,
+                        )
+                        compute_end = self.platform.compute(
+                            g, ktime, h2d_end, label=f"m{mw.mode}.chunk{c}"
+                        )
+                        c += 1
+                    done.append(compute_end)
+                barrier_t = self.platform.barrier(done)
+                ends = host_gather_merge_time(
+                    self.platform,
+                    self.cost,
+                    mw.extent,
+                    self.rank,
+                    [barrier_t] * m,
+                    label=f"m{mw.mode}.merge",
+                )
+                t = self.platform.barrier(ends)
+                result.mode_times.append(
+                    ModeTiming(
+                        mode=mw.mode, start=mode_start, compute_done=barrier_t, end=t
+                    )
+                )
+            result.total_time = t
+            result.timeline = self.platform.timeline
+            result.per_gpu_compute = np.array(
+                [
+                    self.platform.timeline.device_busy(g, Category.COMPUTE)
+                    for g in range(m)
+                ]
+            )
+            return result
+        finally:
+            for g, name in held:
+                self.platform.gpu(g).memory.free(name)

@@ -1,0 +1,51 @@
+"""Backend registry and the Table 1 capability matrix."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.baselines.base import BackendCapabilities, MTTKRPBackend
+from repro.baselines.blco import BLCOBackend
+from repro.baselines.equal_nnz_multi import EqualNnzBackend
+from repro.baselines.flycoo_gpu import FlyCOOGPUBackend
+from repro.baselines.hicoo_gpu import HiCOOGPUBackend
+from repro.baselines.mm_csf import MMCSFBackend
+from repro.errors import ReproError
+
+__all__ = ["BACKEND_REGISTRY", "AMPED_CAPABILITIES", "capability_table", "make_backend"]
+
+BACKEND_REGISTRY: dict[str, Type[MTTKRPBackend]] = {
+    BLCOBackend.name: BLCOBackend,
+    MMCSFBackend.name: MMCSFBackend,
+    HiCOOGPUBackend.name: HiCOOGPUBackend,
+    FlyCOOGPUBackend.name: FlyCOOGPUBackend,
+    EqualNnzBackend.name: EqualNnzBackend,
+}
+
+#: AMPED's own Table 1 row (the executor lives in repro.core, not here).
+AMPED_CAPABILITIES = BackendCapabilities(
+    name="AMPED (ours)",
+    tensor_copies="modes",
+    multi_gpu=True,
+    load_balancing=True,
+    billion_scale=True,
+    task_independent_partitioning=True,
+)
+
+
+def capability_table() -> list[BackendCapabilities]:
+    """Rows of Table 1: AMPED first, then every baseline."""
+    rows = [AMPED_CAPABILITIES]
+    rows.extend(cls.capabilities for cls in BACKEND_REGISTRY.values())
+    return rows
+
+
+def make_backend(name: str, *args, **kw) -> MTTKRPBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        cls = BACKEND_REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown backend {name!r}; available: {sorted(BACKEND_REGISTRY)}"
+        ) from None
+    return cls(*args, **kw)

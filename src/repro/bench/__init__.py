@@ -1,0 +1,23 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment function in :mod:`repro.bench.experiments` returns a
+structured result plus a text rendering that prints the same rows/series the
+paper reports. Experiments run in **model** mode (billion-scale timing
+simulation) and, where applicable, **measured** mode (functional NumPy
+execution on scaled tensors, wall-clocked by pytest-benchmark).
+"""
+
+from repro.bench.metrics import geometric_mean, speedup, speedups_over
+from repro.bench.report import render_table
+from repro.bench.harness import ExperimentResult, model_workloads
+from repro.bench import experiments
+
+__all__ = [
+    "geometric_mean",
+    "speedup",
+    "speedups_over",
+    "render_table",
+    "ExperimentResult",
+    "model_workloads",
+    "experiments",
+]

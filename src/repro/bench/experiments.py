@@ -1,0 +1,330 @@
+"""One function per table/figure of the paper's evaluation (§5).
+
+Every function returns an :class:`ExperimentResult` whose ``data`` holds the
+raw series and whose ``text`` prints the same rows the paper reports.
+Billion-scale (model) results come from the timing simulation; the
+pytest-benchmark files under ``benchmarks/`` wall-clock the functional paths
+at scaled sizes and reuse these functions for the model numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import capability_table
+from repro.bench.harness import (
+    ExperimentResult,
+    model_workloads,
+    run_amped_model,
+    run_backend_model,
+)
+from repro.bench.metrics import geometric_mean
+from repro.bench.report import render_table
+from repro.core.config import AmpedConfig
+from repro.core.preprocess import preprocessing_time
+from repro.datasets.profiles import ALL_PROFILES
+from repro.datasets.workload import paper_workload
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import EPYC_9654_DUAL
+from repro.util.humanize import format_count, format_seconds, format_shape
+
+__all__ = [
+    "table1",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "headline",
+]
+
+#: baselines shown in Figure 5, in the paper's order
+FIG5_BASELINES = ("blco", "mm-csf", "hicoo-gpu", "flycoo-gpu")
+
+
+def table1() -> ExperimentResult:
+    """Table 1: characteristics of related work."""
+    rows = []
+    for cap in capability_table():
+        rows.append(
+            [
+                cap.name,
+                cap.tensor_copies,
+                "yes" if cap.multi_gpu else "no",
+                "yes" if cap.load_balancing else "no",
+                "yes" if cap.billion_scale else "no",
+                "yes" if cap.task_independent_partitioning else "no",
+            ]
+        )
+    text = render_table(
+        ["work", "tensor copies", "multi-GPU", "load-balancing",
+         "billion-scale", "task-indep. partitioning"],
+        rows,
+        title="Table 1: summary of related work",
+    )
+    return ExperimentResult(
+        experiment="table1",
+        description="related-work capability matrix",
+        data={"rows": rows},
+        text=text,
+    )
+
+
+def table3() -> ExperimentResult:
+    """Table 3: characteristics of the sparse tensors."""
+    rows = [
+        [p.name, format_shape(p.shape), format_count(p.nnz), p.nmodes]
+        for p in ALL_PROFILES
+    ]
+    text = render_table(
+        ["tensor", "shape", "nnz", "modes"],
+        rows,
+        title="Table 3: characteristics of the sparse tensors",
+    )
+    return ExperimentResult(
+        experiment="table3",
+        description="dataset characteristics",
+        data={"profiles": {p.name: p for p in ALL_PROFILES}},
+        text=text,
+    )
+
+
+def fig5(config: AmpedConfig | None = None) -> ExperimentResult:
+    """Figure 5: total execution time, AMPED@4GPU vs every baseline.
+
+    Reports per-tensor times (or the paper's "runtime error") and the
+    speedup of AMPED over each runnable baseline, plus the geometric mean.
+    """
+    cfg = config or AmpedConfig()
+    workloads = model_workloads(cfg)
+    times: dict[str, dict[str, float | None]] = {}
+    speedups: list[float] = []
+    rows = []
+    for name, wl in workloads.items():
+        amped = run_amped_model(wl, cfg)
+        per = {"amped": amped.total_time}
+        cells = [name, format_seconds(amped.total_time)]
+        for b in FIG5_BASELINES:
+            r = run_backend_model(b, wl)
+            if r.ok:
+                per[b] = r.total_time
+                speedups.append(r.total_time / amped.total_time)
+                cells.append(
+                    f"{format_seconds(r.total_time)} "
+                    f"({r.total_time / amped.total_time:.1f}x)"
+                )
+            else:
+                per[b] = None
+                cells.append("runtime error" if "runtime" in (r.error or "") else "unsupported")
+        times[name] = per
+        rows.append(cells)
+    geo = geometric_mean(speedups)
+    text = render_table(
+        ["tensor", "AMPED (4 GPUs)"] + [b for b in FIG5_BASELINES],
+        rows,
+        title="Figure 5: total execution time (speedup of AMPED in parentheses)",
+    )
+    text += f"\n\ngeometric-mean speedup over runnable baselines: {geo:.2f}x (paper: 5.1x)"
+    return ExperimentResult(
+        experiment="fig5",
+        description="overall performance vs GPU baselines",
+        data={"times": times, "geomean_speedup": geo},
+        text=text,
+    )
+
+
+def fig6(config: AmpedConfig | None = None) -> ExperimentResult:
+    """Figure 6: AMPED's sharding vs equal nonzero distribution."""
+    cfg = config or AmpedConfig()
+    workloads = model_workloads(cfg)
+    rows, ratios = [], {}
+    for name, wl in workloads.items():
+        amped = run_amped_model(wl, cfg)
+        eq = run_backend_model("equal-nnz", wl, n_gpus=cfg.n_gpus)
+        ratio = eq.total_time / amped.total_time
+        ratios[name] = ratio
+        rows.append(
+            [name, format_seconds(amped.total_time),
+             format_seconds(eq.total_time), f"{ratio:.1f}x"]
+        )
+    geo = geometric_mean(list(ratios.values()))
+    text = render_table(
+        ["tensor", "AMPED sharding", "equal-nnz split", "speedup"],
+        rows,
+        title="Figure 6: impact of the proposed partitioning scheme",
+    )
+    text += (
+        f"\n\nspeedup range: {min(ratios.values()):.1f}x - "
+        f"{max(ratios.values()):.1f}x, geomean {geo:.1f}x "
+        "(paper: 5.3x - 10.3x, geomean 8.2x)"
+    )
+    return ExperimentResult(
+        experiment="fig6",
+        description="partitioning scheme vs equal nnz distribution",
+        data={"ratios": ratios, "geomean": geo},
+        text=text,
+    )
+
+
+def fig7(config: AmpedConfig | None = None) -> ExperimentResult:
+    """Figure 7: execution time breakdown (compute / host-GPU / GPU-GPU)."""
+    cfg = config or AmpedConfig()
+    workloads = model_workloads(cfg)
+    rows, breakdowns = [], {}
+    for name, wl in workloads.items():
+        amped = run_amped_model(wl, cfg)
+        bd = amped.breakdown()
+        breakdowns[name] = bd
+        rows.append(
+            [
+                name,
+                f"{bd['computation']:.0%}",
+                f"{bd['host_gpu_comm']:.0%}",
+                f"{bd['gpu_gpu_comm']:.0%}",
+            ]
+        )
+    text = render_table(
+        ["tensor", "computation", "host-GPU comm", "GPU-GPU comm"],
+        rows,
+        title="Figure 7: execution time breakdown (busy-time shares)",
+    )
+    text += (
+        "\n\npaper observations: shard streaming dominates communication for "
+        "Patents/Reddit; index-heavy tensors (Amazon, Twitch) show "
+        "significant GPU-GPU exchange; Reddit's communication is significant "
+        "(32% of total in the paper)."
+    )
+    return ExperimentResult(
+        experiment="fig7",
+        description="execution time breakdown",
+        data={"breakdowns": breakdowns},
+        text=text,
+    )
+
+
+def fig8(config: AmpedConfig | None = None) -> ExperimentResult:
+    """Figure 8: computation-time overhead (imbalance) among GPUs."""
+    cfg = config or AmpedConfig()
+    workloads = model_workloads(cfg)
+    rows, overheads = [], {}
+    for name, wl in workloads.items():
+        amped = run_amped_model(wl, cfg)
+        ov = amped.compute_overhead()
+        overheads[name] = ov
+        rows.append([name, f"{ov:.2%}"])
+    text = render_table(
+        ["tensor", "compute-time overhead (max-min)/total"],
+        rows,
+        title="Figure 8: workload distribution among GPUs",
+    )
+    text += (
+        "\n\npaper: <1% for the billion-scale tensors; Twitch highest due to "
+        "popular-streamer index skew."
+    )
+    return ExperimentResult(
+        experiment="fig8",
+        description="per-GPU compute imbalance",
+        data={"overheads": overheads},
+        text=text,
+    )
+
+
+def fig9(config: AmpedConfig | None = None) -> ExperimentResult:
+    """Figure 9: scalability from 1 to 4 GPUs."""
+    base_cfg = config or AmpedConfig()
+    gpu_counts = (1, 2, 3, 4)
+    per_tensor: dict[str, dict[int, float]] = {}
+    for p in ALL_PROFILES:
+        per_tensor[p.name] = {}
+        for m in gpu_counts:
+            cfg = base_cfg.with_gpus(m)
+            wl = paper_workload(p, cfg, KernelCostModel())
+            per_tensor[p.name][m] = run_amped_model(wl, cfg).total_time
+    rows = []
+    speedups: dict[int, list[float]] = {m: [] for m in gpu_counts[1:]}
+    for name, times in per_tensor.items():
+        cells = [name]
+        for m in gpu_counts[1:]:
+            s = times[1] / times[m]
+            speedups[m].append(s)
+            cells.append(f"{s:.2f}x")
+        rows.append(cells)
+    geo = {m: geometric_mean(v) for m, v in speedups.items()}
+    text = render_table(
+        ["tensor", "2 GPUs", "3 GPUs", "4 GPUs"],
+        rows,
+        title="Figure 9: speedup over a single GPU",
+    )
+    text += (
+        f"\n\ngeometric means: 2 GPUs {geo[2]:.2f}x, 3 GPUs {geo[3]:.2f}x, "
+        f"4 GPUs {geo[4]:.2f}x (paper: 1.9x / 2.3x / 3.3x)"
+    )
+    return ExperimentResult(
+        experiment="fig9",
+        description="multi-GPU scalability",
+        data={"times": per_tensor, "geomeans": geo},
+        text=text,
+    )
+
+
+def fig10(config: AmpedConfig | None = None) -> ExperimentResult:
+    """Figure 10: preprocessing time, AMPED vs BLCO."""
+    cfg = config or AmpedConfig()
+    workloads = model_workloads(cfg)
+    cost = KernelCostModel()
+    rows, data = [], {}
+    for name, wl in workloads.items():
+        t_amped = preprocessing_time("amped", wl, cost, EPYC_9654_DUAL)
+        t_blco = preprocessing_time("blco", wl, cost, EPYC_9654_DUAL)
+        data[name] = {"amped": t_amped, "blco": t_blco}
+        rows.append(
+            [name, format_seconds(t_amped), format_seconds(t_blco),
+             f"{t_amped / t_blco:.2f}x"]
+        )
+    text = render_table(
+        ["tensor", "AMPED preprocessing", "BLCO preprocessing", "AMPED/BLCO"],
+        rows,
+        title="Figure 10: preprocessing time on the host CPU",
+    )
+    text += (
+        "\n\nAMPED sorts one tensor copy per mode; BLCO linearizes and sorts "
+        "a single copy — AMPED's preprocessing is accordingly higher "
+        "(the paper notes preprocessing acceleration is out of scope)."
+    )
+    return ExperimentResult(
+        experiment="fig10",
+        description="preprocessing time comparison",
+        data=data,
+        text=text,
+    )
+
+
+def headline(config: AmpedConfig | None = None) -> ExperimentResult:
+    """The abstract's headline numbers, regenerated."""
+    f5 = fig5(config)
+    f6 = fig6(config)
+    f9 = fig9(config)
+    text = "\n".join(
+        [
+            "Headline results (model scale, simulated paper platform):",
+            f"  speedup vs GPU baselines (geomean): "
+            f"{f5.data['geomean_speedup']:.2f}x   (paper: 5.1x)",
+            f"  partitioning vs equal-nnz (geomean): "
+            f"{f6.data['geomean']:.1f}x   (paper: 8.2x)",
+            f"  scaling 2/3/4 GPUs (geomean): "
+            + " / ".join(f"{f9.data['geomeans'][m]:.2f}x" for m in (2, 3, 4))
+            + "   (paper: 1.9x / 2.3x / 3.3x)",
+        ]
+    )
+    return ExperimentResult(
+        experiment="headline",
+        description="abstract headline numbers",
+        data={
+            "baseline_geomean": f5.data["geomean_speedup"],
+            "partitioning_geomean": f6.data["geomean"],
+            "scaling_geomeans": f9.data["geomeans"],
+        },
+        text=text,
+    )

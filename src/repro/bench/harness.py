@@ -1,0 +1,73 @@
+"""Shared experiment plumbing: workload caches and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any
+
+from repro.core.config import AmpedConfig
+from repro.core.simulate import simulate_amped
+from repro.core.results import RunResult
+from repro.core.workload import TensorWorkload
+from repro.datasets.profiles import ALL_PROFILES, DatasetProfile, profile_by_name
+from repro.datasets.workload import paper_workload
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import paper_platform
+
+__all__ = ["ExperimentResult", "model_workloads", "run_amped_model", "run_backend_model"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment: data + printable text."""
+
+    experiment: str
+    description: str
+    data: dict[str, Any] = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+@lru_cache(maxsize=64)
+def _workload_cached(name: str, n_gpus: int, shards_per_gpu: int, rank: int) -> TensorWorkload:
+    cfg = AmpedConfig(n_gpus=n_gpus, shards_per_gpu=shards_per_gpu, rank=rank)
+    return paper_workload(profile_by_name(name), cfg, KernelCostModel())
+
+
+def model_workloads(
+    config: AmpedConfig | None = None,
+) -> dict[str, TensorWorkload]:
+    """Billion-scale workload descriptors for every Table 3 dataset."""
+    cfg = config or AmpedConfig()
+    return {
+        p.name: _workload_cached(p.name, cfg.n_gpus, cfg.shards_per_gpu, cfg.rank)
+        for p in ALL_PROFILES
+    }
+
+
+def run_amped_model(
+    workload: TensorWorkload,
+    config: AmpedConfig | None = None,
+    cost: KernelCostModel | None = None,
+) -> RunResult:
+    """Simulate AMPED at paper scale on a fresh paper platform."""
+    cfg = config or AmpedConfig()
+    return simulate_amped(
+        paper_platform(cfg.n_gpus), cost or KernelCostModel(), workload, cfg
+    )
+
+
+def run_backend_model(
+    name: str,
+    workload: TensorWorkload,
+    cost: KernelCostModel | None = None,
+    **kw,
+) -> RunResult:
+    """Simulate one baseline at paper scale on a fresh platform."""
+    from repro.baselines.registry import make_backend
+
+    backend = make_backend(name, workload=workload, cost=cost or KernelCostModel(), **kw)
+    return backend.simulate()

@@ -1,0 +1,38 @@
+"""Metrics used by the paper: speedups and geometric means."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ReproError
+
+__all__ = ["geometric_mean", "speedup", "speedups_over"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's headline aggregator)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ReproError("geometric mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ReproError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline_time: float, our_time: float) -> float:
+    """baseline / ours; > 1 means we are faster."""
+    if our_time <= 0 or baseline_time <= 0:
+        raise ReproError("speedup requires positive times")
+    return baseline_time / our_time
+
+
+def speedups_over(
+    our_times: dict[str, float], baseline_times: dict[str, float]
+) -> dict[str, float]:
+    """Per-key speedups for the keys present in both mappings."""
+    return {
+        k: speedup(baseline_times[k], our_times[k])
+        for k in our_times
+        if k in baseline_times
+    }

@@ -1,0 +1,33 @@
+"""Plain-text table rendering for harness output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table (markdown-ish, no wrapping)."""
+    cols = len(headers)
+    cells = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(cells):
+        if len(row) != cols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {cols}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[c] for c in range(cols)))
+    for row in cells:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in range(cols)))
+    return "\n".join(lines)

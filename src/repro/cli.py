@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+experiments   regenerate the paper's tables/figures (model scale)
+datasets      list the Table 3 dataset profiles
+simulate      simulate one dataset x method at paper scale
+decompose     CP-ALS on a FROSTT .tns file (or a synthetic dataset instance)
+trace         export a simulated AMPED run as Chrome trace JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AMPED reproduction: multi-GPU sparse MTTKRP (ICPP 2025)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument(
+        "names",
+        nargs="*",
+        default=[],
+        help="subset (table1 table3 fig5..fig10 headline); default: all",
+    )
+
+    sub.add_parser("datasets", help="list dataset profiles (Table 3)")
+
+    p_sim = sub.add_parser("simulate", help="simulate one dataset x method")
+    p_sim.add_argument("dataset", choices=["amazon", "patents", "reddit", "twitch"])
+    p_sim.add_argument(
+        "--method",
+        default="amped",
+        choices=["amped", "blco", "mm-csf", "hicoo-gpu", "flycoo-gpu", "equal-nnz"],
+    )
+    p_sim.add_argument("--gpus", type=int, default=4)
+    p_sim.add_argument("--rank", type=int, default=32)
+    p_sim.add_argument("--shards-per-gpu", type=int, default=16)
+
+    p_dec = sub.add_parser("decompose", help="CP-ALS on a tensor")
+    src = p_dec.add_mutually_exclusive_group(required=True)
+    src.add_argument("--tns", help="FROSTT .tns file")
+    src.add_argument(
+        "--dataset",
+        choices=["amazon", "patents", "reddit", "twitch"],
+        help="scaled synthetic instance of a Table 3 dataset",
+    )
+    p_dec.add_argument("--nnz", type=int, default=100_000, help="scaled nnz")
+    p_dec.add_argument("--rank", type=int, default=16)
+    p_dec.add_argument("--iters", type=int, default=20)
+    p_dec.add_argument("--gpus", type=int, default=4)
+    p_dec.add_argument("--seed", type=int, default=0)
+
+    p_tr = sub.add_parser("trace", help="export a Chrome trace of a simulated run")
+    p_tr.add_argument("dataset", choices=["amazon", "patents", "reddit", "twitch"])
+    p_tr.add_argument("output", help="output .json path")
+    p_tr.add_argument("--gpus", type=int, default=4)
+    return parser
+
+
+def _cmd_experiments(args) -> int:
+    from repro.bench import experiments as E
+
+    table = {
+        "table1": E.table1,
+        "table3": E.table3,
+        "fig5": E.fig5,
+        "fig6": E.fig6,
+        "fig7": E.fig7,
+        "fig8": E.fig8,
+        "fig9": E.fig9,
+        "fig10": E.fig10,
+        "headline": E.headline,
+    }
+    names = args.names or list(table)
+    unknown = [n for n in names if n not in table]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(table)}")
+        return 2
+    for name in names:
+        print(table[name]().text)
+        print()
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.bench.experiments import table3
+
+    print(table3().text)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.baselines.registry import make_backend
+    from repro.core.config import AmpedConfig
+    from repro.bench.harness import run_amped_model
+    from repro.datasets.workload import paper_workload
+    from repro.simgpu.kernel import KernelCostModel
+    from repro.util.humanize import format_seconds
+
+    cfg = AmpedConfig(
+        n_gpus=args.gpus, rank=args.rank, shards_per_gpu=args.shards_per_gpu
+    )
+    wl = paper_workload(args.dataset, cfg, KernelCostModel())
+    if args.method == "amped":
+        res = run_amped_model(wl, cfg)
+    elif args.method == "equal-nnz":
+        res = make_backend(args.method, workload=wl, n_gpus=args.gpus).simulate()
+    else:
+        res = make_backend(args.method, workload=wl).simulate()
+    if not res.ok:
+        print(f"{args.method} on {args.dataset}: {res.error}")
+        return 1
+    print(
+        f"{args.method} on {args.dataset} ({res.n_gpus} device(s)): "
+        f"{format_seconds(res.total_time)} per MTTKRP iteration"
+    )
+    for key, share in res.breakdown().items():
+        print(f"  {key:<15} {share:6.1%}")
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    from repro.core.amped import AmpedMTTKRP
+    from repro.core.config import AmpedConfig
+    from repro.cpd.als import cp_als
+    from repro.datasets.profiles import profile_by_name
+    from repro.datasets.synthetic import materialize
+    from repro.tensor.io import read_tns
+    from repro.util.humanize import format_seconds
+
+    if args.tns:
+        tensor = read_tns(args.tns)
+        name = args.tns
+    else:
+        tensor = materialize(profile_by_name(args.dataset), args.nnz, seed=args.seed)
+        name = f"{args.dataset} (scaled to {tensor.nnz} nnz)"
+    print(f"tensor: {name}, shape={tensor.shape}, nnz={tensor.nnz}")
+    ex = AmpedMTTKRP(
+        tensor, AmpedConfig(n_gpus=args.gpus, rank=args.rank), name="cli"
+    )
+    res = cp_als(
+        tensor, rank=args.rank, n_iters=args.iters, seed=args.seed,
+        mttkrp=ex.mttkrp,
+    )
+    print(
+        f"CP-ALS rank {args.rank}: fit={res.final_fit:.4f} after "
+        f"{res.n_iters} iterations ({format_seconds(res.wall_seconds)} wall)"
+    )
+    sim = ex.simulate()
+    print(
+        f"simulated MTTKRP iteration on {args.gpus} GPU(s): "
+        f"{format_seconds(sim.total_time)}"
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.config import AmpedConfig
+    from repro.bench.harness import run_amped_model
+    from repro.datasets.workload import paper_workload
+    from repro.simgpu.kernel import KernelCostModel
+    from repro.simgpu.trace_export import write_chrome_trace
+
+    cfg = AmpedConfig(n_gpus=args.gpus)
+    wl = paper_workload(args.dataset, cfg, KernelCostModel())
+    res = run_amped_model(wl, cfg)
+    path = write_chrome_trace(res.timeline, args.output)
+    print(f"wrote {len(res.timeline.spans)} spans to {path} (chrome://tracing)")
+    return 0
+
+
+_COMMANDS = {
+    "experiments": _cmd_experiments,
+    "datasets": _cmd_datasets,
+    "simulate": _cmd_simulate,
+    "decompose": _cmd_decompose,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

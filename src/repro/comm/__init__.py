@@ -1,0 +1,33 @@
+"""Inter-GPU communication primitives (paper §4.8-§4.9, Algorithm 3).
+
+Two layers:
+
+* **functional** — operations on real NumPy buffers held per simulated rank,
+  verifying that e.g. every rank ends the all-gather with the complete
+  output factor matrix;
+* **timed** — the same communication schedule charged against the simulated
+  platform's P2P links, producing the Figure 7 GPU-GPU communication spans.
+"""
+
+from repro.comm.primitives import RankBuffers, barrier_time
+from repro.comm.allgather import (
+    ring_allgather,
+    ring_allgather_time,
+    direct_allgather_time,
+)
+from repro.comm.collectives import (
+    host_gather_merge,
+    host_gather_merge_time,
+    broadcast_time,
+)
+
+__all__ = [
+    "RankBuffers",
+    "barrier_time",
+    "ring_allgather",
+    "ring_allgather_time",
+    "direct_allgather_time",
+    "host_gather_merge",
+    "host_gather_merge_time",
+    "broadcast_time",
+]

@@ -1,0 +1,138 @@
+"""Ring all-gather of output factor-matrix partitions (Algorithm 3).
+
+After a mode's MTTKRP, GPU *g* holds the updated rows of the output factor
+matrix for the output indices its shards own. The ring all-gather circulates
+chunks for ``M - 1`` steps: at step *z*, rank *g* sends chunk
+``(g + z) mod M`` to rank ``(g + 1) mod M`` and receives chunk
+``(g - z - 1) mod M`` from rank ``(g - 1) mod M`` — after which every rank
+holds every chunk, i.e. the full updated factor matrix. A barrier separates
+steps (Algorithm 3 line 12).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.comm.primitives import barrier_time
+from repro.simgpu.platform import MultiGPUPlatform
+
+__all__ = ["ring_allgather", "ring_allgather_time", "direct_allgather_time"]
+
+
+def ring_allgather(chunks: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+    """Functional ring all-gather over per-rank chunks.
+
+    ``chunks[g]`` is the buffer rank *g* contributes. Returns, per rank, the
+    list of all chunks in owner order — every rank's view must be identical,
+    which the tests assert. The implementation literally simulates the ring
+    steps (send/recv into per-rank chunk tables) rather than broadcasting,
+    so the schedule of Algorithm 3 is what is being verified.
+    """
+    m = len(chunks)
+    if m == 0:
+        raise CommunicationError("all-gather needs at least one rank")
+    # table[g][c] — rank g's copy of chunk c (None until received).
+    table: list[list[np.ndarray | None]] = [
+        [None] * m for _ in range(m)
+    ]
+    for g in range(m):
+        table[g][g] = np.array(chunks[g], copy=True)
+    for step in range(m - 1):
+        sends = []
+        for g in range(m):
+            # Rank g forwards the chunk it received last step. Note: the
+            # paper's Algorithm 3 line 7 prints the send index as
+            # (gpu_id + z) mod M, which a rank does not yet hold at step z;
+            # the schedule consistent with its receive index (line 10) — and
+            # the standard ring all-gather — sends (gpu_id - z) mod M.
+            send_chunk = (g - step) % m
+            buf = table[g][send_chunk]
+            if buf is None:
+                raise CommunicationError(
+                    f"rank {g} does not hold chunk {send_chunk} at step {step}"
+                )
+            sends.append((g, (g + 1) % m, send_chunk, buf))
+        # Deliver after all sends are staged (models the per-step barrier).
+        for src, dst, chunk_id, buf in sends:
+            table[dst][chunk_id] = np.array(buf, copy=True)
+    for g in range(m):
+        missing = [c for c in range(m) if table[g][c] is None]
+        if missing:
+            raise CommunicationError(f"rank {g} missing chunks {missing}")
+    return [list(row) for row in table]  # type: ignore[arg-type]
+
+
+def ring_allgather_time(
+    platform: MultiGPUPlatform,
+    chunk_bytes: Sequence[float],
+    ready: Sequence[float],
+    *,
+    label: str = "allgather",
+) -> list[float]:
+    """Charge Algorithm 3 against the platform's P2P links.
+
+    ``chunk_bytes[g]`` — bytes of the chunk originally owned by rank g.
+    ``ready[g]`` — time rank g enters the all-gather.
+    Returns per-rank completion times (all equal: the final barrier).
+    """
+    m = platform.n_gpus
+    if len(chunk_bytes) != m or len(ready) != m:
+        raise CommunicationError("need one chunk size and ready time per rank")
+    if m == 1:
+        return [ready[0]]
+    t = list(ready)
+    # All ranks must arrive before the ring starts (Algorithm 1 line 9).
+    start = barrier_time(t)
+    t = [start] * m
+    for step in range(m - 1):
+        ends = []
+        for g in range(m):
+            send_chunk = (g - step) % m  # see ring_allgather: paper typo note
+            end = platform.p2p(
+                g,
+                (g + 1) % m,
+                chunk_bytes[send_chunk],
+                t[g],
+                label=f"{label}.step{step}",
+            )
+            ends.append(end)
+        # Rank g's step completes when its send is done and its inbound
+        # chunk (from rank g-1) has arrived; the explicit barrier then
+        # aligns all ranks (Algorithm 3 line 12).
+        arrived = [max(ends[g], ends[(g - 1) % m]) for g in range(m)]
+        step_end = barrier_time(arrived)
+        t = [step_end] * m
+    return t
+
+
+def direct_allgather_time(
+    platform: MultiGPUPlatform,
+    chunk_bytes: Sequence[float],
+    ready: Sequence[float],
+    *,
+    label: str = "allgather_direct",
+) -> list[float]:
+    """Naive alternative: every rank sends its chunk to every other rank.
+
+    Serializes ``M - 1`` sends on each sender's P2P engine; used by the
+    DESIGN.md A3 ablation to show why the paper chose the ring model for
+    bulk transfers on bandwidth-limited links.
+    """
+    m = platform.n_gpus
+    if len(chunk_bytes) != m or len(ready) != m:
+        raise CommunicationError("need one chunk size and ready time per rank")
+    if m == 1:
+        return [ready[0]]
+    start = barrier_time(list(ready))
+    ends = [start] * m
+    for g in range(m):
+        t = start
+        for offset in range(1, m):
+            dst = (g + offset) % m
+            t = platform.p2p(g, dst, chunk_bytes[g], t, label=f"{label}.g{g}->g{dst}")
+        ends[g] = t
+    finish = barrier_time(ends)
+    return [finish] * m

@@ -1,0 +1,89 @@
+"""Host-mediated collectives used by the equal-nnz baseline (§5.3).
+
+When nonzeros are split without regard to output index, every GPU produces a
+*partial* output factor matrix covering potentially all rows. Completing the
+mode then requires: gather partials device→host, merge on the host CPU, and
+broadcast the merged matrix host→device — the exact overhead chain AMPED's
+sharding eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.comm.primitives import barrier_time
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.platform import MultiGPUPlatform
+
+__all__ = ["host_gather_merge", "host_gather_merge_time", "broadcast_time"]
+
+
+def host_gather_merge(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Functional merge: elementwise sum of per-GPU partial factor matrices."""
+    if not partials:
+        raise CommunicationError("merge needs at least one partial")
+    shape = partials[0].shape
+    for p in partials[1:]:
+        if p.shape != shape:
+            raise CommunicationError("partials must share a shape")
+    out = np.zeros(shape, dtype=np.float64)
+    for p in partials:
+        out += p
+    return out
+
+
+def host_gather_merge_time(
+    platform: MultiGPUPlatform,
+    cost: KernelCostModel,
+    n_rows: int,
+    rank: int,
+    ready: Sequence[float],
+    *,
+    label: str = "host_merge",
+) -> list[float]:
+    """Timed gather (D2H) + host merge + broadcast (H2D) of one factor.
+
+    Returns per-rank completion times (equal after the final barrier).
+    """
+    m = platform.n_gpus
+    if len(ready) != m:
+        raise CommunicationError("need one ready time per rank")
+    nbytes = cost.factor_bytes(n_rows, rank)
+    # Gather: each GPU ships its full partial on its own PCIe link.
+    d2h_ends = [
+        platform.d2h(g, nbytes, ready[g], label=f"{label}.gather.g{g}")
+        for g in range(m)
+    ]
+    gathered = barrier_time(d2h_ends)
+    # Merge on the host CPU (the slow part the paper calls out).
+    merge_end = platform.host_compute(
+        cost.host_merge_time(platform.host, n_rows, rank, m),
+        gathered,
+        label=f"{label}.merge",
+    )
+    # Broadcast the merged matrix back to every GPU.
+    h2d_ends = [
+        platform.h2d(g, nbytes, merge_end, label=f"{label}.bcast.g{g}")
+        for g in range(m)
+    ]
+    finish = barrier_time(h2d_ends)
+    return [finish] * m
+
+
+def broadcast_time(
+    platform: MultiGPUPlatform,
+    nbytes: float,
+    ready: float,
+    *,
+    label: str = "broadcast",
+) -> list[float]:
+    """Host -> all GPUs broadcast over the per-GPU PCIe links."""
+    ends = [
+        platform.h2d(g, nbytes, ready, label=f"{label}.g{g}")
+        for g in range(platform.n_gpus)
+    ]
+    finish = barrier_time(ends)
+    return [finish] * platform.n_gpus

@@ -1,0 +1,47 @@
+"""Basic communication building blocks for the simulated ranks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CommunicationError
+
+__all__ = ["RankBuffers", "barrier_time"]
+
+
+@dataclass
+class RankBuffers:
+    """Named NumPy buffers owned by one simulated rank (GPU).
+
+    Models each GPU's local copy of the factor matrices (§4.4): functional
+    all-gather implementations read and write these buffers exactly as the
+    GPUDirect P2P transfers would.
+    """
+
+    rank: int
+    buffers: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def put(self, name: str, array: np.ndarray) -> None:
+        self.buffers[name] = array
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self.buffers[name]
+        except KeyError:
+            raise CommunicationError(
+                f"rank {self.rank} has no buffer {name!r}"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        return name in self.buffers
+
+
+def barrier_time(times: list[float], overhead: float = 5e-6) -> float:
+    """Inter-GPU barrier completion: max participant time + sync overhead."""
+    if not times:
+        raise CommunicationError("barrier over no participants")
+    if overhead < 0:
+        raise CommunicationError("barrier overhead must be non-negative")
+    return max(times) + overhead

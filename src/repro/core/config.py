@@ -1,0 +1,64 @@
+"""Configuration for the AMPED executor (paper §5.1.5 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ReproError
+
+__all__ = ["AmpedConfig"]
+
+
+@dataclass(frozen=True)
+class AmpedConfig:
+    """Algorithm knobs; defaults match the paper's default configuration.
+
+    Attributes
+    ----------
+    n_gpus: GPUs in the platform (paper default 4).
+    rank: factor-matrix rank R (paper sets R = 32).
+    threadblock_cols: P (called θ in §5.1.5) — nonzeros loaded per
+        threadblock at a time; the threadblock is R x P.
+    shards_per_gpu: tensor shards per GPU per mode. The paper's §3.2 formula
+        (``k_d = |I_d| / m``) creates one shard per m output indices; a
+        moderate shard count keeps the same task-independence while making
+        grid scheduling efficient (DESIGN.md ablation A1 sweeps this).
+    policy: shard→GPU balancing ("lpt" static, "round_robin" naive).
+    schedule: "static" executes the precomputed assignment; "dynamic"
+        dispatches shards to the earliest-available GPU at run time (paying
+        a per-dispatch host overhead).
+    allgather: "ring" (Algorithm 3) or "direct" (A3 ablation).
+    double_buffer: overlap shard H2D transfers with compute (CUDA streams).
+    """
+
+    n_gpus: int = 4
+    rank: int = 32
+    threadblock_cols: int = 32
+    shards_per_gpu: int = 16
+    policy: str = "lpt"
+    schedule: str = "static"
+    allgather: str = "ring"
+    double_buffer: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_gpus <= 0:
+            raise ReproError("n_gpus must be positive")
+        if self.rank <= 0:
+            raise ReproError("rank must be positive")
+        if self.threadblock_cols <= 0:
+            raise ReproError("threadblock_cols must be positive")
+        if self.shards_per_gpu <= 0:
+            raise ReproError("shards_per_gpu must be positive")
+        if self.policy not in ("lpt", "round_robin"):
+            raise ReproError(f"unknown policy {self.policy!r}")
+        if self.schedule not in ("static", "dynamic"):
+            raise ReproError(f"unknown schedule {self.schedule!r}")
+        if self.allgather not in ("ring", "direct"):
+            raise ReproError(f"unknown allgather {self.allgather!r}")
+
+    def with_gpus(self, n_gpus: int) -> "AmpedConfig":
+        """Copy with a different GPU count (scalability sweeps)."""
+        return replace(self, n_gpus=n_gpus)
+
+    def replace(self, **kw) -> "AmpedConfig":
+        return replace(self, **kw)

@@ -1,0 +1,47 @@
+"""GPU grid execution: one tensor shard across a device's SMs (§4.2).
+
+A shard maps to a GPU grid; its inter-shard partitions (ISPs) map to
+threadblocks executed by the SMs. Different ISPs of the same shard may
+update the same output row (they share the shard's output-index range), so
+the device resolves collisions with atomics — functionally, the per-ISP
+results are scatter-added into the same output matrix, which is exact
+because addition is the only reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.partition.isp import isp_slices_for_shard
+from repro.partition.sharding import ModePartition, Shard
+from repro.tensor.kernels import mttkrp_sorted_segments
+
+__all__ = ["execute_shard"]
+
+
+def execute_shard(
+    part: ModePartition,
+    shard: Shard,
+    factors: Sequence[np.ndarray],
+    out: np.ndarray,
+    *,
+    n_sms: int = 1,
+) -> np.ndarray:
+    """Functionally execute one shard (grid) into ``out``.
+
+    ``n_sms`` controls how many ISP threadblocks the shard is split into;
+    the result is independent of it (tested), exactly as the real kernel's
+    output is independent of the SM schedule.
+    """
+    tensor = part.tensor
+    for sl in isp_slices_for_shard(shard, n_sms):
+        if sl.stop <= sl.start:
+            continue
+        # The tensor copy is sorted by the output mode, so every ISP slice
+        # is itself sorted -> segmented fast path (no cross-segment atomics).
+        mttkrp_sorted_segments(
+            tensor.indices[sl], tensor.values[sl], factors, part.mode, out
+        )
+    return out

@@ -1,0 +1,72 @@
+"""Result records shared by the AMPED executor and every baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simgpu.trace import Timeline
+
+__all__ = ["ModeTiming", "RunResult"]
+
+
+@dataclass(frozen=True)
+class ModeTiming:
+    """Timing of one output mode within an iteration."""
+
+    mode: int
+    start: float
+    compute_done: float  # all GPUs past the post-grid barrier
+    end: float  # all-gather (or host merge) complete
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def exchange_time(self) -> float:
+        """Time spent exchanging the output factor after the barrier."""
+        return self.end - self.compute_done
+
+
+@dataclass
+class RunResult:
+    """Outcome of one full MTTKRP sweep (all modes, one ALS iteration).
+
+    ``error`` is set (and timing fields zeroed) when the method could not
+    run the tensor — the "runtime error" bars of Figure 5.
+    """
+
+    method: str
+    tensor_name: str
+    n_gpus: int
+    total_time: float = 0.0
+    mode_times: list[ModeTiming] = field(default_factory=list)
+    timeline: Timeline = field(default_factory=Timeline)
+    per_gpu_compute: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.float64)
+    )
+    preprocessing_time: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def breakdown(self) -> dict[str, float]:
+        """Figure 7 category split (computation / host-GPU / GPU-GPU)."""
+        return self.timeline.breakdown()
+
+    def compute_overhead(self) -> float:
+        """Figure 8 metric: (max - min) / total per-GPU compute time."""
+        c = self.per_gpu_compute
+        if c.size == 0 or c.sum() == 0:
+            return 0.0
+        return float((c.max() - c.min()) / c.sum())
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """other.total_time / self.total_time (>1 means self is faster)."""
+        if not (self.ok and other.ok) or self.total_time == 0:
+            return float("nan")
+        return other.total_time / self.total_time

@@ -1,0 +1,29 @@
+"""Canonical Polyadic Decomposition via ALS (paper §2.1.4).
+
+MTTKRP is the bottleneck of CP-ALS; this package supplies the surrounding
+decomposition so the library is usable end-to-end:
+
+* :class:`~repro.cpd.ktensor.KruskalTensor` — weights + factor matrices,
+  with exact sparse fit computation;
+* :func:`~repro.cpd.als.cp_als` — alternating least squares over any MTTKRP
+  backend (AMPED, any baseline, or the plain reference);
+* :mod:`~repro.cpd.init` — random and spectral (nvecs) initialization;
+* :mod:`~repro.cpd.norms` — column normalization and factor-match scoring.
+"""
+
+from repro.cpd.ktensor import KruskalTensor
+from repro.cpd.als import cp_als, ALSResult
+from repro.cpd.init import init_factors
+from repro.cpd.norms import normalize_columns, factor_match_score
+from repro.cpd.timing import ALSIterationCost, als_iteration_cost
+
+__all__ = [
+    "KruskalTensor",
+    "cp_als",
+    "ALSResult",
+    "init_factors",
+    "normalize_columns",
+    "factor_match_score",
+    "ALSIterationCost",
+    "als_iteration_cost",
+]

@@ -1,0 +1,62 @@
+"""Factor-matrix initialization for CP-ALS."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ReproError
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.dense import unfold_columns
+from repro.util.rng import resolve_rng
+
+__all__ = ["init_factors"]
+
+
+def init_factors(
+    tensor: SparseTensorCOO,
+    rank: int,
+    *,
+    method: str = "random",
+    seed=None,
+) -> list[np.ndarray]:
+    """Initialize one ``(I_m, R)`` factor matrix per mode.
+
+    ``method="random"`` — uniform [0, 1) entries (the paper's Algorithm 1
+    takes randomly initialized factor matrices).
+    ``method="nvecs"`` — leading left singular vectors of each mode
+    unfolding (HOSVD-style), computed sparsely; falls back to random columns
+    when the unfolding has fewer than ``rank`` nontrivial singular values.
+    """
+    if rank <= 0:
+        raise ReproError("rank must be positive")
+    rng = resolve_rng(seed)
+    if method == "random":
+        return [rng.random((s, rank)) for s in tensor.shape]
+    if method == "nvecs":
+        return [_nvecs(tensor, m, rank, rng) for m in range(tensor.nmodes)]
+    raise ReproError(f"unknown init method {method!r}")
+
+
+def _nvecs(
+    tensor: SparseTensorCOO, mode: int, rank: int, rng: np.random.Generator
+) -> np.ndarray:
+    rows = tensor.indices[:, mode]
+    cols = unfold_columns(tensor.indices, tensor.shape, mode)
+    n_rows = tensor.shape[mode]
+    n_cols = int(np.prod([s for m, s in enumerate(tensor.shape) if m != mode]))
+    mat = sp.coo_matrix(
+        (tensor.values, (rows, cols)), shape=(n_rows, n_cols)
+    ).tocsr()
+    k = min(rank, min(mat.shape) - 1)
+    if k < 1:
+        return rng.random((n_rows, rank))
+    u, _, _ = spla.svds(mat, k=k, random_state=np.random.RandomState(rng.integers(2**31 - 1)))
+    u = u[:, ::-1]  # svds returns ascending singular values
+    if k < rank:
+        pad = rng.random((n_rows, rank - k))
+        u = np.hstack([u, pad])
+    return np.ascontiguousarray(u)

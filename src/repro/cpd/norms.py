@@ -1,0 +1,70 @@
+"""Factor normalization and comparison utilities."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TensorFormatError
+
+__all__ = ["normalize_columns", "factor_match_score"]
+
+
+def normalize_columns(
+    matrix: np.ndarray, *, order: int = 2
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize each column; returns (normalized matrix, column norms).
+
+    Zero columns are left as-is with norm reported as 1 so downstream
+    divisions are safe (standard CP-ALS convention).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise TensorFormatError("normalize_columns expects a matrix")
+    norms = np.linalg.norm(matrix, ord=order, axis=0)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe, np.where(norms > 0, norms, 1.0)
+
+
+def factor_match_score(
+    factors_a: Sequence[np.ndarray],
+    factors_b: Sequence[np.ndarray],
+    *,
+    weights_a: np.ndarray | None = None,
+    weights_b: np.ndarray | None = None,
+) -> float:
+    """Greedy factor match score (FMS) between two CP solutions.
+
+    For each component pair, the congruence is the product over modes of the
+    absolute cosine similarity of the matched columns; components are
+    matched greedily by best congruence. 1.0 means identical up to column
+    permutation, sign, and scaling — the standard recovery metric for CP.
+    """
+    if len(factors_a) != len(factors_b):
+        raise TensorFormatError("solutions have different mode counts")
+    ra = factors_a[0].shape[1]
+    rb = factors_b[0].shape[1]
+    # Congruence matrix over component pairs.
+    cong = np.ones((ra, rb), dtype=np.float64)
+    for fa, fb in zip(factors_a, factors_b):
+        na, _ = normalize_columns(np.asarray(fa))
+        nb, _ = normalize_columns(np.asarray(fb))
+        cong *= np.abs(na.T @ nb)
+    if weights_a is not None and weights_b is not None:
+        wa = np.abs(np.asarray(weights_a, dtype=np.float64))
+        wb = np.abs(np.asarray(weights_b, dtype=np.float64))
+        denom = np.maximum.outer(wa, wb)
+        denom[denom == 0] = 1.0
+        penalty = 1.0 - np.abs(np.subtract.outer(wa, wb)) / denom
+        cong *= np.clip(penalty, 0.0, 1.0)
+    # Greedy matching.
+    cong = cong.copy()
+    score = 0.0
+    n = min(ra, rb)
+    for _ in range(n):
+        i, j = np.unravel_index(np.argmax(cong), cong.shape)
+        score += float(cong[i, j])
+        cong[i, :] = -np.inf
+        cong[:, j] = -np.inf
+    return score / n if n else 0.0

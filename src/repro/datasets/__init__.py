@@ -1,0 +1,40 @@
+"""Dataset profiles (Table 3) and workload construction.
+
+The paper evaluates on four public tensors the offline environment cannot
+download; instead each dataset is captured as a :class:`DatasetProfile`
+(true shape and nonzero count from Table 3 plus per-mode Zipf popularity
+exponents chosen to mimic the known skew structure, e.g. popular Twitch
+streamers). Profiles serve two pipelines:
+
+* :func:`materialize` — a scaled-down functional tensor with the same shape
+  ratios and skew, for numerically-exact runs;
+* :func:`paper_workload` — an analytic billion-scale workload descriptor
+  (expected nnz-per-index histograms, shard sizes, cache-hit estimates)
+  feeding the timing simulation at the paper's true sizes.
+"""
+
+from repro.datasets.profiles import (
+    AMAZON,
+    PATENTS,
+    REDDIT,
+    TWITCH,
+    ALL_PROFILES,
+    DatasetProfile,
+    profile_by_name,
+)
+from repro.datasets.synthetic import materialize, scaled_shape
+from repro.datasets.workload import paper_workload, expected_histogram
+
+__all__ = [
+    "AMAZON",
+    "PATENTS",
+    "REDDIT",
+    "TWITCH",
+    "ALL_PROFILES",
+    "DatasetProfile",
+    "profile_by_name",
+    "materialize",
+    "scaled_shape",
+    "paper_workload",
+    "expected_histogram",
+]

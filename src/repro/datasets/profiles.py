@@ -1,0 +1,100 @@
+"""Profiles of the paper's four billion-scale tensors (Table 3).
+
+Shapes and nonzero counts are the published figures. The per-mode Zipf
+exponents are modeling choices (the raw data is unavailable offline),
+selected from the known character of each dataset:
+
+* **Amazon** (reviews: user x item x word) — classic heavy-tailed review
+  activity on all modes.
+* **Patents** (year x term x term) — only 46 "year" indices, nearly uniform;
+  terms moderately skewed.
+* **Reddit-2015** (user x subreddit x word) — active-user and common-word
+  skew; subreddide mode moderately skewed.
+* **Twitch** (user x stream x streamer x game x time) — the paper singles
+  out "popular streamers and games" as the source of its load imbalance
+  (§5.5), so those modes get the strongest exponents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DatasetProfile",
+    "AMAZON",
+    "PATENTS",
+    "REDDIT",
+    "TWITCH",
+    "ALL_PROFILES",
+    "profile_by_name",
+]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Shape/nnz/skew description of one evaluation tensor."""
+
+    name: str
+    shape: tuple[int, ...]
+    nnz: int
+    skew: tuple[float, ...]  # per-mode Zipf exponent of index popularity
+    csf_internal_ratio: float = 0.30  # est. CSF internal nodes per nonzero
+
+    def __post_init__(self) -> None:
+        if len(self.skew) != len(self.shape):
+            raise ReproError(f"{self.name}: need one skew exponent per mode")
+        if self.nnz <= 0:
+            raise ReproError(f"{self.name}: nnz must be positive")
+        if any(s <= 0 for s in self.shape):
+            raise ReproError(f"{self.name}: mode sizes must be positive")
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    @property
+    def billion_scale(self) -> bool:
+        """The paper's criterion: at least ~half a billion nonzeros."""
+        return self.nnz >= 500_000_000
+
+
+AMAZON = DatasetProfile(
+    name="amazon",
+    shape=(4_800_000, 1_800_000, 1_800_000),
+    nnz=1_700_000_000,
+    skew=(1.0, 1.0, 1.1),
+)
+
+PATENTS = DatasetProfile(
+    name="patents",
+    shape=(46, 239_200, 239_200),
+    nnz=3_600_000_000,
+    skew=(0.2, 0.9, 0.9),
+)
+
+REDDIT = DatasetProfile(
+    name="reddit",
+    shape=(8_200_000, 176_600, 8_100_000),
+    nnz=4_700_000_000,
+    skew=(1.0, 1.1, 1.1),
+)
+
+TWITCH = DatasetProfile(
+    name="twitch",
+    shape=(15_500_000, 6_200_000, 783_900, 6_100, 6_100),
+    nnz=500_000_000,
+    skew=(0.8, 0.9, 1.4, 1.2, 0.7),
+)
+
+ALL_PROFILES: tuple[DatasetProfile, ...] = (AMAZON, PATENTS, REDDIT, TWITCH)
+
+
+def profile_by_name(name: str) -> DatasetProfile:
+    for p in ALL_PROFILES:
+        if p.name == name:
+            return p
+    raise ReproError(
+        f"unknown dataset {name!r}; available: {[p.name for p in ALL_PROFILES]}"
+    )

@@ -1,0 +1,133 @@
+"""Analytic billion-scale workload construction (model scale).
+
+Materializing a 4.7 B-nonzero tensor needs ~150 GB; the timing simulation
+does not need the elements, only
+
+* the nnz count of every tensor shard (equal-width output-index ranges),
+* the shard→GPU assignment and per-GPU row ownership,
+* cache-hit estimates for the input-factor reads.
+
+All three derive from the *expected* nnz-per-index histogram of each mode,
+which for a Zipf(α) popularity model is simply ``nnz * zipf_weights``,
+shuffled so popularity is uncorrelated with index order (real datasets
+assign ids arbitrarily). The per-mode arrays are at most ~15.5 M floats —
+megabytes, not gigabytes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.config import AmpedConfig
+from repro.core.workload import ModeWorkload, TensorWorkload, hit_rate_from_histogram
+from repro.datasets.profiles import DatasetProfile, profile_by_name
+from repro.errors import ReproError
+from repro.partition.balance import assign_lpt, assign_round_robin
+from repro.simgpu.kernel import KernelCostModel
+from repro.util.rng import resolve_rng, zipf_weights
+
+__all__ = ["expected_histogram", "paper_workload"]
+
+
+@lru_cache(maxsize=64)
+def _cached_histogram(name: str, mode: int, seed: int) -> np.ndarray:
+    profile = profile_by_name(name)
+    return _histogram_uncached(profile, mode, seed)
+
+
+def _histogram_uncached(
+    profile: DatasetProfile, mode: int, seed: int
+) -> np.ndarray:
+    extent = profile.shape[mode]
+    weights = zipf_weights(extent, profile.skew[mode])
+    rng = resolve_rng(seed + 1000 * mode)
+    rng.shuffle(weights)  # decorrelate popularity from index order
+    return weights * float(profile.nnz)
+
+
+def expected_histogram(
+    profile: DatasetProfile, mode: int, *, seed: int = 7
+) -> np.ndarray:
+    """Expected nnz per output index of ``mode`` (float array)."""
+    if not 0 <= mode < profile.nmodes:
+        raise ReproError(f"mode {mode} out of range for {profile.name}")
+    return _cached_histogram(profile.name, mode, seed)
+
+
+def _shard_sizes(hist: np.ndarray, n_shards: int) -> np.ndarray:
+    """Sum the expected histogram over equal-width index ranges."""
+    extent = hist.shape[0]
+    n_shards = min(n_shards, extent)
+    bounds = np.linspace(0, extent, n_shards + 1).astype(np.int64)
+    csum = np.concatenate([[0.0], np.cumsum(hist)])
+    return (csum[bounds[1:]] - csum[bounds[:-1]]).astype(np.float64)
+
+
+def paper_workload(
+    profile: DatasetProfile | str,
+    config: AmpedConfig,
+    cost: KernelCostModel | None = None,
+    *,
+    seed: int = 7,
+) -> TensorWorkload:
+    """Billion-scale :class:`TensorWorkload` for one dataset profile.
+
+    Shard counts, assignment policy, and rank come from ``config`` exactly
+    as they would from a real partition plan, so model-scale and
+    functional-scale runs exercise the same scheduling code.
+    """
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    cost = cost or KernelCostModel()
+    n_gpus = config.n_gpus
+    cache_row_bytes = config.rank * cost.rank_value_bytes
+    modes: list[ModeWorkload] = []
+    hists = [expected_histogram(profile, m, seed=seed) for m in range(profile.nmodes)]
+    for m in range(profile.nmodes):
+        hist = hists[m]
+        n_shards = min(n_gpus * config.shards_per_gpu, profile.shape[m])
+        shard_sizes = _shard_sizes(hist, n_shards)
+        # The simulation charges integer nnz per shard; round preserving sum.
+        shard_nnz = np.floor(shard_sizes).astype(np.int64)
+        deficit = profile.nnz - int(shard_nnz.sum())
+        if deficit > 0 and shard_nnz.size:
+            shard_nnz[np.argmax(shard_nnz)] += deficit
+        if config.policy == "lpt":
+            assignment = assign_lpt(shard_nnz, n_gpus)
+        else:
+            assignment = assign_round_robin(shard_nnz.shape[0], n_gpus)
+        extent = profile.shape[m]
+        bounds = np.linspace(0, extent, shard_nnz.shape[0] + 1).astype(np.int64)
+        widths = bounds[1:] - bounds[:-1]
+        rows = np.bincount(assignment, weights=widths, minlength=n_gpus)
+        # Cache-hit estimate: hottest rows of the input factors resident.
+        input_modes = [w for w in range(profile.nmodes) if w != m]
+        cache_rows_total = cost.effective_cache_bytes // cache_row_bytes
+        hits = []
+        denom = sum(profile.shape[x] for x in input_modes)
+        for w in input_modes:
+            share = profile.shape[w] / denom if denom else 1.0
+            hits.append(
+                hit_rate_from_histogram(hists[w], int(cache_rows_total * share))
+            )
+        factor_hit = float(np.mean(hits)) if hits else 1.0
+        modes.append(
+            ModeWorkload(
+                mode=m,
+                extent=extent,
+                shard_nnz=shard_nnz,
+                assignment=np.asarray(assignment, dtype=np.int64),
+                rows_per_gpu=rows.astype(np.int64),
+                factor_hit=factor_hit,
+            )
+        )
+    return TensorWorkload(
+        name=profile.name,
+        shape=profile.shape,
+        nnz=profile.nnz,
+        modes=tuple(modes),
+        csf_internal_ratio=profile.csf_internal_ratio,
+        skew_exponents=profile.skew,
+    )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TensorFormatError(ReproError):
+    """A sparse tensor (or derived format) violates a structural invariant."""
+
+
+class PartitionError(ReproError):
+    """A partitioning plan is inconsistent with the tensor it partitions."""
+
+
+class DeviceMemoryError(ReproError):
+    """A simulated device allocation exceeded its global-memory capacity.
+
+    This models the paper's "runtime error" bars in Figure 5: baselines that
+    cannot hold a billion-scale tensor in a single GPU's 48 GB memory are
+    terminated by the host.
+    """
+
+    def __init__(self, message: str, *, requested: int = 0, available: int = 0):
+        super().__init__(message)
+        self.requested = int(requested)
+        self.available = int(available)
+
+
+class UnsupportedTensorError(ReproError):
+    """A backend does not support the given tensor (e.g. MM-CSF on 5 modes)."""
+
+
+class CommunicationError(ReproError):
+    """An inter-device communication call was malformed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ConvergenceError(ReproError):
+    """CP-ALS failed to make progress (e.g. non-finite fit)."""

@@ -1,0 +1,79 @@
+"""Shard-to-GPU load balancing.
+
+The paper distributes shards over GPUs so that per-GPU elementwise-compute
+time differs by <1 % (Figure 8). Two policies are provided:
+
+* :func:`assign_lpt` — Longest-Processing-Time-first greedy bin packing on
+  shard nnz: the static scheme used by default (cf. §2.2 "static load
+  balancing scheme" vs HPSPTM).
+* :func:`assign_round_robin` — naive striping, used as the ablation
+  comparator (DESIGN.md A2) and by the dynamic scheduler as its initial
+  queue order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+__all__ = ["assign_lpt", "assign_round_robin", "load_imbalance", "bin_loads"]
+
+
+def assign_lpt(sizes: Sequence[int], n_bins: int) -> np.ndarray:
+    """LPT greedy assignment: place largest item on the least-loaded bin.
+
+    Returns ``assignment[i] = bin`` for each item. LPT guarantees a makespan
+    within 4/3 of optimal — ample for the <1 % overhead the paper reports,
+    because shard counts exceed GPU counts by an order of magnitude.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if n_bins <= 0:
+        raise PartitionError("n_bins must be positive")
+    if (sizes < 0).any():
+        raise PartitionError("sizes must be non-negative")
+    assignment = np.zeros(sizes.shape[0], dtype=np.int64)
+    # heap of (load, bin); ties broken by bin id for determinism
+    heap = [(0, b) for b in range(n_bins)]
+    heapq.heapify(heap)
+    for item in np.argsort(sizes, kind="stable")[::-1]:
+        load, b = heapq.heappop(heap)
+        assignment[item] = b
+        heapq.heappush(heap, (load + int(sizes[item]), b))
+    return assignment
+
+
+def assign_round_robin(n_items: int, n_bins: int) -> np.ndarray:
+    """Stripe items over bins in order: item i -> bin i % n_bins."""
+    if n_bins <= 0:
+        raise PartitionError("n_bins must be positive")
+    if n_items < 0:
+        raise PartitionError("n_items must be non-negative")
+    return np.arange(n_items, dtype=np.int64) % n_bins
+
+
+def bin_loads(sizes: Sequence[int], assignment: np.ndarray, n_bins: int) -> np.ndarray:
+    """Total size per bin under ``assignment``."""
+    sizes = np.asarray(sizes, dtype=np.int64)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if sizes.shape != assignment.shape:
+        raise PartitionError("sizes and assignment must align")
+    return np.bincount(assignment, weights=sizes, minlength=n_bins).astype(np.int64)
+
+
+def load_imbalance(loads: Sequence[float]) -> float:
+    """(max - min) / total — the paper's Figure 8 'computation time overhead'.
+
+    The paper defines the overhead as the max-min spread of per-GPU compute
+    time as a percentage of the total compute time across all GPUs.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        raise PartitionError("loads must be non-empty")
+    total = loads.sum()
+    if total == 0:
+        return 0.0
+    return float((loads.max() - loads.min()) / total)

@@ -1,0 +1,45 @@
+"""Inter-shard partitions (ISP), paper §3.1.2.
+
+Each tensor shard is cut into equal-sized element chunks, one per GPU
+streaming multiprocessor (threadblock), so all SMs of the GPU receive the
+same workload. Updates from different ISPs of the same shard may touch the
+same output row, which on the device is resolved with intra-GPU atomics
+(Algorithm 2 line 19).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.sharding import Shard
+
+__all__ = ["split_isp", "isp_slices_for_shard"]
+
+
+def split_isp(nnz: int, n_partitions: int) -> list[slice]:
+    """Split ``nnz`` contiguous elements into ``n_partitions`` near-equal slices.
+
+    Sizes differ by at most one element; empty trailing partitions are
+    returned for tiny shards so the SM count stays uniform (idle SMs are
+    legitimate — they model the real device).
+    """
+    if n_partitions <= 0:
+        raise PartitionError("n_partitions must be positive")
+    if nnz < 0:
+        raise PartitionError("nnz must be non-negative")
+    bounds = np.linspace(0, nnz, n_partitions + 1).astype(np.int64)
+    return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(n_partitions)]
+
+
+def isp_slices_for_shard(shard: Shard, n_sms: int) -> list[slice]:
+    """ISP element slices of ``shard`` in tensor-copy coordinates.
+
+    The returned slices are absolute (offset by the shard's start), ready to
+    index the mode-sorted tensor copy.
+    """
+    base = shard.elements.start
+    return [
+        slice(base + sl.start, base + sl.stop)
+        for sl in split_isp(shard.nnz, n_sms)
+    ]

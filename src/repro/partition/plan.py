@@ -1,0 +1,122 @@
+"""Full partition plans: per-mode shards + shard-to-GPU assignments.
+
+A :class:`PartitionPlan` is the preprocessing output (§5.7): one mode-sorted
+tensor copy per mode, its shard table, and the static GPU assignment. The
+AMPED orchestrator consumes plans directly; the preprocessing benchmark
+times their construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.balance import assign_lpt, assign_round_robin, bin_loads
+from repro.partition.sharding import ModePartition, shard_mode
+from repro.tensor.coo import SparseTensorCOO
+
+__all__ = ["PartitionPlan", "build_partition_plan", "paper_shard_count"]
+
+
+def paper_shard_count(extent: int, n_gpus: int) -> int:
+    """The paper's §3.2 shard count ``k_d = |I_d| / m`` (at least one)."""
+    if n_gpus <= 0:
+        raise PartitionError("n_gpus must be positive")
+    return max(1, extent // n_gpus)
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Partitioning of one tensor for an ``n_gpus`` platform, all modes."""
+
+    n_gpus: int
+    modes: tuple[ModePartition, ...]
+    assignments: tuple[np.ndarray, ...]  # per mode: shard -> gpu
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.modes)
+
+    def shards_for_gpu(self, mode: int, gpu: int) -> list[int]:
+        """Shard ids of output mode ``mode`` assigned to ``gpu``."""
+        a = self.assignments[mode]
+        return [int(j) for j in np.flatnonzero(a == gpu)]
+
+    def gpu_nnz(self, mode: int) -> np.ndarray:
+        """Per-GPU nonzero totals for one mode (Figure 8 raw data)."""
+        part = self.modes[mode]
+        return bin_loads(part.shard_nnz(), self.assignments[mode], self.n_gpus)
+
+    def output_rows_for_gpu(self, mode: int, gpu: int) -> list[tuple[int, int]]:
+        """Output-index ranges whose rows ``gpu`` produces in ``mode``.
+
+        These are exactly the row blocks exchanged by the all-gather
+        (Algorithm 3): each GPU owns the ranges of its shards.
+        """
+        part = self.modes[mode]
+        return [part.shards[j].index_range for j in self.shards_for_gpu(mode, gpu)]
+
+    def validate(self) -> None:
+        for mode, (part, assignment) in enumerate(zip(self.modes, self.assignments)):
+            part.validate()
+            if assignment.shape[0] != part.n_shards:
+                raise PartitionError(f"mode {mode}: assignment length mismatch")
+            if assignment.size and (
+                assignment.min() < 0 or assignment.max() >= self.n_gpus
+            ):
+                raise PartitionError(f"mode {mode}: GPU id out of range")
+
+
+def build_partition_plan(
+    tensor: SparseTensorCOO,
+    n_gpus: int,
+    *,
+    shards_per_gpu: int | None = 8,
+    n_shards: Sequence[int] | int | None = None,
+    policy: str = "lpt",
+) -> PartitionPlan:
+    """Shard every mode of ``tensor`` and assign shards to GPUs.
+
+    Parameters
+    ----------
+    shards_per_gpu:
+        Convenience sizing: each mode gets ``n_gpus * shards_per_gpu``
+        shards (capped at the mode extent). Ignored if ``n_shards`` given.
+    n_shards:
+        Explicit shard count (scalar or per-mode). Use
+        :func:`paper_shard_count` for the paper's ``|I_d|/m`` rule.
+    policy:
+        ``"lpt"`` (default, static balanced) or ``"round_robin"``.
+    """
+    if n_gpus <= 0:
+        raise PartitionError("n_gpus must be positive")
+    nmodes = tensor.nmodes
+    if n_shards is None:
+        if shards_per_gpu is None or shards_per_gpu <= 0:
+            raise PartitionError("shards_per_gpu must be positive")
+        counts = [n_gpus * shards_per_gpu] * nmodes
+    elif np.isscalar(n_shards):
+        counts = [int(n_shards)] * nmodes
+    else:
+        counts = [int(c) for c in n_shards]
+        if len(counts) != nmodes:
+            raise PartitionError("need one shard count per mode")
+    modes: list[ModePartition] = []
+    assignments: list[np.ndarray] = []
+    for mode in range(nmodes):
+        part = shard_mode(tensor, mode, counts[mode])
+        modes.append(part)
+        if policy == "lpt":
+            assignments.append(assign_lpt(part.shard_nnz(), n_gpus))
+        elif policy == "round_robin":
+            assignments.append(assign_round_robin(part.n_shards, n_gpus))
+        else:
+            raise PartitionError(f"unknown balancing policy {policy!r}")
+    plan = PartitionPlan(
+        n_gpus=n_gpus, modes=tuple(modes), assignments=tuple(assignments)
+    )
+    plan.validate()
+    return plan

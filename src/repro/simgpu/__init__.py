@@ -1,0 +1,67 @@
+"""Simulated single-node multi-GPU platform (paper §4.3, Figure 3).
+
+Because this reproduction runs without physical GPUs, the platform is a
+first-principles performance model:
+
+* :mod:`device`/:mod:`presets` — device specifications (SM count, memory
+  capacity/bandwidth, FP32 throughput) taken from the paper's §5.1 hardware;
+* :mod:`memory` — per-device allocation tracking; exceeding 48 GB raises
+  :class:`~repro.errors.DeviceMemoryError`, reproducing Figure 5's
+  "runtime error" bars;
+* :mod:`interconnect` — PCIe host links and GPUDirect P2P links with
+  latency + bandwidth transfer times;
+* :mod:`engine` — serial-resource list scheduling: each device exposes a
+  compute engine and DMA engines whose busy intervals form the timeline;
+* :mod:`kernel` — roofline-style cost models for the MTTKRP elementwise
+  kernel and auxiliary kernels (remap, merge, decode);
+* :mod:`trace` — span timelines and the category breakdown behind Figure 7.
+
+The functional NumPy execution (actual numbers) happens in the executors
+(:mod:`repro.core`, :mod:`repro.baselines`); this package only accounts time
+and memory.
+"""
+
+from repro.simgpu.device import GPUSpec, HostSpec
+from repro.simgpu.memory import MemoryTracker
+from repro.simgpu.interconnect import Link, transfer_time
+from repro.simgpu.engine import SerialResource
+from repro.simgpu.platform import MultiGPUPlatform, SimGPU, make_platform
+from repro.simgpu.trace import Span, Timeline, Category
+from repro.simgpu.presets import (
+    RTX6000_ADA,
+    A100_40GB,
+    EPYC_9654_DUAL,
+    PCIE_GEN4_X16,
+    P2P_PCIE,
+    paper_platform,
+)
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.hetero import CPU_AS_DEVICE, HeteroDevice, HeteroPlatform
+from repro.simgpu.trace_export import timeline_to_trace_events, write_chrome_trace
+
+__all__ = [
+    "GPUSpec",
+    "HostSpec",
+    "MemoryTracker",
+    "Link",
+    "transfer_time",
+    "SerialResource",
+    "MultiGPUPlatform",
+    "SimGPU",
+    "make_platform",
+    "Span",
+    "Timeline",
+    "Category",
+    "RTX6000_ADA",
+    "A100_40GB",
+    "EPYC_9654_DUAL",
+    "PCIE_GEN4_X16",
+    "P2P_PCIE",
+    "paper_platform",
+    "KernelCostModel",
+    "CPU_AS_DEVICE",
+    "HeteroDevice",
+    "HeteroPlatform",
+    "timeline_to_trace_events",
+    "write_chrome_trace",
+]

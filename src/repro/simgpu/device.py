@@ -1,0 +1,69 @@
+"""Device specifications for the simulated platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "HostSpec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU.
+
+    Attributes
+    ----------
+    name: marketing name, for reports.
+    n_sms: streaming multiprocessor count (threadblock concurrency).
+    fp32_tflops: peak single-precision throughput in TFLOP/s.
+    mem_capacity: global memory bytes.
+    mem_bandwidth: global memory bandwidth in bytes/s.
+    atomic_efficiency: fraction of peak memory bandwidth sustained by
+        atomic read-modify-write streams (contended atomics are slower than
+        plain stores; 0 < value <= 1).
+    """
+
+    name: str
+    n_sms: int
+    fp32_tflops: float
+    mem_capacity: int
+    mem_bandwidth: float
+    atomic_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_sms <= 0:
+            raise ValueError("n_sms must be positive")
+        if self.fp32_tflops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("throughput figures must be positive")
+        if self.mem_capacity <= 0:
+            raise ValueError("memory capacity must be positive")
+        if not 0 < self.atomic_efficiency <= 1:
+            raise ValueError("atomic_efficiency must be in (0, 1]")
+
+    @property
+    def flops(self) -> float:
+        """Peak FP32 rate in FLOP/s."""
+        return self.fp32_tflops * 1e12
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of the host CPU node."""
+
+    name: str
+    n_cores: int
+    fp32_tflops: float
+    mem_capacity: int
+    mem_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if self.fp32_tflops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("throughput figures must be positive")
+        if self.mem_capacity <= 0:
+            raise ValueError("memory capacity must be positive")
+
+    @property
+    def flops(self) -> float:
+        return self.fp32_tflops * 1e12

@@ -1,0 +1,167 @@
+"""Heterogeneous single-node platform: devices with differing specs.
+
+The paper's future work (§6) is adapting AMPED to "heterogeneous computing
+platforms with different devices, such as multiple CPUs, GPUs, and FPGAs".
+This module generalizes :class:`MultiGPUPlatform` to per-device
+:class:`GPUSpec` entries (a CPU or FPGA is expressed as a device spec with
+its own throughput/bandwidth/memory) and per-device host links.
+
+The facade keeps the :class:`MultiGPUPlatform` operation signatures (h2d /
+d2h / p2p / compute / barrier) so the AMPED orchestration code runs
+unchanged; only shard balancing must become throughput-aware
+(:mod:`repro.partition.weighted` + :func:`repro.core.hetero.simulate_hetero`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.simgpu.device import GPUSpec, HostSpec
+from repro.simgpu.engine import SerialResource
+from repro.simgpu.interconnect import Link
+from repro.simgpu.memory import MemoryTracker
+from repro.simgpu.platform import SimGPU
+from repro.simgpu.trace import Category, Timeline
+
+__all__ = ["HeteroDevice", "HeteroPlatform", "CPU_AS_DEVICE"]
+
+
+def CPU_AS_DEVICE(host: HostSpec, *, efficiency: float = 0.25) -> GPUSpec:
+    """Express a host CPU as a compute device spec (future-work §6).
+
+    ``efficiency`` derates the nominal memory bandwidth for the irregular
+    MTTKRP access pattern (CPUs lack the GPU's latency-hiding thread count —
+    "CPU computing power is significantly lower than GPUs", §1).
+    """
+    return GPUSpec(
+        name=f"{host.name} (as device)",
+        n_sms=host.n_cores,
+        fp32_tflops=host.fp32_tflops,
+        mem_capacity=host.mem_capacity,
+        mem_bandwidth=host.mem_bandwidth * efficiency,
+        atomic_efficiency=0.3,
+    )
+
+
+@dataclass
+class HeteroDevice(SimGPU):
+    """A device in a heterogeneous platform: a SimGPU plus its host link."""
+
+    host_link: Link = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.host_link is None:
+            raise SimulationError("hetero device needs a host link")
+
+
+@dataclass
+class HeteroPlatform:
+    """Host + heterogeneous devices; MultiGPUPlatform-compatible facade."""
+
+    device_specs: Sequence[GPUSpec]
+    host: HostSpec
+    host_links: Sequence[Link]
+    p2p_link: Link
+    nonneighbor_bw_factor: float = 0.5
+    devices: list[HeteroDevice] = field(init=False)
+    host_memory: MemoryTracker = field(init=False)
+    host_engine: SerialResource = field(init=False)
+    timeline: Timeline = field(init=False)
+
+    def __post_init__(self) -> None:
+        specs = list(self.device_specs)
+        links = list(self.host_links)
+        if not specs:
+            raise SimulationError("platform needs at least one device")
+        if len(links) == 1:
+            links = links * len(specs)
+        if len(links) != len(specs):
+            raise SimulationError("need one host link per device (or one shared)")
+        self.device_specs = specs
+        self.host_links = links
+        self.devices = [
+            HeteroDevice(gpu_id=i, spec=s, host_link=links[i])
+            for i, s in enumerate(specs)
+        ]
+        self.host_memory = MemoryTracker(self.host.mem_capacity, owner="host")
+        self.host_engine = SerialResource("host.compute")
+        self.timeline = Timeline()
+
+    # ------------------------------------------------------------------
+    # MultiGPUPlatform-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        return len(self.devices)
+
+    @property
+    def gpu_spec(self) -> GPUSpec:
+        """Spec of device 0 (compatibility shim; prefer :meth:`spec_of`)."""
+        return self.devices[0].spec
+
+    def spec_of(self, device_id: int) -> GPUSpec:
+        return self.gpu(device_id).spec
+
+    def gpu(self, device_id: int) -> HeteroDevice:
+        if not 0 <= device_id < len(self.devices):
+            raise SimulationError(f"device {device_id} out of range")
+        return self.devices[device_id]
+
+    def reset(self) -> None:
+        for d in self.devices:
+            d.reset_time()
+        self.host_engine.reset()
+        self.timeline = Timeline()
+
+    def h2d(self, device_id: int, nbytes: float, ready: float, label: str = "") -> float:
+        dev = self.gpu(device_id)
+        start, end = dev.dma_in.acquire(ready, dev.host_link.time(nbytes))
+        self.timeline.add(device_id, Category.H2D, start, end, label)
+        return end
+
+    def d2h(self, device_id: int, nbytes: float, ready: float, label: str = "") -> float:
+        dev = self.gpu(device_id)
+        start, end = dev.dma_out.acquire(ready, dev.host_link.time(nbytes))
+        self.timeline.add(device_id, Category.D2H, start, end, label)
+        return end
+
+    def p2p(self, src: int, dst: int, nbytes: float, ready: float, label: str = "") -> float:
+        if src == dst:
+            raise SimulationError("p2p requires distinct devices")
+        self.gpu(dst)
+        dev = self.gpu(src)
+        duration = self.p2p_link.time(nbytes)
+        n = self.n_gpus
+        if n > 2 and abs(src - dst) % n not in (1, n - 1):
+            duration = self.p2p_link.latency + (
+                duration - self.p2p_link.latency
+            ) / self.nonneighbor_bw_factor
+        start, end = dev.p2p_out.acquire(ready, duration)
+        self.timeline.add(src, Category.P2P, start, end, label or f"->dev{dst}")
+        return end
+
+    def compute(self, device_id: int, seconds: float, ready: float, label: str = "") -> float:
+        dev = self.gpu(device_id)
+        start, end = dev.compute.acquire(ready, seconds)
+        self.timeline.add(device_id, Category.COMPUTE, start, end, label)
+        return end
+
+    def remap(self, device_id: int, seconds: float, ready: float, label: str = "") -> float:
+        dev = self.gpu(device_id)
+        start, end = dev.aux.acquire(ready, seconds)
+        self.timeline.add(device_id, Category.REMAP, start, end, label)
+        return end
+
+    def host_compute(self, seconds: float, ready: float, label: str = "") -> float:
+        start, end = self.host_engine.acquire(ready, seconds)
+        self.timeline.add(-1, Category.HOST, start, end, label)
+        return end
+
+    @staticmethod
+    def barrier(times: list[float]) -> float:
+        if not times:
+            raise SimulationError("barrier over no participants")
+        return max(times)

@@ -1,0 +1,70 @@
+"""Interconnect links: PCIe host<->GPU and GPUDirect P2P GPU<->GPU.
+
+The paper's platform (§4.3, §5.1) connects each GPU to the host over a
+64 GB/s PCIe interface and GPUs to each other with GPUDirect P2P (no NVLink
+on RTX 6000 Ada). A transfer of ``n`` bytes over a link costs
+``latency + n / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Link", "transfer_time", "RingTopology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link with fixed latency and bandwidth."""
+
+    name: str
+    bandwidth: float  # bytes per second
+    latency: float = 10e-6  # seconds
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    def time(self, nbytes: float) -> float:
+        """Transfer time for ``nbytes`` (0 bytes still pays latency)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+
+def transfer_time(nbytes: float, bandwidth: float, latency: float = 0.0) -> float:
+    """Stateless transfer-time helper for ad-hoc modeling."""
+    return Link("adhoc", bandwidth, latency).time(nbytes)
+
+
+@dataclass(frozen=True)
+class RingTopology:
+    """Ring neighbor map over ``n`` devices (Algorithm 3's network model)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("ring needs at least one device")
+
+    def next_of(self, rank: int) -> int:
+        return (rank + 1) % self.n
+
+    def prev_of(self, rank: int) -> int:
+        return (rank - 1) % self.n
+
+    def send_chunk(self, rank: int, step: int) -> int:
+        """Chunk id sent by ``rank`` at ring step ``step``: ``(rank - step) mod n``.
+
+        The paper's Algorithm 3 line 7 prints ``(gpu_id + z) mod M``, but a
+        rank does not hold that chunk at step z; the schedule consistent
+        with line 10's receive index is the standard ring all-gather, which
+        forwards the chunk received in the previous step.
+        """
+        return (rank - step) % self.n
+
+    def recv_chunk(self, rank: int, step: int) -> int:
+        """Chunk id received by ``rank`` at step ``step`` (Alg 3 line 10)."""
+        return (rank - step - 1) % self.n

@@ -1,0 +1,174 @@
+"""Roofline-style cost models for the simulated kernels.
+
+The MTTKRP elementwise kernel (Algorithm 2) is memory-bound on every GPU the
+paper considers, so its time is modeled as traffic / bandwidth with a FLOP
+roofline guard:
+
+* element traffic — the COO/format bytes of each nonzero;
+* input-factor traffic — ``(N-1) * R * 4`` bytes per nonzero, discounted by
+  a cache hit rate (estimated from the device cache size and the per-dataset
+  index-popularity mass, see :mod:`repro.datasets.workload`);
+* output-update traffic — read-modify-write atomics, discounted by the
+  output locality (high for AMPED's shard-sorted layout, low for unsorted
+  streams) and divided by the device's atomic efficiency.
+
+All constants are explicit dataclass fields so ablations and calibration are
+first-class; defaults are documented in DESIGN.md/EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.simgpu.device import GPUSpec, HostSpec
+
+__all__ = ["KernelCostModel"]
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Parameters and formulas for simulated kernel durations (seconds)."""
+
+    index_bytes: int = 4  # uint32 coordinates on device
+    value_bytes: int = 4  # float32 values on device
+    rank_value_bytes: int = 4  # float32 factor matrices
+    effective_cache_bytes: int = 96 * 2**20  # RTX 6000 Ada L2 is 96 MB
+    sorted_output_hit: float = 0.95  # shard-sorted output row locality
+    unsorted_output_hit: float = 0.30  # random scatter output locality
+    uniform_factor_hit_floor: float = 0.05  # even huge factors keep hot rows
+    launch_overhead: float = 30e-6  # per-kernel launch latency
+    dispatch_overhead: float = 10e-6  # host-side dynamic dispatch per grid
+    blco_decode_flop_factor: float = 0.10  # delinearization ALU overhead
+    atomic_contention_coeff: float = 0.5  # serialization on hot output rows
+    amped_kernel_efficiency: float = 0.85  # AMPED's coalesced shard kernels
+    host_merge_bandwidth: float = 3e9  # naive host partial-result merge
+    host_sort_pass_bandwidth: float = 60e9  # parallel host radix-sort pass
+    host_sort_passes: int = 4  # passes of LSD radix sort
+
+    # ------------------------------------------------------------------
+    # Element sizes
+    # ------------------------------------------------------------------
+    def coo_element_bytes(self, nmodes: int) -> int:
+        """Device bytes of one COO nonzero (AMPED's shard layout)."""
+        return nmodes * self.index_bytes + self.value_bytes
+
+    def factor_bytes(self, n_rows: int, rank: int) -> int:
+        return int(n_rows) * int(rank) * self.rank_value_bytes
+
+    # ------------------------------------------------------------------
+    # Cache-hit estimation
+    # ------------------------------------------------------------------
+    def uniform_factor_hit(self, input_factor_bytes: float) -> float:
+        """Hit rate when factor-row accesses are uniform over the rows."""
+        if input_factor_bytes <= 0:
+            return 1.0
+        hit = self.effective_cache_bytes / float(input_factor_bytes)
+        return float(min(1.0, max(self.uniform_factor_hit_floor, hit)))
+
+    # ------------------------------------------------------------------
+    # Kernel durations
+    # ------------------------------------------------------------------
+    def mttkrp_time(
+        self,
+        gpu: GPUSpec,
+        nnz: int,
+        rank: int,
+        nmodes: int,
+        *,
+        elem_bytes: float | None = None,
+        factor_hit: float | None = None,
+        input_factor_bytes: float = 0.0,
+        sorted_output: bool = True,
+        decode_flop_factor: float = 0.0,
+        factor_read_discount: float = 0.0,
+        avg_nnz_per_row: float = 1.0,
+        atomic_contention: bool = False,
+        bandwidth_efficiency: float = 1.0,
+    ) -> float:
+        """Duration of one MTTKRP (sub)kernel over ``nnz`` elements.
+
+        ``factor_read_discount`` models fiber reuse (CSF trees read each
+        fiber's upper-level rows once); ``decode_flop_factor`` adds ALU work
+        for formats that delinearize in-kernel (BLCO).
+
+        ``atomic_contention`` enables the hot-row serialization penalty:
+        kernels that scatter unsorted atomics into few distinct output rows
+        (equal-nnz on Patents' 46-row mode) pay an update-traffic multiplier
+        growing with the average nonzeros per output row. Formats with
+        conflict resolution (AMPED's sorted segments, BLCO's hierarchical
+        blocking) do not pass this flag.
+
+        ``bandwidth_efficiency`` is the fraction of peak memory bandwidth
+        the implementation sustains — an implementation-quality constant
+        taken from the published kernels' achieved rates (e.g. ParTI-GPU
+        runs far below peak; AMPED/FLYCOO's coalesced shard layout runs
+        near it). Defaults to 1.0 (ideal).
+        """
+        if nnz <= 0:
+            return self.launch_overhead
+        if elem_bytes is None:
+            elem_bytes = self.coo_element_bytes(nmodes)
+        if factor_hit is None:
+            factor_hit = self.uniform_factor_hit(input_factor_bytes)
+        factor_hit = min(1.0, max(0.0, factor_hit))
+        output_hit = self.sorted_output_hit if sorted_output else self.unsorted_output_hit
+        row_bytes = rank * self.rank_value_bytes
+        factor_traffic = (
+            (nmodes - 1) * row_bytes * (1.0 - factor_hit) * (1.0 - factor_read_discount)
+        )
+        update_traffic = 2.0 * row_bytes * (1.0 - output_hit) / gpu.atomic_efficiency
+        if atomic_contention and not sorted_output and avg_nnz_per_row > 1.0:
+            update_traffic *= 1.0 + self.atomic_contention_coeff * np.log10(
+                avg_nnz_per_row
+            )
+        if not 0.0 < bandwidth_efficiency <= 1.0:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+        bytes_total = nnz * (elem_bytes + factor_traffic + update_traffic)
+        flops = nnz * rank * nmodes * (1.0 + decode_flop_factor)
+        effective_bw = gpu.mem_bandwidth * bandwidth_efficiency
+        return max(bytes_total / effective_bw, flops / gpu.flops) + self.launch_overhead
+
+    def remap_time(self, gpu: GPUSpec, nnz: int, elem_bytes: float) -> float:
+        """FLYCOO dynamic tensor remapping: read + scattered write in device."""
+        if nnz <= 0:
+            return 0.0
+        # Scattered writes achieve roughly atomic-stream efficiency.
+        bytes_total = nnz * elem_bytes * (1.0 + 1.0 / gpu.atomic_efficiency)
+        return bytes_total / gpu.mem_bandwidth + self.launch_overhead
+
+    # ------------------------------------------------------------------
+    # Host-side durations
+    # ------------------------------------------------------------------
+    def host_merge_time(
+        self, host: HostSpec, n_rows: int, rank: int, n_partials: int
+    ) -> float:
+        """Host CPU merge of ``n_partials`` partial output factor matrices.
+
+        This is the equal-nnz baseline's defining overhead (§5.3): the host
+        reads every partial and writes the sum. The effective bandwidth is a
+        calibration constant — naive merges run far below STREAM rates, which
+        is precisely the paper's argument for avoiding host computation.
+        """
+        bytes_total = (n_partials + 1) * self.factor_bytes(n_rows, rank)
+        bw = min(self.host_merge_bandwidth, host.mem_bandwidth)
+        return bytes_total / bw
+
+    def host_sort_time(self, host: HostSpec, nnz: int, elem_bytes: float) -> float:
+        """One full out-of-place sort of the element list on the host CPU."""
+        if nnz <= 0:
+            return 0.0
+        bw = min(self.host_sort_pass_bandwidth, host.mem_bandwidth)
+        return self.host_sort_passes * nnz * elem_bytes / bw
+
+    def host_scan_time(self, host: HostSpec, nnz: int, elem_bytes: float) -> float:
+        """One streaming pass over the element list on the host CPU."""
+        if nnz <= 0:
+            return 0.0
+        bw = min(self.host_sort_pass_bandwidth, host.mem_bandwidth)
+        return nnz * elem_bytes / bw
+
+    def with_overrides(self, **kw) -> "KernelCostModel":
+        """Return a copy with selected constants replaced (ablation hook)."""
+        return replace(self, **kw)

@@ -1,0 +1,89 @@
+"""Per-device memory allocation tracking with OOM detection.
+
+The tracker is deliberately simple — named allocations against a fixed
+capacity — because what matters for the reproduction is *feasibility*: a
+baseline that needs two tensor copies of a 1.7 B-nonzero tensor in one 48 GB
+device must fail exactly like the paper's "runtime error" bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceMemoryError
+
+__all__ = ["MemoryTracker"]
+
+
+@dataclass
+class MemoryTracker:
+    """Tracks named allocations against a byte capacity."""
+
+    capacity: int
+    owner: str = "device"
+    _allocations: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def used(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def peak(self) -> int:
+        return getattr(self, "_peak", self.used)
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``name``; raises on OOM or name reuse."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self._allocations:
+            raise DeviceMemoryError(
+                f"{self.owner}: allocation {name!r} already exists"
+            )
+        if nbytes > self.available:
+            raise DeviceMemoryError(
+                f"{self.owner}: out of memory allocating {name!r}: "
+                f"requested {nbytes} bytes, {self.available} available "
+                f"of {self.capacity}",
+                requested=nbytes,
+                available=self.available,
+            )
+        self._allocations[name] = nbytes
+        object.__setattr__(self, "_peak", max(self.peak, self.used))
+
+    def free(self, name: str) -> int:
+        """Release allocation ``name``; returns its size."""
+        try:
+            return self._allocations.pop(name)
+        except KeyError:
+            raise DeviceMemoryError(
+                f"{self.owner}: cannot free unknown allocation {name!r}"
+            ) from None
+
+    def resize(self, name: str, nbytes: int) -> None:
+        """Atomically replace an allocation with a new size."""
+        if name not in self._allocations:
+            raise DeviceMemoryError(f"{self.owner}: unknown allocation {name!r}")
+        old = self._allocations.pop(name)
+        try:
+            self.allocate(name, nbytes)
+        except DeviceMemoryError:
+            self._allocations[name] = old
+            raise
+
+    def clear(self) -> None:
+        self._allocations.clear()
+
+    def holds(self, name: str) -> bool:
+        return name in self._allocations
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self._allocations)

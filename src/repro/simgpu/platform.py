@@ -1,0 +1,179 @@
+"""The simulated single-node multi-GPU platform (Figure 3).
+
+A :class:`MultiGPUPlatform` bundles ``n`` :class:`SimGPU` devices (each with
+a compute engine, H2D/D2H DMA engines, a P2P send engine, and a memory
+tracker), the host CPU, and the link specifications. Executors submit
+operations with a *ready time* and receive completion times; every operation
+is recorded on the shared :class:`~repro.simgpu.trace.Timeline`.
+
+Overlap semantics follow CUDA streams: a device's DMA engine can copy while
+its compute engine runs a kernel; two operations on the same engine
+serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.simgpu.device import GPUSpec, HostSpec
+from repro.simgpu.engine import SerialResource
+from repro.simgpu.interconnect import Link
+from repro.simgpu.memory import MemoryTracker
+from repro.simgpu.trace import Category, Timeline
+
+__all__ = ["SimGPU", "MultiGPUPlatform", "make_platform"]
+
+
+@dataclass
+class SimGPU:
+    """One simulated GPU: spec + engines + memory tracker."""
+
+    gpu_id: int
+    spec: GPUSpec
+    memory: MemoryTracker = field(init=False)
+    compute: SerialResource = field(init=False)
+    dma_in: SerialResource = field(init=False)
+    dma_out: SerialResource = field(init=False)
+    p2p_out: SerialResource = field(init=False)
+    aux: SerialResource = field(init=False)  # remap engine (second copy work)
+
+    def __post_init__(self) -> None:
+        gid = self.gpu_id
+        self.memory = MemoryTracker(self.spec.mem_capacity, owner=f"gpu{gid}")
+        self.compute = SerialResource(f"gpu{gid}.compute")
+        self.dma_in = SerialResource(f"gpu{gid}.dma_in")
+        self.dma_out = SerialResource(f"gpu{gid}.dma_out")
+        self.p2p_out = SerialResource(f"gpu{gid}.p2p_out")
+        self.aux = SerialResource(f"gpu{gid}.aux")
+
+    def reset_time(self) -> None:
+        for r in (self.compute, self.dma_in, self.dma_out, self.p2p_out, self.aux):
+            r.reset()
+
+
+@dataclass
+class MultiGPUPlatform:
+    """Host + GPUs + links; the executor-facing simulation facade."""
+
+    gpu_spec: GPUSpec
+    n_gpus: int
+    host: HostSpec
+    host_link: Link
+    p2p_link: Link
+    #: bandwidth factor for P2P between non-neighboring GPUs: adjacent GPUs
+    #: share a PCIe switch and see the full P2P rate, while distant pairs
+    #: cross the root complex. This is why Algorithm 3 uses a ring — "bulk
+    #: transfers among neighboring devices with limited bandwidth" (§4.9).
+    nonneighbor_bw_factor: float = 0.5
+    gpus: list[SimGPU] = field(init=False)
+    host_memory: MemoryTracker = field(init=False)
+    host_engine: SerialResource = field(init=False)
+    timeline: Timeline = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_gpus <= 0:
+            raise SimulationError("platform needs at least one GPU")
+        self.gpus = [SimGPU(g, self.gpu_spec) for g in range(self.n_gpus)]
+        self.host_memory = MemoryTracker(self.host.mem_capacity, owner="host")
+        self.host_engine = SerialResource("host.compute")
+        self.timeline = Timeline()
+
+    # ------------------------------------------------------------------
+    def gpu(self, gpu_id: int) -> SimGPU:
+        if not 0 <= gpu_id < self.n_gpus:
+            raise SimulationError(f"gpu {gpu_id} out of range")
+        return self.gpus[gpu_id]
+
+    def reset(self) -> None:
+        """Clear all engine clocks and the timeline (memory stays)."""
+        for g in self.gpus:
+            g.reset_time()
+        self.host_engine.reset()
+        self.timeline = Timeline()
+
+    # ------------------------------------------------------------------
+    # Operations — each returns the completion time.
+    # ------------------------------------------------------------------
+    def h2d(self, gpu_id: int, nbytes: float, ready: float, label: str = "") -> float:
+        """Host -> GPU transfer over the GPU's own PCIe link."""
+        dev = self.gpu(gpu_id)
+        start, end = dev.dma_in.acquire(ready, self.host_link.time(nbytes))
+        self.timeline.add(gpu_id, Category.H2D, start, end, label)
+        return end
+
+    def d2h(self, gpu_id: int, nbytes: float, ready: float, label: str = "") -> float:
+        """GPU -> host transfer over the GPU's own PCIe link."""
+        dev = self.gpu(gpu_id)
+        start, end = dev.dma_out.acquire(ready, self.host_link.time(nbytes))
+        self.timeline.add(gpu_id, Category.D2H, start, end, label)
+        return end
+
+    def p2p(
+        self, src: int, dst: int, nbytes: float, ready: float, label: str = ""
+    ) -> float:
+        """GPU -> GPU transfer (GPUDirect P2P); serialized on the sender.
+
+        Neighbor pairs (ring-adjacent ids) get the full P2P bandwidth;
+        non-neighbor pairs are derated by ``nonneighbor_bw_factor``.
+        """
+        if src == dst:
+            raise SimulationError("p2p requires distinct devices")
+        self.gpu(dst)  # validate
+        dev = self.gpu(src)
+        duration = self.p2p_link.time(nbytes)
+        if self.n_gpus > 2 and abs(src - dst) % self.n_gpus not in (1, self.n_gpus - 1):
+            duration = self.p2p_link.latency + (
+                duration - self.p2p_link.latency
+            ) / self.nonneighbor_bw_factor
+        start, end = dev.p2p_out.acquire(ready, duration)
+        self.timeline.add(src, Category.P2P, start, end, label or f"->gpu{dst}")
+        return end
+
+    def compute(
+        self, gpu_id: int, seconds: float, ready: float, label: str = ""
+    ) -> float:
+        """Run a kernel of known duration on the GPU's compute engine."""
+        dev = self.gpu(gpu_id)
+        start, end = dev.compute.acquire(ready, seconds)
+        self.timeline.add(gpu_id, Category.COMPUTE, start, end, label)
+        return end
+
+    def remap(
+        self, gpu_id: int, seconds: float, ready: float, label: str = ""
+    ) -> float:
+        """FLYCOO-style remapping on the auxiliary engine (overlaps compute)."""
+        dev = self.gpu(gpu_id)
+        start, end = dev.aux.acquire(ready, seconds)
+        self.timeline.add(gpu_id, Category.REMAP, start, end, label)
+        return end
+
+    def host_compute(self, seconds: float, ready: float, label: str = "") -> float:
+        """Run host CPU work (e.g. partial-result merges)."""
+        start, end = self.host_engine.acquire(ready, seconds)
+        self.timeline.add(-1, Category.HOST, start, end, label)
+        return end
+
+    @staticmethod
+    def barrier(times: list[float]) -> float:
+        """Inter-GPU barrier: completion is the max of participant times."""
+        if not times:
+            raise SimulationError("barrier over no participants")
+        return max(times)
+
+
+def make_platform(
+    gpu_spec: GPUSpec,
+    n_gpus: int,
+    host: HostSpec,
+    host_link: Link,
+    p2p_link: Link,
+) -> MultiGPUPlatform:
+    """Explicit-spec factory (presets provide :func:`paper_platform`)."""
+    return MultiGPUPlatform(
+        gpu_spec=gpu_spec,
+        n_gpus=n_gpus,
+        host=host,
+        host_link=host_link,
+        p2p_link=p2p_link,
+    )

@@ -1,0 +1,69 @@
+"""Hardware presets matching the paper's experimental platform (§5.1).
+
+* NVIDIA RTX 6000 Ada Generation — 142 SMs, 18176 cores, 48 GB GDDR6 at
+  960 GB/s, ~91 TFLOP/s FP32.
+* Dual-socket AMD EPYC 9654 — 2 × 96 cores at 2.4 GHz, 1.5 TB DDR5.
+* PCIe host link — 64 GB/s per GPU (paper's stated figure).
+* GPUDirect P2P over PCIe (no NVLink on RTX 6000 Ada): effective per-flow
+  bandwidth during ring steps is far below the host link because all GPUs
+  share root-complex paths and every ring step drives four simultaneous
+  flows; we use a measured-style 6 GB/s per-flow default (24 GB/s aggregate).
+"""
+
+from __future__ import annotations
+
+from repro.simgpu.device import GPUSpec, HostSpec
+from repro.simgpu.interconnect import Link
+from repro.simgpu.platform import MultiGPUPlatform
+
+__all__ = [
+    "RTX6000_ADA",
+    "A100_40GB",
+    "EPYC_9654_DUAL",
+    "PCIE_GEN4_X16",
+    "P2P_PCIE",
+    "paper_platform",
+]
+
+GIB = 2**30
+
+RTX6000_ADA = GPUSpec(
+    name="NVIDIA RTX 6000 Ada",
+    n_sms=142,
+    fp32_tflops=91.1,
+    mem_capacity=48 * GIB,
+    mem_bandwidth=960e9,
+    atomic_efficiency=0.5,
+)
+
+A100_40GB = GPUSpec(
+    name="NVIDIA A100 40GB",
+    n_sms=108,
+    fp32_tflops=19.5,
+    mem_capacity=40 * GIB,
+    mem_bandwidth=1555e9,
+    atomic_efficiency=0.5,
+)
+
+EPYC_9654_DUAL = HostSpec(
+    name="2x AMD EPYC 9654",
+    n_cores=192,
+    fp32_tflops=14.7,
+    mem_capacity=1536 * GIB,
+    mem_bandwidth=920e9,
+)
+
+PCIE_GEN4_X16 = Link(name="PCIe host link", bandwidth=64e9, latency=10e-6)
+
+P2P_PCIE = Link(name="GPUDirect P2P (PCIe)", bandwidth=6e9, latency=25e-6)
+
+
+def paper_platform(n_gpus: int = 4) -> MultiGPUPlatform:
+    """The paper's single-node platform: RTX 6000 Ada GPUs on an EPYC host."""
+    return MultiGPUPlatform(
+        gpu_spec=RTX6000_ADA,
+        n_gpus=n_gpus,
+        host=EPYC_9654_DUAL,
+        host_link=PCIE_GEN4_X16,
+        p2p_link=P2P_PCIE,
+    )

@@ -1,0 +1,117 @@
+"""Execution timeline traces and the Figure 7 category breakdown.
+
+Every simulated operation records a :class:`Span` (device, category, start,
+end). The breakdown aggregates busy time per category; because engines can
+overlap (that is the point of multi-GPU execution), percentages are reported
+against the sum of per-category busy time — the same accounting the paper
+uses when it attributes fractions of "total execution time" to computation
+vs communication.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["Category", "Span", "Timeline"]
+
+
+class Category(str, enum.Enum):
+    """Span categories used by the executors."""
+
+    COMPUTE = "compute"  # elementwise MTTKRP kernels
+    H2D = "host_to_gpu"  # tensor shard streaming (host CPU -> GPU)
+    D2H = "gpu_to_host"  # partial-result shipping (equal-nnz baseline)
+    P2P = "gpu_to_gpu"  # all-gather factor-row exchange
+    HOST = "host_compute"  # host CPU merge work
+    REMAP = "remap"  # FLYCOO dynamic tensor remapping
+    SYNC = "sync"  # barrier waits
+
+
+@dataclass(frozen=True)
+class Span:
+    """One operation interval on one device ('host' uses device=-1)."""
+
+    device: int
+    category: Category
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"span {self.label!r}: end {self.end} before start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Ordered collection of spans with aggregation helpers."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def add(
+        self,
+        device: int,
+        category: Category,
+        start: float,
+        end: float,
+        label: str = "",
+    ) -> Span:
+        span = Span(device, category, start, end, label)
+        self.spans.append(span)
+        return span
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last span (0 for an empty timeline)."""
+        return max((s.end for s in self.spans), default=0.0)
+
+    def busy_time(self, category: Category | None = None, device: int | None = None) -> float:
+        """Sum of span durations matching the filters."""
+        total = 0.0
+        for s in self.spans:
+            if category is not None and s.category != category:
+                continue
+            if device is not None and s.device != device:
+                continue
+            total += s.duration
+        return total
+
+    def device_busy(self, device: int, category: Category) -> float:
+        return self.busy_time(category=category, device=device)
+
+    def breakdown(self, categories: list[Category] | None = None) -> dict[str, float]:
+        """Fractional busy-time breakdown over ``categories`` (sums to 1).
+
+        Default categories are the Figure 7 triple: computation, host-GPU
+        communication (H2D + D2H), GPU-GPU communication (P2P), with host
+        compute folded into host-GPU (it only occurs in baselines that
+        round-trip through the host).
+        """
+        if categories is None:
+            groups = {
+                "computation": [Category.COMPUTE, Category.REMAP],
+                "host_gpu_comm": [Category.H2D, Category.D2H, Category.HOST],
+                "gpu_gpu_comm": [Category.P2P],
+            }
+        else:
+            groups = {c.value: [c] for c in categories}
+        totals = {
+            name: sum(self.busy_time(category=c) for c in cats)
+            for name, cats in groups.items()
+        }
+        grand = sum(totals.values())
+        if grand == 0.0:
+            return {name: 0.0 for name in totals}
+        return {name: t / grand for name, t in totals.items()}
+
+    def extend(self, other: "Timeline") -> None:
+        self.spans.extend(other.spans)

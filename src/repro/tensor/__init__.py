@@ -1,0 +1,41 @@
+"""Sparse tensor substrate: COO storage, reference ops, generators, formats.
+
+The in-memory *functional* representation used throughout the library is
+:class:`~repro.tensor.coo.SparseTensorCOO` (int64 indices, float values).
+Simulated *device footprints* of the various formats (COO, CSF, HiCOO, BLCO,
+FLYCOO) are modeled separately by each format class so that the memory
+feasibility results of the paper (Figure 5 "runtime error" bars) emerge from
+byte accounting rather than hard-coding.
+"""
+
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.dense import (
+    dense_from_coo,
+    fold,
+    unfold,
+)
+from repro.tensor.khatri_rao import khatri_rao
+from repro.tensor.reference import mttkrp_coo_reference, mttkrp_dense_reference
+from repro.tensor.generate import random_coo, zipf_coo
+from repro.tensor.io import read_tns, write_tns
+from repro.tensor.stats import TensorStats, mode_histogram
+from repro.tensor.validate import TensorDiagnostics, diagnose, require_canonical
+
+__all__ = [
+    "SparseTensorCOO",
+    "dense_from_coo",
+    "fold",
+    "unfold",
+    "khatri_rao",
+    "mttkrp_coo_reference",
+    "mttkrp_dense_reference",
+    "random_coo",
+    "zipf_coo",
+    "read_tns",
+    "write_tns",
+    "TensorStats",
+    "mode_histogram",
+    "TensorDiagnostics",
+    "diagnose",
+    "require_canonical",
+]

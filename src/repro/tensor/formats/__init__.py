@@ -1,0 +1,27 @@
+"""Derived sparse tensor formats used by the paper's baselines.
+
+Each format provides:
+
+* a lossless build from / reconstruction to :class:`SparseTensorCOO`
+  (tested round-trip);
+* a format-native or shared-kernel MTTKRP used by its baseline backend;
+* a ``device_bytes`` model: the bytes the format would occupy in GPU global
+  memory using the compact dtypes the original implementations use (uint32
+  indices, float32 values, ...). This model — not the functional NumPy
+  footprint — is what the simulated devices charge, so the OOM behaviour of
+  Figure 5 falls out of arithmetic.
+"""
+
+from repro.tensor.formats.linearize import LinearIndexCodec
+from repro.tensor.formats.csf import CSFTensor
+from repro.tensor.formats.hicoo import HiCOOTensor
+from repro.tensor.formats.blco import BLCOTensor
+from repro.tensor.formats.flycoo import FlyCOOTensor
+
+__all__ = [
+    "LinearIndexCodec",
+    "CSFTensor",
+    "HiCOOTensor",
+    "BLCOTensor",
+    "FlyCOOTensor",
+]

@@ -1,0 +1,148 @@
+"""Blocked Linearized COOrdinate (BLCO) format (Nguyen et al., ICS'22).
+
+BLCO linearizes every coordinate tuple into one integer key (ALTO lineage)
+and splits the tensor into blocks when the key exceeds the word size. Its
+headline capability — and the reason it is the strongest baseline in the
+paper — is *out-of-memory* execution: blocks stream host→GPU one at a time,
+so a single GPU can process tensors larger than its global memory.
+
+The format here keeps the key arrays per block plus the codec needed to
+extract per-mode indices inside the kernel (delinearization happens on the
+fly, exactly like BLCO's GPU kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TensorFormatError
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.formats.linearize import LinearIndexCodec
+from repro.tensor.kernels import ec_contributions, scatter_rows_atomic
+
+__all__ = ["BLCOTensor", "BLCOBlock"]
+
+
+@dataclass(frozen=True)
+class BLCOBlock:
+    """One BLCO block: a shared block id plus in-block linearized offsets."""
+
+    block_id: int
+    offsets: np.ndarray  # (n,) int64 linearized low bits
+    values: np.ndarray  # (n,) float
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+
+@dataclass(frozen=True)
+class BLCOTensor:
+    """Blocked linearized tensor: codec + per-block key/value arrays."""
+
+    shape: tuple[int, ...]
+    codec: LinearIndexCodec
+    offset_bits: int
+    blocks: tuple[BLCOBlock, ...]
+
+    @classmethod
+    def from_coo(
+        cls, tensor: SparseTensorCOO, *, word_bits: int = 63
+    ) -> "BLCOTensor":
+        codec = LinearIndexCodec(tensor.shape)
+        block_ids, offsets, offset_bits = codec.encode_blocked(
+            tensor.indices, word_bits=word_bits
+        )
+        order = np.argsort(block_ids, kind="stable")
+        block_ids = block_ids[order]
+        offsets = offsets[order]
+        values = tensor.values[order]
+        blocks: list[BLCOBlock] = []
+        if block_ids.size:
+            starts = np.flatnonzero(
+                np.concatenate([[True], block_ids[1:] != block_ids[:-1]])
+            )
+            bounds = np.append(starts, block_ids.size)
+            for s, e in zip(bounds[:-1], bounds[1:]):
+                blocks.append(
+                    BLCOBlock(
+                        block_id=int(block_ids[s]),
+                        offsets=offsets[s:e].copy(),
+                        values=values[s:e].copy(),
+                    )
+                )
+        return cls(
+            shape=tensor.shape,
+            codec=codec,
+            offset_bits=offset_bits,
+            blocks=tuple(blocks),
+        )
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return sum(b.nnz for b in self.blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def device_bytes_per_block(self, *, value_bytes: int = 4) -> list[int]:
+        """Modeled footprint of each block when resident on the GPU."""
+        key_bytes = 4 if self.offset_bits <= 32 else 8
+        return [b.nnz * (key_bytes + value_bytes) + 16 for b in self.blocks]
+
+    def device_bytes(self, *, value_bytes: int = 4) -> int:
+        return int(sum(self.device_bytes_per_block(value_bytes=value_bytes)))
+
+    def host_bytes(self, *, value_bytes: int = 4) -> int:
+        """Host-side copy (single tensor copy — Table 1's BLCO row)."""
+        return self.device_bytes(value_bytes=value_bytes)
+
+    # ------------------------------------------------------------------
+    def iter_blocks(self) -> Iterator[BLCOBlock]:
+        return iter(self.blocks)
+
+    def block_indices(self, block: BLCOBlock) -> np.ndarray:
+        """Delinearize one block back to ``(n, N)`` coordinates."""
+        ids = np.full(block.nnz, block.block_id, dtype=np.int64)
+        return self.codec.decode_blocked(ids, block.offsets, self.offset_bits)
+
+    def to_coo(self) -> SparseTensorCOO:
+        if not self.blocks:
+            return SparseTensorCOO(
+                np.empty((0, self.nmodes), dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                self.shape,
+            )
+        idx = np.concatenate([self.block_indices(b) for b in self.blocks], axis=0)
+        vals = np.concatenate([b.values for b in self.blocks])
+        return SparseTensorCOO(idx, vals, self.shape)
+
+    def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
+        """Full-tensor MTTKRP, block by block (in-memory variant)."""
+        mats = [np.asarray(f) for f in factors]
+        rank = mats[0].shape[1]
+        out = np.zeros((self.shape[mode], rank), dtype=np.float64)
+        for block in self.blocks:
+            self.mttkrp_block(block, mats, mode, out)
+        return out
+
+    def mttkrp_block(
+        self,
+        block: BLCOBlock,
+        factors: Sequence[np.ndarray],
+        mode: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Process one streamed block: delinearize, EC, atomic scatter."""
+        idx = self.block_indices(block)
+        contrib = ec_contributions(idx, block.values, factors, mode)
+        scatter_rows_atomic(out, idx[:, mode], contrib)
+        return out

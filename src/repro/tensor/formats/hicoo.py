@@ -1,0 +1,130 @@
+"""Hierarchical COOrdinate (HiCOO) blocked format (ParTI / Li et al.).
+
+HiCOO compresses COO by grouping nonzeros into small ``2^block_bits``-wide
+blocks per mode: each element stores only its 8-bit in-block offsets, while
+the (much fewer) blocks store full block indices. This is the format behind
+the ParTI-GPU / HiCOO-GPU baseline of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TensorFormatError
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.kernels import ec_contributions, scatter_rows_atomic
+
+__all__ = ["HiCOOTensor"]
+
+
+@dataclass(frozen=True)
+class HiCOOTensor:
+    """Blocked sparse tensor: block indices + per-element 8-bit offsets.
+
+    Attributes
+    ----------
+    shape: original tensor shape.
+    block_bits: log2 of the per-mode block edge (paper/ParTI default 7 -> 128).
+    block_index: ``(n_blocks, N)`` int64 block coordinates.
+    block_ptr: ``(n_blocks + 1,)`` element ranges per block.
+    element_offsets: ``(nnz, N)`` uint16 in-block offsets (uint8 in ParTI for
+        block_bits <= 8; we keep uint16 so any block_bits <= 16 round-trips).
+    values: ``(nnz,)`` element values.
+    """
+
+    shape: tuple[int, ...]
+    block_bits: int
+    block_index: np.ndarray
+    block_ptr: np.ndarray
+    element_offsets: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def from_coo(cls, tensor: SparseTensorCOO, *, block_bits: int = 7) -> "HiCOOTensor":
+        if not 1 <= block_bits <= 16:
+            raise TensorFormatError("block_bits must be in [1, 16]")
+        bidx = tensor.indices >> block_bits
+        eidx = tensor.indices & ((1 << block_bits) - 1)
+        # Sort elements by block (lexicographic), keeping blocks contiguous.
+        order = np.lexsort(tuple(bidx[:, m] for m in reversed(range(tensor.nmodes))))
+        bidx = bidx[order]
+        eidx = eidx[order]
+        values = tensor.values[order]
+        if tensor.nnz:
+            new_block = np.empty(tensor.nnz, dtype=bool)
+            new_block[0] = True
+            np.any(bidx[1:] != bidx[:-1], axis=1, out=new_block[1:])
+            starts = np.flatnonzero(new_block)
+        else:
+            starts = np.empty(0, dtype=np.int64)
+        block_index = bidx[starts] if tensor.nnz else np.empty(
+            (0, tensor.nmodes), dtype=np.int64
+        )
+        block_ptr = np.append(starts, tensor.nnz).astype(np.int64)
+        return cls(
+            shape=tensor.shape,
+            block_bits=block_bits,
+            block_index=block_index,
+            block_ptr=block_ptr,
+            element_offsets=eidx.astype(np.uint16),
+            values=values.copy(),
+        )
+
+    def __post_init__(self) -> None:
+        if self.block_ptr.shape[0] != self.block_index.shape[0] + 1:
+            raise TensorFormatError("block_ptr must have n_blocks + 1 entries")
+        if self.element_offsets.shape[0] != self.values.shape[0]:
+            raise TensorFormatError("offsets and values must align")
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_index.shape[0])
+
+    def device_bytes(self, *, value_bytes: int = 4) -> int:
+        """Modeled GPU footprint: uint8/16 offsets + block headers + values."""
+        offset_bytes = 1 if self.block_bits <= 8 else 2
+        per_elem = self.nmodes * offset_bytes + value_bytes
+        per_block = self.nmodes * 4 + 8  # int32 block coords + int64 ptr
+        return int(self.nnz * per_elem + self.n_blocks * per_block + 8)
+
+    def compression_ratio(self) -> float:
+        """COO bytes / HiCOO bytes under the same value width (>=1 is smaller)."""
+        coo = self.nnz * (self.nmodes * 4 + 4)
+        hicoo = self.device_bytes()
+        return coo / hicoo if hicoo else 0.0
+
+    def global_indices(self) -> np.ndarray:
+        """Reconstruct full ``(nnz, N)`` coordinates from blocks + offsets."""
+        reps = np.diff(self.block_ptr)
+        base = np.repeat(self.block_index << self.block_bits, reps, axis=0)
+        return base + self.element_offsets.astype(np.int64)
+
+    def to_coo(self) -> SparseTensorCOO:
+        return SparseTensorCOO(self.global_indices(), self.values.copy(), self.shape)
+
+    def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
+        """MTTKRP via block-wise index reconstruction + atomic scatter.
+
+        Mirrors the HiCOO-GPU kernel: each block decodes its element offsets
+        and issues atomics into the output factor matrix.
+        """
+        mats = [np.asarray(f) for f in factors]
+        rank = mats[0].shape[1]
+        out = np.zeros((self.shape[mode], rank), dtype=np.float64)
+        if self.nnz == 0:
+            return out
+        idx = self.global_indices()
+        contrib = ec_contributions(idx, self.values, mats, mode)
+        scatter_rows_atomic(out, idx[:, mode], contrib)
+        return out

@@ -1,0 +1,140 @@
+"""Bit-packing codec for linearized coordinates (ALTO/BLCO-style).
+
+BLCO stores each nonzero's coordinates as a single linearized integer built
+by concatenating the per-mode index bits. When the total bit count exceeds
+the word size, the high bits become a *block id* and the tensor is split
+into blocks (the "blocked" in Blocked Linearized COOrdinates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TensorFormatError
+
+__all__ = ["LinearIndexCodec"]
+
+
+def _bits_for(extent: int) -> int:
+    """Bits needed to represent indices in [0, extent)."""
+    if extent <= 0:
+        raise TensorFormatError("mode extent must be positive")
+    return max(int(extent - 1).bit_length(), 1)
+
+
+@dataclass(frozen=True)
+class LinearIndexCodec:
+    """Packs N-mode coordinates into linear keys of ``sum(bits)`` bits.
+
+    Mode 0 occupies the least-significant bits. ``encode`` always succeeds
+    (keys are held in Python-int-backed ``object`` arrays only if > 63 bits
+    would be required; in practice we split into (block, offset) pairs via
+    ``encode_blocked`` which keeps everything in int64).
+    """
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        if not self.shape:
+            raise TensorFormatError("codec needs at least one mode")
+
+    @property
+    def bits(self) -> tuple[int, ...]:
+        """Bits allocated to each mode."""
+        return tuple(_bits_for(s) for s in self.shape)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.bits)
+
+    @property
+    def shifts(self) -> tuple[int, ...]:
+        """Bit offset of each mode within the linear key (mode 0 at LSB)."""
+        offs, acc = [], 0
+        for b in self.bits:
+            offs.append(acc)
+            acc += b
+        return tuple(offs)
+
+    # ------------------------------------------------------------------
+    def encode_blocked(
+        self, indices: np.ndarray, *, word_bits: int = 63
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Encode to (block_ids, in-block offsets, offset_bits).
+
+        The low ``offset_bits`` of the conceptual key stay in the offset
+        word; remaining high bits go to the block id. ``word_bits <= 63``
+        keeps both in int64 without sign trouble. When the key is so wide
+        that the block id itself would exceed 63 bits, ``offset_bits`` is
+        raised above ``word_bits`` just enough to keep the block id
+        representable (the returned ``offset_bits`` is authoritative).
+        """
+        if word_bits <= 0 or word_bits > 63:
+            raise TensorFormatError("word_bits must be in (0, 63]")
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 2 or indices.shape[1] != len(self.shape):
+            raise TensorFormatError(
+                f"indices shape {indices.shape} inconsistent with {len(self.shape)} modes"
+            )
+        offset_bits = min(self.total_bits, word_bits)
+        offset_bits = max(offset_bits, self.total_bits - 63)
+        block = np.zeros(indices.shape[0], dtype=np.int64)
+        offset = np.zeros(indices.shape[0], dtype=np.int64)
+        for m, (b, sh) in enumerate(zip(self.bits, self.shifts)):
+            col = indices[:, m]
+            if sh >= offset_bits:
+                # whole field lands in the block id
+                block |= col << (sh - offset_bits)
+            elif sh + b <= offset_bits:
+                # whole field lands in the offset word
+                offset |= col << sh
+            else:
+                # field straddles the boundary
+                low_bits = offset_bits - sh
+                offset |= (col & ((1 << low_bits) - 1)) << sh
+                block |= col >> low_bits
+        return block, offset, offset_bits
+
+    def decode_blocked(
+        self, block: np.ndarray, offset: np.ndarray, offset_bits: int
+    ) -> np.ndarray:
+        """Inverse of :meth:`encode_blocked`."""
+        block = np.asarray(block, dtype=np.int64)
+        offset = np.asarray(offset, dtype=np.int64)
+        if block.shape != offset.shape:
+            raise TensorFormatError("block and offset arrays must align")
+        out = np.empty((block.shape[0], len(self.shape)), dtype=np.int64)
+        for m, (b, sh) in enumerate(zip(self.bits, self.shifts)):
+            if sh >= offset_bits:
+                field = (block >> (sh - offset_bits)) & ((1 << b) - 1)
+            elif sh + b <= offset_bits:
+                field = (offset >> sh) & ((1 << b) - 1)
+            else:
+                low_bits = offset_bits - sh
+                low = (offset >> sh) & ((1 << low_bits) - 1)
+                high = block & ((1 << (b - low_bits)) - 1)
+                field = low | (high << low_bits)
+            out[:, m] = field
+        return out
+
+    def extract_mode_from_blocked(
+        self, block: np.ndarray, offset: np.ndarray, offset_bits: int, mode: int
+    ) -> np.ndarray:
+        """Decode a single mode's indices without materializing all modes."""
+        if not 0 <= mode < len(self.shape):
+            raise TensorFormatError(f"mode {mode} out of range")
+        b, sh = self.bits[mode], self.shifts[mode]
+        block = np.asarray(block, dtype=np.int64)
+        offset = np.asarray(offset, dtype=np.int64)
+        if sh >= offset_bits:
+            return (block >> (sh - offset_bits)) & ((1 << b) - 1)
+        if sh + b <= offset_bits:
+            return (offset >> sh) & ((1 << b) - 1)
+        low_bits = offset_bits - sh
+        low = (offset >> sh) & ((1 << low_bits) - 1)
+        high = block & ((1 << (b - low_bits)) - 1)
+        return low | (high << low_bits)

@@ -1,0 +1,69 @@
+"""FROSTT ``.tns`` text format I/O.
+
+The FROSTT repository (Table 3 datasets) distributes tensors as whitespace-
+separated text: one nonzero per line, 1-based indices followed by the value;
+``#`` lines are comments. We read/write that format so users can run the
+library on real FROSTT downloads when they have them.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TensorFormatError
+from repro.tensor.coo import SparseTensorCOO
+
+__all__ = ["read_tns", "write_tns"]
+
+
+def read_tns(path, *, shape: Sequence[int] | None = None) -> SparseTensorCOO:
+    """Read a FROSTT ``.tns`` file.
+
+    If ``shape`` is omitted it is inferred as the per-mode index maximum
+    (the FROSTT convention).
+    """
+    text = Path(path).read_text()
+    rows: list[list[str]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        rows.append(line.split())
+    if not rows:
+        if shape is None:
+            raise TensorFormatError(f"{path}: empty tensor file and no shape given")
+        return SparseTensorCOO(
+            np.empty((0, len(shape)), dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            tuple(shape),
+        )
+    width = len(rows[0])
+    if width < 2:
+        raise TensorFormatError(f"{path}: lines must contain indices and a value")
+    if any(len(r) != width for r in rows):
+        raise TensorFormatError(f"{path}: inconsistent column counts")
+    data = np.array(rows, dtype=np.float64)
+    indices = data[:, :-1].astype(np.int64) - 1  # FROSTT is 1-based
+    values = data[:, -1]
+    if (indices < 0).any():
+        raise TensorFormatError(f"{path}: index below 1 (file must be 1-based)")
+    if shape is None:
+        shape = tuple(int(m) + 1 for m in indices.max(axis=0))
+    return SparseTensorCOO(indices, values, tuple(shape))
+
+
+def write_tns(path, tensor: SparseTensorCOO, *, header: str | None = None) -> None:
+    """Write ``tensor`` as 1-based FROSTT text, optionally with a # header."""
+    buf = io.StringIO()
+    if header:
+        for line in header.splitlines():
+            buf.write(f"# {line}\n")
+    ones = tensor.indices + 1
+    for row, val in zip(ones, tensor.values):
+        buf.write(" ".join(str(int(i)) for i in row))
+        buf.write(f" {float(val)!r}\n")
+    Path(path).write_text(buf.getvalue())

@@ -1,0 +1,43 @@
+"""Khatri-Rao product (column-wise Kronecker product), §2.1 notation ⊙.
+
+For matrices ``A (I x R)`` and ``B (J x R)``, ``khatri_rao([A, B])`` is the
+``(I*J) x R`` matrix whose column r is ``kron(B[:, r], A[:, r])`` — i.e. the
+*first* matrix's rows vary fastest, matching the unfolding convention in
+:mod:`repro.tensor.dense`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TensorFormatError
+
+__all__ = ["khatri_rao"]
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Khatri-Rao product of a list of matrices sharing a column count R.
+
+    The result has ``prod(rows)`` rows; the row index linearizes the input
+    row indices with the first matrix fastest:
+
+        row = i_0 + i_1 * I_0 + i_2 * I_0 * I_1 + ...
+    """
+    mats = [np.asarray(m) for m in matrices]
+    if not mats:
+        raise TensorFormatError("khatri_rao of an empty sequence is undefined")
+    for m in mats:
+        if m.ndim != 2:
+            raise TensorFormatError("khatri_rao operands must be matrices")
+    rank = mats[0].shape[1]
+    if any(m.shape[1] != rank for m in mats):
+        raise TensorFormatError(
+            f"all operands must share rank; got {[m.shape[1] for m in mats]}"
+        )
+    out = mats[0]
+    for m in mats[1:]:
+        # new_out[i + j * I, r] = out[i, r] * m[j, r]  (first-fastest order)
+        out = (m[:, None, :] * out[None, :, :]).reshape(-1, rank)
+    return out

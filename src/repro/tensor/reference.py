@@ -1,0 +1,82 @@
+"""Reference MTTKRP implementations used as test oracles.
+
+Two independent oracles are provided:
+
+* :func:`mttkrp_dense_reference` — densifies the tensor and computes
+  ``unfold(X, d) @ khatri_rao(factors != d)`` exactly as Equation (1).
+* :func:`mttkrp_coo_reference` — elementwise COO formulation (Figure 1 /
+  §3.0.1) using ``np.add.at``; slow but simple and allocation-exact.
+
+The production kernels in :mod:`repro.core.elementwise` are validated against
+both in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TensorFormatError
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.dense import unfold
+from repro.tensor.khatri_rao import khatri_rao
+
+__all__ = ["mttkrp_dense_reference", "mttkrp_coo_reference", "check_factors"]
+
+
+def check_factors(
+    shape: Sequence[int], factors: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Validate that ``factors[m]`` is an ``(shape[m], R)`` matrix for all m."""
+    shape = tuple(int(s) for s in shape)
+    if len(factors) != len(shape):
+        raise TensorFormatError(
+            f"expected {len(shape)} factor matrices, got {len(factors)}"
+        )
+    mats = [np.asarray(f) for f in factors]
+    rank = None
+    for m, f in enumerate(mats):
+        if f.ndim != 2:
+            raise TensorFormatError(f"factor {m} must be a matrix")
+        if f.shape[0] != shape[m]:
+            raise TensorFormatError(
+                f"factor {m} has {f.shape[0]} rows; tensor mode size is {shape[m]}"
+            )
+        if rank is None:
+            rank = f.shape[1]
+        elif f.shape[1] != rank:
+            raise TensorFormatError(
+                f"factor {m} rank {f.shape[1]} != factor 0 rank {rank}"
+            )
+    return mats
+
+
+def mttkrp_dense_reference(
+    tensor: SparseTensorCOO, factors: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """Equation (1) computed literally on the densified tensor."""
+    mats = check_factors(tensor.shape, factors)
+    others = [mats[m] for m in range(tensor.nmodes) if m != mode]
+    kr = khatri_rao(others)
+    return unfold(tensor.to_dense(), mode) @ kr
+
+
+def mttkrp_coo_reference(
+    tensor: SparseTensorCOO, factors: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """Elementwise computation of §3.0.1 with ``np.add.at`` scatter-add."""
+    mats = check_factors(tensor.shape, factors)
+    if not 0 <= mode < tensor.nmodes:
+        raise TensorFormatError(f"mode {mode} out of range")
+    rank = mats[0].shape[1]
+    out = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
+    if tensor.nnz == 0:
+        return out
+    acc = tensor.values[:, None].astype(np.float64)
+    for m in range(tensor.nmodes):
+        if m == mode:
+            continue
+        acc = acc * mats[m][tensor.indices[:, m]]
+    np.add.at(out, tensor.indices[:, mode], acc)
+    return out

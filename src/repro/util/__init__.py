@@ -1,0 +1,17 @@
+"""Small shared utilities: RNG handling, timers, logging, formatting."""
+
+from repro.util.rng import resolve_rng, spawn_rngs
+from repro.util.timer import Timer, WallClock
+from repro.util.humanize import format_bytes, format_count, format_seconds
+from repro.util.logging import get_logger
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rngs",
+    "Timer",
+    "WallClock",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "get_logger",
+]

@@ -1,0 +1,55 @@
+"""Human-readable formatting for byte counts, element counts, and durations.
+
+These mirror the notation used in the paper's tables (e.g. ``4.8M x 1.8M``
+shapes, ``1.7B`` nonzeros) so harness output reads like the original.
+"""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
+_COUNT_UNITS = ["", "K", "M", "B", "T"]
+
+
+def format_bytes(n: float) -> str:
+    """``1536 -> '1.5KB'`` using 1024 steps (storage convention)."""
+    n = float(n)
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for unit in _BYTE_UNITS:
+        if n < 1024.0 or unit == _BYTE_UNITS[-1]:
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(n: float) -> str:
+    """``1.7e9 -> '1.7B'`` using 1000 steps (paper's Table 3 convention)."""
+    n = float(n)
+    if n < 0:
+        return "-" + format_count(-n)
+    for unit in _COUNT_UNITS:
+        if n < 1000.0 or unit == _COUNT_UNITS[-1]:
+            if unit == "":
+                return f"{int(n)}" if float(n).is_integer() else f"{n:.1f}"
+            return f"{n:.1f}{unit}"
+        n /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(s: float) -> str:
+    """Adaptive duration formatting: us / ms / s / min."""
+    s = float(s)
+    if s < 0:
+        return "-" + format_seconds(-s)
+    if s < 1e-3:
+        return f"{s * 1e6:.1f}us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f}ms"
+    if s < 120.0:
+        return f"{s:.2f}s"
+    return f"{s / 60.0:.1f}min"
+
+
+def format_shape(shape) -> str:
+    """``(4_800_000, 1_800_000) -> '4.8M x 1.8M'`` (Table 3 style)."""
+    return " x ".join(format_count(dim) for dim in shape)

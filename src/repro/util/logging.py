@@ -1,0 +1,22 @@
+"""Library logging: namespaced loggers with a null handler by default.
+
+Applications opt in via ``logging.basicConfig``; the library never configures
+the root logger itself.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the package logger or a namespaced child (``repro.<name>``)."""
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,46 @@
+"""Wall-clock timing helpers used by the measured-mode benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class WallClock:
+    """Monotonic wall clock; isolated here so tests can substitute a fake."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Accumulating context-manager timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+
+    Re-entering accumulates, which is convenient for timing the same phase
+    across the modes of an MTTKRP sweep.
+    """
+
+    clock: WallClock = field(default_factory=WallClock)
+    elapsed: float = 0.0
+    _started: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started = self.clock.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._started is None:
+            raise RuntimeError("Timer exited without being entered")
+        self.elapsed += self.clock.now() - self._started
+        self._started = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started = None

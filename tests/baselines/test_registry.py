@@ -1,0 +1,64 @@
+"""Tests for the backend registry and Table 1 capability matrix."""
+
+import pytest
+
+from repro.baselines.registry import (
+    AMPED_CAPABILITIES,
+    BACKEND_REGISTRY,
+    capability_table,
+    make_backend,
+)
+from repro.errors import ReproError
+
+
+class TestRegistry:
+    def test_all_paper_baselines_registered(self):
+        for name in ("blco", "mm-csf", "hicoo-gpu", "flycoo-gpu", "equal-nnz"):
+            assert name in BACKEND_REGISTRY
+
+    def test_make_backend(self, small_tensor):
+        b = make_backend("blco", small_tensor, rank=4)
+        assert b.name == "blco"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ReproError, match="unknown backend"):
+            make_backend("warp-drive")
+
+
+class TestTable1:
+    def test_amped_row_first(self):
+        rows = capability_table()
+        assert rows[0] is AMPED_CAPABILITIES
+
+    def test_amped_is_the_only_full_row(self):
+        """Table 1's point: only AMPED has multi-GPU + balancing +
+        billion-scale + task-independent partitioning simultaneously."""
+        rows = capability_table()
+        full = [
+            r
+            for r in rows
+            if r.multi_gpu
+            and r.load_balancing
+            and r.billion_scale
+            and r.task_independent_partitioning
+        ]
+        assert [r.name for r in full] == ["AMPED (ours)"]
+
+    def test_paper_copy_counts(self):
+        by_name = {r.name: r for r in capability_table()}
+        assert by_name["AMPED (ours)"].tensor_copies == "modes"
+        assert by_name["BLCO"].tensor_copies == "1"
+        assert by_name["FLYCOO-GPU"].tensor_copies == "2"
+        assert by_name["MM-CSF"].tensor_copies == "modes"
+        assert by_name["ParTI-GPU"].tensor_copies == "1"
+
+    def test_single_gpu_baselines(self):
+        by_name = {r.name: r for r in capability_table()}
+        for n in ("BLCO", "MM-CSF", "ParTI-GPU", "FLYCOO-GPU"):
+            assert not by_name[n].multi_gpu
+
+    def test_billion_scale_flags(self):
+        by_name = {r.name: r for r in capability_table()}
+        assert by_name["BLCO"].billion_scale  # out-of-memory streaming
+        assert not by_name["FLYCOO-GPU"].billion_scale
+        assert not by_name["MM-CSF"].billion_scale

@@ -1,0 +1,120 @@
+"""Tests for the experiment harness: every figure/table regenerates with the
+paper's qualitative shape."""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.core.config import AmpedConfig
+
+#: smaller shard count to keep the full suite fast; shapes are insensitive
+CFG = AmpedConfig(shards_per_gpu=8)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return E.fig5(CFG)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return E.fig6(CFG)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return E.fig9(CFG)
+
+
+class TestTables:
+    def test_table1_rows(self):
+        r = E.table1()
+        assert len(r.data["rows"]) == 6  # AMPED + 5 baselines
+        assert "AMPED" in r.text
+
+    def test_table3_lists_all_datasets(self):
+        r = E.table3()
+        for name in ("amazon", "patents", "reddit", "twitch"):
+            assert name in r.text
+        assert "1.7B" in r.text  # Amazon's nonzero count, Table 3 notation
+
+
+class TestFig5:
+    def test_geomean_near_paper(self, fig5):
+        """Paper: 5.1x geomean over state-of-the-art GPU baselines."""
+        assert 3.5 <= fig5.data["geomean_speedup"] <= 7.5
+
+    def test_oom_pattern(self, fig5):
+        t = fig5.data["times"]
+        assert t["amazon"]["mm-csf"] is not None
+        assert t["patents"]["mm-csf"] is None
+        assert t["reddit"]["hicoo-gpu"] is None
+        assert t["twitch"]["flycoo-gpu"] is not None
+        assert t["amazon"]["flycoo-gpu"] is None
+
+    def test_amped_wins_billion_tensors(self, fig5):
+        t = fig5.data["times"]
+        for name in ("amazon", "patents", "reddit"):
+            amped = t[name]["amped"]
+            for b, v in t[name].items():
+                if b != "amped" and v is not None:
+                    assert v > amped
+
+    def test_flycoo_wins_twitch(self, fig5):
+        t = fig5.data["times"]
+        assert t["twitch"]["flycoo-gpu"] < t["twitch"]["amped"]
+
+
+class TestFig6:
+    def test_ratio_band(self, fig6):
+        """Paper: 5.3x-10.3x; accept a 4x-12x modelling band."""
+        for name, ratio in fig6.data["ratios"].items():
+            assert 4.0 <= ratio <= 12.0, name
+
+
+class TestFig7And8:
+    def test_breakdown_fractions(self):
+        r = E.fig7(CFG)
+        for name, bd in r.data["breakdowns"].items():
+            assert sum(bd.values()) == pytest.approx(1.0)
+            assert bd["computation"] > 0
+
+    def test_streaming_dominates_comm_for_patents(self):
+        r = E.fig7(CFG)
+        bd = r.data["breakdowns"]["patents"]
+        assert bd["host_gpu_comm"] > bd["gpu_gpu_comm"]
+
+    def test_imbalance_shape(self):
+        """Paper Figure 8: small overheads, Twitch the worst."""
+        r = E.fig8(CFG)
+        ov = r.data["overheads"]
+        assert ov["twitch"] == max(ov.values())
+        for name in ("amazon", "patents", "reddit"):
+            assert ov[name] < 0.03
+
+
+class TestFig9:
+    def test_speedup_monotone_in_gpus(self, fig9):
+        for name, times in fig9.data["times"].items():
+            assert times[1] >= times[2] >= times[3] >= times[4]
+
+    def test_geomeans_in_band(self, fig9):
+        geo = fig9.data["geomeans"]
+        assert 1.3 <= geo[2] <= 2.0
+        assert geo[2] < geo[3] < geo[4]
+        assert geo[4] >= 2.2
+
+
+class TestFig10:
+    def test_amped_preprocessing_costs_more(self):
+        r = E.fig10(CFG)
+        for name, d in r.data.items():
+            assert d["amped"] > d["blco"], name
+
+
+class TestHeadline:
+    def test_headline_composes(self, fig5, fig6, fig9):
+        r = E.headline(CFG)
+        assert r.data["baseline_geomean"] == pytest.approx(
+            fig5.data["geomean_speedup"]
+        )
+        assert "paper: 5.1x" in r.text

@@ -1,0 +1,48 @@
+"""Tests for bench metrics and report rendering."""
+
+import pytest
+
+from repro.bench.metrics import geometric_mean, speedup, speedups_over
+from repro.bench.report import render_table
+from repro.errors import ReproError
+
+
+class TestMetrics:
+    def test_geomean_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ReproError):
+            geometric_mean([])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ReproError):
+            speedup(1.0, 0.0)
+
+    def test_speedups_over_intersects_keys(self):
+        s = speedups_over({"a": 1.0, "b": 2.0}, {"a": 5.0, "c": 9.0})
+        assert s == {"a": 5.0}
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"], [["x", 1], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header sep may differ by trailing spaces
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])

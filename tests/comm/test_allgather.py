@@ -1,0 +1,94 @@
+"""Tests for the ring all-gather (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.allgather import (
+    direct_allgather_time,
+    ring_allgather,
+    ring_allgather_time,
+)
+from repro.errors import CommunicationError
+from repro.simgpu.presets import paper_platform
+
+
+class TestFunctionalRing:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 7])
+    def test_all_ranks_hold_all_chunks(self, m):
+        rng = np.random.default_rng(m)
+        chunks = [rng.random((3, 2)) for _ in range(m)]
+        views = ring_allgather(chunks)
+        assert len(views) == m
+        for rank_view in views:
+            for c, chunk in enumerate(chunks):
+                assert np.allclose(rank_view[c], chunk)
+
+    def test_views_are_copies(self):
+        chunks = [np.zeros((2, 2)), np.ones((2, 2))]
+        views = ring_allgather(chunks)
+        views[0][1][0, 0] = 99.0
+        assert views[1][1][0, 0] == 1.0  # other rank unaffected
+
+    def test_empty_rank_list_rejected(self):
+        with pytest.raises(CommunicationError):
+            ring_allgather([])
+
+    def test_variable_chunk_shapes(self):
+        """Ranks may own differently-sized row blocks (LPT assignment)."""
+        chunks = [np.ones((i + 1, 4)) * i for i in range(4)]
+        views = ring_allgather(chunks)
+        for v in views:
+            assert [c.shape[0] for c in v] == [1, 2, 3, 4]
+
+
+class TestTimedRing:
+    def test_single_gpu_is_noop(self):
+        plat = paper_platform(1)
+        ends = ring_allgather_time(plat, [100.0], [5.0])
+        assert ends == [5.0]
+
+    def test_m_minus_one_steps_charged(self):
+        plat = paper_platform(4)
+        ring_allgather_time(plat, [1e6] * 4, [0.0] * 4)
+        # 4 ranks x 3 steps = 12 sends
+        from repro.simgpu.trace import Category
+
+        sends = [s for s in plat.timeline.spans if s.category == Category.P2P]
+        assert len(sends) == 12
+
+    def test_completion_scales_with_chunk_bytes(self):
+        plat1 = paper_platform(4)
+        t_small = ring_allgather_time(plat1, [1e6] * 4, [0.0] * 4)[0]
+        plat2 = paper_platform(4)
+        t_big = ring_allgather_time(plat2, [1e8] * 4, [0.0] * 4)[0]
+        assert t_big > t_small
+
+    def test_all_ranks_finish_together(self):
+        plat = paper_platform(3)
+        ends = ring_allgather_time(plat, [1e6, 2e6, 3e6], [0.0, 0.1, 0.2])
+        assert len(set(ends)) == 1
+
+    def test_starts_after_latest_ready(self):
+        plat = paper_platform(2)
+        ends = ring_allgather_time(plat, [0.0, 0.0], [0.0, 10.0])
+        assert ends[0] >= 10.0
+
+    def test_wrong_lengths_rejected(self):
+        plat = paper_platform(2)
+        with pytest.raises(CommunicationError):
+            ring_allgather_time(plat, [1.0], [0.0, 0.0])
+
+
+class TestDirectVsRing:
+    def test_direct_slower_for_bulk(self):
+        """The paper picks the ring model for bulk transfers — verify why:
+        direct all-gather serializes M-1 sends per sender."""
+        ring_plat = paper_platform(4)
+        ring_t = ring_allgather_time(ring_plat, [1e8] * 4, [0.0] * 4)[0]
+        direct_plat = paper_platform(4)
+        direct_t = direct_allgather_time(direct_plat, [1e8] * 4, [0.0] * 4)[0]
+        assert ring_t <= direct_t
+
+    def test_direct_single_gpu(self):
+        plat = paper_platform(1)
+        assert direct_allgather_time(plat, [1.0], [2.0]) == [2.0]

@@ -1,0 +1,90 @@
+"""Tests for host-mediated collectives and primitives."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import (
+    broadcast_time,
+    host_gather_merge,
+    host_gather_merge_time,
+)
+from repro.comm.primitives import RankBuffers, barrier_time
+from repro.errors import CommunicationError
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import paper_platform
+from repro.simgpu.trace import Category
+
+
+class TestMergeFunctional:
+    def test_sums_partials(self):
+        parts = [np.full((3, 2), float(i)) for i in range(4)]
+        merged = host_gather_merge(parts)
+        assert np.allclose(merged, 0 + 1 + 2 + 3)
+
+    def test_single_partial(self):
+        p = np.random.default_rng(0).random((4, 4))
+        assert np.allclose(host_gather_merge([p]), p)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CommunicationError):
+            host_gather_merge([np.zeros((2, 2)), np.zeros((3, 2))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunicationError):
+            host_gather_merge([])
+
+
+class TestMergeTimed:
+    def test_charges_d2h_host_h2d(self):
+        plat = paper_platform(4)
+        cost = KernelCostModel()
+        ends = host_gather_merge_time(plat, cost, 10**6, 32, [0.0] * 4)
+        assert len(set(ends)) == 1
+        tl = plat.timeline
+        assert tl.busy_time(category=Category.D2H) > 0
+        assert tl.busy_time(category=Category.HOST) > 0
+        assert tl.busy_time(category=Category.H2D) > 0
+
+    def test_serialized_phases(self):
+        """Broadcast cannot start before merge which needs all gathers."""
+        plat = paper_platform(2)
+        cost = KernelCostModel()
+        host_gather_merge_time(plat, cost, 10**6, 32, [0.0, 0.0])
+        d2h_end = max(
+            s.end for s in plat.timeline.spans if s.category == Category.D2H
+        )
+        host_start = min(
+            s.start for s in plat.timeline.spans if s.category == Category.HOST
+        )
+        h2d_start = min(
+            s.start for s in plat.timeline.spans if s.category == Category.H2D
+        )
+        assert host_start >= d2h_end
+        assert h2d_start >= host_start
+
+    def test_wrong_ready_length(self):
+        plat = paper_platform(2)
+        with pytest.raises(CommunicationError):
+            host_gather_merge_time(plat, KernelCostModel(), 100, 32, [0.0])
+
+
+class TestBroadcastAndPrimitives:
+    def test_broadcast_concurrent_links(self):
+        plat = paper_platform(4)
+        ends = broadcast_time(plat, 64e9, 0.0)
+        assert ends[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_barrier_time(self):
+        assert barrier_time([1.0, 2.0], overhead=0.5) == 2.5
+        with pytest.raises(CommunicationError):
+            barrier_time([])
+        with pytest.raises(CommunicationError):
+            barrier_time([1.0], overhead=-1)
+
+    def test_rank_buffers(self):
+        rb = RankBuffers(0)
+        rb.put("y", np.ones(3))
+        assert rb.has("y")
+        assert np.allclose(rb.get("y"), 1.0)
+        with pytest.raises(CommunicationError):
+            rb.get("missing")

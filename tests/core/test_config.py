@@ -1,0 +1,46 @@
+"""Tests for AmpedConfig."""
+
+import pytest
+
+from repro.core.config import AmpedConfig
+from repro.errors import ReproError
+
+
+class TestAmpedConfig:
+    def test_paper_defaults(self):
+        cfg = AmpedConfig()
+        # §5.1.5: 4 GPUs, R = 32, theta (P) = 32
+        assert cfg.n_gpus == 4
+        assert cfg.rank == 32
+        assert cfg.threadblock_cols == 32
+
+    def test_with_gpus(self):
+        cfg = AmpedConfig().with_gpus(2)
+        assert cfg.n_gpus == 2
+        assert cfg.rank == 32  # everything else preserved
+
+    def test_replace(self):
+        cfg = AmpedConfig().replace(allgather="direct", schedule="dynamic")
+        assert cfg.allgather == "direct"
+        assert cfg.schedule == "dynamic"
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_gpus": 0},
+            {"rank": 0},
+            {"threadblock_cols": -1},
+            {"shards_per_gpu": 0},
+            {"policy": "magic"},
+            {"schedule": "sometimes"},
+            {"allgather": "telepathy"},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ReproError):
+            AmpedConfig(**kw)
+
+    def test_frozen(self):
+        cfg = AmpedConfig()
+        with pytest.raises(Exception):
+            cfg.n_gpus = 8  # type: ignore[misc]

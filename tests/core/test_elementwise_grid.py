@@ -1,0 +1,73 @@
+"""Tests for the threadblock EC and shard/grid execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.elementwise import threadblock_ec
+from repro.core.grid import execute_shard
+from repro.errors import ReproError
+from repro.partition.sharding import shard_mode
+from repro.tensor.reference import mttkrp_coo_reference
+
+
+class TestThreadblockEC:
+    @pytest.mark.parametrize("p", [1, 3, 32, 1000])
+    def test_batch_size_independence(self, small_tensor, make_factors, p):
+        """Algorithm 2's result must not depend on P (threadblock columns)."""
+        factors = make_factors(small_tensor.shape)
+        out = np.zeros((small_tensor.shape[0], 6))
+        threadblock_ec(
+            small_tensor.indices,
+            small_tensor.values,
+            factors,
+            0,
+            out,
+            threadblock_cols=p,
+        )
+        ref = mttkrp_coo_reference(small_tensor, factors, 0)
+        assert np.allclose(out, ref)
+
+    def test_invalid_cols(self, small_tensor, make_factors):
+        with pytest.raises(ReproError):
+            threadblock_ec(
+                small_tensor.indices,
+                small_tensor.values,
+                make_factors(small_tensor.shape),
+                0,
+                np.zeros((small_tensor.shape[0], 6)),
+                threadblock_cols=0,
+            )
+
+
+class TestExecuteShard:
+    @pytest.mark.parametrize("n_sms", [1, 2, 7, 142])
+    def test_sm_count_independence(self, skewed_tensor, make_factors, n_sms):
+        """§4.2: output must not depend on the SM/threadblock schedule."""
+        factors = make_factors(skewed_tensor.shape)
+        part = shard_mode(skewed_tensor, 1, 4)
+        out = np.zeros((skewed_tensor.shape[1], 6))
+        for shard in part.shards:
+            execute_shard(part, shard, factors, out, n_sms=n_sms)
+        ref = mttkrp_coo_reference(skewed_tensor, factors, 1)
+        assert np.allclose(out, ref)
+
+    def test_single_shard_partial_result(self, small_tensor, make_factors):
+        """One shard only contributes rows in its output-index range."""
+        factors = make_factors(small_tensor.shape)
+        part = shard_mode(small_tensor, 0, 3)
+        shard = part.shards[1]
+        out = np.zeros((small_tensor.shape[0], 6))
+        execute_shard(part, shard, factors, out)
+        lo, hi = shard.index_range
+        assert np.all(out[:lo] == 0)
+        assert np.all(out[hi:] == 0)
+
+    def test_shards_compose_to_full_result(self, small_tensor, make_factors):
+        factors = make_factors(small_tensor.shape)
+        for mode in range(3):
+            part = shard_mode(small_tensor, mode, 5)
+            out = np.zeros((small_tensor.shape[mode], 6))
+            for shard in part.shards:
+                execute_shard(part, shard, factors, out, n_sms=3)
+            ref = mttkrp_coo_reference(small_tensor, factors, mode)
+            assert np.allclose(out, ref)

@@ -1,0 +1,189 @@
+"""Tests for the heterogeneous-platform extension (paper §6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AmpedConfig
+from repro.core.hetero import device_speeds, hetero_workload, simulate_hetero
+from repro.core.simulate import simulate_amped
+from repro.datasets.profiles import AMAZON
+from repro.datasets.workload import paper_workload
+from repro.errors import SimulationError
+from repro.simgpu.hetero import CPU_AS_DEVICE, HeteroPlatform
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import (
+    A100_40GB,
+    EPYC_9654_DUAL,
+    PCIE_GEN4_X16,
+    P2P_PCIE,
+    RTX6000_ADA,
+    paper_platform,
+)
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return KernelCostModel()
+
+
+@pytest.fixture(scope="module")
+def amazon_wl(cost):
+    return paper_workload(AMAZON, AmpedConfig(), cost)
+
+
+def mixed_platform(specs):
+    return HeteroPlatform(
+        device_specs=specs,
+        host=EPYC_9654_DUAL,
+        host_links=[PCIE_GEN4_X16],
+        p2p_link=P2P_PCIE,
+    )
+
+
+class TestDeviceSpeeds:
+    def test_identical_devices_identical_speeds(self, amazon_wl, cost):
+        plat = mixed_platform([RTX6000_ADA] * 4)
+        s = device_speeds(plat, cost, amazon_wl, rank=32)
+        assert np.allclose(s, s[0])
+
+    def test_faster_memory_means_faster_device_when_kernel_bound(
+        self, amazon_wl, cost
+    ):
+        # A100's HBM beats Ada's GDDR6 for a memory-bound kernel, visible
+        # once the host link is fast enough not to mask it.
+        from repro.simgpu.interconnect import Link
+
+        fat_link = Link("fat", 500e9, 5e-6)
+        plat = HeteroPlatform(
+            device_specs=[RTX6000_ADA, A100_40GB],
+            host=EPYC_9654_DUAL,
+            host_links=[fat_link],
+            p2p_link=P2P_PCIE,
+        )
+        s = device_speeds(plat, cost, amazon_wl, rank=32)
+        assert s[1] > s[0]
+
+    def test_link_bound_devices_score_equal(self, amazon_wl, cost):
+        # Behind identical 64 GB/s PCIe links, Ada and A100 stream-bound
+        # throughputs coincide — assigning the A100 extra work would only
+        # lengthen its transfers.
+        plat = mixed_platform([RTX6000_ADA, A100_40GB])
+        s = device_speeds(plat, cost, amazon_wl, rank=32)
+        assert s[1] == pytest.approx(s[0], rel=0.05)
+
+    def test_cpu_as_device_is_slowest(self, amazon_wl, cost):
+        cpu = CPU_AS_DEVICE(EPYC_9654_DUAL)
+        plat = mixed_platform([RTX6000_ADA, cpu])
+        s = device_speeds(plat, cost, amazon_wl, rank=32)
+        assert s[1] < s[0]
+
+
+class TestHeteroWorkload:
+    def test_rebalance_preserves_totals(self, amazon_wl, cost):
+        plat = mixed_platform([RTX6000_ADA, A100_40GB, RTX6000_ADA, A100_40GB])
+        speeds = device_speeds(plat, cost, amazon_wl, rank=32)
+        wl = hetero_workload(amazon_wl, speeds)
+        for m, mw in enumerate(wl.modes):
+            assert mw.nnz == amazon_wl.nnz
+            assert mw.rows_per_gpu.sum() == amazon_wl.shape[m]
+
+    def test_faster_devices_receive_more_nnz(self, amazon_wl, cost):
+        cpu = CPU_AS_DEVICE(EPYC_9654_DUAL)
+        plat = mixed_platform([RTX6000_ADA, cpu])
+        speeds = device_speeds(plat, cost, amazon_wl, rank=32)
+        wl = hetero_workload(amazon_wl, speeds)
+        gpu_nnz = wl.modes[0].gpu_nnz()
+        assert gpu_nnz[0] > gpu_nnz[1]
+
+
+class TestSimulateHetero:
+    def test_homogeneous_matches_standard_simulation(self, amazon_wl, cost):
+        """With identical devices, hetero == the standard AMPED simulation."""
+        cfg = AmpedConfig()
+        plat_h = mixed_platform([RTX6000_ADA] * 4)
+        speeds = device_speeds(plat_h, cost, amazon_wl, rank=32)
+        wl_h = hetero_workload(amazon_wl, speeds)
+        res_h = simulate_hetero(plat_h, cost, wl_h, cfg)
+        res_std = simulate_amped(paper_platform(4), cost, amazon_wl, cfg)
+        assert res_h.ok and res_std.ok
+        assert res_h.total_time == pytest.approx(res_std.total_time, rel=0.02)
+
+    def test_adding_a_cpu_device_is_roughly_neutral(self, amazon_wl, cost):
+        """3 GPUs + 1 CPU: weighted balancing offloads some compute to the
+        CPU, but the 4-way ring all-gather grows — net effect must stay
+        within a few percent of the 3-GPU platform (no catastrophic loss),
+        and per-device compute must remain balanced."""
+        cfg3 = AmpedConfig(n_gpus=3)
+        wl3 = paper_workload(AMAZON, cfg3, cost)
+        gpus3 = simulate_amped(paper_platform(3), cost, wl3, cfg3)
+
+        cpu = CPU_AS_DEVICE(EPYC_9654_DUAL)
+        plat = mixed_platform([RTX6000_ADA] * 3 + [cpu])
+        cfg4 = AmpedConfig(n_gpus=4)
+        wl4 = paper_workload(AMAZON, cfg4, cost)
+        speeds = device_speeds(plat, cost, wl4, rank=32)
+        mixed = simulate_hetero(plat, cost, hetero_workload(wl4, speeds), cfg4)
+        assert mixed.ok
+        assert mixed.total_time < gpus3.total_time * 1.10
+        # the CPU device receives a real but minority share of the nonzeros
+        shares = hetero_workload(wl4, speeds).modes[0].gpu_nnz() / wl4.nnz
+        assert 0.0 < shares[3] < min(shares[:3])
+
+    def test_weighted_beats_unweighted_on_mixed_devices(self, amazon_wl, cost):
+        """Unweighted LPT on a mixed platform strands work on the slow
+        device; the weighted assignment must be faster."""
+        cpu = CPU_AS_DEVICE(EPYC_9654_DUAL)
+        specs = [RTX6000_ADA] * 3 + [cpu]
+        cfg = AmpedConfig(n_gpus=4)
+        wl = paper_workload(AMAZON, cfg, cost)
+
+        unweighted = simulate_hetero(mixed_platform(specs), cost, wl, cfg)
+        speeds = device_speeds(mixed_platform(specs), cost, wl, rank=32)
+        weighted = simulate_hetero(
+            mixed_platform(specs), cost, hetero_workload(wl, speeds), cfg
+        )
+        assert weighted.ok and unweighted.ok
+        assert weighted.total_time < unweighted.total_time
+
+    def test_device_count_mismatch(self, amazon_wl, cost):
+        plat = mixed_platform([RTX6000_ADA] * 2)
+        with pytest.raises(SimulationError):
+            simulate_hetero(plat, cost, amazon_wl, AmpedConfig())
+
+
+class TestHeteroPlatform:
+    def test_shared_link_broadcasts(self):
+        plat = mixed_platform([RTX6000_ADA, A100_40GB])
+        assert len(plat.host_links) == 2
+
+    def test_per_device_links(self):
+        from repro.simgpu.interconnect import Link
+
+        slow = Link("slow", 8e9)
+        plat = HeteroPlatform(
+            device_specs=[RTX6000_ADA, A100_40GB],
+            host=EPYC_9654_DUAL,
+            host_links=[PCIE_GEN4_X16, slow],
+            p2p_link=P2P_PCIE,
+        )
+        fast_end = plat.h2d(0, 8e9, 0.0)
+        slow_end = plat.h2d(1, 8e9, 0.0)
+        assert slow_end > fast_end
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(SimulationError):
+            HeteroPlatform(
+                device_specs=[],
+                host=EPYC_9654_DUAL,
+                host_links=[PCIE_GEN4_X16],
+                p2p_link=P2P_PCIE,
+            )
+
+    def test_link_count_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            HeteroPlatform(
+                device_specs=[RTX6000_ADA] * 3,
+                host=EPYC_9654_DUAL,
+                host_links=[PCIE_GEN4_X16, PCIE_GEN4_X16],
+                p2p_link=P2P_PCIE,
+            )

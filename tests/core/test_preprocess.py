@@ -1,0 +1,65 @@
+"""Tests for preprocessing time models and timed plan construction."""
+
+import pytest
+
+from repro.core.config import AmpedConfig
+from repro.core.preprocess import (
+    PREPROCESS_PIPELINES,
+    build_plan_timed,
+    preprocessing_time,
+)
+from repro.datasets.profiles import AMAZON, TWITCH
+from repro.datasets.workload import paper_workload
+from repro.errors import ReproError
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import EPYC_9654_DUAL
+
+
+@pytest.fixture
+def amazon_wl():
+    return paper_workload(AMAZON, AmpedConfig(), KernelCostModel())
+
+
+@pytest.fixture
+def twitch_wl():
+    return paper_workload(TWITCH, AmpedConfig(), KernelCostModel())
+
+
+class TestPreprocessingTime:
+    def test_all_pipelines_positive(self, amazon_wl):
+        cost = KernelCostModel()
+        for method in PREPROCESS_PIPELINES:
+            t = preprocessing_time(method, amazon_wl, cost, EPYC_9654_DUAL)
+            assert t > 0
+
+    def test_amped_costs_more_than_blco(self, amazon_wl):
+        """Figure 10's shape: per-mode sorted copies beat one linearized sort."""
+        cost = KernelCostModel()
+        t_amped = preprocessing_time("amped", amazon_wl, cost, EPYC_9654_DUAL)
+        t_blco = preprocessing_time("blco", amazon_wl, cost, EPYC_9654_DUAL)
+        assert t_amped > t_blco
+
+    def test_more_modes_cost_more_for_amped(self, amazon_wl, twitch_wl):
+        """5-mode Twitch needs 5 sorted copies vs 3 for Amazon (per nnz)."""
+        cost = KernelCostModel()
+        per_nnz_amazon = (
+            preprocessing_time("amped", amazon_wl, cost, EPYC_9654_DUAL)
+            / amazon_wl.nnz
+        )
+        per_nnz_twitch = (
+            preprocessing_time("amped", twitch_wl, cost, EPYC_9654_DUAL)
+            / twitch_wl.nnz
+        )
+        assert per_nnz_twitch > per_nnz_amazon
+
+    def test_unknown_method(self, amazon_wl):
+        with pytest.raises(ReproError):
+            preprocessing_time("quantum", amazon_wl, KernelCostModel(), EPYC_9654_DUAL)
+
+
+class TestBuildPlanTimed:
+    def test_returns_plan_and_time(self, skewed_tensor):
+        plan, seconds = build_plan_timed(skewed_tensor, AmpedConfig(n_gpus=2))
+        assert seconds >= 0
+        plan.validate()
+        assert plan.n_gpus == 2

@@ -1,0 +1,86 @@
+"""Tests for the shared result records and the bench harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import model_workloads, run_amped_model, run_backend_model
+from repro.core.config import AmpedConfig
+from repro.core.results import ModeTiming, RunResult
+from repro.errors import SimulationError
+from repro.simgpu.trace import Category, Timeline
+
+
+class TestModeTiming:
+    def test_durations(self):
+        mt = ModeTiming(mode=0, start=1.0, compute_done=3.0, end=4.5)
+        assert mt.duration == pytest.approx(3.5)
+        assert mt.exchange_time == pytest.approx(1.5)
+
+
+class TestRunResult:
+    def test_error_result_not_ok(self):
+        r = RunResult(method="x", tensor_name="t", n_gpus=1, error="runtime error")
+        assert not r.ok
+        assert r.total_time == 0.0
+
+    def test_compute_overhead_empty_is_zero(self):
+        r = RunResult(method="x", tensor_name="t", n_gpus=2)
+        assert r.compute_overhead() == 0.0
+
+    def test_compute_overhead_formula(self):
+        r = RunResult(method="x", tensor_name="t", n_gpus=2)
+        r.per_gpu_compute = np.array([4.0, 6.0])
+        assert r.compute_overhead() == pytest.approx(0.2)
+
+    def test_speedup_over(self):
+        a = RunResult(method="a", tensor_name="t", n_gpus=4, total_time=2.0)
+        b = RunResult(method="b", tensor_name="t", n_gpus=1, total_time=10.0)
+        assert a.speedup_over(b) == pytest.approx(5.0)
+
+    def test_speedup_over_failed_run_is_nan(self):
+        a = RunResult(method="a", tensor_name="t", n_gpus=4, total_time=2.0)
+        bad = RunResult(method="b", tensor_name="t", n_gpus=1, error="oom")
+        assert np.isnan(a.speedup_over(bad))
+
+    def test_breakdown_delegates_to_timeline(self):
+        r = RunResult(method="x", tensor_name="t", n_gpus=1)
+        tl = Timeline()
+        tl.add(0, Category.COMPUTE, 0.0, 1.0)
+        tl.add(0, Category.H2D, 0.0, 1.0)
+        r.timeline = tl
+        bd = r.breakdown()
+        assert bd["computation"] == pytest.approx(0.5)
+
+
+class TestHarness:
+    def test_model_workloads_covers_table3(self):
+        wls = model_workloads(AmpedConfig(shards_per_gpu=4))
+        assert set(wls) == {"amazon", "patents", "reddit", "twitch"}
+
+    def test_model_workloads_cached(self):
+        cfg = AmpedConfig(shards_per_gpu=4)
+        a = model_workloads(cfg)["amazon"]
+        b = model_workloads(cfg)["amazon"]
+        assert a is b
+
+    def test_run_amped_model_fresh_platform_each_call(self):
+        cfg = AmpedConfig(shards_per_gpu=4)
+        wl = model_workloads(cfg)["patents"]
+        r1 = run_amped_model(wl, cfg)
+        r2 = run_amped_model(wl, cfg)
+        assert r1.total_time == pytest.approx(r2.total_time)
+
+    def test_run_backend_model(self):
+        cfg = AmpedConfig(shards_per_gpu=4)
+        wl = model_workloads(cfg)["twitch"]
+        r = run_backend_model("blco", wl)
+        assert r.ok and r.method == "blco"
+
+    def test_gpu_count_flows_through(self):
+        cfg = AmpedConfig(n_gpus=2, shards_per_gpu=4)
+        wl = model_workloads(cfg)["amazon"]
+        assert wl.n_gpus == 2
+        r = run_amped_model(wl, cfg)
+        assert r.n_gpus == 2
+        with pytest.raises(SimulationError):
+            run_amped_model(wl, AmpedConfig(n_gpus=3))

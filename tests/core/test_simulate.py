@@ -1,0 +1,125 @@
+"""Tests for the Algorithm 1 timing simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AmpedConfig
+from repro.core.simulate import amped_memory_plan, simulate_amped
+from repro.core.workload import TensorWorkload
+from repro.datasets.profiles import AMAZON, REDDIT
+from repro.datasets.workload import paper_workload
+from repro.errors import SimulationError
+from repro.simgpu.device import GPUSpec
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.platform import MultiGPUPlatform
+from repro.simgpu.presets import (
+    EPYC_9654_DUAL,
+    PCIE_GEN4_X16,
+    P2P_PCIE,
+    paper_platform,
+)
+from repro.simgpu.trace import Category
+
+
+@pytest.fixture
+def cost():
+    return KernelCostModel()
+
+
+@pytest.fixture
+def amazon_wl(cost):
+    return paper_workload(AMAZON, AmpedConfig(), cost)
+
+
+class TestSimulateAmped:
+    def test_basic_run(self, amazon_wl, cost):
+        res = simulate_amped(paper_platform(4), cost, amazon_wl, AmpedConfig())
+        assert res.ok
+        assert res.total_time > 0
+        assert len(res.mode_times) == 3
+        assert res.per_gpu_compute.shape == (4,)
+
+    def test_mode_times_ordered_and_cover_total(self, amazon_wl, cost):
+        res = simulate_amped(paper_platform(4), cost, amazon_wl, AmpedConfig())
+        prev_end = 0.0
+        for mt in res.mode_times:
+            assert mt.start == pytest.approx(prev_end)
+            assert mt.compute_done >= mt.start
+            assert mt.end >= mt.compute_done
+            prev_end = mt.end
+        assert prev_end == pytest.approx(res.total_time)
+
+    def test_timeline_has_all_categories(self, amazon_wl, cost):
+        res = simulate_amped(paper_platform(4), cost, amazon_wl, AmpedConfig())
+        tl = res.timeline
+        assert tl.busy_time(category=Category.COMPUTE) > 0
+        assert tl.busy_time(category=Category.H2D) > 0
+        assert tl.busy_time(category=Category.P2P) > 0
+
+    def test_gpu_count_mismatch_rejected(self, amazon_wl, cost):
+        with pytest.raises(SimulationError):
+            simulate_amped(paper_platform(2), cost, amazon_wl, AmpedConfig())
+        with pytest.raises(SimulationError):
+            simulate_amped(
+                paper_platform(2), cost, amazon_wl, AmpedConfig(n_gpus=2)
+            )
+
+    def test_dynamic_schedule_runs(self, amazon_wl, cost):
+        cfg = AmpedConfig(schedule="dynamic")
+        res = simulate_amped(paper_platform(4), cost, amazon_wl, cfg)
+        assert res.ok and res.total_time > 0
+
+    def test_direct_allgather_runs(self, amazon_wl, cost):
+        cfg = AmpedConfig(allgather="direct")
+        res = simulate_amped(paper_platform(4), cost, amazon_wl, cfg)
+        assert res.ok and res.total_time > 0
+
+    def test_double_buffer_helps(self, amazon_wl, cost):
+        fast = simulate_amped(
+            paper_platform(4), cost, amazon_wl, AmpedConfig(double_buffer=True)
+        )
+        slow = simulate_amped(
+            paper_platform(4), cost, amazon_wl, AmpedConfig(double_buffer=False)
+        )
+        assert fast.total_time < slow.total_time
+
+    def test_memory_freed_after_run(self, amazon_wl, cost):
+        plat = paper_platform(4)
+        simulate_amped(plat, cost, amazon_wl, AmpedConfig())
+        for g in range(4):
+            assert plat.gpu(g).memory.used == 0
+
+    def test_oom_produces_error_result(self, amazon_wl, cost):
+        tiny_gpu = GPUSpec(
+            name="tiny", n_sms=8, fp32_tflops=1.0,
+            mem_capacity=64 * 2**20, mem_bandwidth=100e9,
+        )
+        plat = MultiGPUPlatform(
+            gpu_spec=tiny_gpu, n_gpus=4, host=EPYC_9654_DUAL,
+            host_link=PCIE_GEN4_X16, p2p_link=P2P_PCIE,
+        )
+        res = simulate_amped(plat, cost, amazon_wl, AmpedConfig())
+        assert not res.ok
+        assert "runtime error" in res.error
+        for g in range(4):
+            assert plat.gpu(g).memory.used == 0  # rollback on OOM
+
+    def test_more_gpus_is_faster(self, cost):
+        times = {}
+        for m in (1, 2, 4):
+            cfg = AmpedConfig(n_gpus=m)
+            wl = paper_workload(REDDIT, cfg, cost)
+            times[m] = simulate_amped(paper_platform(m), cost, wl, cfg).total_time
+        assert times[4] < times[2] < times[1]
+
+
+class TestMemoryPlan:
+    def test_plan_contents(self, amazon_wl, cost):
+        plan = amped_memory_plan(amazon_wl, AmpedConfig(), cost)
+        assert plan["factor_matrices"] == amazon_wl.factor_bytes(32)
+        assert plan["shard_staging"] > 0
+
+    def test_single_buffer_halves_staging(self, amazon_wl, cost):
+        dbl = amped_memory_plan(amazon_wl, AmpedConfig(double_buffer=True), cost)
+        sgl = amped_memory_plan(amazon_wl, AmpedConfig(double_buffer=False), cost)
+        assert dbl["shard_staging"] == 2 * sgl["shard_staging"]

@@ -1,0 +1,80 @@
+"""Tests for CP-ALS over multiple MTTKRP backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.amped import AmpedMTTKRP
+from repro.core.config import AmpedConfig
+from repro.cpd.als import cp_als
+from repro.cpd.norms import factor_match_score
+from repro.errors import ConvergenceError, ReproError
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.generate import lowrank_coo
+
+
+class TestConvergence:
+    def test_fit_is_monotone_nondecreasing(self, fitted_tensor):
+        res = cp_als(fitted_tensor, rank=4, n_iters=15, tol=0.0, seed=0)
+        fits = np.array(res.fits)
+        # ALS cannot decrease the objective; allow float jitter
+        assert (np.diff(fits) > -1e-8).all()
+
+    def test_good_fit_on_lowrank_data(self, fitted_tensor):
+        res = cp_als(fitted_tensor, rank=4, n_iters=30, seed=0)
+        assert res.final_fit > 0.9
+
+    def test_tolerance_stops_early(self, fitted_tensor):
+        res = cp_als(fitted_tensor, rank=4, n_iters=100, tol=1e-3, seed=0)
+        assert res.converged
+        assert res.n_iters < 100
+
+    def test_model_shape(self, fitted_tensor):
+        res = cp_als(fitted_tensor, rank=3, n_iters=5, seed=0)
+        assert res.model.shape == fitted_tensor.shape
+        assert res.model.rank == 3
+        # arrange() guarantees descending weights
+        assert (np.diff(res.model.weights) <= 1e-12).all()
+
+    def test_exact_recovery_of_noiseless_lowrank(self):
+        t = lowrank_coo((15, 12, 10), 900, rank=2, noise=0.0, seed=4)
+        res = cp_als(t, rank=2, n_iters=60, tol=1e-12, seed=1)
+        assert res.final_fit > 0.99
+
+
+class TestBackends:
+    def test_amped_backend_matches_reference_fit(self, fitted_tensor):
+        ref = cp_als(fitted_tensor, rank=3, n_iters=8, tol=0.0, seed=5)
+        ex = AmpedMTTKRP(
+            fitted_tensor, AmpedConfig(n_gpus=4, rank=3, shards_per_gpu=2)
+        )
+        via_amped = cp_als(
+            fitted_tensor, rank=3, n_iters=8, tol=0.0, seed=5, mttkrp=ex.mttkrp
+        )
+        assert via_amped.fits == pytest.approx(ref.fits, rel=1e-9)
+        assert (
+            factor_match_score(
+                [np.asarray(f) for f in ref.model.factors],
+                [np.asarray(f) for f in via_amped.model.factors],
+            )
+            == pytest.approx(1.0)
+        )
+
+    def test_custom_initial_factors(self, fitted_tensor, make_factors):
+        init = make_factors(fitted_tensor.shape, rank=3, seed=8)
+        res = cp_als(fitted_tensor, rank=3, n_iters=3, factors=init, tol=0.0)
+        assert res.n_iters == 3
+
+
+class TestErrors:
+    def test_zero_tensor_rejected(self):
+        t = SparseTensorCOO(np.empty((0, 2), dtype=np.int64), np.empty(0), (3, 3))
+        with pytest.raises(ConvergenceError):
+            cp_als(t, rank=2)
+
+    def test_bad_args(self, fitted_tensor):
+        with pytest.raises(ReproError):
+            cp_als(fitted_tensor, rank=0)
+        with pytest.raises(ReproError):
+            cp_als(fitted_tensor, rank=2, n_iters=0)
+        with pytest.raises(ReproError):
+            cp_als(fitted_tensor, rank=2, factors=[np.zeros((2, 2))])

@@ -1,0 +1,103 @@
+"""Tests for Kruskal tensors."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.ktensor import KruskalTensor
+from repro.errors import TensorFormatError
+from repro.tensor.coo import SparseTensorCOO
+
+
+@pytest.fixture
+def model(rng):
+    factors = tuple(rng.random((s, 3)) for s in (5, 4, 6))
+    weights = np.array([2.0, 1.0, 0.5])
+    return KruskalTensor(weights, factors)
+
+
+class TestBasics:
+    def test_shape_rank(self, model):
+        assert model.shape == (5, 4, 6)
+        assert model.rank == 3
+        assert model.nmodes == 3
+
+    def test_full_matches_manual_sum(self, model):
+        dense = model.full()
+        manual = np.zeros(model.shape)
+        for r in range(model.rank):
+            manual += model.weights[r] * np.einsum(
+                "i,j,k->ijk",
+                model.factors[0][:, r],
+                model.factors[1][:, r],
+                model.factors[2][:, r],
+            )
+        assert np.allclose(dense, manual)
+
+    def test_values_at_matches_full(self, model, rng):
+        coords = np.column_stack(
+            [rng.integers(0, s, 20) for s in model.shape]
+        ).astype(np.int64)
+        vals = model.values_at(coords)
+        dense = model.full()
+        assert np.allclose(vals, dense[tuple(coords.T)])
+
+    def test_norm_matches_dense(self, model):
+        assert model.norm() == pytest.approx(np.linalg.norm(model.full()))
+
+    def test_arrange_sorts_weights(self, rng):
+        factors = tuple(rng.random((s, 3)) for s in (4, 4))
+        kt = KruskalTensor(np.array([1.0, 5.0, 2.0]), factors).arrange()
+        assert kt.weights.tolist() == [5.0, 2.0, 1.0]
+
+    def test_validation(self, rng):
+        with pytest.raises(TensorFormatError):
+            KruskalTensor(np.ones((2, 2)), (rng.random((3, 2)),))
+        with pytest.raises(TensorFormatError):
+            KruskalTensor(np.ones(2), (rng.random((3, 3)),))
+        with pytest.raises(TensorFormatError):
+            KruskalTensor(np.ones(2), ())
+
+
+class TestSparseFit:
+    def test_innerprod_matches_dense(self, model, rng):
+        coords = np.column_stack(
+            [rng.integers(0, s, 30) for s in model.shape]
+        ).astype(np.int64)
+        t = SparseTensorCOO(coords, rng.random(30), model.shape).deduplicated()
+        dense_inner = float(np.sum(t.to_dense() * model.full()))
+        assert model.innerprod_sparse(t) == pytest.approx(dense_inner)
+
+    def test_perfect_fit_is_one(self, model):
+        t = SparseTensorCOO.from_dense(model.full())
+        assert model.fit_sparse(t) == pytest.approx(1.0, abs=1e-9)
+
+    def test_fit_matches_dense_residual(self, model, rng):
+        coords = np.column_stack(
+            [rng.integers(0, s, 40) for s in model.shape]
+        ).astype(np.int64)
+        t = SparseTensorCOO(coords, rng.random(40), model.shape).deduplicated()
+        fit = model.fit_sparse(t)
+        dense_resid = np.linalg.norm(t.to_dense() - model.full())
+        expected = 1.0 - dense_resid / t.norm()
+        assert fit == pytest.approx(expected, abs=1e-9)
+
+    def test_fit_shape_mismatch(self, model):
+        t = SparseTensorCOO(np.array([[0, 0]]), np.array([1.0]), (2, 2))
+        with pytest.raises(TensorFormatError):
+            model.fit_sparse(t)
+
+    def test_fit_zero_tensor_rejected(self, model):
+        t = SparseTensorCOO(
+            np.empty((0, 3), dtype=np.int64), np.empty(0), model.shape
+        )
+        with pytest.raises(TensorFormatError):
+            model.fit_sparse(t)
+
+    def test_precomputed_norm(self, model, rng):
+        coords = np.column_stack(
+            [rng.integers(0, s, 25) for s in model.shape]
+        ).astype(np.int64)
+        t = SparseTensorCOO(coords, rng.random(25), model.shape).deduplicated()
+        assert model.fit_sparse(t) == pytest.approx(
+            model.fit_sparse(t, tensor_norm=t.norm())
+        )

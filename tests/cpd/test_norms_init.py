@@ -1,0 +1,98 @@
+"""Tests for normalization, factor matching, and initialization."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.init import init_factors
+from repro.cpd.norms import factor_match_score, normalize_columns
+from repro.errors import ReproError, TensorFormatError
+
+
+class TestNormalizeColumns:
+    def test_unit_norms(self, rng):
+        m, norms = normalize_columns(rng.random((10, 4)))
+        assert np.allclose(np.linalg.norm(m, axis=0), 1.0)
+        assert (norms > 0).all()
+
+    def test_reconstruction(self, rng):
+        a = rng.random((6, 3))
+        m, norms = normalize_columns(a)
+        assert np.allclose(m * norms, a)
+
+    def test_zero_column_safe(self):
+        a = np.zeros((4, 2))
+        a[:, 1] = 2.0
+        m, norms = normalize_columns(a)
+        assert norms[0] == 1.0
+        assert np.allclose(m[:, 0], 0.0)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(TensorFormatError):
+            normalize_columns(np.zeros(3))
+
+
+class TestFactorMatchScore:
+    def test_identical_solutions_score_one(self, rng):
+        factors = [rng.random((s, 3)) for s in (5, 6)]
+        assert factor_match_score(factors, factors) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self, rng):
+        factors = [rng.random((s, 3)) for s in (5, 6)]
+        perm = [f[:, [2, 0, 1]] for f in factors]
+        assert factor_match_score(factors, perm) == pytest.approx(1.0)
+
+    def test_sign_and_scale_invariant(self, rng):
+        factors = [rng.random((s, 2)) for s in (5, 6)]
+        flipped = [f * np.array([-1.0, 3.0]) for f in factors]
+        assert factor_match_score(factors, flipped) == pytest.approx(1.0)
+
+    def test_random_pairs_score_below_one(self, rng):
+        a = [rng.random((50, 3)) for _ in range(2)]
+        b = [rng.random((50, 3)) for _ in range(2)]
+        assert factor_match_score(a, b) < 0.999
+
+    def test_weights_penalty(self, rng):
+        factors = [rng.random((s, 2)) for s in (5, 6)]
+        w = np.array([1.0, 1.0])
+        same = factor_match_score(
+            factors, factors, weights_a=w, weights_b=w
+        )
+        diff = factor_match_score(
+            factors, factors, weights_a=w, weights_b=np.array([10.0, 1.0])
+        )
+        assert same > diff
+
+    def test_mode_count_mismatch(self, rng):
+        with pytest.raises(TensorFormatError):
+            factor_match_score([rng.random((3, 2))], [rng.random((3, 2))] * 2)
+
+
+class TestInitFactors:
+    def test_random_shapes(self, small_tensor):
+        factors = init_factors(small_tensor, 5, seed=0)
+        assert len(factors) == 3
+        for m, f in enumerate(factors):
+            assert f.shape == (small_tensor.shape[m], 5)
+
+    def test_random_deterministic(self, small_tensor):
+        a = init_factors(small_tensor, 4, seed=3)
+        b = init_factors(small_tensor, 4, seed=3)
+        for fa, fb in zip(a, b):
+            assert np.allclose(fa, fb)
+
+    def test_nvecs_shapes(self, small_tensor):
+        factors = init_factors(small_tensor, 3, method="nvecs", seed=0)
+        for m, f in enumerate(factors):
+            assert f.shape == (small_tensor.shape[m], 3)
+
+    def test_nvecs_columns_orthonormalish(self, small_tensor):
+        """Leading singular vectors should be near-orthonormal."""
+        factors = init_factors(small_tensor, 2, method="nvecs", seed=0)
+        gram = factors[0].T @ factors[0]
+        assert np.allclose(gram, np.eye(2), atol=1e-6)
+
+    def test_invalid_args(self, small_tensor):
+        with pytest.raises(ReproError):
+            init_factors(small_tensor, 0)
+        with pytest.raises(ReproError):
+            init_factors(small_tensor, 2, method="alchemy")

@@ -1,0 +1,49 @@
+"""Tests for the ALS iteration timing model."""
+
+import pytest
+
+from repro.bench.harness import model_workloads, run_amped_model
+from repro.core.config import AmpedConfig
+from repro.cpd.timing import als_iteration_cost
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import RTX6000_ADA
+
+
+@pytest.fixture(scope="module")
+def amazon_cost():
+    cfg = AmpedConfig()
+    wl = model_workloads(cfg)["amazon"]
+    res = run_amped_model(wl, cfg)
+    return als_iteration_cost(res, wl, cfg, KernelCostModel(), RTX6000_ADA), res
+
+
+class TestALSIterationCost:
+    def test_components_positive(self, amazon_cost):
+        cost, _ = amazon_cost
+        assert cost.mttkrp > 0
+        assert cost.factor_update > 0
+        assert cost.fit_evaluation > 0
+
+    def test_mttkrp_dominates(self, amazon_cost):
+        """The paper's premise: MTTKRP is the bottleneck of CP-ALS."""
+        cost, _ = amazon_cost
+        assert cost.mttkrp > cost.factor_update
+        assert cost.mttkrp > cost.fit_evaluation
+        assert cost.mttkrp / cost.total > 0.5
+
+    def test_total_is_sum(self, amazon_cost):
+        cost, _ = amazon_cost
+        assert cost.total == pytest.approx(
+            cost.mttkrp + cost.factor_update + cost.fit_evaluation
+        )
+
+    def test_decomposition_time_scales(self, amazon_cost):
+        cost, _ = amazon_cost
+        assert cost.decomposition_time(10) == pytest.approx(10 * cost.total)
+        assert cost.decomposition_time(0) == 0.0
+        with pytest.raises(ValueError):
+            cost.decomposition_time(-1)
+
+    def test_mttkrp_matches_simulation(self, amazon_cost):
+        cost, res = amazon_cost
+        assert cost.mttkrp == res.total_time

@@ -1,0 +1,81 @@
+"""Tests for analytic billion-scale workload construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AmpedConfig
+from repro.datasets.profiles import ALL_PROFILES, AMAZON, PATENTS, TWITCH
+from repro.datasets.workload import expected_histogram, paper_workload
+from repro.errors import ReproError
+from repro.simgpu.kernel import KernelCostModel
+
+
+class TestExpectedHistogram:
+    def test_mass_equals_nnz(self):
+        h = expected_histogram(AMAZON, 0)
+        assert h.sum() == pytest.approx(AMAZON.nnz, rel=1e-9)
+        assert h.shape[0] == AMAZON.shape[0]
+
+    def test_skew_orders_extremes(self):
+        """Higher Zipf exponent => more concentrated histogram."""
+        h_flat = expected_histogram(PATENTS, 0)  # exponent 0.2
+        h_skew = expected_histogram(TWITCH, 2)  # exponent 1.4
+        top_flat = np.sort(h_flat)[-1] / h_flat.sum()
+        top_skew = np.sort(h_skew)[-1] / h_skew.sum()
+        assert top_skew > top_flat
+
+    def test_cached(self):
+        a = expected_histogram(AMAZON, 1)
+        b = expected_histogram(AMAZON, 1)
+        assert a is b  # lru-cached
+
+    def test_mode_out_of_range(self):
+        with pytest.raises(ReproError):
+            expected_histogram(AMAZON, 3)
+
+
+class TestPaperWorkload:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_consistency(self, profile):
+        cfg = AmpedConfig()
+        wl = paper_workload(profile, cfg, KernelCostModel())
+        assert wl.nnz == profile.nnz
+        assert wl.shape == profile.shape
+        for m, mw in enumerate(wl.modes):
+            assert mw.nnz == profile.nnz  # shard nnz sums exactly
+            assert mw.rows_per_gpu.sum() == profile.shape[m]
+            assert 0.0 < mw.factor_hit <= 1.0
+
+    def test_by_name(self):
+        wl = paper_workload("amazon", AmpedConfig(), KernelCostModel())
+        assert wl.name == "amazon"
+
+    def test_gpu_count_respected(self):
+        cfg = AmpedConfig(n_gpus=2)
+        wl = paper_workload(AMAZON, cfg, KernelCostModel())
+        assert wl.n_gpus == 2
+
+    def test_lpt_balances_shards(self):
+        cfg = AmpedConfig()
+        wl = paper_workload(TWITCH, cfg, KernelCostModel())
+        for mw in wl.modes:
+            loads = mw.gpu_nnz().astype(float)
+            # LPT keeps the max-min spread below the largest single shard
+            assert loads.max() - loads.min() <= mw.shard_nnz.max()
+
+    def test_twitch_more_imbalanced_than_reddit(self):
+        """§5.5's mechanism: skewed Twitch shards vary more than Reddit's."""
+        cfg = AmpedConfig()
+        cost = KernelCostModel()
+        def spread(name, mode=0):
+            wl = paper_workload(name, cfg, cost)
+            s = wl.modes[mode].shard_nnz.astype(float)
+            return s.max() / max(s.mean(), 1.0)
+
+        assert spread("twitch", 2) > spread("reddit", 0)
+
+    def test_small_mode_shard_cap(self):
+        """Patents mode 0 has 46 indices: shard count must be capped."""
+        cfg = AmpedConfig(shards_per_gpu=16)  # 64 requested > 46 available
+        wl = paper_workload(PATENTS, cfg, KernelCostModel())
+        assert wl.modes[0].shard_nnz.shape[0] == 46

@@ -1,0 +1,82 @@
+"""Tests for dataset profiles and scaled materialization."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.profiles import (
+    ALL_PROFILES,
+    AMAZON,
+    PATENTS,
+    REDDIT,
+    TWITCH,
+    DatasetProfile,
+    profile_by_name,
+)
+from repro.datasets.synthetic import materialize, scaled_shape
+from repro.errors import ReproError
+from repro.tensor.stats import TensorStats
+
+
+class TestProfiles:
+    def test_table3_shapes(self):
+        # exact figures from Table 3
+        assert AMAZON.shape == (4_800_000, 1_800_000, 1_800_000)
+        assert AMAZON.nnz == 1_700_000_000
+        assert PATENTS.shape == (46, 239_200, 239_200)
+        assert PATENTS.nnz == 3_600_000_000
+        assert REDDIT.nnz == 4_700_000_000
+        assert TWITCH.nmodes == 5
+        assert TWITCH.nnz == 500_000_000
+
+    def test_all_billion_scale(self):
+        for p in ALL_PROFILES:
+            assert p.billion_scale
+
+    def test_lookup(self):
+        assert profile_by_name("reddit") is REDDIT
+        with pytest.raises(ReproError):
+            profile_by_name("netflix")
+
+    def test_invalid_profile(self):
+        with pytest.raises(ReproError):
+            DatasetProfile("x", (10, 10), 100, skew=(1.0,))
+        with pytest.raises(ReproError):
+            DatasetProfile("x", (10, 0), 100, skew=(1.0, 1.0))
+
+
+class TestScaledShape:
+    def test_small_modes_preserved(self):
+        shape = scaled_shape(PATENTS, 100_000)
+        assert shape[0] == 46  # the year mode survives scaling
+
+    def test_large_modes_shrink(self):
+        shape = scaled_shape(AMAZON, 1_000_000)
+        assert all(s < o for s, o in zip(shape, AMAZON.shape))
+
+    def test_floor_applies(self):
+        shape = scaled_shape(AMAZON, 1000)  # extreme shrink
+        assert min(s for s in shape if s > 46) >= 512
+
+    def test_invalid_target(self):
+        with pytest.raises(ReproError):
+            scaled_shape(AMAZON, 0)
+
+
+class TestMaterialize:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_materialize_small(self, profile):
+        t = materialize(profile, 20_000, seed=0)
+        assert t.nmodes == profile.nmodes
+        assert 0 < t.nnz <= 20_000
+
+    def test_twitch_skew_carries_over(self):
+        """Twitch's streamer mode (skew 1.4) must be visibly more skewed
+        than its time modes (skew 0.7) — the §5.5 imbalance mechanism."""
+        t = materialize(TWITCH, 60_000, seed=1)
+        stats = TensorStats.compute(t)
+        assert stats.gini[2] > stats.gini[4]
+
+    def test_deterministic(self):
+        a = materialize(AMAZON, 5000, seed=9)
+        b = materialize(AMAZON, 5000, seed=9)
+        assert a.allclose(b)

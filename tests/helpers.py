@@ -1,0 +1,11 @@
+"""Test helpers importable from any test module."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_factors(shape, rank: int = 6, seed: int = 99) -> list[np.ndarray]:
+    """Deterministic random factor matrices for the given tensor shape."""
+    rng = np.random.default_rng(seed)
+    return [rng.random((s, rank)) for s in shape]

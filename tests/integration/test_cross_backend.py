@@ -1,0 +1,61 @@
+"""Integration: every MTTKRP implementation agrees on realistic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BLCOBackend,
+    EqualNnzBackend,
+    FlyCOOGPUBackend,
+    HiCOOGPUBackend,
+    MMCSFBackend,
+)
+from repro.core.amped import AmpedMTTKRP
+from repro.core.config import AmpedConfig
+from repro.datasets.profiles import ALL_PROFILES, TWITCH
+from repro.datasets.synthetic import materialize
+from repro.tensor.reference import mttkrp_coo_reference
+
+
+@pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+def test_all_backends_agree_on_scaled_datasets(profile, make_factors):
+    """Functional-scale version of Figure 5's workload matrix: every system
+    that supports the tensor produces the identical MTTKRP result."""
+    tensor = materialize(profile, 8000, seed=1)
+    factors = make_factors(tensor.shape, rank=5, seed=2)
+    reference = [
+        mttkrp_coo_reference(tensor, factors, m) for m in range(tensor.nmodes)
+    ]
+
+    ex = AmpedMTTKRP(
+        tensor, AmpedConfig(n_gpus=4, rank=5, shards_per_gpu=4), name=profile.name
+    )
+    for mode, ref in enumerate(reference):
+        assert np.allclose(ex.mttkrp(factors, mode), ref)
+
+    backends = [BLCOBackend, FlyCOOGPUBackend, EqualNnzBackend]
+    if tensor.nmodes <= 4:
+        backends.append(MMCSFBackend)
+    if tensor.nmodes <= 3:
+        backends.append(HiCOOGPUBackend)
+    for cls in backends:
+        backend = cls(tensor, rank=5)
+        outs = backend.mttkrp_all_modes(factors)
+        for mode, ref in enumerate(reference):
+            assert np.allclose(outs[mode], ref), (cls.name, mode)
+
+
+def test_twitch_five_mode_cross_check(make_factors):
+    """The 5-mode path (Twitch) through AMPED, BLCO, and FLYCOO."""
+    tensor = materialize(TWITCH, 5000, seed=3)
+    assert tensor.nmodes == 5
+    factors = make_factors(tensor.shape, rank=4, seed=4)
+    ref = [mttkrp_coo_reference(tensor, factors, m) for m in range(5)]
+    ex = AmpedMTTKRP(tensor, AmpedConfig(n_gpus=3, rank=4, shards_per_gpu=3))
+    fly = FlyCOOGPUBackend(tensor, rank=4)
+    blco = BLCOBackend(tensor, rank=4)
+    fly_outs = fly.mttkrp_all_modes(factors)
+    for mode in range(5):
+        assert np.allclose(ex.mttkrp(factors, mode), ref[mode])
+        assert np.allclose(fly_outs[mode], ref[mode])
+        assert np.allclose(blco.mttkrp(factors, mode), ref[mode])

@@ -1,0 +1,83 @@
+"""Tests for shard-to-GPU balancing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.balance import (
+    assign_lpt,
+    assign_round_robin,
+    bin_loads,
+    load_imbalance,
+)
+
+
+class TestLPT:
+    def test_assignment_in_range(self):
+        sizes = np.array([5, 3, 8, 1, 9, 2])
+        a = assign_lpt(sizes, 3)
+        assert ((a >= 0) & (a < 3)).all()
+
+    def test_beats_round_robin_on_skew(self):
+        rng = np.random.default_rng(0)
+        sizes = (rng.pareto(1.2, size=64) * 1000).astype(np.int64) + 1
+        lpt = bin_loads(sizes, assign_lpt(sizes, 4), 4)
+        rr = bin_loads(sizes, assign_round_robin(len(sizes), 4), 4)
+        assert load_imbalance(lpt) <= load_imbalance(rr)
+
+    def test_perfect_when_divisible(self):
+        sizes = np.array([4, 4, 4, 4, 4, 4, 4, 4])
+        loads = bin_loads(sizes, assign_lpt(sizes, 4), 4)
+        assert loads.max() == loads.min()
+
+    def test_makespan_within_4_3_of_lower_bound(self):
+        rng = np.random.default_rng(1)
+        for trial in range(20):
+            sizes = rng.integers(1, 1000, size=rng.integers(5, 50))
+            n_bins = int(rng.integers(2, 6))
+            loads = bin_loads(sizes, assign_lpt(sizes, n_bins), n_bins)
+            lower = max(sizes.max(), int(np.ceil(sizes.sum() / n_bins)))
+            assert loads.max() <= 4 / 3 * lower + 1
+
+    def test_deterministic(self):
+        sizes = np.array([7, 7, 3, 3, 5])
+        assert np.array_equal(assign_lpt(sizes, 2), assign_lpt(sizes, 2))
+
+    def test_single_bin(self):
+        a = assign_lpt(np.array([1, 2, 3]), 1)
+        assert (a == 0).all()
+
+    def test_invalid(self):
+        with pytest.raises(PartitionError):
+            assign_lpt(np.array([1]), 0)
+        with pytest.raises(PartitionError):
+            assign_lpt(np.array([-1]), 2)
+
+
+class TestRoundRobin:
+    def test_striping(self):
+        assert assign_round_robin(5, 2).tolist() == [0, 1, 0, 1, 0]
+
+    def test_empty(self):
+        assert assign_round_robin(0, 3).size == 0
+
+
+class TestLoadMetrics:
+    def test_bin_loads(self):
+        sizes = np.array([1, 2, 3, 4])
+        a = np.array([0, 0, 1, 1])
+        assert bin_loads(sizes, a, 2).tolist() == [3, 7]
+
+    def test_imbalance_zero_when_even(self):
+        assert load_imbalance([5.0, 5.0, 5.0]) == 0.0
+
+    def test_imbalance_definition(self):
+        # paper's Figure 8 metric: (max - min) / total
+        assert load_imbalance([4.0, 6.0]) == pytest.approx(0.2)
+
+    def test_imbalance_zero_total(self):
+        assert load_imbalance([0.0, 0.0]) == 0.0
+
+    def test_imbalance_empty_raises(self):
+        with pytest.raises(PartitionError):
+            load_imbalance([])

@@ -1,0 +1,47 @@
+"""Tests for the equal-nonzero baseline partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.equal_nnz import equal_nnz_partition
+
+
+class TestEqualNnz:
+    def test_covers_all_elements(self, small_tensor):
+        p = equal_nnz_partition(small_tensor, 4)
+        assert p.part_nnz().sum() == small_tensor.nnz
+
+    def test_near_equal_parts(self, small_tensor):
+        p = equal_nnz_partition(small_tensor, 4)
+        sizes = p.part_nnz()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_parts_disjoint_contiguous(self, small_tensor):
+        p = equal_nnz_partition(small_tensor, 3)
+        prev = 0
+        for sl in p.slices:
+            assert sl.start == prev
+            prev = sl.stop
+        assert prev == small_tensor.nnz
+
+    def test_touched_indices_overlap(self, skewed_tensor):
+        """The defining weakness: different parts write the same output rows."""
+        p = equal_nnz_partition(skewed_tensor, 4)
+        touched = [set(p.touched_indices(i, 0).tolist()) for i in range(4)]
+        overlaps = sum(
+            1
+            for i in range(4)
+            for j in range(i + 1, 4)
+            if touched[i] & touched[j]
+        )
+        assert overlaps > 0  # with random data, parts must collide on rows
+
+    def test_single_part(self, small_tensor):
+        p = equal_nnz_partition(small_tensor, 1)
+        assert p.n_parts == 1
+        assert p.part_nnz()[0] == small_tensor.nnz
+
+    def test_invalid(self, small_tensor):
+        with pytest.raises(PartitionError):
+            equal_nnz_partition(small_tensor, 0)

@@ -1,0 +1,54 @@
+"""Tests for inter-shard partitions (§3.1.2)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.isp import isp_slices_for_shard, split_isp
+from repro.partition.sharding import shard_mode
+
+
+class TestSplitIsp:
+    def test_covers_range(self):
+        slices = split_isp(100, 7)
+        assert slices[0].start == 0
+        assert slices[-1].stop == 100
+        total = sum(s.stop - s.start for s in slices)
+        assert total == 100
+
+    def test_near_equal_sizes(self):
+        sizes = [s.stop - s.start for s in split_isp(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_partitions_than_elements(self):
+        slices = split_isp(3, 10)
+        assert len(slices) == 10
+        assert sum(s.stop - s.start for s in slices) == 3
+
+    def test_zero_elements(self):
+        slices = split_isp(0, 4)
+        assert all(s.stop == s.start for s in slices)
+
+    def test_single_partition(self):
+        assert split_isp(42, 1) == [slice(0, 42)]
+
+    def test_invalid(self):
+        with pytest.raises(PartitionError):
+            split_isp(10, 0)
+        with pytest.raises(PartitionError):
+            split_isp(-1, 4)
+
+
+class TestIspForShard:
+    def test_absolute_offsets(self, small_tensor):
+        part = shard_mode(small_tensor, 0, 3)
+        shard = part.shards[1]
+        slices = isp_slices_for_shard(shard, 4)
+        assert slices[0].start == shard.elements.start
+        assert slices[-1].stop == shard.elements.stop
+
+    def test_equal_workload_paper_property(self, small_tensor):
+        """§3.1.2: all SMs of a GPU get (near) the same workload."""
+        part = shard_mode(small_tensor, 0, 2)
+        for shard in part.shards:
+            sizes = [s.stop - s.start for s in isp_slices_for_shard(shard, 8)]
+            assert max(sizes) - min(sizes) <= 1

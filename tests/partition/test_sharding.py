@@ -1,0 +1,67 @@
+"""Tests for output-index tensor sharding (§3.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.sharding import shard_mode
+
+
+class TestShardMode:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("n_shards", [1, 3, 8])
+    def test_invariants_hold(self, skewed_tensor, mode, n_shards):
+        part = shard_mode(skewed_tensor, mode, n_shards)
+        part.validate()  # contiguity + coverage + range membership
+
+    def test_task_independence(self, skewed_tensor):
+        """Core §3.1.1 property: an output index appears in exactly one shard."""
+        part = shard_mode(skewed_tensor, 0, 6)
+        owner = {}
+        for shard in part.shards:
+            idx = part.tensor.indices[shard.elements, 0]
+            for i in np.unique(idx):
+                assert i not in owner, "output index in two shards"
+                owner[int(i)] = shard.shard_id
+
+    def test_element_counts_sum_to_nnz(self, small_tensor):
+        part = shard_mode(small_tensor, 1, 4)
+        assert part.shard_nnz().sum() == small_tensor.nnz
+
+    def test_shards_are_contiguous_slices(self, small_tensor):
+        part = shard_mode(small_tensor, 2, 5)
+        prev_end = 0
+        for shard in part.shards:
+            assert shard.elements.start == prev_end
+            prev_end = shard.elements.stop
+        assert prev_end == small_tensor.nnz
+
+    def test_index_ranges_equal_width(self, small_tensor):
+        part = shard_mode(small_tensor, 0, 5)
+        widths = [s.n_indices for s in part.shards]
+        assert max(widths) - min(widths) <= 1
+
+    def test_more_shards_than_indices_capped(self, tiny_tensor):
+        part = shard_mode(tiny_tensor, 1, 100)  # mode 1 has 3 indices
+        assert part.n_shards == 3
+
+    def test_skew_reflected_in_shard_sizes(self, skewed_tensor):
+        """Zipf skew must produce uneven shard nnz (the Figure 8 mechanism)."""
+        part = shard_mode(skewed_tensor, 0, 8)
+        sizes = part.shard_nnz()
+        assert sizes.max() > 2 * max(sizes.min(), 1) or sizes.min() == 0
+
+    def test_shard_elements_accessor(self, small_tensor):
+        part = shard_mode(small_tensor, 0, 4)
+        idx, vals = part.shard_elements(part.shards[0])
+        assert idx.shape[0] == part.shards[0].nnz
+        assert vals.shape[0] == part.shards[0].nnz
+        lo, hi = part.shards[0].index_range
+        if idx.size:
+            assert ((idx[:, 0] >= lo) & (idx[:, 0] < hi)).all()
+
+    def test_invalid_args(self, small_tensor):
+        with pytest.raises(PartitionError):
+            shard_mode(small_tensor, 5, 4)
+        with pytest.raises(PartitionError):
+            shard_mode(small_tensor, 0, 0)

@@ -1,0 +1,60 @@
+"""Tests for throughput-weighted shard assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.weighted import (
+    assign_lpt_weighted,
+    weighted_loads,
+    weighted_makespan,
+)
+
+
+class TestWeightedLPT:
+    def test_equal_speeds_reduces_to_lpt_quality(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(1, 100, 40)
+        a = assign_lpt_weighted(sizes, [1.0, 1.0, 1.0])
+        loads = weighted_loads(sizes, a, 3)
+        assert loads.max() - loads.min() <= sizes.max()
+
+    def test_faster_device_gets_more_work(self):
+        sizes = np.full(100, 10)
+        a = assign_lpt_weighted(sizes, [1.0, 3.0])
+        loads = weighted_loads(sizes, a, 2)
+        assert loads[1] > 2 * loads[0]
+
+    def test_load_ratio_tracks_speed_ratio(self):
+        rng = np.random.default_rng(1)
+        sizes = rng.integers(1, 50, 200)
+        speeds = np.array([1.0, 2.0, 4.0])
+        a = assign_lpt_weighted(sizes, speeds)
+        loads = weighted_loads(sizes, a, 3)
+        shares = loads / loads.sum()
+        expected = speeds / speeds.sum()
+        assert np.allclose(shares, expected, atol=0.05)
+
+    def test_makespan_better_than_unweighted_split(self):
+        rng = np.random.default_rng(2)
+        sizes = rng.integers(1, 100, 64)
+        speeds = np.array([1.0, 5.0])
+        a = assign_lpt_weighted(sizes, speeds)
+        naive = np.arange(64) % 2  # even split ignores speeds
+        assert weighted_makespan(sizes, a, speeds) <= weighted_makespan(
+            sizes, naive, speeds
+        )
+
+    def test_single_device(self):
+        a = assign_lpt_weighted([5, 3], [2.0])
+        assert (a == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            assign_lpt_weighted([1], [])
+        with pytest.raises(PartitionError):
+            assign_lpt_weighted([1], [0.0])
+        with pytest.raises(PartitionError):
+            assign_lpt_weighted([-1], [1.0])
+        with pytest.raises(PartitionError):
+            weighted_loads([1, 2], np.array([0]), 1)

@@ -1,0 +1,59 @@
+"""Property-based tests for communication primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.allgather import ring_allgather
+from repro.comm.collectives import host_gather_merge
+from repro.simgpu.interconnect import RingTopology
+
+
+class TestRingAllgatherProperties:
+    @given(
+        st.integers(1, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_rank_ends_with_identical_state(self, m, seed):
+        rng = np.random.default_rng(seed)
+        chunks = [rng.random((int(rng.integers(1, 5)), 3)) for _ in range(m)]
+        views = ring_allgather(chunks)
+        for v in views[1:]:
+            for c0, c in zip(views[0], v):
+                assert np.array_equal(c0, c)
+        for c_in, c_out in zip(chunks, views[0]):
+            assert np.array_equal(c_in, c_out)
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_ring_schedule_is_valid_forwarding(self, n):
+        """At every step each rank sends a chunk it already holds and after
+        n-1 steps holds all n chunks (the Algorithm 3 schedule, corrected)."""
+        ring = RingTopology(n)
+        holdings = {g: {g} for g in range(n)}
+        for step in range(n - 1):
+            for g in range(n):
+                assert ring.send_chunk(g, step) in holdings[g]
+            incoming = {
+                g: ring.send_chunk(ring.prev_of(g), step) for g in range(n)
+            }
+            for g, c in incoming.items():
+                holdings[g].add(c)
+        for g in range(n):
+            assert holdings[g] == set(range(n))
+
+
+class TestMergeProperties:
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 10),
+        st.integers(1, 5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_numpy_sum(self, parts, rows, rank, seed):
+        rng = np.random.default_rng(seed)
+        partials = [rng.standard_normal((rows, rank)) for _ in range(parts)]
+        merged = host_gather_merge(partials)
+        assert np.allclose(merged, np.sum(partials, axis=0))

@@ -1,0 +1,66 @@
+"""Property-based tests: every execution path computes the same MTTKRP."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.amped import AmpedMTTKRP
+from repro.core.config import AmpedConfig
+from repro.tensor.formats.csf import CSFTensor
+from repro.tensor.generate import zipf_coo
+from repro.tensor.reference import mttkrp_coo_reference, mttkrp_dense_reference
+
+
+@st.composite
+def mttkrp_cases(draw):
+    nmodes = draw(st.integers(2, 4))
+    shape = tuple(draw(st.integers(2, 14)) for _ in range(nmodes))
+    nnz = draw(st.integers(1, 120))
+    seed = draw(st.integers(0, 2**31 - 1))
+    exponent = draw(st.floats(0.0, 1.5))
+    rank = draw(st.integers(1, 6))
+    mode = draw(st.integers(0, nmodes - 1))
+    return shape, nnz, seed, exponent, rank, mode
+
+
+class TestCrossImplementationAgreement:
+    @given(mttkrp_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_dense_vs_coo_reference(self, case):
+        shape, nnz, seed, exponent, rank, mode = case
+        t = zipf_coo(shape, nnz, exponents=exponent, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        factors = [rng.standard_normal((s, rank)) for s in shape]
+        a = mttkrp_coo_reference(t, factors, mode)
+        b = mttkrp_dense_reference(t, factors, mode)
+        assert np.allclose(a, b, atol=1e-9)
+
+    @given(mttkrp_cases(), st.integers(1, 4), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_amped_partitioned_execution(self, case, n_gpus, shards_per_gpu):
+        """AMPED's sharded/ISP execution is exact for any partitioning."""
+        shape, nnz, seed, exponent, rank, mode = case
+        t = zipf_coo(shape, nnz, exponents=exponent, seed=seed)
+        rng = np.random.default_rng(seed + 2)
+        factors = [rng.standard_normal((s, rank)) for s in shape]
+        ex = AmpedMTTKRP(
+            t,
+            AmpedConfig(
+                n_gpus=n_gpus, rank=rank, shards_per_gpu=shards_per_gpu
+            ),
+        )
+        got = ex.mttkrp(factors, mode)
+        want = mttkrp_coo_reference(t, factors, mode)
+        assert np.allclose(got, want, atol=1e-9)
+
+    @given(mttkrp_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_csf_tree_mttkrp(self, case):
+        shape, nnz, seed, exponent, rank, mode = case
+        t = zipf_coo(shape, nnz, exponents=exponent, seed=seed)
+        rng = np.random.default_rng(seed + 3)
+        factors = [rng.standard_normal((s, rank)) for s in shape]
+        csf = CSFTensor.from_coo(t)
+        got = csf.mttkrp(factors, mode)
+        want = mttkrp_coo_reference(t, factors, mode)
+        assert np.allclose(got, want, atol=1e-9)

@@ -1,0 +1,135 @@
+"""Property-based tests for the timing simulation's physical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AmpedConfig
+from repro.core.simulate import simulate_amped
+from repro.core.workload import ModeWorkload, TensorWorkload
+from repro.partition.balance import assign_lpt
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import RTX6000_ADA, paper_platform
+from repro.simgpu.trace import Category
+
+
+@st.composite
+def synthetic_workloads(draw):
+    """Random small workload descriptors for a fixed 3-GPU platform."""
+    n_gpus = 3
+    nmodes = draw(st.integers(2, 4))
+    shape = tuple(draw(st.integers(100, 5000)) for _ in range(nmodes))
+    modes = []
+    nnz_total = None
+    for m in range(nmodes):
+        n_shards = draw(st.integers(1, 12))
+        n_shards = min(n_shards, shape[m])
+        if nnz_total is None:
+            shard_nnz = np.array(
+                [draw(st.integers(1, 10**6)) for _ in range(n_shards)],
+                dtype=np.int64,
+            )
+            nnz_total = int(shard_nnz.sum())
+        else:
+            # later modes must redistribute the same nonzeros
+            cuts = sorted(
+                draw(
+                    st.lists(
+                        st.integers(0, nnz_total),
+                        min_size=n_shards - 1,
+                        max_size=n_shards - 1,
+                    )
+                )
+            )
+            bounds = [0] + cuts + [nnz_total]
+            shard_nnz = np.diff(bounds).astype(np.int64)
+        assignment = assign_lpt(shard_nnz, n_gpus)
+        bounds_idx = np.linspace(0, shape[m], shard_nnz.shape[0] + 1).astype(np.int64)
+        widths = bounds_idx[1:] - bounds_idx[:-1]
+        rows = np.bincount(assignment, weights=widths, minlength=n_gpus).astype(
+            np.int64
+        )
+        modes.append(
+            ModeWorkload(
+                mode=m,
+                extent=shape[m],
+                shard_nnz=shard_nnz,
+                assignment=assignment,
+                rows_per_gpu=rows,
+                factor_hit=draw(st.floats(0.0, 1.0)),
+            )
+        )
+    return TensorWorkload(
+        name="prop", shape=shape, nnz=nnz_total, modes=tuple(modes)
+    )
+
+
+class TestSimulationInvariants:
+    @given(synthetic_workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_physical_sanity(self, wl):
+        cfg = AmpedConfig(n_gpus=3)
+        cost = KernelCostModel()
+        res = simulate_amped(paper_platform(3), cost, wl, cfg)
+        assert res.ok
+        # time strictly positive and mode windows tile the run
+        assert res.total_time > 0
+        prev = 0.0
+        for mt in res.mode_times:
+            assert mt.start == prev
+            assert mt.start <= mt.compute_done <= mt.end
+            prev = mt.end
+        assert prev == res.total_time
+        # no engine can be busy longer than the makespan
+        tl = res.timeline
+        for cat in Category:
+            for g in range(3):
+                assert tl.device_busy(g, cat) <= res.total_time + 1e-9
+        # every span fits inside the run
+        assert all(0.0 <= s.start <= s.end <= res.total_time + 1e-9 for s in tl.spans)
+
+    @given(synthetic_workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_double_buffering_never_hurts(self, wl):
+        cfg_on = AmpedConfig(n_gpus=3, double_buffer=True)
+        cfg_off = AmpedConfig(n_gpus=3, double_buffer=False)
+        cost = KernelCostModel()
+        t_on = simulate_amped(paper_platform(3), cost, wl, cfg_on).total_time
+        t_off = simulate_amped(paper_platform(3), cost, wl, cfg_off).total_time
+        assert t_on <= t_off + 1e-9
+
+    @given(synthetic_workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_compute_busy_matches_per_gpu_report(self, wl):
+        cfg = AmpedConfig(n_gpus=3)
+        res = simulate_amped(paper_platform(3), KernelCostModel(), wl, cfg)
+        for g in range(3):
+            assert res.per_gpu_compute[g] == res.timeline.device_busy(
+                g, Category.COMPUTE
+            )
+
+
+class TestCostModelProperties:
+    @given(
+        st.integers(1, 10**9),
+        st.integers(1, 256),
+        st.integers(2, 6),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_time_positive_and_monotone_in_nnz(self, nnz, rank, nmodes, hit):
+        cost = KernelCostModel()
+        t1 = cost.mttkrp_time(RTX6000_ADA, nnz, rank, nmodes, factor_hit=hit)
+        t2 = cost.mttkrp_time(RTX6000_ADA, 2 * nnz, rank, nmodes, factor_hit=hit)
+        assert 0 < t1 <= t2
+
+    @given(st.integers(1, 10**8), st.integers(1, 128), st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_sorted_never_slower(self, nnz, rank, nmodes):
+        cost = KernelCostModel()
+        kw = dict(factor_hit=0.5)
+        assert cost.mttkrp_time(
+            RTX6000_ADA, nnz, rank, nmodes, sorted_output=True, **kw
+        ) <= cost.mttkrp_time(
+            RTX6000_ADA, nnz, rank, nmodes, sorted_output=False, **kw
+        )

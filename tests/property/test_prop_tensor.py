@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the tensor substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.formats.blco import BLCOTensor
+from repro.tensor.formats.csf import CSFTensor
+from repro.tensor.formats.hicoo import HiCOOTensor
+from repro.tensor.formats.linearize import LinearIndexCodec
+
+
+@st.composite
+def coo_tensors(draw, max_modes=4, max_extent=12, max_nnz=60):
+    """Random small COO tensors (possibly with duplicate coordinates)."""
+    nmodes = draw(st.integers(2, max_modes))
+    shape = tuple(draw(st.integers(1, max_extent)) for _ in range(nmodes))
+    nnz = draw(st.integers(0, max_nnz))
+    idx_cols = [
+        draw(
+            arrays(np.int64, (nnz,), elements=st.integers(0, s - 1))
+        )
+        for s in shape
+    ]
+    indices = (
+        np.column_stack(idx_cols) if nnz else np.empty((0, nmodes), dtype=np.int64)
+    )
+    values = draw(
+        arrays(
+            np.float64,
+            (nnz,),
+            elements=st.floats(-10, 10, allow_nan=False, width=64).filter(
+                lambda x: abs(x) > 1e-6
+            ),
+        )
+    )
+    return SparseTensorCOO(indices, values, shape)
+
+
+class TestCooProperties:
+    @given(coo_tensors())
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_preserves_dense_sum(self, t):
+        """Deduplication is a pure regrouping: the dense tensor is unchanged."""
+        assert np.allclose(t.deduplicated().to_dense(), t.to_dense())
+
+    @given(coo_tensors(), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_sort_by_mode_is_permutation(self, t, mode_raw):
+        mode = mode_raw % t.nmodes
+        s = t.sorted_by_mode(mode)
+        assert s.allclose(t)
+        keys = s.indices[:, mode]
+        assert (np.diff(keys) >= 0).all()
+
+    @given(coo_tensors())
+    @settings(max_examples=40, deadline=None)
+    def test_norm_matches_dense_after_canonicalization(self, t):
+        """norm() is the Frobenius norm of the canonical (deduplicated) form."""
+        canonical = t.deduplicated()
+        assert np.isclose(
+            canonical.norm(), np.linalg.norm(canonical.to_dense().ravel())
+        )
+
+
+class TestFormatRoundTrips:
+    @given(coo_tensors())
+    @settings(max_examples=40, deadline=None)
+    def test_csf_roundtrip(self, t):
+        assert CSFTensor.from_coo(t).to_coo().allclose(t)
+
+    @given(coo_tensors(), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_hicoo_roundtrip(self, t, block_bits):
+        assert HiCOOTensor.from_coo(t, block_bits=block_bits).to_coo().allclose(t)
+
+    @given(coo_tensors(), st.integers(4, 63))
+    @settings(max_examples=40, deadline=None)
+    def test_blco_roundtrip(self, t, word_bits):
+        b = BLCOTensor.from_coo(t, word_bits=word_bits)
+        assert b.to_coo().allclose(t)
+        assert b.nnz == t.nnz
+
+
+class TestLinearizeProperties:
+    @given(
+        st.lists(st.integers(1, 2**20), min_size=1, max_size=5),
+        st.integers(0, 200),
+        st.integers(1, 63),
+        st.integers(0, 2**32),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_encode_decode_identity(self, shape, nnz, word_bits, seed):
+        shape = tuple(shape)
+        rng = np.random.default_rng(seed)
+        idx = (
+            np.column_stack([rng.integers(0, s, nnz) for s in shape]).astype(np.int64)
+            if nnz
+            else np.empty((0, len(shape)), dtype=np.int64)
+        )
+        codec = LinearIndexCodec(shape)
+        block, offset, obits = codec.encode_blocked(idx, word_bits=word_bits)
+        assert np.array_equal(codec.decode_blocked(block, offset, obits), idx)
+        # offsets must fit in the declared bit budget
+        if nnz:
+            assert offset.max(initial=0) < (1 << obits)

@@ -1,0 +1,94 @@
+"""Tests for device specs and the memory tracker."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.simgpu.device import GPUSpec, HostSpec
+from repro.simgpu.memory import MemoryTracker
+from repro.simgpu.presets import EPYC_9654_DUAL, RTX6000_ADA
+
+
+class TestSpecs:
+    def test_paper_gpu_figures(self):
+        # §5.1: 142 SMs, 48 GB, RTX 6000 Ada
+        assert RTX6000_ADA.n_sms == 142
+        assert RTX6000_ADA.mem_capacity == 48 * 2**30
+        assert RTX6000_ADA.flops == pytest.approx(91.1e12)
+
+    def test_paper_host_figures(self):
+        # §5.1: 2 x 96 cores, 1.5 TB
+        assert EPYC_9654_DUAL.n_cores == 192
+        assert EPYC_9654_DUAL.mem_capacity == 1536 * 2**30
+
+    def test_invalid_gpu_spec(self):
+        with pytest.raises(ValueError):
+            GPUSpec("x", 0, 1.0, 1, 1.0)
+        with pytest.raises(ValueError):
+            GPUSpec("x", 1, 1.0, 1, 1.0, atomic_efficiency=0.0)
+
+    def test_invalid_host_spec(self):
+        with pytest.raises(ValueError):
+            HostSpec("x", 0, 1.0, 1, 1.0)
+
+
+class TestMemoryTracker:
+    def test_allocate_free_cycle(self):
+        mem = MemoryTracker(1000)
+        mem.allocate("a", 400)
+        assert mem.used == 400
+        assert mem.available == 600
+        assert mem.free("a") == 400
+        assert mem.used == 0
+
+    def test_oom_raises_with_details(self):
+        mem = MemoryTracker(1000, owner="gpu0")
+        mem.allocate("a", 800)
+        with pytest.raises(DeviceMemoryError) as exc:
+            mem.allocate("b", 300)
+        assert exc.value.requested == 300
+        assert exc.value.available == 200
+        assert "gpu0" in str(exc.value)
+
+    def test_oom_leaves_state_unchanged(self):
+        mem = MemoryTracker(1000)
+        mem.allocate("a", 800)
+        with pytest.raises(DeviceMemoryError):
+            mem.allocate("b", 300)
+        assert mem.used == 800
+        assert not mem.holds("b")
+
+    def test_duplicate_name_rejected(self):
+        mem = MemoryTracker(1000)
+        mem.allocate("a", 10)
+        with pytest.raises(DeviceMemoryError, match="already exists"):
+            mem.allocate("a", 10)
+
+    def test_free_unknown_rejected(self):
+        mem = MemoryTracker(1000)
+        with pytest.raises(DeviceMemoryError, match="unknown"):
+            mem.free("ghost")
+
+    def test_resize(self):
+        mem = MemoryTracker(1000)
+        mem.allocate("a", 100)
+        mem.resize("a", 500)
+        assert mem.used == 500
+
+    def test_resize_failure_restores_old(self):
+        mem = MemoryTracker(1000)
+        mem.allocate("a", 100)
+        with pytest.raises(DeviceMemoryError):
+            mem.resize("a", 2000)
+        assert mem.used == 100
+
+    def test_peak_tracking(self):
+        mem = MemoryTracker(1000)
+        mem.allocate("a", 700)
+        mem.free("a")
+        mem.allocate("b", 100)
+        assert mem.peak == 700
+
+    def test_exact_fit_allowed(self):
+        mem = MemoryTracker(100)
+        mem.allocate("a", 100)
+        assert mem.available == 0

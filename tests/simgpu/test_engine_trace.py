@@ -1,0 +1,82 @@
+"""Tests for the serial-resource engine and the timeline traces."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simgpu.engine import SerialResource
+from repro.simgpu.trace import Category, Span, Timeline
+
+
+class TestSerialResource:
+    def test_fifo_serialization(self):
+        r = SerialResource("x")
+        s1, e1 = r.acquire(0.0, 2.0)
+        s2, e2 = r.acquire(0.0, 3.0)
+        assert (s1, e1) == (0.0, 2.0)
+        assert (s2, e2) == (2.0, 5.0)  # queued behind op 1
+
+    def test_idle_gap_respected(self):
+        r = SerialResource("x")
+        r.acquire(0.0, 1.0)
+        s, e = r.acquire(5.0, 1.0)  # ready later than free
+        assert s == 5.0 and e == 6.0
+
+    def test_busy_accounting(self):
+        r = SerialResource("x")
+        r.acquire(0.0, 2.0)
+        r.acquire(10.0, 3.0)
+        assert r.busy_time == pytest.approx(5.0)
+        assert r.n_ops == 2
+
+    def test_reset(self):
+        r = SerialResource("x")
+        r.acquire(0.0, 2.0)
+        r.reset()
+        assert r.free_at == 0.0 and r.busy_time == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            SerialResource("x").acquire(0.0, -1.0)
+
+
+class TestTimeline:
+    def test_makespan(self):
+        tl = Timeline()
+        tl.add(0, Category.COMPUTE, 0.0, 2.0)
+        tl.add(1, Category.H2D, 1.0, 5.0)
+        assert tl.makespan == 5.0
+
+    def test_empty_makespan(self):
+        assert Timeline().makespan == 0.0
+
+    def test_busy_time_filters(self):
+        tl = Timeline()
+        tl.add(0, Category.COMPUTE, 0.0, 2.0)
+        tl.add(0, Category.H2D, 0.0, 1.0)
+        tl.add(1, Category.COMPUTE, 0.0, 4.0)
+        assert tl.busy_time(category=Category.COMPUTE) == pytest.approx(6.0)
+        assert tl.device_busy(0, Category.COMPUTE) == pytest.approx(2.0)
+
+    def test_breakdown_sums_to_one(self):
+        tl = Timeline()
+        tl.add(0, Category.COMPUTE, 0.0, 2.0)
+        tl.add(0, Category.H2D, 0.0, 1.0)
+        tl.add(0, Category.P2P, 2.0, 3.0)
+        bd = tl.breakdown()
+        assert sum(bd.values()) == pytest.approx(1.0)
+        assert bd["computation"] == pytest.approx(0.5)
+
+    def test_breakdown_groups_host_with_host_gpu(self):
+        tl = Timeline()
+        tl.add(-1, Category.HOST, 0.0, 1.0)
+        tl.add(0, Category.D2H, 0.0, 1.0)
+        bd = tl.breakdown()
+        assert bd["host_gpu_comm"] == pytest.approx(1.0)
+
+    def test_empty_breakdown_zeroes(self):
+        bd = Timeline().breakdown()
+        assert all(v == 0.0 for v in bd.values())
+
+    def test_invalid_span(self):
+        with pytest.raises(SimulationError):
+            Span(0, Category.COMPUTE, 2.0, 1.0)

@@ -1,0 +1,66 @@
+"""Tests for links and the ring topology."""
+
+import pytest
+
+from repro.simgpu.interconnect import Link, RingTopology, transfer_time
+
+
+class TestLink:
+    def test_transfer_time_formula(self):
+        link = Link("x", bandwidth=1e9, latency=1e-6)
+        assert link.time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_zero_bytes_pays_latency(self):
+        link = Link("x", bandwidth=1e9, latency=5e-6)
+        assert link.time(0) == pytest.approx(5e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Link("x", 1e9).time(-1)
+
+    def test_invalid_link(self):
+        with pytest.raises(ValueError):
+            Link("x", 0)
+        with pytest.raises(ValueError):
+            Link("x", 1e9, latency=-1)
+
+    def test_transfer_time_helper(self):
+        assert transfer_time(2e9, 1e9) == pytest.approx(2.0)
+
+
+class TestRing:
+    def test_neighbors(self):
+        ring = RingTopology(4)
+        assert ring.next_of(3) == 0
+        assert ring.prev_of(0) == 3
+
+    def test_send_receive_consistency(self):
+        """What rank g-1 sends at step z is what rank g receives (Alg 3)."""
+        ring = RingTopology(5)
+        for step in range(4):
+            for g in range(5):
+                sender = ring.prev_of(g)
+                assert ring.send_chunk(sender, step) == ring.recv_chunk(g, step)
+
+    def test_all_chunks_received_once(self):
+        """After n-1 steps every rank received every other chunk exactly once."""
+        n = 6
+        ring = RingTopology(n)
+        for g in range(n):
+            received = [ring.recv_chunk(g, z) for z in range(n - 1)]
+            assert sorted(received + [g]) == list(range(n))
+
+    def test_forwarding_validity(self):
+        """A rank only sends chunks it already holds."""
+        n = 4
+        ring = RingTopology(n)
+        holdings = {g: {g} for g in range(n)}
+        for step in range(n - 1):
+            for g in range(n):
+                assert ring.send_chunk(g, step) in holdings[g]
+            for g in range(n):
+                holdings[g].add(ring.recv_chunk(g, step))
+
+    def test_invalid_ring(self):
+        with pytest.raises(ValueError):
+            RingTopology(0)

@@ -1,0 +1,133 @@
+"""Tests for the kernel cost model."""
+
+import pytest
+
+from repro.simgpu.kernel import KernelCostModel
+from repro.simgpu.presets import EPYC_9654_DUAL, RTX6000_ADA
+
+
+@pytest.fixture
+def cost():
+    return KernelCostModel()
+
+
+class TestElementSizes:
+    def test_coo_element_bytes(self, cost):
+        assert cost.coo_element_bytes(3) == 16  # 3 x uint32 + f32
+        assert cost.coo_element_bytes(5) == 24
+
+    def test_factor_bytes(self, cost):
+        assert cost.factor_bytes(1000, 32) == 1000 * 32 * 4
+
+
+class TestHitEstimation:
+    def test_uniform_hit_small_working_set(self, cost):
+        assert cost.uniform_factor_hit(cost.effective_cache_bytes // 2) == 1.0
+
+    def test_uniform_hit_large_working_set(self, cost):
+        hit = cost.uniform_factor_hit(cost.effective_cache_bytes * 10)
+        assert hit == pytest.approx(0.1)
+
+    def test_floor_applies(self, cost):
+        hit = cost.uniform_factor_hit(cost.effective_cache_bytes * 1000)
+        assert hit == cost.uniform_factor_hit_floor
+
+
+class TestMttkrpTime:
+    def test_zero_nnz_is_launch_only(self, cost):
+        assert cost.mttkrp_time(RTX6000_ADA, 0, 32, 3) == cost.launch_overhead
+
+    def test_monotone_in_nnz(self, cost):
+        t1 = cost.mttkrp_time(RTX6000_ADA, 10**6, 32, 3)
+        t2 = cost.mttkrp_time(RTX6000_ADA, 10**7, 32, 3)
+        assert t2 > t1
+
+    def test_sorted_faster_than_unsorted(self, cost):
+        kw = dict(factor_hit=0.5)
+        sorted_t = cost.mttkrp_time(RTX6000_ADA, 10**7, 32, 3, sorted_output=True, **kw)
+        unsorted_t = cost.mttkrp_time(RTX6000_ADA, 10**7, 32, 3, sorted_output=False, **kw)
+        assert sorted_t < unsorted_t
+
+    def test_higher_hit_is_faster(self, cost):
+        slow = cost.mttkrp_time(RTX6000_ADA, 10**7, 32, 3, factor_hit=0.1)
+        fast = cost.mttkrp_time(RTX6000_ADA, 10**7, 32, 3, factor_hit=0.9)
+        assert fast < slow
+
+    def test_reuse_discount_is_faster(self, cost):
+        base = cost.mttkrp_time(RTX6000_ADA, 10**7, 32, 3, factor_hit=0.2)
+        reused = cost.mttkrp_time(
+            RTX6000_ADA, 10**7, 32, 3, factor_hit=0.2, factor_read_discount=0.5
+        )
+        assert reused < base
+
+    def test_contention_slows_unsorted(self, cost):
+        base = cost.mttkrp_time(
+            RTX6000_ADA, 10**7, 32, 3, factor_hit=0.5, sorted_output=False
+        )
+        contended = cost.mttkrp_time(
+            RTX6000_ADA,
+            10**7,
+            32,
+            3,
+            factor_hit=0.5,
+            sorted_output=False,
+            atomic_contention=True,
+            avg_nnz_per_row=1e6,
+        )
+        assert contended > base * 2
+
+    def test_contention_ignored_when_sorted(self, cost):
+        a = cost.mttkrp_time(RTX6000_ADA, 10**7, 32, 3, factor_hit=0.5)
+        b = cost.mttkrp_time(
+            RTX6000_ADA,
+            10**7,
+            32,
+            3,
+            factor_hit=0.5,
+            atomic_contention=True,
+            avg_nnz_per_row=1e6,
+        )
+        assert a == b
+
+    def test_efficiency_scales_time(self, cost):
+        full = cost.mttkrp_time(RTX6000_ADA, 10**8, 32, 3, factor_hit=0.5)
+        half = cost.mttkrp_time(
+            RTX6000_ADA, 10**8, 32, 3, factor_hit=0.5, bandwidth_efficiency=0.5
+        )
+        assert half == pytest.approx(2 * full - cost.launch_overhead, rel=1e-6)
+
+    def test_bad_efficiency(self, cost):
+        with pytest.raises(ValueError):
+            cost.mttkrp_time(RTX6000_ADA, 10, 32, 3, bandwidth_efficiency=0.0)
+
+    def test_hit_derived_from_working_set_when_none(self, cost):
+        small = cost.mttkrp_time(
+            RTX6000_ADA, 10**7, 32, 3, input_factor_bytes=1 * 2**20
+        )
+        large = cost.mttkrp_time(
+            RTX6000_ADA, 10**7, 32, 3, input_factor_bytes=10 * 2**30
+        )
+        assert small < large
+
+
+class TestAuxKernels:
+    def test_remap_time_scales(self, cost):
+        t1 = cost.remap_time(RTX6000_ADA, 10**6, 16)
+        t2 = cost.remap_time(RTX6000_ADA, 10**7, 16)
+        assert t2 > t1
+        assert cost.remap_time(RTX6000_ADA, 0, 16) == 0.0
+
+    def test_host_merge_scales_with_parts(self, cost):
+        t2 = cost.host_merge_time(EPYC_9654_DUAL, 10**6, 32, 2)
+        t4 = cost.host_merge_time(EPYC_9654_DUAL, 10**6, 32, 4)
+        assert t4 > t2
+
+    def test_host_sort_passes(self, cost):
+        t = cost.host_sort_time(EPYC_9654_DUAL, 10**6, 16)
+        scan = cost.host_scan_time(EPYC_9654_DUAL, 10**6, 16)
+        assert t == pytest.approx(cost.host_sort_passes * scan)
+
+    def test_with_overrides(self, cost):
+        c2 = cost.with_overrides(launch_overhead=1e-3)
+        assert c2.launch_overhead == 1e-3
+        assert cost.launch_overhead != 1e-3  # original untouched

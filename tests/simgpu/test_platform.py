@@ -1,0 +1,81 @@
+"""Tests for the multi-GPU platform facade."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simgpu.platform import MultiGPUPlatform
+from repro.simgpu.presets import paper_platform
+from repro.simgpu.trace import Category
+
+
+@pytest.fixture
+def plat():
+    return paper_platform(4)
+
+
+class TestPlatform:
+    def test_paper_platform_shape(self, plat):
+        assert plat.n_gpus == 4
+        assert len(plat.gpus) == 4
+        assert plat.host_link.bandwidth == 64e9  # §5.1: 64 GB/s PCIe
+
+    def test_h2d_uses_per_gpu_links_concurrently(self, plat):
+        """Four GPUs streaming simultaneously finish at single-GPU time."""
+        ends = [plat.h2d(g, 64e9, 0.0) for g in range(4)]
+        assert max(ends) == pytest.approx(1.0, rel=1e-3)
+
+    def test_same_gpu_transfers_serialize(self, plat):
+        e1 = plat.h2d(0, 64e9, 0.0)
+        e2 = plat.h2d(0, 64e9, 0.0)
+        assert e2 == pytest.approx(2 * e1, rel=1e-3)
+
+    def test_compute_and_dma_overlap(self, plat):
+        """Compute on one engine does not block the DMA engine."""
+        c = plat.compute(0, 1.0, 0.0)
+        d = plat.h2d(0, 64e9, 0.0)
+        assert c == pytest.approx(1.0)
+        assert d == pytest.approx(1.0, rel=1e-3)  # ran concurrently
+
+    def test_p2p_records_sender_span(self, plat):
+        plat.p2p(1, 2, 6e9, 0.0)
+        spans = [s for s in plat.timeline.spans if s.category == Category.P2P]
+        assert len(spans) == 1
+        assert spans[0].device == 1
+
+    def test_p2p_same_device_rejected(self, plat):
+        with pytest.raises(SimulationError):
+            plat.p2p(1, 1, 100, 0.0)
+
+    def test_host_compute(self, plat):
+        end = plat.host_compute(2.0, 1.0)
+        assert end == 3.0
+        assert plat.timeline.busy_time(category=Category.HOST) == 2.0
+
+    def test_barrier(self, plat):
+        assert plat.barrier([1.0, 3.0, 2.0]) == 3.0
+        with pytest.raises(SimulationError):
+            plat.barrier([])
+
+    def test_reset_clears_time_not_memory(self, plat):
+        plat.compute(0, 1.0, 0.0)
+        plat.gpu(0).memory.allocate("x", 100)
+        plat.reset()
+        assert plat.timeline.makespan == 0.0
+        assert plat.gpu(0).compute.free_at == 0.0
+        assert plat.gpu(0).memory.holds("x")
+
+    def test_gpu_out_of_range(self, plat):
+        with pytest.raises(SimulationError):
+            plat.gpu(7)
+
+    def test_zero_gpus_rejected(self):
+        from repro.simgpu.presets import EPYC_9654_DUAL, PCIE_GEN4_X16, P2P_PCIE, RTX6000_ADA
+
+        with pytest.raises(SimulationError):
+            MultiGPUPlatform(
+                gpu_spec=RTX6000_ADA,
+                n_gpus=0,
+                host=EPYC_9654_DUAL,
+                host_link=PCIE_GEN4_X16,
+                p2p_link=P2P_PCIE,
+            )

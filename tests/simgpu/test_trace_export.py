@@ -1,0 +1,63 @@
+"""Tests for the Chrome trace exporter."""
+
+import json
+
+from repro.simgpu.trace import Category, Timeline
+from repro.simgpu.trace_export import timeline_to_trace_events, write_chrome_trace
+
+
+def sample_timeline() -> Timeline:
+    tl = Timeline()
+    tl.add(0, Category.H2D, 0.0, 0.5, "shard0")
+    tl.add(0, Category.COMPUTE, 0.5, 1.5, "grid0")
+    tl.add(1, Category.P2P, 1.5, 1.8, "allgather")
+    tl.add(-1, Category.HOST, 0.0, 0.2, "merge")
+    return tl
+
+
+class TestTraceEvents:
+    def test_one_complete_event_per_span(self):
+        tl = sample_timeline()
+        events = timeline_to_trace_events(tl)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(tl.spans)
+
+    def test_timestamps_scaled_to_microseconds(self):
+        events = timeline_to_trace_events(sample_timeline())
+        grid = next(e for e in events if e.get("name") == "grid0")
+        assert grid["ts"] == 0.5e6
+        assert grid["dur"] == 1.0e6
+
+    def test_thread_metadata_emitted_once_per_row(self):
+        tl = sample_timeline()
+        tl.add(0, Category.COMPUTE, 2.0, 3.0, "grid1")  # same row as grid0
+        events = timeline_to_trace_events(tl)
+        metas = [e for e in events if e["ph"] == "M"]
+        names = [m["args"]["name"] for m in metas]
+        assert len(names) == len(set(names))
+        assert "gpu0.compute" in names
+        assert "host.host_compute" in names
+
+    def test_host_uses_sentinel_pid(self):
+        events = timeline_to_trace_events(sample_timeline())
+        merge = next(e for e in events if e.get("name") == "merge")
+        assert merge["pid"] == 9999
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(sample_timeline(), tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_simulation_timeline_exports(self, tmp_path):
+        """End-to-end: a real AMPED simulation timeline round-trips."""
+        from repro.bench.harness import model_workloads, run_amped_model
+        from repro.core.config import AmpedConfig
+
+        cfg = AmpedConfig(shards_per_gpu=4)
+        wl = model_workloads(cfg)["amazon"]
+        res = run_amped_model(wl, cfg)
+        path = write_chrome_trace(res.timeline, tmp_path / "amazon.json")
+        payload = json.loads(path.read_text())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(res.timeline.spans)

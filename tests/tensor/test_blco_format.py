@@ -1,0 +1,78 @@
+"""Tests for the BLCO blocked-linearized format."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.formats.blco import BLCOTensor
+from repro.tensor.reference import mttkrp_coo_reference
+
+
+class TestConstruction:
+    def test_roundtrip(self, small_tensor):
+        b = BLCOTensor.from_coo(small_tensor)
+        assert b.to_coo().allclose(small_tensor)
+
+    def test_small_tensor_single_block(self, small_tensor):
+        # 15*12*10 needs ~11 bits -> one block at the default word size
+        b = BLCOTensor.from_coo(small_tensor)
+        assert b.n_blocks == 1
+
+    def test_forced_blocking(self, small_tensor):
+        b = BLCOTensor.from_coo(small_tensor, word_bits=6)
+        assert b.n_blocks > 1
+        assert b.to_coo().allclose(small_tensor)
+        assert b.nnz == small_tensor.nnz
+
+    def test_block_ids_distinct(self, small_tensor):
+        b = BLCOTensor.from_coo(small_tensor, word_bits=6)
+        ids = [blk.block_id for blk in b.blocks]
+        assert len(set(ids)) == len(ids)
+
+    def test_device_bytes_scale_with_nnz(self, small_tensor):
+        b = BLCOTensor.from_coo(small_tensor)
+        per_block = b.device_bytes_per_block()
+        assert sum(per_block) == b.device_bytes()
+        assert b.device_bytes() >= small_tensor.nnz * 8
+
+    def test_empty(self):
+        from repro.tensor.coo import SparseTensorCOO
+
+        t = SparseTensorCOO(np.empty((0, 3), dtype=np.int64), np.empty(0), (4, 4, 4))
+        b = BLCOTensor.from_coo(t)
+        assert b.n_blocks == 0
+        assert b.to_coo().nnz == 0
+
+
+class TestMTTKRP:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference(self, small_tensor, make_factors, mode):
+        b = BLCOTensor.from_coo(small_tensor)
+        factors = make_factors(small_tensor.shape)
+        got = b.mttkrp(factors, mode)
+        assert np.allclose(got, mttkrp_coo_reference(small_tensor, factors, mode))
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_blocked_matches_reference(self, skewed_tensor, make_factors, mode):
+        """Multi-block streaming accumulates across blocks correctly."""
+        b = BLCOTensor.from_coo(skewed_tensor, word_bits=8)
+        assert b.n_blocks > 1
+        factors = make_factors(skewed_tensor.shape)
+        got = b.mttkrp(factors, mode)
+        assert np.allclose(got, mttkrp_coo_reference(skewed_tensor, factors, mode))
+
+    def test_block_by_block_streaming(self, skewed_tensor, make_factors):
+        """mttkrp_block over an external accumulator equals full mttkrp."""
+        b = BLCOTensor.from_coo(skewed_tensor, word_bits=8)
+        factors = make_factors(skewed_tensor.shape)
+        out = np.zeros((skewed_tensor.shape[1], 6))
+        for blk in b.iter_blocks():
+            b.mttkrp_block(blk, factors, 1, out)
+        assert np.allclose(out, b.mttkrp(factors, 1))
+
+    def test_five_mode(self, five_mode_tensor, make_factors):
+        b = BLCOTensor.from_coo(five_mode_tensor)
+        factors = make_factors(five_mode_tensor.shape, rank=3)
+        got = b.mttkrp(factors, 4)
+        assert np.allclose(
+            got, mttkrp_coo_reference(five_mode_tensor, factors, 4)
+        )

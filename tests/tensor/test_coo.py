@@ -1,0 +1,147 @@
+"""Unit tests for SparseTensorCOO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.coo import SparseTensorCOO
+
+
+class TestConstruction:
+    def test_basic_properties(self, tiny_tensor):
+        assert tiny_tensor.nnz == 6
+        assert tiny_tensor.nmodes == 3
+        assert tiny_tensor.shape == (4, 3, 4)
+        assert tiny_tensor.nbytes == 6 * 3 * 8 + 6 * 8
+
+    def test_density(self, tiny_tensor):
+        assert tiny_tensor.density == pytest.approx(6 / (4 * 3 * 4))
+
+    def test_empty_tensor(self):
+        t = SparseTensorCOO(
+            np.empty((0, 2), dtype=np.int64), np.empty(0), (5, 5)
+        )
+        assert t.nnz == 0
+        assert t.norm() == 0.0
+
+    def test_rejects_index_out_of_range(self):
+        with pytest.raises(TensorFormatError, match="out of range"):
+            SparseTensorCOO(np.array([[5, 0]]), np.array([1.0]), (5, 5))
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(TensorFormatError, match="negative"):
+            SparseTensorCOO(np.array([[-1, 0]]), np.array([1.0]), (5, 5))
+
+    def test_rejects_shape_mode_mismatch(self):
+        with pytest.raises(TensorFormatError, match="modes"):
+            SparseTensorCOO(np.array([[0, 0]]), np.array([1.0]), (5, 5, 5))
+
+    def test_rejects_misaligned_values(self):
+        with pytest.raises(TensorFormatError, match="values"):
+            SparseTensorCOO(np.array([[0, 0]]), np.array([1.0, 2.0]), (5, 5))
+
+    def test_rejects_zero_extent(self):
+        with pytest.raises(TensorFormatError, match="positive"):
+            SparseTensorCOO(np.empty((0, 1), dtype=np.int64), np.empty(0), (0,))
+
+    def test_integer_values_cast_to_float(self):
+        t = SparseTensorCOO(np.array([[0, 0]]), np.array([3]), (2, 2))
+        assert np.issubdtype(t.values.dtype, np.floating)
+
+    def test_norm(self, tiny_tensor):
+        expected = np.sqrt(np.sum(tiny_tensor.values**2))
+        assert tiny_tensor.norm() == pytest.approx(expected)
+
+
+class TestTransformations:
+    def test_sorted_by_mode_orders_keys(self, small_tensor):
+        for mode in range(3):
+            s = small_tensor.sorted_by_mode(mode)
+            keys = s.indices[:, mode]
+            assert (keys[1:] >= keys[:-1]).all()
+            assert s.nnz == small_tensor.nnz
+
+    def test_sorted_by_mode_preserves_content(self, small_tensor):
+        s = small_tensor.sorted_by_mode(1)
+        assert s.allclose(small_tensor)
+
+    def test_sorted_lexicographic(self, small_tensor):
+        s = small_tensor.sorted_lexicographic([2, 0, 1])
+        keys = s.indices[:, [2, 0, 1]]
+        # verify non-decreasing lexicographic order
+        for i in range(1, keys.shape[0]):
+            assert tuple(keys[i - 1]) <= tuple(keys[i])
+
+    def test_lexicographic_rejects_bad_order(self, small_tensor):
+        with pytest.raises(TensorFormatError):
+            small_tensor.sorted_lexicographic([0, 0, 1])
+
+    def test_permuted_modes_roundtrip(self, small_tensor):
+        p = small_tensor.permuted_modes([2, 0, 1])
+        back = p.permuted_modes([1, 2, 0])
+        assert back.allclose(small_tensor)
+        assert p.shape == (10, 15, 12)
+
+    def test_select_mask(self, small_tensor):
+        mask = small_tensor.values > np.median(small_tensor.values)
+        sub = small_tensor.select(mask)
+        assert sub.nnz == int(mask.sum())
+
+    def test_deduplicated_sums_values(self):
+        idx = np.array([[1, 1], [1, 1], [0, 0]])
+        t = SparseTensorCOO(idx, np.array([1.0, 2.0, 5.0]), (3, 3))
+        d = t.deduplicated()
+        assert d.nnz == 2
+        dense = d.to_dense()
+        assert dense[1, 1] == pytest.approx(3.0)
+        assert dense[0, 0] == pytest.approx(5.0)
+
+    def test_deduplicated_idempotent(self, small_tensor):
+        d1 = small_tensor.deduplicated()
+        d2 = d1.deduplicated()
+        assert d1.nnz == d2.nnz
+
+    def test_concatenated(self, tiny_tensor):
+        c = tiny_tensor.concatenated(tiny_tensor)
+        assert c.nnz == 2 * tiny_tensor.nnz
+        # summing duplicates should double every value
+        assert np.allclose(c.to_dense(), 2 * tiny_tensor.to_dense())
+
+    def test_concatenated_shape_mismatch(self, tiny_tensor, small_tensor):
+        with pytest.raises(TensorFormatError):
+            tiny_tensor.concatenated(small_tensor)
+
+    def test_astype(self, tiny_tensor):
+        t32 = tiny_tensor.astype(np.float32)
+        assert t32.values.dtype == np.float32
+
+
+class TestDenseInterop:
+    def test_dense_roundtrip(self, tiny_tensor):
+        back = SparseTensorCOO.from_dense(tiny_tensor.to_dense())
+        assert back.allclose(tiny_tensor)
+
+    def test_from_dense_drops_zeros(self):
+        arr = np.zeros((3, 3))
+        arr[1, 2] = 4.0
+        t = SparseTensorCOO.from_dense(arr)
+        assert t.nnz == 1
+
+    def test_to_dense_refuses_huge(self):
+        t = SparseTensorCOO(
+            np.array([[0, 0, 0]]), np.array([1.0]), (10_000, 10_000, 10_000)
+        )
+        with pytest.raises(TensorFormatError, match="refusing"):
+            t.to_dense()
+
+    def test_allclose_detects_value_difference(self, tiny_tensor):
+        other = SparseTensorCOO(
+            tiny_tensor.indices, tiny_tensor.values * 1.5, tiny_tensor.shape
+        )
+        assert not tiny_tensor.allclose(other)
+
+    def test_allclose_order_invariant(self, small_tensor):
+        shuffled = small_tensor.select(
+            np.random.default_rng(0).permutation(small_tensor.nnz)
+        )
+        assert shuffled.allclose(small_tensor)

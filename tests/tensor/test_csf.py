@@ -1,0 +1,123 @@
+"""Tests for the CSF format and its tree-native MTTKRP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.formats.csf import CSFTensor
+from repro.tensor.reference import mttkrp_coo_reference
+
+
+class TestConstruction:
+    def test_roundtrip_default_order(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        assert csf.to_coo().allclose(small_tensor)
+
+    @pytest.mark.parametrize("order", [(0, 1, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0)])
+    def test_roundtrip_all_orders(self, small_tensor, order):
+        csf = CSFTensor.from_coo(small_tensor, order)
+        assert csf.to_coo().allclose(small_tensor)
+
+    def test_roundtrip_four_modes(self, four_mode_tensor):
+        csf = CSFTensor.from_coo(four_mode_tensor, (3, 1, 0, 2))
+        assert csf.to_coo().allclose(four_mode_tensor)
+
+    def test_level_sizes_monotone(self, small_tensor):
+        """Node counts grow (weakly) from root toward the leaves."""
+        csf = CSFTensor.from_coo(small_tensor)
+        counts = [csf.nodes_at_level(L) for L in range(csf.nmodes)]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == small_tensor.nnz
+
+    def test_root_level_has_distinct_indices(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor, (1, 0, 2))
+        roots = csf.fids[0]
+        assert len(np.unique(roots)) == len(roots)
+
+    def test_fptr_covers_children(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        for L in range(csf.nmodes - 1):
+            ptr = csf.fptr[L]
+            assert ptr[0] == 0
+            assert ptr[-1] == csf.nodes_at_level(L + 1)
+            assert (np.diff(ptr) >= 1).all()  # CSF from sorted data: no empties
+
+    def test_bad_mode_order(self, small_tensor):
+        with pytest.raises(TensorFormatError):
+            CSFTensor.from_coo(small_tensor, (0, 0, 1))
+
+    def test_empty_tensor(self):
+        from repro.tensor.coo import SparseTensorCOO
+
+        t = SparseTensorCOO(np.empty((0, 3), dtype=np.int64), np.empty(0), (3, 3, 3))
+        csf = CSFTensor.from_coo(t)
+        assert csf.nnz == 0
+        assert csf.to_coo().nnz == 0
+
+    def test_duplicate_coordinates_canonicalized(self):
+        """Duplicates sum into one leaf (CSF stores the canonical tensor)."""
+        from repro.tensor.coo import SparseTensorCOO
+
+        idx = np.array([[1, 2, 3], [1, 2, 3], [0, 0, 0]])
+        t = SparseTensorCOO(idx, np.array([1.0, 2.5, 4.0]), (4, 4, 4))
+        csf = CSFTensor.from_coo(t)
+        assert csf.nnz == 2
+        assert csf.to_coo().allclose(t)  # allclose canonicalizes both sides
+
+    def test_device_bytes_positive_and_ordered(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        assert csf.device_bytes() > 0
+        # COO at the same widths is at least as large as CSF's compressed tree
+        coo_bytes = small_tensor.nnz * (3 * 4 + 4)
+        assert csf.device_bytes() <= coo_bytes * 2  # sanity band
+
+
+class TestTreeMTTKRP:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference_root_order(self, small_tensor, make_factors, mode):
+        """CSF rooted at the output mode (MM-CSF's configuration)."""
+        factors = make_factors(small_tensor.shape)
+        order = [mode] + [m for m in range(3) if m != mode]
+        csf = CSFTensor.from_coo(small_tensor, order)
+        got = csf.mttkrp(factors, mode)
+        assert np.allclose(got, mttkrp_coo_reference(small_tensor, factors, mode))
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("order", [(0, 1, 2), (1, 2, 0), (2, 1, 0)])
+    def test_matches_reference_any_position(
+        self, small_tensor, make_factors, mode, order
+    ):
+        """Output mode at root, middle, or leaf of the tree all work."""
+        factors = make_factors(small_tensor.shape)
+        csf = CSFTensor.from_coo(small_tensor, order)
+        got = csf.mttkrp(factors, mode)
+        assert np.allclose(got, mttkrp_coo_reference(small_tensor, factors, mode))
+
+    def test_four_mode_all_positions(self, four_mode_tensor, make_factors):
+        factors = make_factors(four_mode_tensor.shape, rank=4)
+        csf = CSFTensor.from_coo(four_mode_tensor, (2, 0, 3, 1))
+        for mode in range(4):
+            got = csf.mttkrp(factors, mode)
+            ref = mttkrp_coo_reference(four_mode_tensor, factors, mode)
+            assert np.allclose(got, ref)
+
+    def test_skewed_tensor(self, skewed_tensor, make_factors):
+        factors = make_factors(skewed_tensor.shape)
+        csf = CSFTensor.from_coo(skewed_tensor)
+        for mode in range(3):
+            got = csf.mttkrp(factors, mode)
+            ref = mttkrp_coo_reference(skewed_tensor, factors, mode)
+            assert np.allclose(got, ref)
+
+    def test_empty_tensor_zeros(self, make_factors):
+        from repro.tensor.coo import SparseTensorCOO
+
+        t = SparseTensorCOO(np.empty((0, 3), dtype=np.int64), np.empty(0), (4, 4, 4))
+        csf = CSFTensor.from_coo(t)
+        out = csf.mttkrp(make_factors(t.shape), 1)
+        assert np.all(out == 0)
+
+    def test_wrong_factor_count(self, small_tensor, make_factors):
+        csf = CSFTensor.from_coo(small_tensor)
+        with pytest.raises(TensorFormatError):
+            csf.mttkrp(make_factors(small_tensor.shape)[:2], 0)

@@ -1,0 +1,71 @@
+"""Tests for the FLYCOO shard-ordered format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.formats.flycoo import FlyCOOTensor
+from repro.tensor.reference import mttkrp_coo_reference
+
+
+class TestConstruction:
+    def test_roundtrip(self, small_tensor):
+        f = FlyCOOTensor.from_coo(small_tensor, 0)
+        assert f.to_coo().allclose(small_tensor)
+
+    def test_shard_ids_sorted(self, skewed_tensor):
+        f = FlyCOOTensor.from_coo(skewed_tensor, 1, n_shards=7)
+        ids = f.shard_ids.astype(np.int64)
+        assert (ids[1:] >= ids[:-1]).all()
+        assert ids.max() < 7
+
+    def test_shard_slices_cover_all(self, skewed_tensor):
+        f = FlyCOOTensor.from_coo(skewed_tensor, 0, n_shards=5)
+        total = sum(sl.stop - sl.start for sl in f.shard_slices())
+        assert total == f.nnz
+
+    def test_shard_of_index_range_mapping(self):
+        shards = FlyCOOTensor.shard_of_index(
+            np.array([0, 9, 10, 19, 99]), extent=100, n_shards=10
+        )
+        assert shards.tolist() == [0, 0, 1, 1, 9]
+
+    def test_remapped_changes_active_mode(self, small_tensor):
+        f = FlyCOOTensor.from_coo(small_tensor, 0)
+        g = f.remapped(2)
+        assert g.active_mode == 2
+        keys = g.tensor.indices[:, 2]
+        assert (keys[1:] >= keys[:-1]).all()
+
+    def test_device_bytes_counts_two_copies(self, small_tensor):
+        f = FlyCOOTensor.from_coo(small_tensor, 0)
+        single = f.device_bytes(copies=1)
+        assert f.device_bytes() == 2 * single
+
+    def test_bad_mode(self, small_tensor):
+        with pytest.raises(TensorFormatError):
+            FlyCOOTensor.from_coo(small_tensor, 5)
+
+
+class TestMTTKRP:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference(self, small_tensor, make_factors, mode):
+        f = FlyCOOTensor.from_coo(small_tensor, mode)
+        factors = make_factors(small_tensor.shape)
+        got = f.mttkrp(factors, mode)
+        assert np.allclose(got, mttkrp_coo_reference(small_tensor, factors, mode))
+
+    def test_wrong_mode_requires_remap(self, small_tensor, make_factors):
+        f = FlyCOOTensor.from_coo(small_tensor, 0)
+        with pytest.raises(TensorFormatError, match="remap"):
+            f.mttkrp(make_factors(small_tensor.shape), 1)
+
+    def test_remap_chain_all_modes(self, skewed_tensor, make_factors):
+        factors = make_factors(skewed_tensor.shape)
+        current = FlyCOOTensor.from_coo(skewed_tensor, 0)
+        for mode in range(3):
+            if current.active_mode != mode:
+                current = current.remapped(mode)
+            got = current.mttkrp(factors, mode)
+            ref = mttkrp_coo_reference(skewed_tensor, factors, mode)
+            assert np.allclose(got, ref)

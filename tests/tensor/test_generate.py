@@ -1,0 +1,95 @@
+"""Tests for synthetic tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.generate import lowrank_coo, random_coo, zipf_coo
+from repro.tensor.stats import gini_coefficient, mode_histogram
+
+
+class TestRandomCoo:
+    def test_shape_and_bounds(self):
+        t = random_coo((10, 20, 5), 300, seed=0)
+        assert t.shape == (10, 20, 5)
+        assert t.nnz <= 300
+        assert (t.indices >= 0).all()
+        assert (t.indices.max(axis=0) < np.array(t.shape)).all()
+
+    def test_deterministic_with_seed(self):
+        a = random_coo((10, 10), 100, seed=42)
+        b = random_coo((10, 10), 100, seed=42)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = random_coo((50, 50), 200, seed=1)
+        b = random_coo((50, 50), 200, seed=2)
+        assert not a.allclose(b)
+
+    def test_no_dedupe_keeps_exact_count(self):
+        t = random_coo((5, 5), 100, seed=0, dedupe=False)
+        assert t.nnz == 100
+
+    def test_zero_nnz(self):
+        t = random_coo((5, 5), 0, seed=0)
+        assert t.nnz == 0
+
+    def test_negative_nnz_raises(self):
+        with pytest.raises(TensorFormatError):
+            random_coo((5, 5), -1)
+
+    def test_values_nonzero(self):
+        t = random_coo((10, 10), 200, seed=0)
+        assert (t.values != 0).all()
+
+    def test_value_distributions(self):
+        ones = random_coo((10, 10), 50, seed=0, value_dist="ones", dedupe=False)
+        assert np.allclose(ones.values, 1.0)
+        normal = random_coo((10, 10), 50, seed=0, value_dist="normal", dedupe=False)
+        assert normal.values.std() > 0
+
+    def test_unknown_value_dist(self):
+        with pytest.raises(TensorFormatError):
+            random_coo((5, 5), 10, value_dist="bogus")
+
+
+class TestZipfCoo:
+    def test_skew_increases_gini(self):
+        flat = zipf_coo((200, 200), 5000, exponents=0.0, seed=0)
+        skewed = zipf_coo((200, 200), 5000, exponents=1.5, seed=0)
+        g_flat = gini_coefficient(mode_histogram(flat, 0))
+        g_skewed = gini_coefficient(mode_histogram(skewed, 0))
+        assert g_skewed > g_flat + 0.2
+
+    def test_per_mode_exponents(self):
+        t = zipf_coo((300, 300), 8000, exponents=(0.0, 1.5), seed=0)
+        g0 = gini_coefficient(mode_histogram(t, 0))
+        g1 = gini_coefficient(mode_histogram(t, 1))
+        assert g1 > g0
+
+    def test_exponent_count_mismatch(self):
+        with pytest.raises(TensorFormatError):
+            zipf_coo((5, 5), 10, exponents=(1.0,))
+
+    def test_deterministic(self):
+        a = zipf_coo((50, 40), 500, exponents=1.0, seed=9)
+        b = zipf_coo((50, 40), 500, exponents=1.0, seed=9)
+        assert a.allclose(b)
+
+
+class TestLowrankCoo:
+    def test_values_follow_model(self):
+        t = lowrank_coo((10, 10, 10), 200, rank=3, noise=0.0, seed=0)
+        # noiseless low-rank values are positive (non-negative factors)
+        assert (t.values > 0).all()
+
+    def test_rank_must_be_positive(self):
+        with pytest.raises(TensorFormatError):
+            lowrank_coo((5, 5), 10, rank=0)
+
+    def test_noise_changes_values(self):
+        a = lowrank_coo((10, 10), 100, rank=2, noise=0.0, seed=1)
+        b = lowrank_coo((10, 10), 100, rank=2, noise=0.5, seed=1)
+        # same coordinates sampled, different values
+        assert a.nnz == b.nnz
+        assert not np.allclose(np.sort(a.values), np.sort(b.values))

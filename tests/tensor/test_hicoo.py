@@ -1,0 +1,78 @@
+"""Tests for the HiCOO blocked format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.formats.hicoo import HiCOOTensor
+from repro.tensor.reference import mttkrp_coo_reference
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("block_bits", [1, 3, 7])
+    def test_roundtrip(self, small_tensor, block_bits):
+        h = HiCOOTensor.from_coo(small_tensor, block_bits=block_bits)
+        assert h.to_coo().allclose(small_tensor)
+
+    def test_offsets_within_block(self, skewed_tensor):
+        h = HiCOOTensor.from_coo(skewed_tensor, block_bits=3)
+        assert (h.element_offsets < 8).all()
+
+    def test_block_count_decreases_with_bigger_blocks(self, skewed_tensor):
+        fine = HiCOOTensor.from_coo(skewed_tensor, block_bits=1)
+        coarse = HiCOOTensor.from_coo(skewed_tensor, block_bits=5)
+        assert coarse.n_blocks <= fine.n_blocks
+
+    def test_blocks_are_distinct(self, small_tensor):
+        h = HiCOOTensor.from_coo(small_tensor, block_bits=2)
+        rows = {tuple(b) for b in h.block_index.tolist()}
+        assert len(rows) == h.n_blocks
+
+    def test_invalid_block_bits(self, small_tensor):
+        with pytest.raises(TensorFormatError):
+            HiCOOTensor.from_coo(small_tensor, block_bits=0)
+        with pytest.raises(TensorFormatError):
+            HiCOOTensor.from_coo(small_tensor, block_bits=17)
+
+    def test_empty_tensor(self):
+        from repro.tensor.coo import SparseTensorCOO
+
+        t = SparseTensorCOO(np.empty((0, 2), dtype=np.int64), np.empty(0), (8, 8))
+        h = HiCOOTensor.from_coo(t)
+        assert h.n_blocks == 0
+        assert h.to_coo().nnz == 0
+
+    def test_compression_beats_coo_on_clustered_data(self):
+        """Dense-ish local clusters compress well under HiCOO."""
+        from repro.tensor.coo import SparseTensorCOO
+
+        # all elements inside one 16^3 block
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 16, size=(500, 3)).astype(np.int64)
+        t = SparseTensorCOO(idx, rng.random(500), (1024, 1024, 1024)).deduplicated()
+        h = HiCOOTensor.from_coo(t, block_bits=4)
+        assert h.compression_ratio() > 1.5
+
+
+class TestMTTKRP:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference(self, small_tensor, make_factors, mode):
+        h = HiCOOTensor.from_coo(small_tensor, block_bits=2)
+        factors = make_factors(small_tensor.shape)
+        got = h.mttkrp(factors, mode)
+        assert np.allclose(got, mttkrp_coo_reference(small_tensor, factors, mode))
+
+    def test_four_mode(self, four_mode_tensor, make_factors):
+        h = HiCOOTensor.from_coo(four_mode_tensor, block_bits=2)
+        factors = make_factors(four_mode_tensor.shape, rank=3)
+        for mode in range(4):
+            got = h.mttkrp(factors, mode)
+            ref = mttkrp_coo_reference(four_mode_tensor, factors, mode)
+            assert np.allclose(got, ref)
+
+    def test_empty(self, make_factors):
+        from repro.tensor.coo import SparseTensorCOO
+
+        t = SparseTensorCOO(np.empty((0, 3), dtype=np.int64), np.empty(0), (4, 4, 4))
+        h = HiCOOTensor.from_coo(t)
+        assert np.all(h.mttkrp(make_factors(t.shape), 0) == 0)

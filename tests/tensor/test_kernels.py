@@ -1,0 +1,141 @@
+"""Tests for the vectorized functional kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.kernels import (
+    ec_contributions,
+    mttkrp_sorted_segments,
+    scatter_rows_atomic,
+    segment_starts,
+)
+from repro.tensor.reference import mttkrp_coo_reference
+
+
+class TestEcContributions:
+    def test_matches_manual_product(self, tiny_tensor, make_factors):
+        factors = make_factors(tiny_tensor.shape, rank=4)
+        contrib = ec_contributions(
+            tiny_tensor.indices, tiny_tensor.values, factors, mode=2
+        )
+        for i in range(tiny_tensor.nnz):
+            i0, i1, _ = tiny_tensor.indices[i]
+            want = tiny_tensor.values[i] * factors[0][i0] * factors[1][i1]
+            assert np.allclose(contrib[i], want)
+
+    def test_out_parameter(self, tiny_tensor, make_factors):
+        factors = make_factors(tiny_tensor.shape, rank=4)
+        out = np.empty((tiny_tensor.nnz, 4))
+        res = ec_contributions(
+            tiny_tensor.indices, tiny_tensor.values, factors, 0, out=out
+        )
+        assert res is out
+
+    def test_bad_out_shape(self, tiny_tensor, make_factors):
+        factors = make_factors(tiny_tensor.shape, rank=4)
+        with pytest.raises(TensorFormatError):
+            ec_contributions(
+                tiny_tensor.indices,
+                tiny_tensor.values,
+                factors,
+                0,
+                out=np.empty((1, 4)),
+            )
+
+    def test_mode_out_of_range(self, tiny_tensor, make_factors):
+        with pytest.raises(TensorFormatError):
+            ec_contributions(
+                tiny_tensor.indices,
+                tiny_tensor.values,
+                make_factors(tiny_tensor.shape),
+                7,
+            )
+
+
+class TestScatterRowsAtomic:
+    def test_accumulates_duplicates(self):
+        out = np.zeros((3, 2))
+        rows = np.array([1, 1, 2, 1])
+        contrib = np.ones((4, 2))
+        scatter_rows_atomic(out, rows, contrib)
+        assert np.allclose(out[1], [3, 3])
+        assert np.allclose(out[2], [1, 1])
+        assert np.allclose(out[0], [0, 0])
+
+    def test_matches_np_add_at(self):
+        rng = np.random.default_rng(0)
+        out1 = np.zeros((10, 4))
+        out2 = np.zeros((10, 4))
+        rows = rng.integers(0, 10, size=50)
+        contrib = rng.random((50, 4))
+        scatter_rows_atomic(out1, rows, contrib)
+        np.add.at(out2, rows, contrib)
+        assert np.allclose(out1, out2)
+
+    def test_shape_checks(self):
+        with pytest.raises(TensorFormatError):
+            scatter_rows_atomic(np.zeros((3, 2)), np.zeros(2, dtype=int), np.zeros((3, 2)))
+        with pytest.raises(TensorFormatError):
+            scatter_rows_atomic(np.zeros((3, 2)), np.zeros(3, dtype=int), np.zeros((3, 5)))
+
+
+class TestSegmentStarts:
+    def test_basic_runs(self):
+        keys = np.array([0, 0, 1, 1, 1, 4])
+        assert segment_starts(keys).tolist() == [0, 2, 5]
+
+    def test_all_distinct(self):
+        keys = np.array([3, 5, 9])
+        assert segment_starts(keys).tolist() == [0, 1, 2]
+
+    def test_single_run(self):
+        assert segment_starts(np.array([7, 7, 7])).tolist() == [0]
+
+    def test_empty(self):
+        assert segment_starts(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestMttkrpSortedSegments:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference(self, small_tensor, make_factors, mode):
+        factors = make_factors(small_tensor.shape)
+        sorted_t = small_tensor.sorted_by_mode(mode)
+        out = np.zeros((small_tensor.shape[mode], 6))
+        mttkrp_sorted_segments(
+            sorted_t.indices, sorted_t.values, factors, mode, out
+        )
+        ref = mttkrp_coo_reference(small_tensor, factors, mode)
+        assert np.allclose(out, ref)
+
+    def test_rejects_unsorted(self, small_tensor, make_factors):
+        factors = make_factors(small_tensor.shape)
+        out = np.zeros((small_tensor.shape[0], 6))
+        # mode-0 keys of an unsorted tensor are (almost surely) unsorted
+        sorted_by_other = small_tensor.sorted_by_mode(1)
+        if np.any(np.diff(sorted_by_other.indices[:, 0]) < 0):
+            with pytest.raises(TensorFormatError, match="not sorted"):
+                mttkrp_sorted_segments(
+                    sorted_by_other.indices,
+                    sorted_by_other.values,
+                    factors,
+                    0,
+                    out,
+                )
+
+    def test_accumulates_into_out(self, small_tensor, make_factors):
+        factors = make_factors(small_tensor.shape)
+        sorted_t = small_tensor.sorted_by_mode(0)
+        out = np.zeros((small_tensor.shape[0], 6))
+        mttkrp_sorted_segments(sorted_t.indices, sorted_t.values, factors, 0, out)
+        once = out.copy()
+        mttkrp_sorted_segments(sorted_t.indices, sorted_t.values, factors, 0, out)
+        assert np.allclose(out, 2 * once)
+
+    def test_empty_batch_is_noop(self, make_factors):
+        factors = make_factors((4, 5, 6))
+        out = np.zeros((4, 6))
+        mttkrp_sorted_segments(
+            np.empty((0, 3), dtype=np.int64), np.empty(0), factors, 0, out
+        )
+        assert np.all(out == 0)

@@ -1,0 +1,55 @@
+"""Tests for the Khatri-Rao product."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.khatri_rao import khatri_rao
+
+
+class TestKhatriRao:
+    def test_two_matrix_shape(self):
+        a = np.random.default_rng(0).random((3, 4))
+        b = np.random.default_rng(1).random((5, 4))
+        assert khatri_rao([a, b]).shape == (15, 4)
+
+    def test_first_matrix_fastest_ordering(self):
+        a = np.array([[1.0], [2.0]])  # I=2
+        b = np.array([[10.0], [100.0]])  # J=2
+        kr = khatri_rao([a, b])
+        # row = i + j * I
+        assert kr[0, 0] == 1 * 10
+        assert kr[1, 0] == 2 * 10
+        assert kr[2, 0] == 1 * 100
+        assert kr[3, 0] == 2 * 100
+
+    def test_single_matrix_identity(self):
+        a = np.random.default_rng(2).random((4, 3))
+        assert np.allclose(khatri_rao([a]), a)
+
+    def test_three_matrices_associative_grouping(self):
+        rng = np.random.default_rng(3)
+        mats = [rng.random((n, 2)) for n in (2, 3, 4)]
+        full = khatri_rao(mats)
+        grouped = khatri_rao([khatri_rao(mats[:2]), mats[2]])
+        assert np.allclose(full, grouped)
+
+    def test_columnwise_kron_identity(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.random((3, 2)), rng.random((4, 2))
+        kr = khatri_rao([a, b])
+        for r in range(2):
+            # first-fastest convention: kron(b_col, a_col)
+            assert np.allclose(kr[:, r], np.kron(b[:, r], a[:, r]))
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(TensorFormatError, match="rank"):
+            khatri_rao([np.zeros((2, 3)), np.zeros((2, 4))])
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(TensorFormatError):
+            khatri_rao([])
+
+    def test_non_matrix_raises(self):
+        with pytest.raises(TensorFormatError):
+            khatri_rao([np.zeros(3)])

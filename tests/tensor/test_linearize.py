@@ -1,0 +1,88 @@
+"""Tests for the linearized-coordinate codec (BLCO substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.formats.linearize import LinearIndexCodec
+
+
+class TestBits:
+    def test_bits_for_extents(self):
+        codec = LinearIndexCodec((2, 3, 1024, 1025))
+        assert codec.bits == (1, 2, 10, 11)
+        assert codec.total_bits == 24
+
+    def test_extent_one_gets_one_bit(self):
+        assert LinearIndexCodec((1,)).bits == (1,)
+
+    def test_shifts_cumulative(self):
+        codec = LinearIndexCodec((4, 8, 16))
+        assert codec.shifts == (0, 2, 5)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("word_bits", [8, 16, 63])
+    def test_encode_decode(self, word_bits):
+        rng = np.random.default_rng(0)
+        shape = (100, 2000, 37)
+        idx = np.column_stack([rng.integers(0, s, 500) for s in shape]).astype(np.int64)
+        codec = LinearIndexCodec(shape)
+        block, offset, obits = codec.encode_blocked(idx, word_bits=word_bits)
+        assert obits <= word_bits
+        back = codec.decode_blocked(block, offset, obits)
+        assert np.array_equal(back, idx)
+
+    def test_huge_extents_forced_split(self):
+        # 3 x 30 bits = 90 bits total: must straddle into the block id.
+        shape = (2**30, 2**30, 2**30)
+        rng = np.random.default_rng(1)
+        idx = np.column_stack([rng.integers(0, s, 200) for s in shape]).astype(np.int64)
+        codec = LinearIndexCodec(shape)
+        block, offset, obits = codec.encode_blocked(idx)
+        assert obits == 63
+        assert (block != 0).any()  # overflow really happened
+        assert np.array_equal(codec.decode_blocked(block, offset, obits), idx)
+
+    def test_small_shape_single_block(self):
+        codec = LinearIndexCodec((16, 16))
+        idx = np.array([[3, 5], [15, 15], [0, 0]], dtype=np.int64)
+        block, offset, obits = codec.encode_blocked(idx)
+        assert (block == 0).all()
+
+    def test_extract_single_mode(self):
+        shape = (2**25, 2**25, 2**25)
+        rng = np.random.default_rng(2)
+        idx = np.column_stack([rng.integers(0, s, 300) for s in shape]).astype(np.int64)
+        codec = LinearIndexCodec(shape)
+        block, offset, obits = codec.encode_blocked(idx)
+        for m in range(3):
+            got = codec.extract_mode_from_blocked(block, offset, obits, m)
+            assert np.array_equal(got, idx[:, m])
+
+    def test_keys_unique_for_unique_coords(self):
+        shape = (50, 60)
+        coords = np.argwhere(np.ones(shape, dtype=bool)).astype(np.int64)
+        codec = LinearIndexCodec(shape)
+        block, offset, obits = codec.encode_blocked(coords)
+        keys = set(zip(block.tolist(), offset.tolist()))
+        assert len(keys) == coords.shape[0]
+
+
+class TestErrors:
+    def test_bad_word_bits(self):
+        codec = LinearIndexCodec((4, 4))
+        with pytest.raises(TensorFormatError):
+            codec.encode_blocked(np.zeros((1, 2), dtype=np.int64), word_bits=64)
+
+    def test_wrong_index_width(self):
+        codec = LinearIndexCodec((4, 4))
+        with pytest.raises(TensorFormatError):
+            codec.encode_blocked(np.zeros((1, 3), dtype=np.int64))
+
+    def test_mode_out_of_range(self):
+        codec = LinearIndexCodec((4, 4))
+        with pytest.raises(TensorFormatError):
+            codec.extract_mode_from_blocked(
+                np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64), 4, 2
+            )

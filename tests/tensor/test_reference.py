@@ -1,0 +1,88 @@
+"""The two reference MTTKRP oracles must agree with each other."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.reference import (
+    check_factors,
+    mttkrp_coo_reference,
+    mttkrp_dense_reference,
+)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_small_tensor(self, small_tensor, make_factors, mode):
+        factors = make_factors(small_tensor.shape)
+        a = mttkrp_coo_reference(small_tensor, factors, mode)
+        b = mttkrp_dense_reference(small_tensor, factors, mode)
+        assert np.allclose(a, b)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_four_mode(self, four_mode_tensor, make_factors, mode):
+        factors = make_factors(four_mode_tensor.shape)
+        a = mttkrp_coo_reference(four_mode_tensor, factors, mode)
+        b = mttkrp_dense_reference(four_mode_tensor, factors, mode)
+        assert np.allclose(a, b)
+
+    def test_five_mode(self, five_mode_tensor, make_factors):
+        factors = make_factors(five_mode_tensor.shape, rank=3)
+        for mode in range(5):
+            a = mttkrp_coo_reference(five_mode_tensor, factors, mode)
+            b = mttkrp_dense_reference(five_mode_tensor, factors, mode)
+            assert np.allclose(a, b)
+
+    def test_empty_tensor_gives_zeros(self, make_factors):
+        from repro.tensor.coo import SparseTensorCOO
+
+        t = SparseTensorCOO(np.empty((0, 3), dtype=np.int64), np.empty(0), (4, 5, 6))
+        factors = make_factors(t.shape)
+        out = mttkrp_coo_reference(t, factors, 1)
+        assert out.shape == (5, 6)
+        assert np.all(out == 0)
+
+    def test_output_shape(self, tiny_tensor, make_factors):
+        factors = make_factors(tiny_tensor.shape, rank=4)
+        for mode in range(3):
+            out = mttkrp_coo_reference(tiny_tensor, factors, mode)
+            assert out.shape == (tiny_tensor.shape[mode], 4)
+
+    def test_linearity_in_values(self, small_tensor, make_factors):
+        """MTTKRP is linear in the tensor values."""
+        from repro.tensor.coo import SparseTensorCOO
+
+        factors = make_factors(small_tensor.shape)
+        doubled = SparseTensorCOO(
+            small_tensor.indices, 2.0 * small_tensor.values, small_tensor.shape
+        )
+        a = mttkrp_coo_reference(small_tensor, factors, 0)
+        b = mttkrp_coo_reference(doubled, factors, 0)
+        assert np.allclose(b, 2.0 * a)
+
+
+class TestCheckFactors:
+    def test_accepts_valid(self, tiny_tensor, make_factors):
+        mats = check_factors(tiny_tensor.shape, make_factors(tiny_tensor.shape))
+        assert len(mats) == 3
+
+    def test_rejects_wrong_count(self, tiny_tensor, make_factors):
+        with pytest.raises(TensorFormatError, match="expected 3"):
+            check_factors(tiny_tensor.shape, make_factors(tiny_tensor.shape)[:2])
+
+    def test_rejects_wrong_rows(self, tiny_tensor):
+        bad = [np.zeros((s + 1, 4)) for s in tiny_tensor.shape]
+        with pytest.raises(TensorFormatError, match="rows"):
+            check_factors(tiny_tensor.shape, bad)
+
+    def test_rejects_rank_mismatch(self, tiny_tensor):
+        mats = [np.zeros((s, 4)) for s in tiny_tensor.shape]
+        mats[1] = np.zeros((tiny_tensor.shape[1], 5))
+        with pytest.raises(TensorFormatError, match="rank"):
+            check_factors(tiny_tensor.shape, mats)
+
+    def test_mode_out_of_range(self, tiny_tensor, make_factors):
+        with pytest.raises(TensorFormatError):
+            mttkrp_coo_reference(
+                tiny_tensor, make_factors(tiny_tensor.shape), 3
+            )

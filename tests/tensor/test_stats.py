@@ -1,0 +1,61 @@
+"""Tests for tensor statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorFormatError
+from repro.tensor.stats import TensorStats, gini_coefficient, mode_histogram
+
+
+class TestModeHistogram:
+    def test_counts_sum_to_nnz(self, small_tensor):
+        for mode in range(small_tensor.nmodes):
+            h = mode_histogram(small_tensor, mode)
+            assert h.sum() == small_tensor.nnz
+            assert h.shape[0] == small_tensor.shape[mode]
+
+    def test_manual_counts(self, tiny_tensor):
+        h = mode_histogram(tiny_tensor, 0)
+        assert h.tolist() == [2, 1, 2, 1]
+
+    def test_mode_out_of_range(self, tiny_tensor):
+        with pytest.raises(TensorFormatError):
+            mode_histogram(tiny_tensor, 3)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_spike_near_one(self):
+        counts = np.zeros(1000)
+        counts[0] = 1e6
+        assert gini_coefficient(counts) > 0.99
+
+    def test_monotone_in_skew(self):
+        mild = np.array([5, 4, 6, 5, 5])
+        harsh = np.array([1, 1, 1, 1, 21])
+        assert gini_coefficient(harsh) > gini_coefficient(mild)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.empty(0)) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1, 2]))
+
+
+class TestTensorStats:
+    def test_compute(self, skewed_tensor):
+        stats = TensorStats.compute(skewed_tensor)
+        assert stats.nnz == skewed_tensor.nnz
+        assert stats.shape == skewed_tensor.shape
+        assert len(stats.gini) == 3
+        # mode 0 is the most skewed by construction (exponent 1.2)
+        assert stats.gini[0] > stats.gini[1]
+
+    def test_skew_ratio_at_least_one(self, small_tensor):
+        stats = TensorStats.compute(small_tensor)
+        for mode in range(3):
+            assert stats.skew(mode) >= 1.0

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tensor.generate import lowrank_coo
+from repro.tensor.io import write_tns
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "amazon" in out and "1.7B" in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "AMPED (ours)" in out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+
+    def test_simulate_amped(self, capsys):
+        assert main(["simulate", "amazon", "--shards-per-gpu", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "amped on amazon" in out
+
+    def test_simulate_oom_baseline_fails_cleanly(self, capsys):
+        rc = main(["simulate", "reddit", "--method", "flycoo-gpu"])
+        assert rc == 1
+        assert "runtime error" in capsys.readouterr().out
+
+    def test_decompose_synthetic(self, capsys):
+        rc = main(
+            [
+                "decompose",
+                "--dataset", "patents",
+                "--nnz", "3000",
+                "--rank", "4",
+                "--iters", "3",
+                "--gpus", "2",
+            ]
+        )
+        assert rc == 0
+        assert "CP-ALS rank 4" in capsys.readouterr().out
+
+    def test_decompose_tns_file(self, tmp_path, capsys):
+        tensor = lowrank_coo((12, 10, 8), 400, rank=2, seed=0)
+        path = tmp_path / "t.tns"
+        write_tns(path, tensor)
+        rc = main(
+            ["decompose", "--tns", str(path), "--rank", "2", "--iters", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fit=" in out
+
+    def test_trace_export(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "twitch", str(out_path), "--gpus", "2"]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]

@@ -1,0 +1,137 @@
+"""Tests for the util helpers."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.util.humanize import format_bytes, format_count, format_seconds, format_shape
+from repro.util.logging import get_logger
+from repro.util.rng import (
+    resolve_rng,
+    sample_from_weights,
+    spawn_rngs,
+    zipf_weights,
+)
+from repro.util.timer import Timer, WallClock
+
+
+class TestRng:
+    def test_resolve_from_int(self):
+        a = resolve_rng(5).integers(0, 100, 10)
+        b = resolve_rng(5).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_resolve_passthrough(self):
+        g = np.random.default_rng(0)
+        assert resolve_rng(g) is g
+
+    def test_resolve_none(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_resolve_rejects_junk(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seedy")
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.random(5) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+        again = spawn_rngs(7, 3)
+        assert np.allclose(draws[0], again[0].random(5))
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zipf_weights_normalized_and_decreasing(self):
+        w = zipf_weights(100, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) <= 0).all()
+
+    def test_zipf_zero_exponent_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_zipf_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+    def test_sample_from_weights_respects_support(self):
+        rng = np.random.default_rng(0)
+        w = np.array([0.0, 1.0, 0.0])
+        s = sample_from_weights(rng, w, 100)
+        assert (s == 1).all()
+
+    def test_sample_distribution_roughly_matches(self):
+        rng = np.random.default_rng(1)
+        w = zipf_weights(5, 1.0)
+        s = sample_from_weights(rng, w, 50_000)
+        freq = np.bincount(s, minlength=5) / 50_000
+        assert np.allclose(freq, w, atol=0.01)
+
+    def test_sample_zero_size(self):
+        s = sample_from_weights(np.random.default_rng(0), zipf_weights(5, 1), 0)
+        assert s.size == 0
+
+
+class TestTimer:
+    def test_accumulates(self):
+        class FakeClock(WallClock):
+            def __init__(self):
+                self.t = 0.0
+
+            def now(self):
+                self.t += 1.0
+                return self.t
+
+        t = Timer(clock=FakeClock())
+        with t:
+            pass
+        with t:
+            pass
+        assert t.elapsed == pytest.approx(2.0)
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_exit_without_enter(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)
+
+
+class TestHumanize:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(1536) == "1.5KB"
+        assert format_bytes(48 * 2**30) == "48.0GB"
+        assert format_bytes(-1024) == "-1.0KB"
+
+    def test_count(self):
+        assert format_count(999) == "999"
+        assert format_count(1_700_000_000) == "1.7B"
+        assert format_count(239_200) == "239.2K"
+
+    def test_seconds(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(3.0) == "3.00s"
+        assert format_seconds(300) == "5.0min"
+
+    def test_shape_table3_style(self):
+        assert format_shape((4_800_000, 1_800_000)) == "4.8M x 1.8M"
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.comm").name == "repro.comm"
+
+    def test_null_handler_present(self):
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )
