@@ -3,11 +3,17 @@
 These are the hot paths of the measured-mode harness; tracking them guards
 against regressions in the NumPy vectorization (guide: profile before
 optimizing, then keep the receipts).
+
+Run directly with ``--smoke`` for the CI engine check: verifies that the
+streaming batched executor is bit-identical to the eager path and within
+1.2x of its wall time on the seed synthetic tensor.
 """
 
 import numpy as np
 import pytest
 
+from repro.engine import StreamingExecutor
+from repro.partition.plan import build_partition_plan
 from repro.tensor.formats.csf import CSFTensor
 from repro.tensor.generate import zipf_coo
 from repro.tensor.kernels import (
@@ -73,3 +79,95 @@ def test_csf_construction(benchmark, kernel_data):
     tensor, _ = kernel_data
     csf = benchmark(CSFTensor.from_coo, tensor)
     assert csf.nnz == tensor.nnz
+
+
+@pytest.fixture(scope="module")
+def engine_plan(kernel_data):
+    tensor, _ = kernel_data
+    return build_partition_plan(tensor, 4, shards_per_gpu=8)
+
+
+def test_streaming_engine_eager(benchmark, kernel_data, engine_plan):
+    _, factors = kernel_data
+    engine = StreamingExecutor(engine_plan)
+    out = benchmark(engine.mttkrp, factors, 0)
+    assert out.shape[1] == 32
+
+
+def test_streaming_engine_batched(benchmark, kernel_data, engine_plan):
+    _, factors = kernel_data
+    engine = StreamingExecutor(engine_plan, batch_size=4096)
+    out = benchmark(engine.mttkrp, factors, 0)
+    assert out.shape[1] == 32
+
+
+# ----------------------------------------------------------------------
+# CI smoke mode: `python benchmarks/bench_kernels.py --smoke`
+# ----------------------------------------------------------------------
+SMOKE_RATIO_LIMIT = 1.2
+
+
+def _best_wall_time(fn, repeats: int = 5) -> float:
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_smoke(batch_size: int = 4096, workers: int = 1) -> int:
+    """Correctness + perf gate for the streaming engine.
+
+    Returns a process exit code: 0 when the batched path is bit-identical to
+    the eager path and within ``SMOKE_RATIO_LIMIT`` of its best wall time.
+    """
+    tensor = zipf_coo((5000, 3000, 2000), 200_000, exponents=1.0, seed=0)
+    rng = np.random.default_rng(1)
+    factors = [rng.random((s, 32)) for s in tensor.shape]
+    plan = build_partition_plan(tensor, 4, shards_per_gpu=8)
+
+    eager = StreamingExecutor(plan)
+    batched = StreamingExecutor(plan, batch_size=batch_size, workers=workers)
+    # Build batch plans (cached) before timing, as a warm production run would.
+    for m in range(tensor.nmodes):
+        eager.batch_plan(m), batched.batch_plan(m)
+
+    eager_out = eager.mttkrp_all_modes(factors)
+    batched_out = batched.mttkrp_all_modes(factors)
+    for m, (a, b) in enumerate(zip(eager_out, batched_out)):
+        if not np.array_equal(a, b):
+            print(f"SMOKE FAIL: mode {m} batched output differs from eager")
+            return 1
+
+    t_eager = _best_wall_time(lambda: eager.mttkrp_all_modes(factors))
+    t_batched = _best_wall_time(lambda: batched.mttkrp_all_modes(factors))
+    ratio = t_batched / t_eager
+    n_batches = sum(batched.n_batches(m) for m in range(tensor.nmodes))
+    print(
+        f"engine smoke: eager {t_eager * 1e3:.1f} ms, "
+        f"batched(batch_size={batch_size}, workers={workers}, "
+        f"{n_batches} batches) {t_batched * 1e3:.1f} ms, ratio {ratio:.3f}x"
+    )
+    if ratio > SMOKE_RATIO_LIMIT:
+        print(f"SMOKE FAIL: batched path exceeds {SMOKE_RATIO_LIMIT}x eager")
+        return 1
+    print("SMOKE OK: bit-identical outputs, no perf regression")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the quick CI engine check"
+    )
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("use --smoke (pytest runs the benchmark suite)")
+    raise SystemExit(run_smoke(args.batch_size, args.workers))

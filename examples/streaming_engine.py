@@ -1,0 +1,102 @@
+"""Walkthrough: the streaming batched execution engine.
+
+Run:  python examples/streaming_engine.py
+
+The eager path materializes and reduces each tensor shard in one shot, so
+the transient working set scales with the shard size. The streaming engine
+(:class:`repro.engine.StreamingExecutor`) instead slices every shard into
+segment-aligned element batches and reduces them one at a time — bounding
+the working set at ``batch_size`` nonzeros regardless of tensor size, while
+staying *bit-identical* to the eager result for every batch size and worker
+count.
+
+Batch-size tuning (rule of thumb)
+---------------------------------
+The transient footprint per batch is roughly
+``batch_size * (rank * 8 + nmodes * 8 + 8)`` bytes (the contribution block
+plus the index/value slice). Pick the largest batch that keeps this inside
+the cache level you target:
+
+* ``batch_size=None``  — eager whole-shard batches; fastest when shards are
+  already cache-sized (the default).
+* ``~4096-65536``      — keeps rank-32 streaming inside a few MiB of L2/L3;
+  usually as fast as (or faster than) eager because the contribution block
+  stays cache-resident.
+* ``< ~1024``          — per-batch NumPy dispatch overhead starts to show;
+  only worth it under severe memory pressure.
+
+``workers > 1`` reduces batches on a thread pool (NumPy releases the GIL in
+the vectorized kernels); results are applied in deterministic order, so the
+output never depends on scheduling.
+"""
+
+import time
+
+import numpy as np
+
+from repro import AmpedConfig, AmpedMTTKRP, StreamingExecutor
+from repro.partition.plan import build_partition_plan
+from repro.tensor.generate import zipf_coo
+from repro.util.humanize import format_bytes, format_seconds
+
+
+def main() -> None:
+    # --- 1. a skewed synthetic tensor -----------------------------------
+    tensor = zipf_coo(
+        shape=(4000, 2500, 1800), nnz=250_000, exponents=1.0, seed=0
+    )
+    rank = 32
+    rng = np.random.default_rng(1)
+    factors = [rng.random((s, rank)) for s in tensor.shape]
+    print(f"tensor: {tensor}")
+
+    # --- 2. eager vs streaming granularity ------------------------------
+    plan = build_partition_plan(tensor, 4, shards_per_gpu=8)
+    eager = StreamingExecutor(plan)  # one batch per shard
+    for batch_size in (None, 32_768, 4_096, 512):
+        engine = StreamingExecutor(plan, batch_size=batch_size)
+        t0 = time.perf_counter()
+        outs = engine.mttkrp_all_modes(factors)
+        dt = time.perf_counter() - t0
+        # bit-identical to eager: segment-aligned batches never re-associate
+        assert all(
+            np.array_equal(o, e)
+            for o, e in zip(outs, eager.mttkrp_all_modes(factors))
+        )
+        batches = sum(engine.n_batches(m) for m in range(tensor.nmodes))
+        footprint = (batch_size or max(
+            s.nnz for mp in plan.modes for s in mp.shards
+        )) * (rank * 8 + tensor.nmodes * 8 + 8)
+        print(
+            f"batch_size={str(batch_size):>6}: {batches:5d} batches, "
+            f"~{format_bytes(footprint):>9} working set, "
+            f"{format_seconds(dt)} for all modes (bit-identical)"
+        )
+
+    # --- 3. multi-worker batch reduction --------------------------------
+    # Threads pay off when batches are large enough that the GIL-releasing
+    # NumPy kernels dominate the per-batch Python dispatch; at this small
+    # functional scale the serial path usually wins — the knob exists for
+    # out-of-core-sized batches.
+    for workers in (1, 2, 4):
+        engine = StreamingExecutor(plan, batch_size=16_384, workers=workers)
+        t0 = time.perf_counter()
+        engine.mttkrp_all_modes(factors)
+        print(f"workers={workers}: {format_seconds(time.perf_counter() - t0)}")
+
+    # --- 4. the same knobs through AmpedMTTKRP + the simulator ----------
+    config = AmpedConfig(n_gpus=4, rank=rank, batch_size=16_384, workers=2)
+    executor = AmpedMTTKRP(tensor, config, name="streaming-demo")
+    out = executor.mttkrp(factors, 0)
+    assert np.array_equal(out, eager.mttkrp(factors, 0))
+    result = executor.simulate()
+    print(
+        f"\nsimulated iteration (batch-granularity timing, one launch per "
+        f"batch): {format_seconds(result.total_time)} on {result.n_gpus} GPUs"
+    )
+    for key, share in result.breakdown().items():
+        print(f"  {key:<15} {share:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,8 @@ Public API highlights:
 * :class:`repro.tensor.SparseTensorCOO` — N-mode sparse tensors;
 * :class:`repro.core.AmpedMTTKRP` — the paper's multi-GPU algorithm
   (functional NumPy execution + simulated-platform timing);
+* :class:`repro.engine.StreamingExecutor` — the streaming batched MTTKRP
+  engine (cache-sized element batches, optional worker pool) AMPED runs on;
 * :mod:`repro.cpd` — CP-ALS tensor decomposition on any MTTKRP backend;
 * :mod:`repro.baselines` — BLCO, MM-CSF, HiCOO-GPU, FLYCOO-GPU and the
   equal-nonzero multi-GPU strawman, on the same simulated platform;
@@ -28,6 +30,7 @@ from repro.errors import (
 from repro.tensor.coo import SparseTensorCOO
 from repro.core.amped import AmpedMTTKRP
 from repro.core.config import AmpedConfig
+from repro.engine.executor import StreamingExecutor
 
 __all__ = [
     "__version__",
@@ -42,4 +45,5 @@ __all__ = [
     "SparseTensorCOO",
     "AmpedMTTKRP",
     "AmpedConfig",
+    "StreamingExecutor",
 ]

@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--gpus", type=int, default=4)
     p_sim.add_argument("--rank", type=int, default=32)
     p_sim.add_argument("--shards-per-gpu", type=int, default=16)
+    p_sim.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="streaming batch granularity in nonzeros (default: whole shards)",
+    )
 
     p_dec = sub.add_parser("decompose", help="CP-ALS on a tensor")
     src = p_dec.add_mutually_exclusive_group(required=True)
@@ -61,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--iters", type=int, default=20)
     p_dec.add_argument("--gpus", type=int, default=4)
     p_dec.add_argument("--seed", type=int, default=0)
+    p_dec.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="streaming batch granularity in nonzeros (default: whole shards)",
+    )
+    p_dec.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine reduction worker threads (default: serial)",
+    )
 
     p_tr = sub.add_parser("trace", help="export a Chrome trace of a simulated run")
     p_tr.add_argument("dataset", choices=["amazon", "patents", "reddit", "twitch"])
@@ -109,8 +127,17 @@ def _cmd_simulate(args) -> int:
     from repro.simgpu.kernel import KernelCostModel
     from repro.util.humanize import format_seconds
 
+    if args.batch_size is not None and args.method != "amped":
+        print(
+            f"--batch-size applies to the AMPED streaming engine only; "
+            f"method {args.method!r} does not support it"
+        )
+        return 2
     cfg = AmpedConfig(
-        n_gpus=args.gpus, rank=args.rank, shards_per_gpu=args.shards_per_gpu
+        n_gpus=args.gpus,
+        rank=args.rank,
+        shards_per_gpu=args.shards_per_gpu,
+        batch_size=args.batch_size,
     )
     wl = paper_workload(args.dataset, cfg, KernelCostModel())
     if args.method == "amped":
@@ -148,7 +175,14 @@ def _cmd_decompose(args) -> int:
         name = f"{args.dataset} (scaled to {tensor.nnz} nnz)"
     print(f"tensor: {name}, shape={tensor.shape}, nnz={tensor.nnz}")
     ex = AmpedMTTKRP(
-        tensor, AmpedConfig(n_gpus=args.gpus, rank=args.rank), name="cli"
+        tensor,
+        AmpedConfig(
+            n_gpus=args.gpus,
+            rank=args.rank,
+            batch_size=args.batch_size,
+            workers=args.workers,
+        ),
+        name="cli",
     )
     res = cp_als(
         tensor, rank=args.rank, n_iters=args.iters, seed=args.seed,

@@ -4,7 +4,9 @@
 
 * the partition plan (per-mode tensor copies, shards, GPU assignment);
 * a functional :meth:`mttkrp` that computes the exact MTTKRP result via the
-  shard/ISP execution path (used by CP-ALS);
+  streaming batched engine (:class:`repro.engine.StreamingExecutor`),
+  driving shard element batches through the segmented kernels (used by
+  CP-ALS);
 * a :meth:`simulate` that times one iteration on the simulated platform;
 * :meth:`run_iteration`, the full Algorithm 1 — per-GPU outputs assembled
   through a real ring all-gather, checked against the direct result.
@@ -18,10 +20,10 @@ import numpy as np
 
 from repro.comm.allgather import ring_allgather
 from repro.core.config import AmpedConfig
-from repro.core.grid import execute_shard
 from repro.core.results import RunResult
 from repro.core.simulate import simulate_amped
 from repro.core.workload import TensorWorkload
+from repro.engine.executor import StreamingExecutor
 from repro.errors import ReproError
 from repro.partition.plan import PartitionPlan, build_partition_plan
 from repro.simgpu.kernel import KernelCostModel
@@ -50,9 +52,11 @@ class AmpedMTTKRP:
     name:
         Label used in results and reports.
     functional_isps:
-        ISP (threadblock) count per shard used by the functional path. The
-        numerical result is independent of it; small values keep the NumPy
-        execution fast.
+        ISP (threadblock) count per shard modeled by the legacy
+        :func:`repro.core.grid.execute_shard` path. The functional MTTKRP now
+        runs through the streaming engine (whose granularity is
+        ``config.batch_size``); this knob is kept for grid-level experiments
+        and API compatibility. The numerical result is independent of it.
     """
 
     def __init__(
@@ -87,22 +91,28 @@ class AmpedMTTKRP:
         self.workload = TensorWorkload.from_plan(
             tensor, self.plan, self.cost, rank=self.config.rank, name=name
         )
+        self.engine = StreamingExecutor(
+            self.plan,
+            batch_size=self.config.batch_size,
+            workers=self.config.workers,
+        )
 
     # ------------------------------------------------------------------
     # Functional execution
     # ------------------------------------------------------------------
     def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
-        """Exact MTTKRP for ``mode`` through the shard/ISP execution path."""
-        mats = check_factors(self.tensor.shape, factors)
-        rank = mats[0].shape[1]
-        out = np.zeros((self.tensor.shape[mode], rank), dtype=np.float64)
-        part = self.plan.modes[mode]
-        for g in range(self.config.n_gpus):
-            for j in self.plan.shards_for_gpu(mode, g):
-                execute_shard(
-                    part, part.shards[j], mats, out, n_sms=self.functional_isps
-                )
-        return out
+        """Exact MTTKRP for ``mode`` through the streaming shard/batch engine.
+
+        The result is bit-identical for every ``(batch_size, workers)``
+        configuration: batch edges are segment-aligned, so each output row is
+        produced by one segmented reduction over the same elements in the
+        same order.
+        """
+        # One pass over all shards: the per-GPU grouping is irrelevant to the
+        # functional result (shards own disjoint output rows and batch order
+        # within a shard is fixed), so this is bit-identical to the per-GPU
+        # accumulation run_iteration performs.
+        return self.engine.mttkrp(factors, mode)
 
     def mttkrp_all_modes(self, factors: Sequence[np.ndarray]) -> list[np.ndarray]:
         """MTTKRP along every mode with the *same* input factors.
@@ -126,16 +136,14 @@ class AmpedMTTKRP:
         rank = mats[0].shape[1]
         outputs: list[np.ndarray] = []
         for mode in range(self.tensor.nmodes):
-            part = self.plan.modes[mode]
             per_gpu = []
             for g in range(self.config.n_gpus):
                 local = np.zeros(
                     (self.tensor.shape[mode], rank), dtype=np.float64
                 )
-                for j in self.plan.shards_for_gpu(mode, g):
-                    execute_shard(
-                        part, part.shards[j], mats, local, n_sms=self.functional_isps
-                    )
+                self.engine.mttkrp_into(
+                    mats, mode, local, shard_ids=self.plan.shards_for_gpu(mode, g)
+                )
                 per_gpu.append(local)
             views = ring_allgather(per_gpu)
             # Shards own disjoint rows, so summing the gathered chunks

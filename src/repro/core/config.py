@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.engine.executor import MAX_WORKERS
 from repro.errors import ReproError
 
 __all__ = ["AmpedConfig"]
@@ -29,6 +30,14 @@ class AmpedConfig:
         a per-dispatch host overhead).
     allgather: "ring" (Algorithm 3) or "direct" (A3 ablation).
     double_buffer: overlap shard H2D transfers with compute (CUDA streams).
+    batch_size: nonzeros per streaming element batch (None: one batch per
+        shard, the eager granularity). Bounds the engine's transient working
+        set at ``batch_size * rank`` contribution rows — except that a single
+        output row heavier than ``batch_size`` streams as one oversized batch
+        (segments are never split, to keep results bit-identical). See
+        :mod:`repro.engine.executor` for tuning guidance. Also feeds the
+        timing simulation, which then charges one kernel launch per batch.
+    workers: reduction worker threads for the streaming engine (1 = serial).
     """
 
     n_gpus: int = 4
@@ -39,6 +48,8 @@ class AmpedConfig:
     schedule: str = "static"
     allgather: str = "ring"
     double_buffer: bool = True
+    batch_size: int | None = None
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_gpus <= 0:
@@ -55,6 +66,15 @@ class AmpedConfig:
             raise ReproError(f"unknown schedule {self.schedule!r}")
         if self.allgather not in ("ring", "direct"):
             raise ReproError(f"unknown allgather {self.allgather!r}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ReproError(
+                f"batch_size must be >= 1 (or None for whole-shard batches), "
+                f"got {self.batch_size}"
+            )
+        if not 1 <= self.workers <= MAX_WORKERS:
+            raise ReproError(
+                f"workers must be in [1, {MAX_WORKERS}], got {self.workers}"
+            )
 
     def with_gpus(self, n_gpus: int) -> "AmpedConfig":
         """Copy with a different GPU count (scalability sweeps)."""

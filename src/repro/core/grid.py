@@ -6,6 +6,12 @@ update the same output row (they share the shard's output-index range), so
 the device resolves collisions with atomics — functionally, the per-ISP
 results are scatter-added into the same output matrix, which is exact
 because addition is the only reduction.
+
+With ``batch_size`` set, the shard instead executes at the streaming
+engine's granularity: segment-aligned element batches
+(:func:`repro.engine.batch.slice_segments`), whose edges never split an
+output segment — the slicing used by :class:`repro.engine.StreamingExecutor`
+and therefore bit-identical to the whole-shard reduction.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engine.batch import slice_segments
 from repro.partition.isp import isp_slices_for_shard
 from repro.partition.sharding import ModePartition, Shard
 from repro.tensor.kernels import mttkrp_sorted_segments
@@ -28,19 +35,31 @@ def execute_shard(
     out: np.ndarray,
     *,
     n_sms: int = 1,
+    batch_size: int | None = None,
 ) -> np.ndarray:
     """Functionally execute one shard (grid) into ``out``.
 
     ``n_sms`` controls how many ISP threadblocks the shard is split into;
     the result is independent of it (tested), exactly as the real kernel's
-    output is independent of the SM schedule.
+    output is independent of the SM schedule. When ``batch_size`` is given,
+    the shard is instead streamed as segment-aligned element batches of at
+    most that many nonzeros (``n_sms`` is ignored).
     """
     tensor = part.tensor
-    for sl in isp_slices_for_shard(shard, n_sms):
+    if batch_size is not None:
+        base = shard.elements.start
+        keys = tensor.indices[shard.elements, part.mode]
+        slices = [
+            slice(base + lo, base + hi)
+            for lo, hi in slice_segments(keys, batch_size)
+        ]
+    else:
+        slices = isp_slices_for_shard(shard, n_sms)
+    for sl in slices:
         if sl.stop <= sl.start:
             continue
-        # The tensor copy is sorted by the output mode, so every ISP slice
-        # is itself sorted -> segmented fast path (no cross-segment atomics).
+        # The tensor copy is sorted by the output mode, so every slice is
+        # itself sorted -> segmented fast path (no cross-segment atomics).
         mttkrp_sorted_segments(
             tensor.indices[sl], tensor.values[sl], factors, part.mode, out
         )

@@ -39,18 +39,61 @@ def amped_memory_plan(
     """Per-GPU allocations AMPED needs resident (bytes by name).
 
     Each GPU keeps a local copy of *all* factor matrices (§4.4) plus a
-    double-buffered staging area for the largest shard it will receive.
+    double-buffered staging area for the largest shard it will receive — or,
+    when ``config.batch_size`` bounds the streaming granularity, for one
+    element batch: streaming is exactly what decouples the resident footprint
+    from the shard size and opens out-of-core-sized shards.
+
+    Caveat: segment-aligned batching never splits one output row's nonzeros,
+    so a row heavier than ``batch_size`` streams as one oversized batch. The
+    workload descriptor does not carry per-row masses, so this plan reports
+    the nominal ``batch_size`` staging bound; on extremely hot-row tensors
+    (e.g. Patents' 46-row mode) the true transient peak is
+    ``max(batch_size, heaviest row's nnz)``.
     """
     elem_bytes = cost.coo_element_bytes(workload.nmodes)
     max_shard = 0
     for mw in workload.modes:
         if mw.shard_nnz.size:
             max_shard = max(max_shard, int(mw.shard_nnz.max()))
+    staging_elems = max_shard
+    if config.batch_size is not None:
+        staging_elems = min(max_shard, config.batch_size)
     buffers = 2 if config.double_buffer else 1
     return {
         "factor_matrices": workload.factor_bytes(config.rank, cost.rank_value_bytes),
-        "shard_staging": buffers * max_shard * elem_bytes,
+        "shard_staging": buffers * staging_elems * elem_bytes,
     }
+
+
+def _shard_kernel_time(
+    platform: MultiGPUPlatform,
+    cost: KernelCostModel,
+    workload: TensorWorkload,
+    mw: ModeWorkload,
+    config: AmpedConfig,
+    nnz: int,
+    elem_bytes: float,
+    input_bytes: float,
+) -> float:
+    """Kernel duration of one shard, at the configured batch granularity.
+
+    With ``config.batch_size`` set the shard streams as fixed-size element
+    batches, each paying its own launch overhead (the engine's granularity);
+    otherwise the eager single-kernel time is charged.
+    """
+    return cost.mttkrp_batched_time(
+        platform.gpu_spec,
+        nnz,
+        config.rank,
+        workload.nmodes,
+        batch_size=config.batch_size,
+        elem_bytes=elem_bytes,
+        factor_hit=mw.factor_hit,
+        input_factor_bytes=input_bytes,
+        sorted_output=True,
+        bandwidth_efficiency=cost.amped_kernel_efficiency,
+    )
 
 
 def _mode_static(
@@ -76,16 +119,8 @@ def _mode_static(
             h2d_end = platform.h2d(
                 g, nnz * elem_bytes, h2d_ready, label=f"m{mw.mode}.shard{j}"
             )
-            ktime = cost.mttkrp_time(
-                platform.gpu_spec,
-                nnz,
-                config.rank,
-                workload.nmodes,
-                elem_bytes=elem_bytes,
-                factor_hit=mw.factor_hit,
-                input_factor_bytes=input_bytes,
-                sorted_output=True,
-                bandwidth_efficiency=cost.amped_kernel_efficiency,
+            ktime = _shard_kernel_time(
+                platform, cost, workload, mw, config, nnz, elem_bytes, input_bytes
             )
             prev_compute_end = platform.compute(
                 g, ktime, h2d_end, label=f"m{mw.mode}.grid{j}"
@@ -128,16 +163,8 @@ def _mode_dynamic(
         h2d_end = platform.h2d(
             g, nnz * elem_bytes, h2d_ready, label=f"m{mw.mode}.shard{j}"
         )
-        ktime = cost.mttkrp_time(
-            platform.gpu_spec,
-            nnz,
-            config.rank,
-            workload.nmodes,
-            elem_bytes=elem_bytes,
-            factor_hit=mw.factor_hit,
-            input_factor_bytes=input_bytes,
-            sorted_output=True,
-            bandwidth_efficiency=cost.amped_kernel_efficiency,
+        ktime = _shard_kernel_time(
+            platform, cost, workload, mw, config, nnz, elem_bytes, input_bytes
         )
         done[g] = platform.compute(g, ktime, h2d_end, label=f"m{mw.mode}.grid{j}")
     return done

@@ -1,0 +1,25 @@
+"""repro.engine — streaming batched execution for MTTKRP.
+
+* :mod:`batch` — segment-aligned slicing of partition-plan shards into
+  fixed-size element batches (:class:`ElementBatch` / :class:`BatchPlan`);
+* :mod:`executor` — :class:`StreamingExecutor`, the batched (optionally
+  multi-worker) MTTKRP driver used by :class:`repro.core.AmpedMTTKRP`,
+  CP-ALS, and the benchmark suite.
+
+The engine's contract: for any ``(batch_size, workers)`` the result is
+bit-identical to the eager whole-shard reduction, because batch edges are
+snapped to output-segment boundaries and partial results are applied in a
+deterministic order.
+"""
+
+from repro.engine.batch import BatchPlan, ElementBatch, build_batch_plan, slice_segments
+from repro.engine.executor import StreamingExecutor, reduce_batch
+
+__all__ = [
+    "BatchPlan",
+    "ElementBatch",
+    "build_batch_plan",
+    "slice_segments",
+    "StreamingExecutor",
+    "reduce_batch",
+]

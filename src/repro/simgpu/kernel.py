@@ -130,6 +130,44 @@ class KernelCostModel:
         effective_bw = gpu.mem_bandwidth * bandwidth_efficiency
         return max(bytes_total / effective_bw, flops / gpu.flops) + self.launch_overhead
 
+    def batch_split(self, nnz: int, batch_size: int | None) -> tuple[int, int]:
+        """Analytic batch count for ``nnz`` elements: ``(n_full, remainder)``.
+
+        Mirrors the streaming engine's slicing at descriptor scale (the
+        simulation never sees element data, so segment snapping is ignored —
+        at billion scale the boundary adjustment is noise).
+        """
+        if batch_size is None or nnz <= 0 or batch_size >= nnz:
+            return (1 if nnz > 0 else 0), 0
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return nnz // batch_size, nnz % batch_size
+
+    def mttkrp_batched_time(
+        self,
+        gpu: GPUSpec,
+        nnz: int,
+        rank: int,
+        nmodes: int,
+        *,
+        batch_size: int | None,
+        **kw,
+    ) -> float:
+        """Duration of one shard streamed as ``batch_size``-element batches.
+
+        Each batch is a separate (sub)kernel, so it pays its own launch
+        overhead — the cost of streaming granularity the engine trades for a
+        bounded working set. ``batch_size=None`` degenerates to the eager
+        single-kernel time.
+        """
+        n_full, rem = self.batch_split(nnz, batch_size)
+        if batch_size is None or (n_full <= 1 and rem == 0):
+            return self.mttkrp_time(gpu, nnz, rank, nmodes, **kw)
+        t = n_full * self.mttkrp_time(gpu, batch_size, rank, nmodes, **kw)
+        if rem:
+            t += self.mttkrp_time(gpu, rem, rank, nmodes, **kw)
+        return t
+
     def remap_time(self, gpu: GPUSpec, nnz: int, elem_bytes: float) -> float:
         """FLYCOO dynamic tensor remapping: read + scattered write in device."""
         if nnz <= 0:

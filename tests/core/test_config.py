@@ -34,11 +34,32 @@ class TestAmpedConfig:
             {"policy": "magic"},
             {"schedule": "sometimes"},
             {"allgather": "telepathy"},
+            {"batch_size": 0},
+            {"batch_size": -5},
+            {"workers": 0},
+            {"workers": -1},
+            {"workers": 100_000},
         ],
     )
     def test_invalid_rejected(self, kw):
         with pytest.raises(ReproError):
             AmpedConfig(**kw)
+
+    def test_invalid_batch_size_message_is_clear(self):
+        with pytest.raises(ReproError, match="batch_size must be >= 1"):
+            AmpedConfig(batch_size=0)
+        with pytest.raises(ReproError, match="workers must be in"):
+            AmpedConfig(workers=0)
+
+    def test_engine_knob_defaults(self):
+        cfg = AmpedConfig()
+        assert cfg.batch_size is None  # eager whole-shard granularity
+        assert cfg.workers == 1
+
+    def test_engine_knobs_accepted(self):
+        cfg = AmpedConfig(batch_size=4096, workers=8)
+        assert cfg.batch_size == 4096
+        assert cfg.workers == 8
 
     def test_frozen(self):
         cfg = AmpedConfig()

@@ -1,0 +1,111 @@
+"""Golden-regression data: fixed-seed tensors with checked-in expected
+outputs.
+
+Run ``PYTHONPATH=src python tests/golden/make_golden.py`` to (re)generate
+``tests/golden/data/``. Regeneration is a deliberate act: the committed
+files pin the production MTTKRP numerics bit-for-bit, so any diff in them is
+a numerical behavior change that must be explained in review, not an
+accident.
+
+Each case stores, in one ``.npz``:
+
+* the tensor (``indices``, ``values``, ``shape``) and its fixed-seed factor
+  matrices (``factor_0..N-1``);
+* the expected MTTKRP output of every mode (``mttkrp_0..N-1``), computed by
+  the streaming engine at its default (eager) granularity — bit-identical
+  across every ``(batch_size, workers)`` configuration by design;
+* the expected CP-ALS final fit (``cpals_fit``, with ``cpals_rank`` /
+  ``cpals_iters``), computed with the AMPED engine as the MTTKRP backend.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.amped import AmpedMTTKRP
+from repro.core.config import AmpedConfig
+from repro.cpd.als import cp_als
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.generate import lowrank_coo, random_coo, zipf_coo
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+#: name -> (tensor builder, factor seed, rank, AmpedConfig kwargs)
+CASES: dict[str, dict] = {
+    "zipf3": dict(
+        build=lambda: zipf_coo((30, 20, 25), 600, exponents=1.1, seed=2026),
+        factor_seed=7,
+        rank=5,
+        config=dict(n_gpus=4, shards_per_gpu=4),
+        cpals_iters=8,
+    ),
+    "lowrank3": dict(
+        build=lambda: lowrank_coo((24, 18, 15), 900, rank=3, noise=0.02, seed=99),
+        factor_seed=3,
+        rank=4,
+        config=dict(n_gpus=2, shards_per_gpu=3),
+        cpals_iters=10,
+    ),
+    "rand4": dict(
+        build=lambda: random_coo((12, 9, 7, 5), 350, seed=11),
+        factor_seed=13,
+        rank=4,
+        config=dict(n_gpus=3, shards_per_gpu=2),
+        cpals_iters=6,
+    ),
+}
+
+
+def build_case(name: str):
+    """(tensor, factors, rank, config) of one golden case."""
+    spec = CASES[name]
+    tensor: SparseTensorCOO = spec["build"]()
+    rng = np.random.default_rng(spec["factor_seed"])
+    factors = [rng.random((s, spec["rank"])) for s in tensor.shape]
+    config = AmpedConfig(rank=spec["rank"], **spec["config"])
+    return tensor, factors, spec["rank"], config
+
+
+def golden_path(name: str) -> pathlib.Path:
+    return DATA_DIR / f"{name}.npz"
+
+
+def compute_expected(name: str) -> dict[str, np.ndarray]:
+    """All arrays stored in a case's .npz, freshly computed."""
+    tensor, factors, rank, config = build_case(name)
+    ex = AmpedMTTKRP(tensor, config, name=name)
+    payload: dict[str, np.ndarray] = {
+        "indices": tensor.indices,
+        "values": tensor.values,
+        "shape": np.array(tensor.shape, dtype=np.int64),
+    }
+    for m, f in enumerate(factors):
+        payload[f"factor_{m}"] = f
+    for m in range(tensor.nmodes):
+        payload[f"mttkrp_{m}"] = ex.mttkrp(factors, m)
+    n_iters = CASES[name]["cpals_iters"]
+    res = cp_als(
+        tensor, rank=rank, mttkrp=ex.mttkrp, n_iters=n_iters, tol=0.0, seed=42
+    )
+    payload["cpals_fit"] = np.float64(res.final_fit)
+    payload["cpals_rank"] = np.int64(rank)
+    payload["cpals_iters"] = np.int64(n_iters)
+    return payload
+
+
+def main() -> None:
+    DATA_DIR.mkdir(exist_ok=True)
+    for name in CASES:
+        payload = compute_expected(name)
+        np.savez(golden_path(name), **payload)
+        nnz = payload["values"].shape[0]
+        print(
+            f"wrote {golden_path(name)} (nnz={nnz}, "
+            f"fit={float(payload['cpals_fit']):.6f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

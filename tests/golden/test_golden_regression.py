@@ -1,0 +1,157 @@
+"""Golden-regression tests: fixed-seed tensors vs checked-in expected outputs.
+
+The ``.npz`` files under ``data/`` pin the production MTTKRP numerics. The
+engine family (StreamingExecutor at any batch/worker granularity, and
+AmpedMTTKRP which runs on it) must reproduce them **bit-for-bit** — the
+segment-aligned batching guarantees every configuration performs the same
+reductions in the same order. Format baselines reduce in a different order
+(CSF trees, HiCOO blocks, BLCO linearization), so they are held to an
+extremely tight tolerance instead: the measured worst-case deviation at this
+scale is ~1e-15 relative, and the 1e-12 gate leaves three orders of
+magnitude of margin while still catching any real numerical change.
+
+Regenerate with ``PYTHONPATH=src python tests/golden/make_golden.py`` —
+only when a numerical change is intentional.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from make_golden import CASES, build_case, golden_path
+
+from repro.baselines.registry import BACKEND_REGISTRY, make_backend
+from repro.core.amped import AmpedMTTKRP
+from repro.cpd.als import cp_als
+from repro.engine import StreamingExecutor
+from repro.errors import UnsupportedTensorError
+from repro.partition.plan import build_partition_plan
+from repro.tensor.reference import mttkrp_coo_reference, mttkrp_dense_reference
+
+CASE_NAMES = sorted(CASES)
+
+#: format baselines re-associate sums; measured worst case is ~1e-15 relative
+BASELINE_RTOL = 1e-12
+BASELINE_ATOL = 1e-14
+CPALS_FIT_TOL = 1e-10
+
+
+@pytest.fixture(scope="module", params=CASE_NAMES)
+def case(request):
+    name = request.param
+    tensor, factors, rank, config = build_case(name)
+    data = np.load(golden_path(name))
+    return name, tensor, factors, rank, config, data
+
+
+def _expected(data, mode: int) -> np.ndarray:
+    return data[f"mttkrp_{mode}"]
+
+
+class TestGoldenFilesIntact:
+    def test_tensor_matches_builder(self, case):
+        """The committed tensor bytes equal the fixed-seed builder output."""
+        _, tensor, factors, _, _, data = case
+        assert np.array_equal(data["indices"], tensor.indices)
+        assert np.array_equal(data["values"], tensor.values)
+        assert tuple(data["shape"]) == tensor.shape
+        for m, f in enumerate(factors):
+            assert np.array_equal(data[f"factor_{m}"], f)
+
+
+class TestEngineBitExact:
+    def test_amped_executor(self, case):
+        _, tensor, factors, _, config, data = case
+        ex = AmpedMTTKRP(tensor, config)
+        for m in range(tensor.nmodes):
+            assert np.array_equal(ex.mttkrp(factors, m), _expected(data, m))
+
+    @pytest.mark.parametrize("batch_size", [1, 17, None])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_streaming_engine(self, case, batch_size, workers):
+        """Every engine granularity reproduces the golden bits exactly."""
+        _, tensor, factors, _, config, data = case
+        plan = build_partition_plan(
+            tensor, config.n_gpus, shards_per_gpu=config.shards_per_gpu
+        )
+        engine = StreamingExecutor(plan, batch_size=batch_size, workers=workers)
+        for m in range(tensor.nmodes):
+            assert np.array_equal(engine.mttkrp(factors, m), _expected(data, m))
+
+
+class TestReferencesAndBaselines:
+    @pytest.mark.parametrize("reference", [mttkrp_coo_reference, mttkrp_dense_reference])
+    def test_references(self, case, reference):
+        _, tensor, factors, _, _, data = case
+        for m in range(tensor.nmodes):
+            assert np.allclose(
+                reference(tensor, factors, m),
+                _expected(data, m),
+                rtol=BASELINE_RTOL,
+                atol=BASELINE_ATOL,
+            )
+
+    @pytest.mark.parametrize("backend_name", sorted(BACKEND_REGISTRY))
+    def test_baseline_backends(self, case, backend_name):
+        _, tensor, factors, rank, _, data = case
+        try:
+            backend = make_backend(backend_name, tensor, rank=rank)
+        except UnsupportedTensorError as exc:
+            pytest.skip(f"{backend_name}: {exc}")
+        for m in range(tensor.nmodes):
+            assert np.allclose(
+                backend.mttkrp(factors, m),
+                _expected(data, m),
+                rtol=BASELINE_RTOL,
+                atol=BASELINE_ATOL,
+            )
+
+
+class TestCPALSFits:
+    def test_engine_fit_bit_stable(self, case):
+        """CP-ALS driven by the AMPED engine reproduces the golden fit."""
+        _, tensor, _, rank, config, data = case
+        ex = AmpedMTTKRP(tensor, config)
+        res = cp_als(
+            tensor,
+            rank=rank,
+            mttkrp=ex.mttkrp,
+            n_iters=int(data["cpals_iters"]),
+            tol=0.0,
+            seed=42,
+        )
+        assert res.final_fit == pytest.approx(
+            float(data["cpals_fit"]), abs=CPALS_FIT_TOL
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend_name", sorted(BACKEND_REGISTRY))
+    def test_baseline_fits(self, case, backend_name):
+        """Every baseline backend converges to the same golden fit."""
+        _, tensor, _, rank, _, data = case
+        try:
+            backend = make_backend(backend_name, tensor, rank=rank)
+        except UnsupportedTensorError as exc:
+            pytest.skip(f"{backend_name}: {exc}")
+        res = cp_als(
+            tensor,
+            rank=rank,
+            mttkrp=backend.mttkrp,
+            n_iters=int(data["cpals_iters"]),
+            tol=0.0,
+            seed=42,
+        )
+        assert res.final_fit == pytest.approx(
+            float(data["cpals_fit"]), abs=CPALS_FIT_TOL
+        )
+
+    @pytest.mark.slow
+    def test_reference_fit(self, case):
+        _, tensor, _, rank, _, data = case
+        res = cp_als(
+            tensor, rank=rank, n_iters=int(data["cpals_iters"]), tol=0.0, seed=42
+        )
+        assert res.final_fit == pytest.approx(
+            float(data["cpals_fit"]), abs=CPALS_FIT_TOL
+        )

@@ -1,0 +1,118 @@
+"""Property-based tests for the streaming engine's batch slicing.
+
+Invariants (satellite of the streaming-engine issue):
+
+* the batches of a shard partition its nonzeros exactly once, in order;
+* every batch edge respects ``segment_starts`` boundaries — no output-mode
+  segment is ever split across two batches;
+* a batch exceeds ``batch_size`` only when it is a single oversized segment;
+* consequently the streamed MTTKRP is bit-identical to the eager reduction
+  for any batch size and worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import StreamingExecutor, build_batch_plan, slice_segments
+from repro.partition.plan import build_partition_plan
+from repro.partition.sharding import shard_mode
+from repro.tensor.generate import zipf_coo
+
+
+@st.composite
+def sliced_keys(draw):
+    """A sorted key array plus a batch size."""
+    n = draw(st.integers(0, 200))
+    universe = draw(st.integers(1, 30))
+    keys = np.sort(
+        np.asarray(draw(
+            st.lists(st.integers(0, universe - 1), min_size=n, max_size=n)
+        ), dtype=np.int64)
+    )
+    batch_size = draw(st.one_of(st.none(), st.integers(1, 64)))
+    return keys, batch_size
+
+
+@st.composite
+def engine_cases(draw):
+    nmodes = draw(st.integers(2, 4))
+    shape = tuple(draw(st.integers(2, 12)) for _ in range(nmodes))
+    nnz = draw(st.integers(1, 150))
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_gpus = draw(st.integers(1, 4))
+    shards_per_gpu = draw(st.integers(1, 4))
+    batch_size = draw(st.one_of(st.none(), st.integers(1, 50)))
+    workers = draw(st.integers(1, 3))
+    mode = draw(st.integers(0, nmodes - 1))
+    return shape, nnz, seed, n_gpus, shards_per_gpu, batch_size, workers, mode
+
+
+class TestSliceSegmentsProperties:
+    @given(sliced_keys())
+    @settings(max_examples=120, deadline=None)
+    def test_partition_and_alignment(self, case):
+        keys, batch_size = case
+        slices = slice_segments(keys, batch_size)
+        # exact cover, in order, no empty slices
+        pos = 0
+        for lo, hi in slices:
+            assert lo == pos and hi > lo
+            pos = hi
+        assert pos == keys.shape[0]
+        for lo, hi in slices:
+            # batch edges never split a segment
+            if lo > 0:
+                assert keys[lo] != keys[lo - 1]
+            # oversized batches are single segments
+            if batch_size is not None and hi - lo > batch_size:
+                assert (keys[lo:hi] == keys[lo]).all()
+
+    @given(sliced_keys())
+    @settings(max_examples=60, deadline=None)
+    def test_cuts_are_maximal(self, case):
+        """Greedy slicing: no batch could absorb its successor's first
+        segment without exceeding batch_size."""
+        keys, batch_size = case
+        if batch_size is None:
+            return
+        slices = slice_segments(keys, batch_size)
+        for (lo, hi), (nlo, nhi) in zip(slices, slices[1:]):
+            next_seg_end = nlo + int(
+                np.searchsorted(keys[nlo:], keys[nlo], side="right")
+            )
+            assert (next_seg_end - lo) > batch_size
+
+
+class TestBatchPlanProperties:
+    @given(engine_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_plan_partitions_every_shard(self, case):
+        shape, nnz, seed, _, _, batch_size, _, mode = case
+        t = zipf_coo(shape, nnz, exponents=1.0, seed=seed)
+        part = shard_mode(t, mode, min(4, shape[mode]))
+        plan = build_batch_plan(part, batch_size)
+        plan.validate_against(part)  # coverage + alignment invariants
+        # every element covered exactly once across all batches
+        counts = np.zeros(t.nnz, dtype=np.int64)
+        for b in plan.batches:
+            counts[b.elements] += 1
+        assert (counts == 1).all()
+
+
+class TestExecutorProperties:
+    @given(engine_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_streamed_equals_eager_bitwise(self, case):
+        shape, nnz, seed, n_gpus, shards_per_gpu, batch_size, workers, mode = case
+        t = zipf_coo(shape, nnz, exponents=1.0, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        factors = [rng.standard_normal((s, 4)) for s in shape]
+        plan = build_partition_plan(t, n_gpus, shards_per_gpu=shards_per_gpu)
+        eager = StreamingExecutor(plan).mttkrp(factors, mode)
+        streamed = StreamingExecutor(
+            plan, batch_size=batch_size, workers=workers
+        ).mttkrp(factors, mode)
+        assert np.array_equal(eager, streamed)

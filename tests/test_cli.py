@@ -39,6 +39,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "amped on amazon" in out
 
+    def test_simulate_amped_batched(self, capsys):
+        assert main(
+            ["simulate", "amazon", "--shards-per-gpu", "4", "--batch-size", "1000000"]
+        ) == 0
+        assert "amped on amazon" in capsys.readouterr().out
+
+    def test_simulate_batch_size_rejected_for_baselines(self, capsys):
+        rc = main(["simulate", "amazon", "--method", "blco", "--batch-size", "64"])
+        assert rc == 2
+        assert "AMPED streaming engine only" in capsys.readouterr().out
+
     def test_simulate_oom_baseline_fails_cleanly(self, capsys):
         rc = main(["simulate", "reddit", "--method", "flycoo-gpu"])
         assert rc == 1
