@@ -6,14 +6,24 @@ optimizing, then keep the receipts).
 
 Run directly with ``--smoke`` for the CI engine check: verifies that the
 streaming batched executor is bit-identical to the eager path and within
-1.2x of its wall time on the seed synthetic tensor.
+1.2x of its wall time on the seed synthetic tensor, then repeats the check
+out of core — a memory-mapped shard cache must match the in-memory bits at
+every probed batch size, and the cache-model ``auto`` batch must land within
+1.2x of the best manually tuned one.
 """
 
 import numpy as np
 import pytest
 
-from repro.engine import StreamingExecutor
+from repro.engine import (
+    MmapNpzSource,
+    StreamingExecutor,
+    auto_batch_size,
+    streamed_batch_bytes,
+)
 from repro.partition.plan import build_partition_plan
+from repro.simgpu.kernel import KernelCostModel
+from repro.tensor.io import write_shard_cache
 from repro.tensor.formats.csf import CSFTensor
 from repro.tensor.generate import zipf_coo
 from repro.tensor.kernels import (
@@ -101,6 +111,18 @@ def test_streaming_engine_batched(benchmark, kernel_data, engine_plan):
     assert out.shape[1] == 32
 
 
+def test_streaming_engine_mmap(benchmark, kernel_data, tmp_path):
+    """Throughput of the out-of-core path on a warm page cache."""
+    tensor, factors = kernel_data
+    cache = write_shard_cache(tensor, tmp_path / "bench.npz")
+    source = MmapNpzSource(cache, n_gpus=4, shards_per_gpu=8)
+    engine = StreamingExecutor(
+        source, batch_size=auto_batch_size(KernelCostModel(), 32, tensor.nmodes)
+    )
+    out = benchmark(engine.mttkrp, factors, 0)
+    assert out.shape[1] == 32
+
+
 # ----------------------------------------------------------------------
 # CI smoke mode: `python benchmarks/bench_kernels.py --smoke`
 # ----------------------------------------------------------------------
@@ -154,7 +176,80 @@ def run_smoke(batch_size: int = 4096, workers: int = 1) -> int:
     if ratio > SMOKE_RATIO_LIMIT:
         print(f"SMOKE FAIL: batched path exceeds {SMOKE_RATIO_LIMIT}x eager")
         return 1
+
+    rc = _run_out_of_core_smoke(tensor, factors, eager_out, t_eager)
+    if rc != 0:
+        return rc
     print("SMOKE OK: bit-identical outputs, no perf regression")
+    return 0
+
+
+def _run_out_of_core_smoke(tensor, factors, eager_out, t_eager: float) -> int:
+    """Mmap-vs-in-memory throughput + the cache-model `auto` batch gate.
+
+    Builds a shard cache in a temp dir, checks every probed batch size is
+    bit-identical to the in-memory bits, and requires the `auto` batch to be
+    within SMOKE_RATIO_LIMIT of the best manually tuned mmap time (and its
+    staged bytes to fit the modeled cache).
+    """
+    import tempfile
+    from pathlib import Path
+
+    cost = KernelCostModel()
+    auto_b = auto_batch_size(cost, 32, tensor.nmodes)
+    if streamed_batch_bytes(auto_b, 32, tensor.nmodes) > cost.effective_cache_bytes:
+        print(
+            f"SMOKE FAIL: auto batch {auto_b} stages more than "
+            f"effective_cache_bytes={cost.effective_cache_bytes}"
+        )
+        return 1
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = write_shard_cache(tensor, Path(tmp) / "smoke.npz")
+        source = MmapNpzSource(cache, n_gpus=4, shards_per_gpu=8)
+        candidates: dict[str, int | None] = {
+            "eager": None,
+            "4096": 4096,
+            "32768": 32768,
+            f"auto={auto_b}": auto_b,
+        }
+        times: dict[str, float] = {}
+        for label, b in candidates.items():
+            engine = StreamingExecutor(source, batch_size=b)
+            for m in range(tensor.nmodes):
+                engine.batch_plan(m)
+            outs = engine.mttkrp_all_modes(factors)
+            for m, (a, o) in enumerate(zip(eager_out, outs)):
+                if not np.array_equal(a, o):
+                    print(
+                        f"SMOKE FAIL: mmap batch_size={label} mode {m} "
+                        f"differs from in-memory"
+                    )
+                    return 1
+            times[label] = _best_wall_time(
+                lambda e=engine: e.mttkrp_all_modes(factors)
+            )
+        melems = tensor.nnz * tensor.nmodes / 1e6
+        summary = ", ".join(
+            f"{label} {t * 1e3:.1f} ms ({melems / t:.0f} Melem/s)"
+            for label, t in times.items()
+        )
+        print(
+            f"out-of-core smoke (mmap, vs in-memory eager "
+            f"{t_eager * 1e3:.1f} ms): {summary}"
+        )
+        auto_label = f"auto={auto_b}"
+        best_manual = min(t for label, t in times.items() if label != auto_label)
+        auto_ratio = times[auto_label] / best_manual
+        print(
+            f"auto batch {auto_b}: {auto_ratio:.3f}x of best manual mmap time"
+        )
+        if auto_ratio > SMOKE_RATIO_LIMIT:
+            print(
+                f"SMOKE FAIL: auto batch exceeds {SMOKE_RATIO_LIMIT}x the "
+                f"best manual batch size"
+            )
+            return 1
+        source.close()
     return 0
 
 

@@ -7,6 +7,9 @@ Public API highlights:
   (functional NumPy execution + simulated-platform timing);
 * :class:`repro.engine.StreamingExecutor` — the streaming batched MTTKRP
   engine (cache-sized element batches, optional worker pool) AMPED runs on;
+* :mod:`repro.engine` shard sources — :class:`repro.engine.InMemorySource`,
+  :class:`repro.engine.MmapNpzSource` (out-of-core memory-mapped shard
+  caches), :class:`repro.engine.SyntheticSource`;
 * :mod:`repro.cpd` — CP-ALS tensor decomposition on any MTTKRP backend;
 * :mod:`repro.baselines` — BLCO, MM-CSF, HiCOO-GPU, FLYCOO-GPU and the
   equal-nonzero multi-GPU strawman, on the same simulated platform;
@@ -31,6 +34,12 @@ from repro.tensor.coo import SparseTensorCOO
 from repro.core.amped import AmpedMTTKRP
 from repro.core.config import AmpedConfig
 from repro.engine.executor import StreamingExecutor
+from repro.engine.source import (
+    InMemorySource,
+    MmapNpzSource,
+    ShardSource,
+    SyntheticSource,
+)
 
 __all__ = [
     "__version__",
@@ -46,4 +55,8 @@ __all__ = [
     "AmpedMTTKRP",
     "AmpedConfig",
     "StreamingExecutor",
+    "ShardSource",
+    "InMemorySource",
+    "MmapNpzSource",
+    "SyntheticSource",
 ]

@@ -6,6 +6,7 @@ experiments   regenerate the paper's tables/figures (model scale)
 datasets      list the Table 3 dataset profiles
 simulate      simulate one dataset x method at paper scale
 decompose     CP-ALS on a FROSTT .tns file (or a synthetic dataset instance)
+cache         build an out-of-core shard cache (.npz) from a tensor
 trace         export a simulated AMPED run as Chrome trace JSON
 """
 
@@ -17,6 +18,21 @@ import sys
 from repro.version import __version__
 
 __all__ = ["main", "build_parser"]
+
+
+def _batch_size_arg(text: str):
+    """Parse ``--batch-size``: an int, ``auto`` (cache model), or ``none``."""
+    lowered = text.strip().lower()
+    if lowered == "auto":
+        return "auto"
+    if lowered in ("none", "eager"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, 'auto', or 'none'; got {text!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,13 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--shards-per-gpu", type=int, default=16)
     p_sim.add_argument(
         "--batch-size",
-        type=int,
-        default=None,
-        help="streaming batch granularity in nonzeros (default: whole shards)",
+        type=_batch_size_arg,
+        default="auto",
+        help="streaming batch granularity in nonzeros: an int, 'auto' "
+        "(default; resolves to whole shards for the resident model runs "
+        "this command times), or 'none' (whole shards)",
     )
 
     p_dec = sub.add_parser("decompose", help="CP-ALS on a tensor")
-    src = p_dec.add_mutually_exclusive_group(required=True)
+    # Not required: an existing --shard-cache is a tensor source by itself.
+    src = p_dec.add_mutually_exclusive_group(required=False)
     src.add_argument("--tns", help="FROSTT .tns file")
     src.add_argument(
         "--dataset",
@@ -69,15 +88,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--seed", type=int, default=0)
     p_dec.add_argument(
         "--batch-size",
-        type=int,
-        default=None,
-        help="streaming batch granularity in nonzeros (default: whole shards)",
+        type=_batch_size_arg,
+        default="auto",
+        help="streaming batch granularity in nonzeros: an int, 'auto' "
+        "(default: eager in memory, cache-model batches out of core), or "
+        "'none' (whole shards)",
     )
     p_dec.add_argument(
         "--workers",
         type=int,
         default=1,
         help="engine reduction worker threads (default: serial)",
+    )
+    p_dec.add_argument(
+        "--shard-cache",
+        help="shard cache .npz path; built from the input tensor if missing "
+        "(required by --out-of-core)",
+    )
+    p_dec.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="stream element batches from the memory-mapped shard cache "
+        "instead of holding the partition plan in RAM",
+    )
+    p_dec.add_argument(
+        "--max-nnz",
+        type=int,
+        default=None,
+        help="refuse to materialize a .tns with more nonzeros than this",
+    )
+
+    p_cache = sub.add_parser(
+        "cache", help="build an out-of-core shard cache (.npz) from a tensor"
+    )
+    csrc = p_cache.add_mutually_exclusive_group(required=True)
+    csrc.add_argument("--tns", help="FROSTT .tns file to convert")
+    csrc.add_argument(
+        "--dataset",
+        choices=["amazon", "patents", "reddit", "twitch"],
+        help="scaled synthetic instance of a Table 3 dataset",
+    )
+    p_cache.add_argument("output", help="output .npz path")
+    p_cache.add_argument("--nnz", type=int, default=100_000, help="scaled nnz")
+    p_cache.add_argument("--seed", type=int, default=0)
+    p_cache.add_argument(
+        "--max-nnz",
+        type=int,
+        default=None,
+        help="refuse to materialize a .tns with more nonzeros than this",
     )
 
     p_tr = sub.add_parser("trace", help="export a Chrome trace of a simulated run")
@@ -127,7 +185,7 @@ def _cmd_simulate(args) -> int:
     from repro.simgpu.kernel import KernelCostModel
     from repro.util.humanize import format_seconds
 
-    if args.batch_size is not None and args.method != "amped":
+    if args.batch_size not in (None, "auto") and args.method != "amped":
         print(
             f"--batch-size applies to the AMPED streaming engine only; "
             f"method {args.method!r} does not support it"
@@ -158,32 +216,77 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _load_cli_tensor(args):
+    """(tensor, label) from --tns / --dataset flags shared by subcommands."""
+    from repro.datasets.profiles import profile_by_name
+    from repro.datasets.synthetic import materialize
+    from repro.tensor.io import read_tns
+
+    max_nnz = getattr(args, "max_nnz", None)
+    if args.tns:
+        return read_tns(args.tns, max_nnz=max_nnz), args.tns
+    tensor = materialize(profile_by_name(args.dataset), args.nnz, seed=args.seed)
+    return tensor, f"{args.dataset} (scaled to {tensor.nnz} nnz)"
+
+
 def _cmd_decompose(args) -> int:
     from repro.core.amped import AmpedMTTKRP
     from repro.core.config import AmpedConfig
     from repro.cpd.als import cp_als
-    from repro.datasets.profiles import profile_by_name
-    from repro.datasets.synthetic import materialize
-    from repro.tensor.io import read_tns
+    from repro.tensor.io import shard_cache_path, write_shard_cache
     from repro.util.humanize import format_seconds
 
-    if args.tns:
-        tensor = read_tns(args.tns)
-        name = args.tns
-    else:
-        tensor = materialize(profile_by_name(args.dataset), args.nnz, seed=args.seed)
-        name = f"{args.dataset} (scaled to {tensor.nnz} nnz)"
-    print(f"tensor: {name}, shape={tensor.shape}, nnz={tensor.nnz}")
-    ex = AmpedMTTKRP(
-        tensor,
-        AmpedConfig(
-            n_gpus=args.gpus,
-            rank=args.rank,
-            batch_size=args.batch_size,
-            workers=args.workers,
-        ),
-        name="cli",
+    if args.out_of_core and not args.shard_cache:
+        print(
+            "--out-of-core requires --shard-cache PATH: build one with "
+            "`repro cache` (or pass --shard-cache here and it is built from "
+            "the input tensor first)"
+        )
+        return 2
+    # Resolve suffix-less paths the way the writer will (np.savez appends
+    # .npz), so the existence check, the build, and the open all agree.
+    cache = shard_cache_path(args.shard_cache) if args.shard_cache else None
+    cache_exists = cache is not None and cache.is_file()
+    if not (args.tns or args.dataset or cache_exists):
+        print(
+            "no tensor source: pass --tns/--dataset, or point --shard-cache "
+            "at an existing cache"
+        )
+        return 2
+    config = AmpedConfig(
+        n_gpus=args.gpus,
+        rank=args.rank,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        out_of_core=args.out_of_core,
+        shard_cache=None if cache is None else str(cache),
     )
+    tensor = name = None
+    if cache is not None and not cache_exists:
+        tensor, name = _load_cli_tensor(args)
+        cache = write_shard_cache(tensor, cache)
+        print(f"wrote shard cache {cache} (nnz={tensor.nnz})")
+    if args.out_of_core:
+        ex = AmpedMTTKRP.from_shard_cache(cache, config, name="cli")
+        tensor = ex.tensor
+        name = f"{cache} (out-of-core, mmap)"
+        print(
+            f"streaming out of core at batch_size="
+            f"{ex.engine.batch_size} (resolved from "
+            f"{config.batch_size!r})"
+        )
+    else:
+        if tensor is None:
+            if args.tns or args.dataset:
+                tensor, name = _load_cli_tensor(args)
+            else:  # an existing cache is the only tensor source given
+                from repro.engine.source import MmapNpzSource
+
+                cache_src = MmapNpzSource(cache, n_gpus=args.gpus)
+                tensor = cache_src.tensor_view().as_coo()
+                name = f"{cache} (loaded into memory)"
+        ex = AmpedMTTKRP(tensor, config, name="cli")
+    print(f"tensor: {name}, shape={tensor.shape}, nnz={tensor.nnz}")
     res = cp_als(
         tensor, rank=args.rank, n_iters=args.iters, seed=args.seed,
         mttkrp=ex.mttkrp,
@@ -196,6 +299,21 @@ def _cmd_decompose(args) -> int:
     print(
         f"simulated MTTKRP iteration on {args.gpus} GPU(s): "
         f"{format_seconds(sim.total_time)}"
+    )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.tensor.io import write_shard_cache
+
+    tensor, name = _load_cli_tensor(args)
+    path = write_shard_cache(tensor, args.output)
+    print(
+        f"wrote shard cache {path} for {name}: shape={tensor.shape}, "
+        f"nnz={tensor.nnz} ({tensor.nmodes} mode-sorted copies)"
+    )
+    print(
+        f"stream it with: repro decompose --shard-cache {path} --out-of-core"
     )
     return 0
 
@@ -220,6 +338,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "simulate": _cmd_simulate,
     "decompose": _cmd_decompose,
+    "cache": _cmd_cache,
     "trace": _cmd_trace,
 }
 

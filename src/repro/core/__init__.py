@@ -16,8 +16,8 @@ from repro.core.config import AmpedConfig
 from repro.core.results import ModeTiming, RunResult
 from repro.core.workload import ModeWorkload, TensorWorkload
 from repro.core.elementwise import threadblock_ec
-from repro.core.grid import execute_shard
-from repro.core.simulate import simulate_amped
+from repro.core.grid import execute_shard, execute_source_shard
+from repro.core.simulate import amped_memory_plan, host_memory_plan, simulate_amped
 from repro.core.amped import AmpedMTTKRP
 from repro.core.preprocess import preprocessing_time
 from repro.core.hetero import device_speeds, hetero_workload, simulate_hetero
@@ -30,7 +30,10 @@ __all__ = [
     "TensorWorkload",
     "threadblock_ec",
     "execute_shard",
+    "execute_source_shard",
     "simulate_amped",
+    "amped_memory_plan",
+    "host_memory_plan",
     "AmpedMTTKRP",
     "preprocessing_time",
     "device_speeds",

@@ -2,7 +2,10 @@
 
 :class:`AmpedMTTKRP` is the user-facing entry point of the library. It owns
 
-* the partition plan (per-mode tensor copies, shards, GPU assignment);
+* the shard source — a resident partition plan built from ``tensor``
+  (default), or any :class:`repro.engine.ShardSource` such as a
+  memory-mapped shard cache for out-of-core tensors
+  (:meth:`AmpedMTTKRP.from_source` / :meth:`AmpedMTTKRP.from_shard_cache`);
 * a functional :meth:`mttkrp` that computes the exact MTTKRP result via the
   streaming batched engine (:class:`repro.engine.StreamingExecutor`),
   driving shard element batches through the segmented kernels (used by
@@ -24,6 +27,7 @@ from repro.core.results import RunResult
 from repro.core.simulate import simulate_amped
 from repro.core.workload import TensorWorkload
 from repro.engine.executor import StreamingExecutor
+from repro.engine.source import InMemorySource, MmapNpzSource, ShardSource
 from repro.errors import ReproError
 from repro.partition.plan import PartitionPlan, build_partition_plan
 from repro.simgpu.kernel import KernelCostModel
@@ -41,35 +45,44 @@ class AmpedMTTKRP:
     Parameters
     ----------
     tensor:
-        The sparse input tensor (functional scale).
+        The sparse input tensor (functional scale). Pass ``None`` together
+        with ``source`` to run from a shard source instead of a resident
+        tensor (out-of-core).
     config:
         Algorithm configuration; defaults to the paper's (§5.1.5).
     platform:
         Simulated platform; defaults to the paper's 4x RTX 6000 Ada node
         (resized to ``config.n_gpus``).
     cost:
-        Kernel cost model for the timing simulation.
+        Kernel cost model for the timing simulation (also the cache model
+        behind ``batch_size="auto"``).
     name:
         Label used in results and reports.
+    source:
+        Optional :class:`repro.engine.ShardSource` supplying the element
+        batches. Mutually exclusive with ``tensor``; its GPU count must
+        match the config. For out-of-core sources the config is normalized
+        to ``out_of_core=True`` so batch autotuning and the simulator's
+        host staging accounting see the streaming residency.
     functional_isps:
         ISP (threadblock) count per shard modeled by the legacy
         :func:`repro.core.grid.execute_shard` path. The functional MTTKRP now
-        runs through the streaming engine (whose granularity is
+        runs through the streaming engine (whose granularity is the resolved
         ``config.batch_size``); this knob is kept for grid-level experiments
         and API compatibility. The numerical result is independent of it.
     """
 
     def __init__(
         self,
-        tensor: SparseTensorCOO,
+        tensor: SparseTensorCOO | None,
         config: AmpedConfig | None = None,
         *,
         platform: MultiGPUPlatform | None = None,
         cost: KernelCostModel | None = None,
         name: str = "tensor",
+        source: ShardSource | None = None,
         functional_isps: int = 2,
     ) -> None:
-        self.tensor = tensor
         self.config = config or AmpedConfig()
         self.platform = platform or paper_platform(self.config.n_gpus)
         if self.platform.n_gpus != self.config.n_gpus:
@@ -82,20 +95,94 @@ class AmpedMTTKRP:
         if functional_isps <= 0:
             raise ReproError("functional_isps must be positive")
         self.functional_isps = functional_isps
-        self.plan: PartitionPlan = build_partition_plan(
-            tensor,
-            self.config.n_gpus,
-            shards_per_gpu=self.config.shards_per_gpu,
-            policy=self.config.policy,
-        )
-        self.workload = TensorWorkload.from_plan(
-            tensor, self.plan, self.cost, rank=self.config.rank, name=name
-        )
+
+        if source is None:
+            if tensor is None:
+                raise ReproError(
+                    "pass a tensor (resident execution) or a source "
+                    "(e.g. MmapNpzSource for out-of-core shard caches)"
+                )
+            self._plan: PartitionPlan | None = build_partition_plan(
+                tensor,
+                self.config.n_gpus,
+                shards_per_gpu=self.config.shards_per_gpu,
+                policy=self.config.policy,
+            )
+            source = InMemorySource(self._plan)
+            self.tensor = tensor
+            self.workload = TensorWorkload.from_plan(
+                tensor, self._plan, self.cost, rank=self.config.rank, name=name
+            )
+        else:
+            if tensor is not None:
+                raise ReproError(
+                    "pass either tensor or source, not both (the source "
+                    "already owns the element data)"
+                )
+            if source.n_gpus != self.config.n_gpus:
+                raise ReproError(
+                    f"source was sharded for {source.n_gpus} GPUs, "
+                    f"config requests {self.config.n_gpus}"
+                )
+            if source.is_out_of_core and not self.config.out_of_core:
+                # Normalize so autotuning and host accounting see streaming.
+                self.config = self.config.replace(
+                    out_of_core=True,
+                    shard_cache=str(getattr(source, "path", "<shard source>")),
+                )
+            # No whole-plan materialization: the workload comes straight off
+            # the source's key columns and shard metadata, so lazy sources
+            # (mmap, synthetic) keep their residency guarantees.
+            self._plan = None
+            self.tensor = source.tensor_view()
+            self.workload = TensorWorkload.from_source(
+                source, self.cost, rank=self.config.rank, name=name
+            )
+        self.source = source
         self.engine = StreamingExecutor(
-            self.plan,
-            batch_size=self.config.batch_size,
+            source,
+            batch_size=self.config.resolved_batch_size(
+                self.cost, self.tensor.nmodes
+            ),
             workers=self.config.workers,
         )
+
+    @property
+    def plan(self) -> PartitionPlan:
+        """The :class:`PartitionPlan` view of the shard layout.
+
+        Built lazily for source-backed executors (for a
+        :class:`repro.engine.SyntheticSource` this materializes every mode
+        copy at once — prefer the per-mode ``source`` accessors).
+        """
+        if self._plan is None:
+            self._plan = self.source.partition_plan()
+        return self._plan
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(
+        cls, source: ShardSource, config: AmpedConfig | None = None, **kw
+    ) -> "AmpedMTTKRP":
+        """Build an executor over any shard source (out-of-core entry point)."""
+        return cls(None, config, source=source, **kw)
+
+    @classmethod
+    def from_shard_cache(
+        cls, path, config: AmpedConfig | None = None, **kw
+    ) -> "AmpedMTTKRP":
+        """Open a shard cache (``repro.tensor.io.write_shard_cache``) and
+        stream it out of core through :class:`repro.engine.MmapNpzSource`."""
+        config = config or AmpedConfig()
+        source = MmapNpzSource(
+            path,
+            n_gpus=config.n_gpus,
+            shards_per_gpu=config.shards_per_gpu,
+            policy=config.policy,
+        )
+        return cls.from_source(source, config, **kw)
 
     # ------------------------------------------------------------------
     # Functional execution
@@ -103,10 +190,11 @@ class AmpedMTTKRP:
     def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
         """Exact MTTKRP for ``mode`` through the streaming shard/batch engine.
 
-        The result is bit-identical for every ``(batch_size, workers)``
-        configuration: batch edges are segment-aligned, so each output row is
-        produced by one segmented reduction over the same elements in the
-        same order.
+        The result is bit-identical for every ``(source, batch_size,
+        workers)`` configuration: every source yields byte-identical
+        mode-sorted copies and batch edges are segment-aligned, so each
+        output row is produced by one segmented reduction over the same
+        elements in the same order.
         """
         # One pass over all shards: the per-GPU grouping is irrelevant to the
         # functional result (shards own disjoint output rows and batch order
@@ -142,7 +230,8 @@ class AmpedMTTKRP:
                     (self.tensor.shape[mode], rank), dtype=np.float64
                 )
                 self.engine.mttkrp_into(
-                    mats, mode, local, shard_ids=self.plan.shards_for_gpu(mode, g)
+                    mats, mode, local,
+                    shard_ids=self.source.shards_for_gpu(mode, g),
                 )
                 per_gpu.append(local)
             views = ring_allgather(per_gpu)

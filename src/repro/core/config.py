@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.engine.autotune import resolve_batch_size, validate_batch_size
 from repro.engine.executor import MAX_WORKERS
 from repro.errors import ReproError
 
@@ -30,14 +31,25 @@ class AmpedConfig:
         a per-dispatch host overhead).
     allgather: "ring" (Algorithm 3) or "direct" (A3 ablation).
     double_buffer: overlap shard H2D transfers with compute (CUDA streams).
-    batch_size: nonzeros per streaming element batch (None: one batch per
-        shard, the eager granularity). Bounds the engine's transient working
-        set at ``batch_size * rank`` contribution rows — except that a single
-        output row heavier than ``batch_size`` streams as one oversized batch
-        (segments are never split, to keep results bit-identical). See
-        :mod:`repro.engine.executor` for tuning guidance. Also feeds the
-        timing simulation, which then charges one kernel launch per batch.
+    batch_size: nonzeros per streaming element batch. The default
+        ``"auto"`` derives the size from the device cache model
+        (:func:`repro.engine.autotune.auto_batch_size`): eager whole-shard
+        batches for fully resident sources (the fastest in-memory
+        granularity), a cache-fitting batch when streaming out of core
+        (where the batch bounds the resident footprint). ``None`` forces one
+        batch per shard; an int sets the granularity manually. A single
+        output row heavier than the batch streams as one oversized batch
+        (segments are never split, to keep results bit-identical). The
+        resolved value also feeds the timing simulation, which charges one
+        kernel launch per batch.
     workers: reduction worker threads for the streaming engine (1 = serial).
+    out_of_core: stream element batches from a memory-mapped shard cache
+        (:class:`repro.engine.MmapNpzSource`) instead of a resident
+        partition plan; requires ``shard_cache``. Bounds the host-resident
+        tensor footprint at O(batch_size) — see
+        :func:`repro.core.simulate.host_memory_plan`.
+    shard_cache: path of the ``.npz`` shard cache written by
+        :func:`repro.tensor.io.write_shard_cache` (CLI: ``repro cache``).
     """
 
     n_gpus: int = 4
@@ -48,8 +60,10 @@ class AmpedConfig:
     schedule: str = "static"
     allgather: str = "ring"
     double_buffer: bool = True
-    batch_size: int | None = None
+    batch_size: int | str | None = "auto"
     workers: int = 1
+    out_of_core: bool = False
+    shard_cache: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus <= 0:
@@ -66,15 +80,33 @@ class AmpedConfig:
             raise ReproError(f"unknown schedule {self.schedule!r}")
         if self.allgather not in ("ring", "direct"):
             raise ReproError(f"unknown allgather {self.allgather!r}")
-        if self.batch_size is not None and self.batch_size < 1:
-            raise ReproError(
-                f"batch_size must be >= 1 (or None for whole-shard batches), "
-                f"got {self.batch_size}"
-            )
+        validate_batch_size(self.batch_size)
         if not 1 <= self.workers <= MAX_WORKERS:
             raise ReproError(
                 f"workers must be in [1, {MAX_WORKERS}], got {self.workers}"
             )
+        if self.out_of_core and not self.shard_cache:
+            raise ReproError(
+                "out_of_core=True requires shard_cache: point it at a .npz "
+                "shard cache written by repro.tensor.io.write_shard_cache "
+                "(CLI: `repro cache`, then pass --shard-cache)"
+            )
+
+    def resolved_batch_size(self, cost, nmodes: int) -> int | None:
+        """The engine-level batch size this config means on a given platform.
+
+        ``"auto"`` resolves through the cache model of ``cost`` (a
+        :class:`repro.simgpu.kernel.KernelCostModel`): a cache-fitting batch
+        when ``out_of_core`` (the batch bounds residency there), eager
+        whole-shard batches otherwise. Ints and ``None`` pass through.
+        """
+        return resolve_batch_size(
+            self.batch_size,
+            cost=cost,
+            rank=self.rank,
+            nmodes=nmodes,
+            out_of_core=self.out_of_core,
+        )
 
     def with_gpus(self, n_gpus: int) -> "AmpedConfig":
         """Copy with a different GPU count (scalability sweeps)."""

@@ -21,11 +21,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.engine.batch import slice_segments
+from repro.engine.source import ShardSource
+from repro.errors import ReproError
 from repro.partition.isp import isp_slices_for_shard
 from repro.partition.sharding import ModePartition, Shard
 from repro.tensor.kernels import mttkrp_sorted_segments
 
-__all__ = ["execute_shard"]
+__all__ = ["execute_shard", "execute_source_shard"]
 
 
 def execute_shard(
@@ -44,6 +46,11 @@ def execute_shard(
     output is independent of the SM schedule. When ``batch_size`` is given,
     the shard is instead streamed as segment-aligned element batches of at
     most that many nonzeros (``n_sms`` is ignored).
+
+    ``part`` may come from any shard source — in particular a
+    memory-mapped one, whose ``part.tensor`` is a lazy view: the per-slice
+    reads below are then the only element I/O the grid performs (see
+    :func:`execute_source_shard`).
     """
     tensor = part.tensor
     if batch_size is not None:
@@ -64,3 +71,36 @@ def execute_shard(
             tensor.indices[sl], tensor.values[sl], factors, part.mode, out
         )
     return out
+
+
+def execute_source_shard(
+    source: ShardSource,
+    mode: int,
+    shard_id: int,
+    factors: Sequence[np.ndarray],
+    out: np.ndarray,
+    *,
+    n_sms: int = 1,
+    batch_size: int | None = None,
+) -> np.ndarray:
+    """Execute one shard of a :class:`repro.engine.ShardSource` into ``out``.
+
+    Thin grid-level adapter over :func:`execute_shard` for callers that hold
+    a source (resident, memory-mapped, or synthetic) rather than a
+    materialized partition — the element data is only touched slice by
+    slice, so out-of-core shards stream through the same code path.
+    """
+    part = source.partition(mode)
+    if not 0 <= int(shard_id) < len(part.shards):
+        raise ReproError(
+            f"shard {shard_id} out of range for mode {mode} "
+            f"({len(part.shards)} shards)"
+        )
+    return execute_shard(
+        part,
+        part.shards[int(shard_id)],
+        factors,
+        out,
+        n_sms=n_sms,
+        batch_size=batch_size,
+    )

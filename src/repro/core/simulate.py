@@ -30,7 +30,15 @@ from repro.simgpu.kernel import KernelCostModel
 from repro.simgpu.platform import MultiGPUPlatform
 from repro.simgpu.trace import Category
 
-__all__ = ["simulate_amped", "amped_memory_plan"]
+__all__ = ["simulate_amped", "amped_memory_plan", "host_memory_plan"]
+
+
+def _max_shard_nnz(workload: TensorWorkload) -> int:
+    max_shard = 0
+    for mw in workload.modes:
+        if mw.shard_nnz.size:
+            max_shard = max(max_shard, int(mw.shard_nnz.max()))
+    return max_shard
 
 
 def amped_memory_plan(
@@ -40,9 +48,10 @@ def amped_memory_plan(
 
     Each GPU keeps a local copy of *all* factor matrices (§4.4) plus a
     double-buffered staging area for the largest shard it will receive — or,
-    when ``config.batch_size`` bounds the streaming granularity, for one
-    element batch: streaming is exactly what decouples the resident footprint
-    from the shard size and opens out-of-core-sized shards.
+    when the resolved ``config.batch_size`` bounds the streaming
+    granularity, for one element batch: streaming is exactly what decouples
+    the resident footprint from the shard size and opens out-of-core-sized
+    shards.
 
     Caveat: segment-aligned batching never splits one output row's nonzeros,
     so a row heavier than ``batch_size`` streams as one oversized batch. The
@@ -52,17 +61,51 @@ def amped_memory_plan(
     ``max(batch_size, heaviest row's nnz)``.
     """
     elem_bytes = cost.coo_element_bytes(workload.nmodes)
-    max_shard = 0
-    for mw in workload.modes:
-        if mw.shard_nnz.size:
-            max_shard = max(max_shard, int(mw.shard_nnz.max()))
-    staging_elems = max_shard
-    if config.batch_size is not None:
-        staging_elems = min(max_shard, config.batch_size)
+    batch_size = config.resolved_batch_size(cost, workload.nmodes)
+    staging_elems = _max_shard_nnz(workload)
+    if batch_size is not None:
+        staging_elems = min(staging_elems, batch_size)
     buffers = 2 if config.double_buffer else 1
     return {
         "factor_matrices": workload.factor_bytes(config.rank, cost.rank_value_bytes),
         "shard_staging": buffers * staging_elems * elem_bytes,
+    }
+
+
+def host_memory_plan(
+    workload: TensorWorkload, config: AmpedConfig, cost: KernelCostModel
+) -> dict[str, int]:
+    """Host-RAM allocations of the preprocessing output (bytes by name).
+
+    This is the accounting that separates the in-memory and out-of-core
+    execution classes:
+
+    * resident (default): the host keeps one mode-sorted copy of the whole
+      element list per mode (§5.7 preprocessing) — ``nmodes * nnz`` elements,
+      O(nnz);
+    * ``config.out_of_core``: the copies live in a memory-mapped shard cache
+      and only the in-flight batch windows are resident — O(batch_size),
+      independent of nnz. (Mapped pages beyond the windows are evictable
+      page cache, which this plan deliberately does not count as resident.)
+
+    Either way the host also pins every factor matrix (the functional
+    engine gathers from them on every batch).
+    """
+    elem_bytes = cost.host_element_bytes(workload.nmodes)
+    batch_size = config.resolved_batch_size(cost, workload.nmodes)
+    if config.out_of_core:
+        staging_elems = _max_shard_nnz(workload)
+        if batch_size is not None:
+            staging_elems = min(staging_elems, batch_size)
+        buffers = 2 if config.double_buffer else 1
+        tensor_resident = buffers * staging_elems * elem_bytes
+    else:
+        tensor_resident = workload.nmodes * workload.nnz * elem_bytes
+    return {
+        "tensor_resident": int(tensor_resident),
+        "factor_matrices": workload.factor_bytes(
+            config.rank, cost.host_value_bytes
+        ),
     }
 
 
@@ -75,11 +118,12 @@ def _shard_kernel_time(
     nnz: int,
     elem_bytes: float,
     input_bytes: float,
+    batch_size: int | None,
 ) -> float:
-    """Kernel duration of one shard, at the configured batch granularity.
+    """Kernel duration of one shard, at the resolved batch granularity.
 
-    With ``config.batch_size`` set the shard streams as fixed-size element
-    batches, each paying its own launch overhead (the engine's granularity);
+    With ``batch_size`` set the shard streams as fixed-size element batches,
+    each paying its own launch overhead (the engine's granularity);
     otherwise the eager single-kernel time is charged.
     """
     return cost.mttkrp_batched_time(
@@ -87,7 +131,7 @@ def _shard_kernel_time(
         nnz,
         config.rank,
         workload.nmodes,
-        batch_size=config.batch_size,
+        batch_size=batch_size,
         elem_bytes=elem_bytes,
         factor_hit=mw.factor_hit,
         input_factor_bytes=input_bytes,
@@ -107,6 +151,7 @@ def _mode_static(
     """Static schedule: each GPU streams its pre-assigned shards in order."""
     elem_bytes = cost.coo_element_bytes(workload.nmodes)
     input_bytes = workload.input_factor_bytes(mw.mode, config.rank)
+    batch_size = config.resolved_batch_size(cost, workload.nmodes)
     done = [mode_start] * platform.n_gpus
     for g in range(platform.n_gpus):
         shard_ids = mw.shards_for_gpu(g)
@@ -120,7 +165,8 @@ def _mode_static(
                 g, nnz * elem_bytes, h2d_ready, label=f"m{mw.mode}.shard{j}"
             )
             ktime = _shard_kernel_time(
-                platform, cost, workload, mw, config, nnz, elem_bytes, input_bytes
+                platform, cost, workload, mw, config, nnz, elem_bytes,
+                input_bytes, batch_size,
             )
             prev_compute_end = platform.compute(
                 g, ktime, h2d_end, label=f"m{mw.mode}.grid{j}"
@@ -144,6 +190,7 @@ def _mode_dynamic(
     """
     elem_bytes = cost.coo_element_bytes(workload.nmodes)
     input_bytes = workload.input_factor_bytes(mw.mode, config.rank)
+    batch_size = config.resolved_batch_size(cost, workload.nmodes)
     order = np.argsort(mw.shard_nnz, kind="stable")[::-1]
     done = [mode_start] * platform.n_gpus
     dispatch_clock = mode_start
@@ -164,7 +211,8 @@ def _mode_dynamic(
             g, nnz * elem_bytes, h2d_ready, label=f"m{mw.mode}.shard{j}"
         )
         ktime = _shard_kernel_time(
-            platform, cost, workload, mw, config, nnz, elem_bytes, input_bytes
+            platform, cost, workload, mw, config, nnz, elem_bytes,
+            input_bytes, batch_size,
         )
         done[g] = platform.compute(g, ktime, h2d_end, label=f"m{mw.mode}.grid{j}")
     return done
@@ -189,6 +237,18 @@ def simulate_amped(
     result = RunResult(
         method="amped", tensor_name=workload.name, n_gpus=config.n_gpus
     )
+    # Host feasibility: the preprocessing output must fit host RAM. The
+    # resident path keeps nmodes sorted element-list copies; out-of-core
+    # runs are bounded by the batch windows instead (host_memory_plan).
+    host_plan = host_memory_plan(workload, config, cost)
+    host_bytes = sum(host_plan.values())
+    if host_bytes > platform.host.mem_capacity:
+        result.error = (
+            f"runtime error: host needs {host_bytes} bytes resident "
+            f"({host_plan}) but has {platform.host.mem_capacity}; convert "
+            f"the tensor to a shard cache and run out of core"
+        )
+        return result
     # Memory feasibility: every GPU must hold the allocations.
     plan = amped_memory_plan(workload, config, cost)
     held: list[tuple[int, str]] = []

@@ -130,6 +130,64 @@ class TensorWorkload:
 
     # ------------------------------------------------------------------
     @classmethod
+    def _from_parts(
+        cls,
+        name: str,
+        shape: tuple[int, ...],
+        nnz: int,
+        hists: Sequence[np.ndarray],
+        shard_tables: Sequence[Sequence],
+        assignments: Sequence[np.ndarray],
+        n_gpus: int,
+        cost: KernelCostModel,
+        rank: int,
+        skew_exponents: Sequence[float] | None,
+    ) -> "TensorWorkload":
+        """Shared construction from per-mode histograms + shard tables."""
+        nmodes = len(shape)
+        cache_rows_divisor = rank * cost.rank_value_bytes
+        modes: list[ModeWorkload] = []
+        for m in range(nmodes):
+            shards = shard_tables[m]
+            assignment = np.asarray(assignments[m], dtype=np.int64)
+            rows = np.zeros(n_gpus, dtype=np.int64)
+            for j, shard in enumerate(shards):
+                rows[assignment[j]] += shard.n_indices
+            # Input-factor accesses of output mode m hit rows of the other
+            # modes proportionally to their nnz histograms; the cache is
+            # shared, so weight each mode's share by its access volume.
+            input_modes = [w for w in range(nmodes) if w != m]
+            cache_rows_total = cost.effective_cache_bytes // cache_rows_divisor
+            hits = []
+            for w in input_modes:
+                # Give each input mode a cache share proportional to its
+                # row-space size (simple proportional partitioning).
+                share = shape[w] / sum(shape[x] for x in input_modes)
+                hits.append(
+                    hit_rate_from_histogram(
+                        hists[w], int(cache_rows_total * share)
+                    )
+                )
+            factor_hit = float(np.mean(hits)) if hits else 1.0
+            modes.append(
+                ModeWorkload(
+                    mode=m,
+                    extent=shape[m],
+                    shard_nnz=np.array([s.nnz for s in shards], dtype=np.int64),
+                    assignment=assignment,
+                    rows_per_gpu=rows,
+                    factor_hit=factor_hit,
+                )
+            )
+        return cls(
+            name=name,
+            shape=tuple(shape),
+            nnz=int(nnz),
+            modes=tuple(modes),
+            skew_exponents=tuple(skew_exponents or ()),
+        )
+
+    @classmethod
     def from_plan(
         cls,
         tensor: SparseTensorCOO,
@@ -141,45 +199,55 @@ class TensorWorkload:
         skew_exponents: Sequence[float] | None = None,
     ) -> "TensorWorkload":
         """Extract the workload descriptor from a materialized tensor + plan."""
-        cache_rows_divisor = rank * cost.rank_value_bytes
         hists = [mode_histogram(tensor, m) for m in range(tensor.nmodes)]
-        modes: list[ModeWorkload] = []
-        for m in range(tensor.nmodes):
-            part = plan.modes[m]
-            assignment = plan.assignments[m]
-            rows = np.zeros(plan.n_gpus, dtype=np.int64)
-            for j, shard in enumerate(part.shards):
-                rows[assignment[j]] += shard.n_indices
-            # Input-factor accesses of output mode m hit rows of the other
-            # modes proportionally to their nnz histograms; the cache is
-            # shared, so weight each mode's share by its access volume.
-            input_modes = [w for w in range(tensor.nmodes) if w != m]
-            cache_rows_total = cost.effective_cache_bytes // cache_rows_divisor
-            hits = []
-            for w in input_modes:
-                # Give each input mode a cache share proportional to its
-                # row-space size (simple proportional partitioning).
-                share = tensor.shape[w] / sum(tensor.shape[x] for x in input_modes)
-                hits.append(
-                    hit_rate_from_histogram(
-                        hists[w], int(cache_rows_total * share)
-                    )
-                )
-            factor_hit = float(np.mean(hits)) if hits else 1.0
-            modes.append(
-                ModeWorkload(
-                    mode=m,
-                    extent=tensor.shape[m],
-                    shard_nnz=part.shard_nnz(),
-                    assignment=np.asarray(assignment, dtype=np.int64),
-                    rows_per_gpu=rows,
-                    factor_hit=factor_hit,
-                )
-            )
-        return cls(
-            name=name,
-            shape=tensor.shape,
-            nnz=tensor.nnz,
-            modes=tuple(modes),
-            skew_exponents=tuple(skew_exponents or ()),
+        return cls._from_parts(
+            name,
+            tensor.shape,
+            tensor.nnz,
+            hists,
+            [part.shards for part in plan.modes],
+            plan.assignments,
+            plan.n_gpus,
+            cost,
+            rank,
+            skew_exponents,
+        )
+
+    @classmethod
+    def from_source(
+        cls,
+        source,
+        cost: KernelCostModel,
+        *,
+        rank: int,
+        name: str = "tensor",
+        skew_exponents: Sequence[float] | None = None,
+    ) -> "TensorWorkload":
+        """Extract the workload descriptor from a :class:`repro.engine.ShardSource`.
+
+        Unlike :meth:`from_plan` this never touches the wide per-element
+        index block: the nnz-per-index histograms come from the sources'
+        contiguous key columns (one sequential 8-byte-per-element pass per
+        mode — for a memory-mapped cache, the only element I/O), and the
+        shard tables/assignments come from the source's metadata without
+        materializing any mode copy.
+        """
+        shape = source.shape
+        hists = [
+            np.bincount(
+                np.asarray(source.mode_keys(m)), minlength=shape[m]
+            ).astype(np.int64)
+            for m in range(source.nmodes)
+        ]
+        return cls._from_parts(
+            name,
+            shape,
+            source.nnz,
+            hists,
+            [source.shards(m) for m in range(source.nmodes)],
+            [source.assignment(m) for m in range(source.nmodes)],
+            source.n_gpus,
+            cost,
+            rank,
+            skew_exponents,
         )

@@ -1,19 +1,37 @@
 """repro.engine — streaming batched execution for MTTKRP.
 
-* :mod:`batch` — segment-aligned slicing of partition-plan shards into
-  fixed-size element batches (:class:`ElementBatch` / :class:`BatchPlan`);
+* :mod:`batch` — segment-aligned slicing of shard tables into fixed-size
+  element batches (:class:`ElementBatch` / :class:`BatchPlan`);
+* :mod:`source` — where batches come from: :class:`ShardSource` and its
+  resident (:class:`InMemorySource`), memory-mapped out-of-core
+  (:class:`MmapNpzSource`), and generator-backed (:class:`SyntheticSource`)
+  implementations;
+* :mod:`autotune` — cache-model batch sizing behind ``batch_size="auto"``;
 * :mod:`executor` — :class:`StreamingExecutor`, the batched (optionally
   multi-worker) MTTKRP driver used by :class:`repro.core.AmpedMTTKRP`,
   CP-ALS, and the benchmark suite.
 
-The engine's contract: for any ``(batch_size, workers)`` the result is
-bit-identical to the eager whole-shard reduction, because batch edges are
-snapped to output-segment boundaries and partial results are applied in a
+The engine's contract: for any ``(source, batch_size, workers)`` the result
+is bit-identical to the eager whole-shard reduction, because every source
+yields byte-identical mode-sorted copies, batch edges are snapped to
+output-segment boundaries, and partial results are applied in a
 deterministic order.
 """
 
+from repro.engine.autotune import (
+    auto_batch_size,
+    resolve_batch_size,
+    streamed_batch_bytes,
+)
 from repro.engine.batch import BatchPlan, ElementBatch, build_batch_plan, slice_segments
 from repro.engine.executor import StreamingExecutor, reduce_batch
+from repro.engine.source import (
+    COOView,
+    InMemorySource,
+    MmapNpzSource,
+    ShardSource,
+    SyntheticSource,
+)
 
 __all__ = [
     "BatchPlan",
@@ -22,4 +40,12 @@ __all__ = [
     "slice_segments",
     "StreamingExecutor",
     "reduce_batch",
+    "ShardSource",
+    "InMemorySource",
+    "MmapNpzSource",
+    "SyntheticSource",
+    "COOView",
+    "auto_batch_size",
+    "resolve_batch_size",
+    "streamed_batch_bytes",
 ]

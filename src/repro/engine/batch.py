@@ -177,6 +177,7 @@ def build_batch_plan(
     batch_size: int | None = None,
     *,
     shard_ids: Sequence[int] | None = None,
+    keys: np.ndarray | None = None,
 ) -> BatchPlan:
     """Slice every shard of ``part`` into segment-aligned element batches.
 
@@ -188,15 +189,24 @@ def build_batch_plan(
         ``batch_size * (rank * 8 + nmodes * 8 + 8)`` bytes (contribution rows
         plus the index/value block), so a few tens of thousands of elements
         keeps it inside a typical L2/L3 cache while leaving the per-batch
-        NumPy dispatch overhead negligible (<1% for batches >= ~4096).
+        NumPy dispatch overhead negligible (<1% for batches >= ~4096);
+        ``batch_size="auto"`` at the config layer resolves through
+        :func:`repro.engine.autotune.resolve_batch_size` before reaching
+        here. Pass the resolved value.
     shard_ids:
         Restrict the plan to a subset of shards (e.g. one GPU's assignment).
+    keys:
+        The mode-sorted key column, when the caller has a contiguous copy
+        (out-of-core sources store one per mode so planning streams 8 bytes
+        per element instead of striding through the wide index block).
+        Defaults to ``part.tensor.indices[:, part.mode]``.
     """
     if shard_ids is None:
         shards = part.shards
     else:
         shards = tuple(part.shards[int(j)] for j in shard_ids)
-    keys = part.tensor.indices[:, part.mode]
+    if keys is None:
+        keys = part.tensor.indices[:, part.mode]
     batches: list[ElementBatch] = []
     for shard in shards:
         base = shard.elements.start

@@ -1,30 +1,38 @@
 """The streaming batched MTTKRP execution engine.
 
 :class:`StreamingExecutor` drives MTTKRP over a
-:class:`repro.partition.plan.PartitionPlan` one element batch at a time
+:class:`repro.engine.source.ShardSource` one element batch at a time
 instead of materializing whole shards, which
 
 * bounds the transient working set by ``batch_size`` (out-of-core-sized
   shards stream through a cache-sized window);
+* decouples the engine from where the elements live: a resident
+  :class:`repro.partition.plan.PartitionPlan`
+  (:class:`repro.engine.source.InMemorySource`), a memory-mapped shard
+  cache on disk (:class:`repro.engine.source.MmapNpzSource` — tensors
+  larger than host RAM), or a deterministic generator
+  (:class:`repro.engine.source.SyntheticSource`);
 * exposes batch-level parallelism: independent batches can be reduced by a
   pool of workers because segment-aligned batches of one mode never touch
   the same output row (shards own disjoint index ranges and batch edges
   never split a segment);
 * keeps the result **bit-identical** to the eager whole-shard reduction for
-  every ``(batch_size, workers)`` combination — each output row is produced
-  by one segmented reduction over the same elements in the same order.
+  every ``(source, batch_size, workers)`` combination — each output row is
+  produced by one segmented reduction over the same elements in the same
+  order, and every source yields byte-identical mode-sorted copies.
 
 Batch-size tuning
 -----------------
-``batch_size=None`` (the default) reduces each shard in one batch — the
-eager granularity, fastest for in-memory tensors. For tensors whose shards
-outgrow the cache (or memory), pick a batch size that keeps the transient
-``(batch_size, rank)`` contribution block plus the index/value block inside
-the target cache level: ``batch_size ~= cache_bytes / (rank * 8 * 2)`` is a
-good starting point (e.g. ~32768 for a 4 MiB slice at rank 32). Below ~1024
-elements the per-batch NumPy dispatch overhead starts to show; the
-regression gate in ``benchmarks/bench_kernels.py --smoke`` holds the batched
-path within 1.2x of eager.
+``batch_size=None`` (the executor default) reduces each shard in one batch —
+the eager granularity, fastest for in-memory tensors. For out-of-core
+sources the batch bounds the *resident* footprint, so pick one that fits the
+cache; :func:`repro.engine.autotune.auto_batch_size` derives exactly that
+from the device cache model, and config-level ``batch_size="auto"``
+(the :class:`repro.core.config.AmpedConfig` default) applies it whenever the
+source is out of core. Below ~1024 elements the per-batch NumPy dispatch
+overhead starts to show; the regression gate in
+``benchmarks/bench_kernels.py --smoke`` holds both the batched and the
+memory-mapped paths within 1.2x of eager.
 
 Workers
 -------
@@ -43,6 +51,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.engine.batch import BatchPlan, ElementBatch, build_batch_plan
+from repro.engine.source import InMemorySource, ShardSource
 from repro.errors import ReproError
 from repro.partition.plan import PartitionPlan
 from repro.partition.sharding import ModePartition
@@ -68,37 +77,58 @@ def reduce_batch(
     ``rows`` are the distinct output-mode indices of the batch's segments and
     ``partial`` their summed contribution rows — exactly the per-segment
     reduction :func:`repro.tensor.kernels.mttkrp_sorted_segments` performs,
-    split from the scatter-add so workers stay pure.
+    split from the scatter-add so workers stay pure. When ``part.tensor`` is
+    a memory-mapped view, the two slices below are the only element reads of
+    the whole reduction — this is where out-of-core paging happens.
     """
     sl = batch.elements
     indices = part.tensor.indices[sl]
-    keys = indices[:, mode]
+    keys = np.asarray(indices[:, mode])
     contrib = ec_contributions(indices, part.tensor.values[sl], factors, mode)
     starts = segment_starts(keys)
     return keys[starts], np.add.reduceat(contrib, starts, axis=0)
 
 
 class StreamingExecutor:
-    """Streaming batched MTTKRP over a partition plan.
+    """Streaming batched MTTKRP over a shard source.
 
     Parameters
     ----------
-    plan:
-        The partition plan whose mode-sorted tensor copies are streamed.
+    source:
+        Where the element batches come from: any
+        :class:`repro.engine.source.ShardSource`, or a bare
+        :class:`repro.partition.plan.PartitionPlan` which is wrapped in an
+        :class:`repro.engine.source.InMemorySource` (the PR 1 calling
+        convention, unchanged).
     batch_size:
         Target nonzeros per batch (``None``: one batch per shard). Must be
-        >= 1; see the module docstring for tuning guidance.
+        >= 1. Config-level ``"auto"`` is resolved *before* the executor —
+        pass the result of :func:`repro.engine.autotune.resolve_batch_size`.
     workers:
         Reduction worker threads (1 = serial in the calling thread).
     """
 
     def __init__(
         self,
-        plan: PartitionPlan,
+        source: ShardSource | PartitionPlan,
         *,
         batch_size: int | None = None,
         workers: int = 1,
     ) -> None:
+        if isinstance(source, PartitionPlan):
+            source = InMemorySource(source)
+        elif not isinstance(source, ShardSource):
+            raise ReproError(
+                f"source must be a ShardSource or PartitionPlan, got "
+                f"{type(source).__name__}"
+            )
+        if isinstance(batch_size, str):
+            raise ReproError(
+                "StreamingExecutor takes a resolved batch size (int or "
+                "None); resolve 'auto' with "
+                "repro.engine.autotune.resolve_batch_size (AmpedMTTKRP and "
+                "the CLI do this for you)"
+            )
         if batch_size is not None:
             batch_size = int(batch_size)
             if batch_size < 1:
@@ -113,19 +143,27 @@ class StreamingExecutor:
             raise ReproError(
                 f"workers must be <= {MAX_WORKERS}, got {workers}"
             )
-        self.plan = plan
+        self.source = source
         self.batch_size = batch_size
         self.workers = workers
         self._batch_plans: dict[int, BatchPlan] = {}
+
+    @property
+    def plan(self) -> PartitionPlan:
+        """A :class:`PartitionPlan` view of the source (back-compat; for
+        :class:`SyntheticSource` this materializes every mode at once)."""
+        return self.source.partition_plan()
 
     # ------------------------------------------------------------------
     def batch_plan(self, mode: int) -> BatchPlan:
         """The (cached) batch plan of one output mode."""
         if mode not in self._batch_plans:
-            if not 0 <= mode < self.plan.nmodes:
+            if not 0 <= mode < self.source.nmodes:
                 raise ReproError(f"mode {mode} out of range")
             self._batch_plans[mode] = build_batch_plan(
-                self.plan.modes[mode], self.batch_size
+                self.source.partition(mode),
+                self.batch_size,
+                keys=self.source.mode_keys(mode),
             )
         return self._batch_plans[mode]
 
@@ -148,10 +186,10 @@ class StreamingExecutor:
         with ``workers > 1`` batches are *computed* concurrently but still
         *applied* by this thread, so results never depend on scheduling.
         """
-        part = self.plan.modes[mode]
         batches = self.batch_plan(mode).batches_for_shards(shard_ids)
         if not batches:
             return out
+        part = self.source.partition(mode)
         if self.workers == 1:
             for batch in batches:
                 rows, partial = reduce_batch(part, batch, factors, mode)
@@ -166,8 +204,8 @@ class StreamingExecutor:
         return out
 
     def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
-        """Exact MTTKRP for ``mode`` over all shards of the plan."""
-        shape = self.plan.modes[0].tensor.shape
+        """Exact MTTKRP for ``mode`` over all shards of the source."""
+        shape = self.source.shape
         mats = check_factors(shape, factors)
         rank = mats[0].shape[1]
         out = np.zeros((shape[mode], rank), dtype=np.float64)
@@ -176,4 +214,4 @@ class StreamingExecutor:
     def mttkrp_all_modes(
         self, factors: Sequence[np.ndarray]
     ) -> list[np.ndarray]:
-        return [self.mttkrp(factors, m) for m in range(self.plan.nmodes)]
+        return [self.mttkrp(factors, m) for m in range(self.source.nmodes)]

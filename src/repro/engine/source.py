@@ -1,0 +1,469 @@
+"""Shard sources: where the streaming engine's element batches come from.
+
+PR 1's :class:`StreamingExecutor` bounded the *transient* working set at
+``batch_size`` elements but still required every mode-sorted tensor copy of a
+:class:`repro.partition.plan.PartitionPlan` resident in host RAM, capping the
+engine at in-memory scale. A :class:`ShardSource` abstracts the storage
+behind the batches so the same executor can stream from
+
+* :class:`InMemorySource` — today's resident ``PartitionPlan`` (the default;
+  wraps a plan, zero copies);
+* :class:`MmapNpzSource` — a memory-mapped shard cache on disk
+  (:func:`repro.tensor.io.write_shard_cache`), where slicing a batch faults
+  in only that batch's pages: the resident tensor footprint is O(batch), not
+  O(nnz), which is what opens tensors larger than host memory;
+* :class:`SyntheticSource` — a deterministic generator, for tests and
+  benchmarks that want engine-scale inputs without materializing (and
+  keeping) every mode copy at once.
+
+The contract all sources share: for one logical tensor, every source yields
+**byte-identical mode-sorted copies**, hence the same shard tables, the same
+segment-aligned :class:`repro.engine.batch.BatchPlan` boundaries, and
+bit-identical MTTKRP results — the source/equivalence test matrix in
+``tests/engine/test_sources.py`` and ``tests/golden/`` pins this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.partition.balance import assign_shards
+from repro.partition.plan import PartitionPlan, build_partition_plan
+from repro.partition.sharding import ModePartition, Shard, shard_table
+from repro.tensor.coo import SparseTensorCOO
+from repro.tensor.io import load_shard_cache, shard_cache_path
+
+__all__ = [
+    "ShardSource",
+    "InMemorySource",
+    "MmapNpzSource",
+    "SyntheticSource",
+    "COOView",
+]
+
+#: chunk length for streaming reductions over (possibly memory-mapped) values
+_NORM_CHUNK = 1 << 20
+
+
+class COOView:
+    """Duck-typed COO tensor over externally owned (possibly mmap) arrays.
+
+    Quacks like :class:`repro.tensor.coo.SparseTensorCOO` for every consumer
+    the engine family touches (``indices``/``values``/``shape``/``nnz``/
+    ``nmodes``/``norm``) but skips the eager full-array validation scan of
+    ``SparseTensorCOO.__post_init__`` — for a memory-mapped cache that scan
+    would read the whole file at open, defeating lazy paging. The cache
+    writer validated the arrays once at build time.
+    """
+
+    __slots__ = ("indices", "values", "shape")
+
+    def __init__(
+        self, indices: np.ndarray, values: np.ndarray, shape: tuple[int, ...]
+    ) -> None:
+        self.indices = indices
+        self.values = values
+        self.shape = tuple(int(s) for s in shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indices.nbytes + self.values.nbytes)
+
+    def norm(self) -> float:
+        """Frobenius norm, reduced in chunks so mmap pages stream through."""
+        total = 0.0
+        for lo in range(0, self.nnz, _NORM_CHUNK):
+            chunk = np.asarray(self.values[lo : lo + _NORM_CHUNK], dtype=np.float64)
+            total += float(np.dot(chunk, chunk))
+        return float(np.sqrt(total))
+
+    def as_coo(self) -> SparseTensorCOO:
+        """Materialize (and validate) an in-memory ``SparseTensorCOO``."""
+        return SparseTensorCOO(
+            np.asarray(self.indices, dtype=np.int64),
+            np.asarray(self.values, dtype=np.float64),
+            self.shape,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOView(shape={self.shape}, nnz={self.nnz})"
+
+
+class ShardSource(ABC):
+    """Yields segment-aligned element batches of the per-mode tensor copies.
+
+    Subclasses provide the mode-sorted element data (resident, mapped, or
+    generated) plus the shard tables and shard→GPU assignment the AMPED
+    algorithm schedules on. :class:`repro.engine.StreamingExecutor` is the
+    consumer: it plans batches over :meth:`mode_keys` and reduces the blocks
+    :meth:`partition` exposes.
+    """
+
+    #: True when element data lives outside host RAM (drives batch-size
+    #: autotuning and the simulator's host staging accounting).
+    is_out_of_core: bool = False
+
+    # ---- identity ----------------------------------------------------
+    @property
+    @abstractmethod
+    def shape(self) -> tuple[int, ...]: ...
+
+    @property
+    @abstractmethod
+    def nnz(self) -> int: ...
+
+    @property
+    @abstractmethod
+    def n_gpus(self) -> int: ...
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    # ---- per-mode structure ------------------------------------------
+    @abstractmethod
+    def partition(self, mode: int) -> ModePartition:
+        """Shard table + (possibly lazy) mode-sorted copy of one mode."""
+
+    @abstractmethod
+    def assignment(self, mode: int) -> np.ndarray:
+        """Static shard→GPU assignment of one mode."""
+
+    def shards(self, mode: int) -> tuple[Shard, ...]:
+        """The shard table of one mode.
+
+        Metadata only — lazy sources override this so callers that need the
+        table (e.g. workload construction) never force a mode copy to
+        materialize.
+        """
+        return self.partition(mode).shards
+
+    def mode_keys(self, mode: int) -> np.ndarray:
+        """The sorted output-mode key column (overridden where a contiguous
+        copy avoids strided reads through the wide index block)."""
+        part = self.partition(mode)
+        return part.tensor.indices[:, mode]
+
+    def shards_for_gpu(self, mode: int, gpu: int) -> list[int]:
+        return [int(j) for j in np.flatnonzero(self.assignment(mode) == gpu)]
+
+    # ---- whole-plan views --------------------------------------------
+    def partition_plan(self) -> PartitionPlan:
+        """A full :class:`PartitionPlan` view over this source.
+
+        For lazy sources the per-mode tensors inside the plan may be
+        memory-mapped views; for :class:`SyntheticSource` this materializes
+        every mode copy at once (documented trade-off).
+        """
+        return PartitionPlan(
+            n_gpus=self.n_gpus,
+            modes=tuple(self.partition(m) for m in range(self.nmodes)),
+            assignments=tuple(self.assignment(m) for m in range(self.nmodes)),
+        )
+
+    def tensor_view(self):
+        """A COO-duck view of the whole tensor (any element order)."""
+        return self.partition(0).tensor
+
+    def validate(self) -> None:
+        """Check partition invariants of every mode (test hook)."""
+        self.partition_plan().validate()
+
+    def _check_mode(self, mode: int) -> int:
+        mode = int(mode)
+        if not 0 <= mode < self.nmodes:
+            raise ReproError(
+                f"mode {mode} out of range for {self.nmodes}-mode source"
+            )
+        return mode
+
+
+class InMemorySource(ShardSource):
+    """The resident-``PartitionPlan`` source — PR 1's path, wrapped.
+
+    Zero-copy: partitions, assignments, and element arrays are the plan's
+    own. This is what :class:`repro.engine.StreamingExecutor` builds when
+    handed a bare plan, so existing callers stream exactly as before.
+    """
+
+    is_out_of_core = False
+
+    def __init__(self, plan: PartitionPlan) -> None:
+        if not isinstance(plan, PartitionPlan):
+            raise ReproError(
+                f"InMemorySource wraps a PartitionPlan, got {type(plan).__name__}"
+            )
+        self._plan = plan
+
+    @classmethod
+    def from_tensor(
+        cls,
+        tensor: SparseTensorCOO,
+        n_gpus: int,
+        *,
+        shards_per_gpu: int = 16,
+        policy: str = "lpt",
+    ) -> "InMemorySource":
+        return cls(
+            build_partition_plan(
+                tensor, n_gpus, shards_per_gpu=shards_per_gpu, policy=policy
+            )
+        )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._plan.modes[0].tensor.shape
+
+    @property
+    def nnz(self) -> int:
+        return self._plan.modes[0].tensor.nnz
+
+    @property
+    def n_gpus(self) -> int:
+        return self._plan.n_gpus
+
+    def partition(self, mode: int) -> ModePartition:
+        return self._plan.modes[self._check_mode(mode)]
+
+    def assignment(self, mode: int) -> np.ndarray:
+        return self._plan.assignments[self._check_mode(mode)]
+
+    def partition_plan(self) -> PartitionPlan:
+        return self._plan
+
+
+class MmapNpzSource(ShardSource):
+    """Out-of-core source over a memory-mapped shard cache.
+
+    Opening the cache reads only zip metadata and array headers; shard
+    tables come from binary searches over the (contiguous, mapped) key
+    columns. Element pages are faulted in batch by batch as the executor
+    slices them and are evictable page cache, so the resident tensor
+    footprint is O(batch_size), independent of nnz — the out-of-core scaling
+    property the paper's sharded layout enables and
+    :func:`repro.core.simulate.host_memory_plan` accounts for.
+
+    Parameters mirror :func:`repro.partition.plan.build_partition_plan` so a
+    cache-backed run shards (and therefore batches, and therefore reduces)
+    bit-identically to the in-memory path.
+    """
+
+    is_out_of_core = True
+
+    def __init__(
+        self,
+        path,
+        *,
+        n_gpus: int = 4,
+        shards_per_gpu: int = 16,
+        policy: str = "lpt",
+    ) -> None:
+        if n_gpus <= 0:
+            raise ReproError("n_gpus must be positive")
+        if shards_per_gpu <= 0:
+            raise ReproError("shards_per_gpu must be positive")
+        self.path = shard_cache_path(path)
+        self._arrays: dict[str, np.ndarray] | None = load_shard_cache(
+            self.path, mmap=True
+        )
+        self._shape = tuple(int(s) for s in np.asarray(self._arrays["shape"]))
+        self._n_gpus = int(n_gpus)
+        missing = [
+            key
+            for key in ["nnz"]
+            + [
+                f"mode{m}_{part}"
+                for m in range(len(self._shape))
+                for part in ("indices", "values", "keys")
+            ]
+            if key not in self._arrays
+        ]
+        if missing:
+            raise ReproError(
+                f"{self.path}: shard cache is missing arrays {missing}; "
+                f"rebuild with write_shard_cache()"
+            )
+        self._nnz = int(np.asarray(self._arrays["nnz"]).ravel()[0])
+        n_shards = self._n_gpus * int(shards_per_gpu)
+        self._shards: list[tuple[Shard, ...]] = []
+        self._assignments: list[np.ndarray] = []
+        for m, extent in enumerate(self._shape):
+            shards = shard_table(self.mode_keys(m), extent, m, n_shards)
+            nnz_per_shard = np.array([s.nnz for s in shards], dtype=np.int64)
+            self._shards.append(shards)
+            self._assignments.append(
+                assign_shards(nnz_per_shard, self._n_gpus, policy)
+            )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def n_gpus(self) -> int:
+        return self._n_gpus
+
+    def _array(self, key: str) -> np.ndarray:
+        if self._arrays is None:
+            raise ReproError(
+                f"{self.path}: shard source is closed; reopen it with "
+                f"MmapNpzSource({str(self.path)!r})"
+            )
+        return self._arrays[key]
+
+    def mode_keys(self, mode: int) -> np.ndarray:
+        return self._array(f"mode{self._check_mode(mode)}_keys")
+
+    def partition(self, mode: int) -> ModePartition:
+        mode = self._check_mode(mode)
+        view = COOView(
+            self._array(f"mode{mode}_indices"),
+            self._array(f"mode{mode}_values"),
+            self._shape,
+        )
+        return ModePartition(mode=mode, tensor=view, shards=self._shards[mode])
+
+    def shards(self, mode: int) -> tuple[Shard, ...]:
+        return self._shards[self._check_mode(mode)]
+
+    def assignment(self, mode: int) -> np.ndarray:
+        return self._assignments[self._check_mode(mode)]
+
+    def close(self) -> None:
+        """Drop the memory-mapped views (and with them the open file).
+
+        Views already handed out (e.g. a live ``partition()``) keep their
+        mappings until garbage collected; new accesses raise a
+        :class:`ReproError`.
+        """
+        self._arrays = None
+
+    def __enter__(self) -> "MmapNpzSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MmapNpzSource({str(self.path)!r}, shape={self._shape}, "
+            f"nnz={self._nnz}, n_gpus={self._n_gpus})"
+        )
+
+
+class SyntheticSource(ShardSource):
+    """Generator-backed source: engine-scale inputs without keeping every
+    mode-sorted copy resident.
+
+    ``builder`` is a deterministic zero-argument callable returning the same
+    :class:`SparseTensorCOO` on every call (e.g. a seeded
+    ``lambda: zipf_coo(...)``). At construction the source generates the
+    tensor once to derive shard tables and assignments (metadata only), then
+    drops it; each mode's sorted copy is regenerated on demand and only the
+    most recently used mode is kept, so peak residency is one copy instead
+    of ``nmodes + 1``. Determinism is checked cheaply on every regeneration.
+    """
+
+    is_out_of_core = False
+
+    def __init__(
+        self,
+        builder: Callable[[], SparseTensorCOO],
+        *,
+        n_gpus: int = 4,
+        shards_per_gpu: int = 16,
+        policy: str = "lpt",
+    ) -> None:
+        if not callable(builder):
+            raise ReproError("builder must be a zero-argument callable")
+        if n_gpus <= 0:
+            raise ReproError("n_gpus must be positive")
+        if shards_per_gpu <= 0:
+            raise ReproError("shards_per_gpu must be positive")
+        self._builder = builder
+        self._n_gpus = int(n_gpus)
+        tensor = self._build()
+        self._shape = tensor.shape
+        self._nnz = tensor.nnz
+        self._checksum = self._fingerprint(tensor)
+        n_shards = self._n_gpus * int(shards_per_gpu)
+        self._shards = []
+        self._assignments = []
+        for m, extent in enumerate(self._shape):
+            keys = np.sort(tensor.indices[:, m])
+            shards = shard_table(keys, extent, m, n_shards)
+            nnz_per_shard = np.array([s.nnz for s in shards], dtype=np.int64)
+            self._shards.append(shards)
+            self._assignments.append(
+                assign_shards(nnz_per_shard, self._n_gpus, policy)
+            )
+        self._cached: tuple[int, ModePartition] | None = None
+
+    @staticmethod
+    def _fingerprint(tensor: SparseTensorCOO) -> tuple:
+        return (
+            tensor.shape,
+            tensor.nnz,
+            float(tensor.values.sum()),
+            int(tensor.indices.sum()),
+        )
+
+    def _build(self) -> SparseTensorCOO:
+        tensor = self._builder()
+        if not isinstance(tensor, SparseTensorCOO):
+            raise ReproError(
+                f"builder must return a SparseTensorCOO, got "
+                f"{type(tensor).__name__}"
+            )
+        return tensor
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def n_gpus(self) -> int:
+        return self._n_gpus
+
+    def partition(self, mode: int) -> ModePartition:
+        mode = self._check_mode(mode)
+        if self._cached is not None and self._cached[0] == mode:
+            return self._cached[1]
+        tensor = self._build()
+        if self._fingerprint(tensor) != self._checksum:
+            raise ReproError(
+                "SyntheticSource builder is not deterministic: regenerated "
+                "tensor differs from the one the shard tables were built on "
+                "(seed the generator)"
+            )
+        part = ModePartition(
+            mode=mode, tensor=tensor.sorted_by_mode(mode), shards=self._shards[mode]
+        )
+        self._cached = (mode, part)
+        return part
+
+    def shards(self, mode: int) -> tuple[Shard, ...]:
+        return self._shards[self._check_mode(mode)]
+
+    def assignment(self, mode: int) -> np.ndarray:
+        return self._assignments[self._check_mode(mode)]

@@ -20,7 +20,29 @@ import numpy as np
 
 from repro.errors import PartitionError
 
-__all__ = ["assign_lpt", "assign_round_robin", "load_imbalance", "bin_loads"]
+__all__ = [
+    "assign_lpt",
+    "assign_round_robin",
+    "assign_shards",
+    "load_imbalance",
+    "bin_loads",
+]
+
+
+def assign_shards(shard_nnz: Sequence[int], n_gpus: int, policy: str) -> np.ndarray:
+    """Policy-dispatched shard→GPU assignment.
+
+    The single dispatch point shared by :func:`repro.partition.plan.
+    build_partition_plan` and every out-of-core/lazy shard source, so all
+    paths assign identically for a given policy — part of the sources'
+    bit-identity contract.
+    """
+    shard_nnz = np.asarray(shard_nnz, dtype=np.int64)
+    if policy == "lpt":
+        return assign_lpt(shard_nnz, n_gpus)
+    if policy == "round_robin":
+        return assign_round_robin(shard_nnz.shape[0], n_gpus)
+    raise PartitionError(f"unknown balancing policy {policy!r}")
 
 
 def assign_lpt(sizes: Sequence[int], n_bins: int) -> np.ndarray:

@@ -14,7 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import PartitionError
-from repro.partition.balance import assign_lpt, assign_round_robin, bin_loads
+from repro.partition.balance import assign_shards, bin_loads
 from repro.partition.sharding import ModePartition, shard_mode
 from repro.tensor.coo import SparseTensorCOO
 
@@ -109,12 +109,7 @@ def build_partition_plan(
     for mode in range(nmodes):
         part = shard_mode(tensor, mode, counts[mode])
         modes.append(part)
-        if policy == "lpt":
-            assignments.append(assign_lpt(part.shard_nnz(), n_gpus))
-        elif policy == "round_robin":
-            assignments.append(assign_round_robin(part.n_shards, n_gpus))
-        else:
-            raise PartitionError(f"unknown balancing policy {policy!r}")
+        assignments.append(assign_shards(part.shard_nnz(), n_gpus, policy))
     plan = PartitionPlan(
         n_gpus=n_gpus, modes=tuple(modes), assignments=tuple(assignments)
     )

@@ -21,7 +21,7 @@ import numpy as np
 from repro.errors import PartitionError
 from repro.tensor.coo import SparseTensorCOO
 
-__all__ = ["Shard", "ModePartition", "shard_mode"]
+__all__ = ["Shard", "ModePartition", "shard_mode", "shard_table"]
 
 
 @dataclass(frozen=True)
@@ -89,26 +89,23 @@ class ModePartition:
             )
 
 
-def shard_mode(
-    tensor: SparseTensorCOO, mode: int, n_shards: int
-) -> ModePartition:
-    """Build the mode-*d* shard set with ``n_shards`` equal-width index ranges.
+def shard_table(
+    keys: np.ndarray, extent: int, mode: int, n_shards: int
+) -> tuple[Shard, ...]:
+    """Equal-width shard table over a *mode-sorted* key array.
 
-    The paper fixes the range count to ``k_d = |I_d| / m``; here it is a free
-    parameter (see DESIGN.md ablation A1) with the paper's value available
-    via :func:`repro.partition.plan.paper_shard_count`.
+    ``keys`` is the mode-``mode`` index column of the sorted tensor copy; a
+    memory-mapped column works too — the binary searches touch only
+    ``O(n_shards log nnz)`` pages, which is what lets out-of-core sources
+    (:class:`repro.engine.MmapNpzSource`) build their shard tables without
+    reading the element data.
     """
-    if not 0 <= mode < tensor.nmodes:
-        raise PartitionError(f"mode {mode} out of range")
-    extent = tensor.shape[mode]
     if n_shards <= 0:
         raise PartitionError("n_shards must be positive")
     n_shards = min(n_shards, extent)  # cannot split finer than one index/shard
-    sorted_t = tensor.sorted_by_mode(mode)
     # Equal-width index ranges (§3.2: equal-sized index partitions).
     boundaries = np.linspace(0, extent, n_shards + 1).astype(np.int64)
     boundaries[0], boundaries[-1] = 0, extent
-    keys = sorted_t.indices[:, mode]
     elem_bounds = np.searchsorted(keys, boundaries)
     shards = []
     for j in range(n_shards):
@@ -123,4 +120,24 @@ def shard_mode(
                 nnz=e - s,
             )
         )
-    return ModePartition(mode=mode, tensor=sorted_t, shards=tuple(shards))
+    return tuple(shards)
+
+
+def shard_mode(
+    tensor: SparseTensorCOO, mode: int, n_shards: int
+) -> ModePartition:
+    """Build the mode-*d* shard set with ``n_shards`` equal-width index ranges.
+
+    The paper fixes the range count to ``k_d = |I_d| / m``; here it is a free
+    parameter (see DESIGN.md ablation A1) with the paper's value available
+    via :func:`repro.partition.plan.paper_shard_count`.
+    """
+    if not 0 <= mode < tensor.nmodes:
+        raise PartitionError(f"mode {mode} out of range")
+    if n_shards <= 0:
+        raise PartitionError("n_shards must be positive")
+    sorted_t = tensor.sorted_by_mode(mode)
+    shards = shard_table(
+        sorted_t.indices[:, mode], tensor.shape[mode], mode, n_shards
+    )
+    return ModePartition(mode=mode, tensor=sorted_t, shards=shards)

@@ -34,6 +34,8 @@ class KernelCostModel:
     index_bytes: int = 4  # uint32 coordinates on device
     value_bytes: int = 4  # float32 values on device
     rank_value_bytes: int = 4  # float32 factor matrices
+    host_index_bytes: int = 8  # int64 coordinates in the host element list
+    host_value_bytes: int = 8  # float64 values in the host element list
     effective_cache_bytes: int = 96 * 2**20  # RTX 6000 Ada L2 is 96 MB
     sorted_output_hit: float = 0.95  # shard-sorted output row locality
     unsorted_output_hit: float = 0.30  # random scatter output locality
@@ -56,6 +58,17 @@ class KernelCostModel:
 
     def factor_bytes(self, n_rows: int, rank: int) -> int:
         return int(n_rows) * int(rank) * self.rank_value_bytes
+
+    def host_element_bytes(self, nmodes: int) -> int:
+        """Host bytes of one COO nonzero (the functional int64/float64 list).
+
+        This is the unit of the host-residency accounting
+        (:func:`repro.core.simulate.host_memory_plan`): an in-memory
+        :class:`repro.partition.plan.PartitionPlan` keeps ``nmodes`` sorted
+        copies of the element list resident, an out-of-core shard cache only
+        the in-flight batch windows.
+        """
+        return nmodes * self.host_index_bytes + self.host_value_bytes
 
     # ------------------------------------------------------------------
     # Cache-hit estimation

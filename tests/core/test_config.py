@@ -3,7 +3,9 @@
 import pytest
 
 from repro.core.config import AmpedConfig
+from repro.engine.autotune import MIN_AUTO_BATCH, auto_batch_size
 from repro.errors import ReproError
+from repro.simgpu.kernel import KernelCostModel
 
 
 class TestAmpedConfig:
@@ -36,9 +38,14 @@ class TestAmpedConfig:
             {"allgather": "telepathy"},
             {"batch_size": 0},
             {"batch_size": -5},
+            {"batch_size": "adaptive"},
+            {"batch_size": ""},
             {"workers": 0},
             {"workers": -1},
             {"workers": 100_000},
+            {"out_of_core": True},
+            {"out_of_core": True, "shard_cache": None},
+            {"out_of_core": True, "shard_cache": ""},
         ],
     )
     def test_invalid_rejected(self, kw):
@@ -50,18 +57,69 @@ class TestAmpedConfig:
             AmpedConfig(batch_size=0)
         with pytest.raises(ReproError, match="workers must be in"):
             AmpedConfig(workers=0)
+        with pytest.raises(ReproError, match="'auto'"):
+            AmpedConfig(batch_size="adaptive")
+
+    def test_out_of_core_error_is_actionable(self):
+        with pytest.raises(ReproError, match="shard_cache"):
+            AmpedConfig(out_of_core=True)
+        with pytest.raises(ReproError, match="write_shard_cache"):
+            AmpedConfig(out_of_core=True)
 
     def test_engine_knob_defaults(self):
         cfg = AmpedConfig()
-        assert cfg.batch_size is None  # eager whole-shard granularity
+        assert cfg.batch_size == "auto"  # cache-model autotuning by default
         assert cfg.workers == 1
+        assert cfg.out_of_core is False
+        assert cfg.shard_cache is None
 
     def test_engine_knobs_accepted(self):
         cfg = AmpedConfig(batch_size=4096, workers=8)
         assert cfg.batch_size == 4096
         assert cfg.workers == 8
+        assert AmpedConfig(batch_size=None).batch_size is None
+        assert AmpedConfig(batch_size="auto").batch_size == "auto"
+
+    def test_out_of_core_accepted_with_cache(self):
+        cfg = AmpedConfig(out_of_core=True, shard_cache="cache.npz")
+        assert cfg.out_of_core is True
+        assert cfg.shard_cache == "cache.npz"
 
     def test_frozen(self):
         cfg = AmpedConfig()
         with pytest.raises(Exception):
             cfg.n_gpus = 8  # type: ignore[misc]
+
+
+class TestResolvedBatchSize:
+    """`batch_size="auto"` resolution is source-residency aware."""
+
+    def test_auto_resident_is_eager(self):
+        cfg = AmpedConfig()  # batch_size="auto", in-memory
+        assert cfg.resolved_batch_size(KernelCostModel(), nmodes=3) is None
+
+    def test_auto_out_of_core_is_cache_model(self):
+        cfg = AmpedConfig(out_of_core=True, shard_cache="x.npz")
+        cost = KernelCostModel()
+        resolved = cfg.resolved_batch_size(cost, nmodes=3)
+        assert resolved == auto_batch_size(cost, 32, 3)
+        assert resolved >= MIN_AUTO_BATCH
+
+    def test_explicit_values_pass_through(self):
+        cost = KernelCostModel()
+        assert AmpedConfig(batch_size=None).resolved_batch_size(cost, 3) is None
+        assert AmpedConfig(batch_size=777).resolved_batch_size(cost, 3) == 777
+        cfg = AmpedConfig(batch_size=777, out_of_core=True, shard_cache="x")
+        assert cfg.resolved_batch_size(cost, 3) == 777
+
+    def test_auto_scales_with_rank_and_cache(self):
+        cfg = AmpedConfig(out_of_core=True, shard_cache="x.npz")
+        cost = KernelCostModel()
+        big_rank = cfg.replace(rank=128)
+        assert big_rank.resolved_batch_size(cost, 3) <= cfg.resolved_batch_size(
+            cost, 3
+        )
+        small_cache = cost.with_overrides(effective_cache_bytes=8 * 2**20)
+        assert cfg.resolved_batch_size(small_cache, 3) <= cfg.resolved_batch_size(
+            cost, 3
+        )

@@ -4,9 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core.config import AmpedConfig
-from repro.core.simulate import amped_memory_plan, simulate_amped
+from repro.core.simulate import amped_memory_plan, host_memory_plan, simulate_amped
 from repro.core.workload import TensorWorkload
 from repro.datasets.profiles import AMAZON, REDDIT
+from repro.engine.autotune import auto_batch_size
 from repro.datasets.workload import paper_workload
 from repro.errors import SimulationError
 from repro.simgpu.device import GPUSpec
@@ -123,3 +124,86 @@ class TestMemoryPlan:
         dbl = amped_memory_plan(amazon_wl, AmpedConfig(double_buffer=True), cost)
         sgl = amped_memory_plan(amazon_wl, AmpedConfig(double_buffer=False), cost)
         assert dbl["shard_staging"] == 2 * sgl["shard_staging"]
+
+    def test_manual_batch_bounds_staging(self, amazon_wl, cost):
+        batched = amped_memory_plan(amazon_wl, AmpedConfig(batch_size=1000), cost)
+        assert batched["shard_staging"] == 2 * 1000 * cost.coo_element_bytes(3)
+
+    def test_out_of_core_auto_bounds_staging(self, amazon_wl, cost):
+        """batch_size="auto" out of core stages O(batch), not O(shard)."""
+        cfg = AmpedConfig(out_of_core=True, shard_cache="amazon.npz")
+        plan = amped_memory_plan(amazon_wl, cfg, cost)
+        batch = auto_batch_size(cost, cfg.rank, 3)
+        assert plan["shard_staging"] == 2 * batch * cost.coo_element_bytes(3)
+        eager = amped_memory_plan(amazon_wl, AmpedConfig(batch_size=None), cost)
+        assert plan["shard_staging"] < eager["shard_staging"]
+
+
+class TestHostMemoryPlan:
+    """The accounting that separates in-memory from out-of-core residency."""
+
+    def test_resident_path_is_o_nnz(self, amazon_wl, cost):
+        plan = host_memory_plan(amazon_wl, AmpedConfig(), cost)
+        assert plan["tensor_resident"] == (
+            3 * amazon_wl.nnz * cost.host_element_bytes(3)
+        )
+
+    def test_out_of_core_is_o_batch_not_o_nnz(self, amazon_wl, cost):
+        """Peak resident tensor bytes are bounded by the batch, independent
+        of nnz — the out-of-core acceptance criterion."""
+        cfg = AmpedConfig(
+            out_of_core=True, shard_cache="amazon.npz", batch_size=5000
+        )
+        plan = host_memory_plan(amazon_wl, cfg, cost)
+        assert plan["tensor_resident"] == 2 * 5000 * cost.host_element_bytes(3)
+        # same config, 2.7x-larger tensor: identical resident bound
+        reddit_wl = paper_workload(REDDIT, AmpedConfig(), cost)
+        assert (
+            host_memory_plan(reddit_wl, cfg, cost)["tensor_resident"]
+            == plan["tensor_resident"]
+        )
+        # while the in-memory residency scales with nnz
+        assert (
+            host_memory_plan(reddit_wl, AmpedConfig(), cost)["tensor_resident"]
+            > host_memory_plan(amazon_wl, AmpedConfig(), cost)["tensor_resident"]
+        )
+
+    def test_out_of_core_auto_uses_cache_model(self, amazon_wl, cost):
+        cfg = AmpedConfig(out_of_core=True, shard_cache="amazon.npz")
+        plan = host_memory_plan(amazon_wl, cfg, cost)
+        batch = auto_batch_size(cost, cfg.rank, 3)
+        assert plan["tensor_resident"] == 2 * batch * cost.host_element_bytes(3)
+
+    def test_factor_matrices_always_resident(self, amazon_wl, cost):
+        cfg = AmpedConfig(out_of_core=True, shard_cache="amazon.npz")
+        for config in (AmpedConfig(), cfg):
+            plan = host_memory_plan(amazon_wl, config, cost)
+            assert plan["factor_matrices"] == amazon_wl.factor_bytes(
+                32, cost.host_value_bytes
+            )
+
+    def test_simulate_rejects_tensor_larger_than_host_ram(self, amazon_wl, cost):
+        """A resident run that cannot fit host RAM errors out with a pointer
+        to the out-of-core path; the out-of-core run proceeds."""
+        from repro.simgpu.device import HostSpec
+        from repro.simgpu.presets import PCIE_GEN4_X16, P2P_PCIE, RTX6000_ADA
+
+        # 4 GiB: holds the factor matrices (~2.2 GB at amazon scale) and the
+        # batch windows, but nowhere near the 163 GB resident element list.
+        tiny_host = HostSpec(
+            name="tiny", n_cores=8, fp32_tflops=1.0,
+            mem_capacity=4 * 2**30, mem_bandwidth=100e9,
+        )
+        plat = MultiGPUPlatform(
+            gpu_spec=RTX6000_ADA, n_gpus=4, host=tiny_host,
+            host_link=PCIE_GEN4_X16, p2p_link=P2P_PCIE,
+        )
+        res = simulate_amped(plat, cost, amazon_wl, AmpedConfig())
+        assert not res.ok
+        assert "out of core" in res.error
+        plat.reset()
+        ooc = simulate_amped(
+            plat, cost, amazon_wl,
+            AmpedConfig(out_of_core=True, shard_cache="amazon.npz"),
+        )
+        assert ooc.ok

@@ -1,0 +1,476 @@
+"""Source/equivalence test matrix for the shard-source abstraction.
+
+The engine contract extended to sources: for one logical tensor, every
+``ShardSource`` implementation yields byte-identical mode-sorted copies,
+identical shard tables and batch boundaries, and therefore **bit-identical**
+MTTKRP results for every ``(batch_size, workers, mode)`` cell — with
+:class:`MmapNpzSource` additionally keeping the element data on disk
+(memory-mapped) rather than resident.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    InMemorySource,
+    MmapNpzSource,
+    StreamingExecutor,
+    SyntheticSource,
+    auto_batch_size,
+    resolve_batch_size,
+    streamed_batch_bytes,
+)
+from repro.engine.autotune import MAX_AUTO_BATCH, MIN_AUTO_BATCH
+from repro.engine.batch import build_batch_plan
+from repro.errors import ReproError, TensorFormatError
+from repro.partition.plan import build_partition_plan
+from repro.simgpu.kernel import KernelCostModel
+from repro.tensor.generate import zipf_coo
+from repro.tensor.io import write_shard_cache
+from repro.tensor.reference import mttkrp_coo_reference
+
+REF_RTOL = 1e-9
+REF_ATOL = 1e-12
+
+N_GPUS = 4
+SHARDS_PER_GPU = 4
+
+
+def _tensor():
+    return zipf_coo((40, 25, 30), 1500, exponents=(1.2, 0.8, 1.0), seed=11)
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return _tensor()
+
+
+@pytest.fixture(scope="module")
+def factors(tensor):
+    rng = np.random.default_rng(99)
+    return [rng.random((s, 6)) for s in tensor.shape]
+
+
+@pytest.fixture(scope="module")
+def plan(tensor):
+    return build_partition_plan(tensor, N_GPUS, shards_per_gpu=SHARDS_PER_GPU)
+
+
+@pytest.fixture(scope="module")
+def cache_path(tensor, tmp_path_factory):
+    return write_shard_cache(tensor, tmp_path_factory.mktemp("cache") / "t.npz")
+
+
+@pytest.fixture(scope="module")
+def eager_outputs(tensor, factors, plan):
+    """Canonical bits: the in-memory engine at eager granularity."""
+    engine = StreamingExecutor(plan)
+    return [engine.mttkrp(factors, m) for m in range(tensor.nmodes)]
+
+
+def make_source(kind: str, plan, cache_path):
+    if kind == "memory":
+        return InMemorySource(plan)
+    if kind == "mmap":
+        return MmapNpzSource(
+            cache_path, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+    if kind == "synthetic":
+        return SyntheticSource(
+            _tensor, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+    raise AssertionError(kind)
+
+
+SOURCE_KINDS = ["memory", "mmap", "synthetic"]
+
+
+class TestSourceEquivalenceMatrix:
+    """Every (source, batch_size, workers, mode) cell reproduces the eager
+    bits and matches the COO reference."""
+
+    @pytest.mark.parametrize("kind", SOURCE_KINDS)
+    @pytest.mark.parametrize("batch_size", [1, 7, None])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_bit_identical_to_eager(
+        self, tensor, factors, plan, cache_path, eager_outputs,
+        kind, batch_size, workers,
+    ):
+        source = make_source(kind, plan, cache_path)
+        engine = StreamingExecutor(source, batch_size=batch_size, workers=workers)
+        for mode in range(tensor.nmodes):
+            got = engine.mttkrp(factors, mode)
+            assert np.array_equal(got, eager_outputs[mode])
+            assert np.allclose(
+                got,
+                mttkrp_coo_reference(tensor, factors, mode),
+                rtol=REF_RTOL,
+                atol=REF_ATOL,
+            )
+
+    @pytest.mark.parametrize("kind", SOURCE_KINDS)
+    def test_identical_shard_tables_and_batch_plans(
+        self, tensor, plan, cache_path, kind
+    ):
+        source = make_source(kind, plan, cache_path)
+        assert source.shape == tensor.shape
+        assert source.nnz == tensor.nnz
+        for mode in range(tensor.nmodes):
+            part = source.partition(mode)
+            ref = plan.modes[mode]
+            assert part.shards == ref.shards
+            assert np.array_equal(source.assignment(mode), plan.assignments[mode])
+            assert np.array_equal(
+                np.asarray(source.mode_keys(mode)),
+                ref.tensor.indices[:, mode],
+            )
+            got = build_batch_plan(part, 13, keys=source.mode_keys(mode))
+            want = build_batch_plan(ref, 13)
+            assert got.batches == want.batches
+
+    @pytest.mark.parametrize("kind", SOURCE_KINDS)
+    def test_validate_passes(self, plan, cache_path, kind):
+        make_source(kind, plan, cache_path).validate()
+
+    @pytest.mark.parametrize("kind", SOURCE_KINDS)
+    def test_per_gpu_restriction_partitions_output(
+        self, tensor, factors, plan, cache_path, kind
+    ):
+        source = make_source(kind, plan, cache_path)
+        engine = StreamingExecutor(source, batch_size=64)
+        mode = 1
+        total = np.zeros((tensor.shape[mode], 6))
+        for g in range(N_GPUS):
+            engine.mttkrp_into(
+                factors, mode, total, shard_ids=source.shards_for_gpu(mode, g)
+            )
+        assert np.array_equal(total, engine.mttkrp(factors, mode))
+
+
+class TestInMemorySource:
+    def test_wraps_plan_without_copying(self, plan):
+        source = InMemorySource(plan)
+        assert source.partition_plan() is plan
+        for mode in range(len(plan.modes)):
+            assert source.partition(mode) is plan.modes[mode]
+
+    def test_rejects_non_plan(self):
+        with pytest.raises(ReproError, match="PartitionPlan"):
+            InMemorySource("not a plan")
+
+    def test_from_tensor(self, tensor, factors, eager_outputs):
+        source = InMemorySource.from_tensor(
+            tensor, N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+        out = StreamingExecutor(source).mttkrp(factors, 0)
+        assert np.array_equal(out, eager_outputs[0])
+
+
+class TestMmapNpzSource:
+    def test_element_arrays_are_memory_mapped(self, plan, cache_path):
+        source = make_source("mmap", plan, cache_path)
+        for mode in range(len(source.shape)):
+            part = source.partition(mode)
+            assert isinstance(part.tensor.indices, np.memmap)
+            assert isinstance(part.tensor.values, np.memmap)
+            assert isinstance(source.mode_keys(mode), np.memmap)
+
+    def test_missing_file_is_actionable(self, tmp_path):
+        with pytest.raises(TensorFormatError, match="repro cache"):
+            MmapNpzSource(tmp_path / "nope.npz")
+
+    def test_compressed_cache_rejected(self, tensor, tmp_path):
+        path = tmp_path / "z.npz"
+        np.savez_compressed(
+            path,
+            version=np.array([1]),
+            shape=np.asarray(tensor.shape),
+            nnz=np.array([tensor.nnz]),
+        )
+        with pytest.raises(TensorFormatError, match="compressed"):
+            MmapNpzSource(path)
+
+    def test_wrong_version_rejected(self, tensor, tmp_path):
+        path = tmp_path / "v.npz"
+        np.savez(
+            path,
+            version=np.array([999]),
+            shape=np.asarray(tensor.shape),
+            nnz=np.array([tensor.nnz]),
+        )
+        with pytest.raises(TensorFormatError, match="version"):
+            MmapNpzSource(path)
+
+    def test_missing_mode_arrays_rejected(self, tensor, tmp_path):
+        path = tmp_path / "m.npz"
+        np.savez(
+            path,
+            version=np.array([1]),
+            shape=np.asarray(tensor.shape),
+            nnz=np.array([tensor.nnz]),
+        )
+        with pytest.raises(ReproError, match="missing arrays"):
+            MmapNpzSource(path)
+
+    def test_missing_nnz_rejected_actionably(self, tensor, tmp_path):
+        path = tmp_path / "no_nnz.npz"
+        np.savez(
+            path, version=np.array([1]), shape=np.asarray(tensor.shape)
+        )
+        with pytest.raises(ReproError, match="missing arrays.*nnz"):
+            MmapNpzSource(path)
+
+    def test_not_a_zip_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(TensorFormatError, match="not a shard cache"):
+            MmapNpzSource(path)
+
+    def test_close_and_context_manager(self, plan, cache_path):
+        with make_source("mmap", plan, cache_path) as source:
+            assert source.nnz > 0
+        with pytest.raises(ReproError, match="closed"):
+            source.partition(0)  # arrays dropped after close
+        with pytest.raises(ReproError, match="reopen"):
+            source.mode_keys(0)
+
+    def test_suffixless_path_normalized(self, tensor, tmp_path):
+        """Writer appends .npz; the source must resolve the same path."""
+        written = write_shard_cache(tensor, tmp_path / "noext")
+        assert written.name == "noext.npz"
+        source = MmapNpzSource(tmp_path / "noext", n_gpus=2, shards_per_gpu=2)
+        assert source.path == written
+        assert source.nnz == tensor.nnz
+
+    def test_bad_construction_args(self, cache_path):
+        with pytest.raises(ReproError, match="n_gpus"):
+            MmapNpzSource(cache_path, n_gpus=0)
+        with pytest.raises(ReproError, match="shards_per_gpu"):
+            MmapNpzSource(cache_path, shards_per_gpu=0)
+
+
+class TestSyntheticSource:
+    def test_only_one_mode_resident(self, plan, cache_path):
+        source = make_source("synthetic", plan, cache_path)
+        p0 = source.partition(0)
+        assert source.partition(0) is p0  # cached while current
+        source.partition(1)
+        assert source.partition(0) is not p0  # regenerated after eviction
+
+    def test_shards_accessor_is_metadata_only(self, plan, cache_path):
+        """shards()/assignment() must not force a mode copy to materialize."""
+        source = make_source("synthetic", plan, cache_path)
+        calls = []
+        source._builder, real = (
+            lambda: calls.append(1) or real(),
+            source._builder,
+        )
+        for mode in range(len(source.shape)):
+            assert source.shards(mode) == plan.modes[mode].shards
+            source.assignment(mode)
+        assert not calls  # no regeneration happened
+
+    def test_nondeterministic_builder_rejected(self):
+        counter = iter(range(100))
+
+        def builder():
+            return zipf_coo((10, 8, 6), 50, exponents=1.0, seed=next(counter))
+
+        source = SyntheticSource(builder, n_gpus=2, shards_per_gpu=2)
+        with pytest.raises(ReproError, match="deterministic"):
+            source.partition(0)
+
+    def test_builder_type_checked(self):
+        with pytest.raises(ReproError, match="callable"):
+            SyntheticSource("nope", n_gpus=2)
+        with pytest.raises(ReproError, match="SparseTensorCOO"):
+            SyntheticSource(lambda: 42, n_gpus=2)
+
+    def test_dataset_helper(self):
+        from repro.datasets.profiles import profile_by_name
+        from repro.datasets.synthetic import materialize, synthetic_source
+
+        source = synthetic_source(
+            profile_by_name("twitch"), 2000, n_gpus=2, shards_per_gpu=2, seed=5
+        )
+        tensor = materialize(profile_by_name("twitch"), 2000, seed=5)
+        assert source.shape == tensor.shape
+        assert source.nnz == tensor.nnz
+        rng = np.random.default_rng(1)
+        factors = [rng.random((s, 4)) for s in tensor.shape]
+        got = StreamingExecutor(source, batch_size=32).mttkrp(factors, 0)
+        ref_plan = build_partition_plan(tensor, 2, shards_per_gpu=2)
+        want = StreamingExecutor(ref_plan).mttkrp(factors, 0)
+        assert np.array_equal(got, want)
+
+    def test_seed_required(self):
+        from repro.datasets.profiles import profile_by_name
+        from repro.datasets.synthetic import synthetic_source
+
+        with pytest.raises(ReproError, match="seed"):
+            synthetic_source(profile_by_name("twitch"), 1000, seed=None)
+
+
+class TestAutotune:
+    def test_auto_batch_fits_cache(self):
+        cost = KernelCostModel()
+        for rank in (4, 32, 128):
+            for nmodes in (3, 4, 5):
+                batch = auto_batch_size(cost, rank, nmodes)
+                assert streamed_batch_bytes(batch, rank, nmodes) <= (
+                    cost.effective_cache_bytes
+                )
+
+    def test_auto_batch_clamped(self):
+        tiny = KernelCostModel().with_overrides(effective_cache_bytes=1024)
+        assert auto_batch_size(tiny, 32, 3) == MIN_AUTO_BATCH
+        huge = KernelCostModel().with_overrides(
+            effective_cache_bytes=1 << 45
+        )
+        assert auto_batch_size(huge, 1, 1) == MAX_AUTO_BATCH
+
+    def test_auto_batch_rejects_bad_inputs(self):
+        cost = KernelCostModel()
+        with pytest.raises(ReproError):
+            auto_batch_size(cost, 0, 3)
+        with pytest.raises(ReproError):
+            auto_batch_size(cost, 4, 0)
+
+    def test_resolution_is_residency_aware(self):
+        cost = KernelCostModel()
+        assert (
+            resolve_batch_size("auto", cost=cost, rank=32, nmodes=3,
+                               out_of_core=False)
+            is None
+        )
+        assert resolve_batch_size(
+            "auto", cost=cost, rank=32, nmodes=3, out_of_core=True
+        ) == auto_batch_size(cost, 32, 3)
+
+    def test_resolution_validates(self):
+        cost = KernelCostModel()
+        with pytest.raises(ReproError, match="'auto'"):
+            resolve_batch_size(
+                "adaptive", cost=cost, rank=32, nmodes=3, out_of_core=False
+            )
+        with pytest.raises(ReproError, match=">= 1"):
+            resolve_batch_size(0, cost=cost, rank=32, nmodes=3, out_of_core=False)
+        assert (
+            resolve_batch_size(
+                None, cost=cost, rank=32, nmodes=3, out_of_core=True
+            )
+            is None
+        )
+        assert (
+            resolve_batch_size(
+                64, cost=cost, rank=32, nmodes=3, out_of_core=True
+            )
+            == 64
+        )
+
+    def test_executor_refuses_unresolved_auto(self, plan):
+        with pytest.raises(ReproError, match="resolve"):
+            StreamingExecutor(plan, batch_size="auto")
+
+
+class TestAmpedIntegration:
+    """AmpedMTTKRP over each source kind: identical bits, O(batch) residency."""
+
+    @pytest.mark.parametrize("kind", ["memory", "mmap"])
+    def test_amped_over_sources_bit_identical(
+        self, tensor, factors, plan, cache_path, kind
+    ):
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        cfg = AmpedConfig(n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU)
+        baseline = AmpedMTTKRP(tensor, cfg)
+        source = make_source(kind, plan, cache_path)
+        ex = AmpedMTTKRP.from_source(source, cfg)
+        for mode in range(tensor.nmodes):
+            assert np.array_equal(
+                ex.mttkrp(factors, mode), baseline.mttkrp(factors, mode)
+            )
+
+    def test_source_backed_executor_stays_lazy(self, tensor, plan, cache_path):
+        """Construction from a source must not materialize the whole plan
+        (workload stats come off the key columns and shard metadata)."""
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        cfg = AmpedConfig(n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU)
+        ex = AmpedMTTKRP.from_shard_cache(cache_path, cfg)
+        assert ex._plan is None  # lazy until .plan is asked for
+        assert ex.workload.nnz == tensor.nnz
+        assert ex.plan.nmodes == tensor.nmodes  # property materializes
+        assert ex._plan is not None
+
+    def test_workload_matches_in_memory(self, tensor, cache_path):
+        """from_source and from_plan produce the same workload descriptor,
+        so out-of-core simulation timing equals the in-memory one."""
+        import numpy as np
+
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        cfg = AmpedConfig(n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU)
+        mem = AmpedMTTKRP(tensor, cfg).workload
+        ooc = AmpedMTTKRP.from_shard_cache(cache_path, cfg).workload
+        assert ooc.shape == mem.shape and ooc.nnz == mem.nnz
+        for a, b in zip(ooc.modes, mem.modes):
+            assert np.array_equal(a.shard_nnz, b.shard_nnz)
+            assert np.array_equal(a.assignment, b.assignment)
+            assert np.array_equal(a.rows_per_gpu, b.rows_per_gpu)
+            assert a.factor_hit == b.factor_hit
+
+    def test_from_shard_cache_normalizes_config(self, tensor, factors, cache_path):
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        cfg = AmpedConfig(n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU)
+        ex = AmpedMTTKRP.from_shard_cache(cache_path, cfg)
+        assert ex.config.out_of_core is True
+        assert str(cache_path) in ex.config.shard_cache
+        # auto resolved to the cache-model batch because the source streams
+        assert ex.engine.batch_size == auto_batch_size(ex.cost, 6, 3)
+        baseline = AmpedMTTKRP(tensor, cfg)
+        for mode in range(tensor.nmodes):
+            assert np.array_equal(
+                ex.mttkrp(factors, mode), baseline.mttkrp(factors, mode)
+            )
+
+    def test_run_iteration_out_of_core(self, tensor, factors, cache_path):
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        cfg = AmpedConfig(
+            n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU, workers=2
+        )
+        ex = AmpedMTTKRP.from_shard_cache(cache_path, cfg)
+        outputs, result = ex.run_iteration(factors)
+        assert result.ok
+        for mode, out in enumerate(outputs):
+            assert np.allclose(
+                out,
+                mttkrp_coo_reference(tensor, factors, mode),
+                rtol=REF_RTOL,
+                atol=REF_ATOL,
+            )
+
+    def test_tensor_and_source_mutually_exclusive(self, tensor, plan):
+        from repro.core.amped import AmpedMTTKRP
+
+        with pytest.raises(ReproError, match="either tensor or source"):
+            AmpedMTTKRP(tensor, source=InMemorySource(plan))
+        with pytest.raises(ReproError, match="tensor .*or a source|source"):
+            AmpedMTTKRP(None)
+
+    def test_source_gpu_count_checked(self, cache_path):
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        source = MmapNpzSource(cache_path, n_gpus=2, shards_per_gpu=2)
+        with pytest.raises(ReproError, match="GPUs"):
+            AmpedMTTKRP.from_source(source, AmpedConfig(n_gpus=4))

@@ -24,9 +24,15 @@ from make_golden import CASES, build_case, golden_path
 from repro.baselines.registry import BACKEND_REGISTRY, make_backend
 from repro.core.amped import AmpedMTTKRP
 from repro.cpd.als import cp_als
-from repro.engine import StreamingExecutor
+from repro.engine import (
+    InMemorySource,
+    MmapNpzSource,
+    StreamingExecutor,
+    SyntheticSource,
+)
 from repro.errors import UnsupportedTensorError
 from repro.partition.plan import build_partition_plan
+from repro.tensor.io import write_shard_cache
 from repro.tensor.reference import mttkrp_coo_reference, mttkrp_dense_reference
 
 CASE_NAMES = sorted(CASES)
@@ -43,6 +49,36 @@ def case(request):
     tensor, factors, rank, config = build_case(name)
     data = np.load(golden_path(name))
     return name, tensor, factors, rank, config, data
+
+
+@pytest.fixture(scope="module")
+def case_cache(case, tmp_path_factory):
+    """Shard cache of the case tensor, for the out-of-core source cells."""
+    name, tensor, *_ = case
+    return write_shard_cache(
+        tensor, tmp_path_factory.mktemp("golden_cache") / f"{name}.npz"
+    )
+
+
+def _case_source(kind, name, tensor, config, cache_path):
+    if kind == "memory":
+        return InMemorySource(
+            build_partition_plan(
+                tensor, config.n_gpus, shards_per_gpu=config.shards_per_gpu
+            )
+        )
+    if kind == "mmap":
+        return MmapNpzSource(
+            cache_path,
+            n_gpus=config.n_gpus,
+            shards_per_gpu=config.shards_per_gpu,
+        )
+    if kind == "synthetic":
+        build = CASES[name]["build"]
+        return SyntheticSource(
+            build, n_gpus=config.n_gpus, shards_per_gpu=config.shards_per_gpu
+        )
+    raise AssertionError(kind)
 
 
 def _expected(data, mode: int) -> np.ndarray:
@@ -78,6 +114,41 @@ class TestEngineBitExact:
         engine = StreamingExecutor(plan, batch_size=batch_size, workers=workers)
         for m in range(tensor.nmodes):
             assert np.array_equal(engine.mttkrp(factors, m), _expected(data, m))
+
+    @pytest.mark.parametrize("source_kind", ["memory", "mmap", "synthetic"])
+    @pytest.mark.parametrize("batch_size", [1, 17, None])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_shard_sources(self, case, case_cache, source_kind, batch_size, workers):
+        """Every shard source reproduces the golden bits at every cell of the
+        (batch_size, workers) equivalence matrix."""
+        name, tensor, factors, _, config, data = case
+        source = _case_source(source_kind, name, tensor, config, case_cache)
+        engine = StreamingExecutor(source, batch_size=batch_size, workers=workers)
+        for m in range(tensor.nmodes):
+            assert np.array_equal(engine.mttkrp(factors, m), _expected(data, m))
+
+    @pytest.mark.parametrize("batch_size,workers", [(1, 1), (17, 3), (None, 1)])
+    def test_out_of_core_decompose_bit_identical(
+        self, case, case_cache, batch_size, workers
+    ):
+        """CP-ALS streamed from the memory-mapped cache is *bit-identical* to
+        the in-memory decompose at every matrix cell (the out-of-core
+        acceptance bar), and a fully out-of-core run (mmap-backed norms too)
+        still lands on the golden fit."""
+        _, tensor, _, rank, config, data = case
+        als_kw = dict(
+            rank=rank, n_iters=int(data["cpals_iters"]), tol=0.0, seed=42
+        )
+        in_memory = AmpedMTTKRP(tensor, config)
+        want = cp_als(tensor, mttkrp=in_memory.mttkrp, **als_kw).final_fit
+        cfg = config.replace(batch_size=batch_size, workers=workers)
+        ex = AmpedMTTKRP.from_shard_cache(case_cache, cfg)
+        got = cp_als(tensor, mttkrp=ex.mttkrp, **als_kw).final_fit
+        assert got == want  # bit-identical trajectory, not just close
+        fully_ooc = cp_als(ex.tensor, mttkrp=ex.mttkrp, **als_kw).final_fit
+        assert fully_ooc == pytest.approx(
+            float(data["cpals_fit"]), abs=CPALS_FIT_TOL
+        )
 
 
 class TestReferencesAndBaselines:

@@ -1,25 +1,39 @@
 """Property-based tests for the streaming engine's batch slicing.
 
-Invariants (satellite of the streaming-engine issue):
+Invariants (satellites of the streaming-engine and shard-source issues):
 
 * the batches of a shard partition its nonzeros exactly once, in order;
 * every batch edge respects ``segment_starts`` boundaries — no output-mode
   segment is ever split across two batches;
 * a batch exceeds ``batch_size`` only when it is a single oversized segment;
 * consequently the streamed MTTKRP is bit-identical to the eager reduction
-  for any batch size and worker count.
+  for any batch size and worker count;
+* every :class:`repro.engine.ShardSource` implementation yields exactly the
+  same segment-aligned batch boundaries as the in-memory ``BatchPlan`` —
+  the invariant that makes cache-backed and generator-backed runs
+  bit-identical to the resident path.
 """
 
 from __future__ import annotations
+
+import tempfile
+from pathlib import Path
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import StreamingExecutor, build_batch_plan, slice_segments
+from repro.engine import (
+    MmapNpzSource,
+    StreamingExecutor,
+    SyntheticSource,
+    build_batch_plan,
+    slice_segments,
+)
 from repro.partition.plan import build_partition_plan
 from repro.partition.sharding import shard_mode
 from repro.tensor.generate import zipf_coo
+from repro.tensor.io import write_shard_cache
 
 
 @st.composite
@@ -100,6 +114,36 @@ class TestBatchPlanProperties:
         for b in plan.batches:
             counts[b.elements] += 1
         assert (counts == 1).all()
+
+
+class TestSourceProperties:
+    @given(engine_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_every_source_yields_batchplan_boundaries(self, case):
+        """Mmap and synthetic sources cut exactly the batches BatchPlan cuts
+        on the resident partition — for any tensor, sharding, and batch size."""
+        shape, nnz, seed, n_gpus, shards_per_gpu, batch_size, _, mode = case
+        t = zipf_coo(shape, nnz, exponents=1.0, seed=seed)
+        plan = build_partition_plan(t, n_gpus, shards_per_gpu=shards_per_gpu)
+        want = build_batch_plan(plan.modes[mode], batch_size)
+        builder = lambda: zipf_coo(shape, nnz, exponents=1.0, seed=seed)  # noqa: E731
+        synthetic = SyntheticSource(
+            builder, n_gpus=n_gpus, shards_per_gpu=shards_per_gpu
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = write_shard_cache(t, Path(tmp) / "t.npz")
+            mmap = MmapNpzSource(
+                cache, n_gpus=n_gpus, shards_per_gpu=shards_per_gpu
+            )
+            for source in (synthetic, mmap):
+                part = source.partition(mode)
+                assert part.shards == plan.modes[mode].shards
+                got = build_batch_plan(
+                    part, batch_size, keys=source.mode_keys(mode)
+                )
+                assert got.batches == want.batches
+                got.validate_against(part)
+            mmap.close()
 
 
 class TestExecutorProperties:

@@ -80,6 +80,135 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fit=" in out
 
+    def test_decompose_requires_a_tensor_source(self, capsys):
+        rc = main(["decompose", "--rank", "2"])
+        assert rc == 2
+        assert "no tensor source" in capsys.readouterr().out
+
+    def test_decompose_batch_size_accepts_auto_and_none(self, capsys):
+        for value in ("auto", "none"):
+            rc = main(
+                [
+                    "decompose",
+                    "--dataset", "twitch",
+                    "--nnz", "2000",
+                    "--rank", "3",
+                    "--iters", "2",
+                    "--gpus", "2",
+                    "--batch-size", value,
+                ]
+            )
+            assert rc == 0
+            assert "fit=" in capsys.readouterr().out
+
+    def test_decompose_rejects_garbage_batch_size(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "decompose", "--dataset", "twitch",
+                    "--batch-size", "sometimes",
+                ]
+            )
+        assert "'auto', or 'none'" in capsys.readouterr().err
+
+
+class TestOutOfCoreCommands:
+    def _fit(self, out: str) -> str:
+        for line in out.splitlines():
+            if "fit=" in line:
+                return line.split("fit=")[1].split()[0]
+        raise AssertionError(f"no fit in output:\n{out}")
+
+    def test_out_of_core_requires_shard_cache(self, capsys):
+        rc = main(
+            ["decompose", "--dataset", "twitch", "--nnz", "2000", "--out-of-core"]
+        )
+        assert rc == 2
+        assert "--shard-cache" in capsys.readouterr().out
+
+    def test_cache_then_out_of_core_decompose_matches_in_memory(
+        self, tmp_path, capsys
+    ):
+        """.tns → shard cache → streaming decompose reproduces the in-memory
+        fit (the CI smoke flow, via the CLI)."""
+        tensor = lowrank_coo((14, 11, 9), 500, rank=2, noise=0.02, seed=4)
+        tns = tmp_path / "t.tns"
+        write_tns(tns, tensor)
+        args = ["--rank", "2", "--iters", "4", "--gpus", "2", "--seed", "1"]
+        assert main(["decompose", "--tns", str(tns)] + args) == 0
+        fit_memory = self._fit(capsys.readouterr().out)
+
+        cache = tmp_path / "t.npz"
+        assert main(["cache", "--tns", str(tns), str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote shard cache" in out and cache.is_file()
+
+        rc = main(
+            ["decompose", "--shard-cache", str(cache), "--out-of-core"] + args
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "out-of-core" in out and "streaming out of core" in out
+        assert self._fit(out) == fit_memory
+
+    def test_decompose_suffixless_cache_path(self, tmp_path, capsys):
+        """np.savez appends .npz; the CLI must build once and then reuse."""
+        cache = tmp_path / "noext"  # no .npz suffix
+        args = [
+            "decompose", "--dataset", "twitch", "--nnz", "2000",
+            "--rank", "3", "--iters", "2", "--gpus", "2",
+            "--shard-cache", str(cache), "--out-of-core",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "wrote shard cache" in out
+        assert (tmp_path / "noext.npz").is_file()
+        assert main(args) == 0  # second run reuses, does not rebuild
+        assert "wrote shard cache" not in capsys.readouterr().out
+
+    def test_decompose_builds_missing_cache(self, tmp_path, capsys):
+        cache = tmp_path / "auto_built.npz"
+        rc = main(
+            [
+                "decompose",
+                "--dataset", "twitch",
+                "--nnz", "2000",
+                "--rank", "3",
+                "--iters", "2",
+                "--gpus", "2",
+                "--shard-cache", str(cache),
+                "--out-of-core",
+            ]
+        )
+        assert rc == 0
+        assert cache.is_file()
+        assert "wrote shard cache" in capsys.readouterr().out
+
+    def test_decompose_from_existing_cache_in_memory(self, tmp_path, capsys):
+        """--shard-cache alone (no --tns/--dataset) is a valid tensor source."""
+        tensor = lowrank_coo((12, 10, 8), 400, rank=2, seed=0)
+        tns = tmp_path / "t.tns"
+        write_tns(tns, tensor)
+        cache = tmp_path / "t.npz"
+        assert main(["cache", "--tns", str(tns), str(cache)]) == 0
+        capsys.readouterr()
+        rc = main(
+            [
+                "decompose", "--shard-cache", str(cache),
+                "--rank", "2", "--iters", "2", "--gpus", "2",
+            ]
+        )
+        assert rc == 0
+        assert "fit=" in capsys.readouterr().out
+
+    def test_cache_max_nnz_guard(self, tmp_path, capsys):
+        tensor = lowrank_coo((12, 10, 8), 400, rank=2, seed=0)
+        tns = tmp_path / "t.tns"
+        write_tns(tns, tensor)
+        with pytest.raises(Exception, match="max_nnz"):
+            main(["cache", "--tns", str(tns), str(tmp_path / "c.npz"),
+                  "--max-nnz", "10"])
+
     def test_trace_export(self, tmp_path, capsys):
         out_path = tmp_path / "trace.json"
         assert main(["trace", "twitch", str(out_path), "--gpus", "2"]) == 0
