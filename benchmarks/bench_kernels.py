@@ -9,7 +9,10 @@ streaming batched executor is bit-identical to the eager path and within
 1.2x of its wall time on the seed synthetic tensor, then repeats the check
 out of core — a memory-mapped shard cache must match the in-memory bits at
 every probed batch size, and the cache-model ``auto`` batch must land within
-1.2x of the best manually tuned one.
+1.2x of the best manually tuned one — and finally sweeps the execution
+backends: the process pool (attached to the mmap cache, with and without
+prefetch) must be bit-identical, and the persistent thread pool must stay
+within 1.2x of the serial backend's wall time.
 """
 
 import numpy as np
@@ -17,7 +20,9 @@ import pytest
 
 from repro.engine import (
     MmapNpzSource,
+    ProcessBackend,
     StreamingExecutor,
+    ThreadBackend,
     auto_batch_size,
     streamed_batch_bytes,
 )
@@ -111,6 +116,25 @@ def test_streaming_engine_batched(benchmark, kernel_data, engine_plan):
     assert out.shape[1] == 32
 
 
+def test_streaming_engine_thread_backend(benchmark, kernel_data, engine_plan):
+    _, factors = kernel_data
+    with StreamingExecutor(
+        engine_plan, batch_size=4096, backend="thread", workers=2
+    ) as engine:
+        out = benchmark(engine.mttkrp, factors, 0)
+    assert out.shape[1] == 32
+
+
+def test_streaming_engine_prefetch(benchmark, kernel_data, engine_plan):
+    """Serial backend + double-buffered staging (the prefetch overhead cap)."""
+    _, factors = kernel_data
+    with StreamingExecutor(
+        engine_plan, batch_size=4096, prefetch=True
+    ) as engine:
+        out = benchmark(engine.mttkrp, factors, 0)
+    assert out.shape[1] == 32
+
+
 def test_streaming_engine_mmap(benchmark, kernel_data, tmp_path):
     """Throughput of the out-of-core path on a warm page cache."""
     tensor, factors = kernel_data
@@ -180,7 +204,77 @@ def run_smoke(batch_size: int = 4096, workers: int = 1) -> int:
     rc = _run_out_of_core_smoke(tensor, factors, eager_out, t_eager)
     if rc != 0:
         return rc
+    rc = _run_backend_smoke(tensor, factors, plan, eager_out, batch_size)
+    if rc != 0:
+        return rc
     print("SMOKE OK: bit-identical outputs, no perf regression")
+    return 0
+
+
+def _run_backend_smoke(tensor, factors, plan, eager_out, batch_size) -> int:
+    """Execution-backend gate: process bit-identity + thread parity.
+
+    The process pool — attached to a memory-mapped shard cache, with and
+    without prefetch — must reproduce the eager bits exactly; the
+    persistent thread pool must additionally land within SMOKE_RATIO_LIMIT
+    of the serial backend's wall time (threads only pay pool bookkeeping:
+    NumPy releases the GIL inside the kernels).
+    """
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = write_shard_cache(tensor, Path(tmp) / "backend_smoke.npz")
+        source = MmapNpzSource(cache, n_gpus=4, shards_per_gpu=8)
+        with ProcessBackend(2) as process:
+            for prefetch in (False, True):
+                engine = StreamingExecutor(
+                    source, batch_size=batch_size, backend=process,
+                    prefetch=prefetch,
+                )
+                outs = engine.mttkrp_all_modes(factors)
+                for m, (a, o) in enumerate(zip(eager_out, outs)):
+                    if not np.array_equal(a, o):
+                        print(
+                            f"SMOKE FAIL: process backend "
+                            f"(prefetch={prefetch}) mode {m} differs from "
+                            f"eager"
+                        )
+                        return 1
+            if process.published_modes != 0:
+                print(
+                    "SMOKE FAIL: process backend copied tensor bytes into "
+                    "shared memory despite the mmap cache attachment"
+                )
+                return 1
+        source.close()
+
+    serial = StreamingExecutor(plan, batch_size=batch_size)
+    with ThreadBackend(2) as thread_backend:
+        threaded = StreamingExecutor(
+            plan, batch_size=batch_size, backend=thread_backend
+        )
+        for m in range(tensor.nmodes):
+            serial.batch_plan(m), threaded.batch_plan(m)
+        outs = threaded.mttkrp_all_modes(factors)
+        for m, (a, o) in enumerate(zip(eager_out, outs)):
+            if not np.array_equal(a, o):
+                print(f"SMOKE FAIL: thread backend mode {m} differs from eager")
+                return 1
+        t_serial = _best_wall_time(lambda: serial.mttkrp_all_modes(factors))
+        t_thread = _best_wall_time(lambda: threaded.mttkrp_all_modes(factors))
+    ratio = t_thread / t_serial
+    print(
+        f"backend smoke: serial {t_serial * 1e3:.1f} ms, "
+        f"thread(workers=2) {t_thread * 1e3:.1f} ms, ratio {ratio:.3f}x; "
+        f"process backend bit-identical (mmap attach, prefetch on/off)"
+    )
+    if ratio > SMOKE_RATIO_LIMIT:
+        print(
+            f"SMOKE FAIL: thread backend exceeds {SMOKE_RATIO_LIMIT}x the "
+            f"serial backend"
+        )
+        return 1
     return 0
 
 

@@ -12,9 +12,13 @@ pages of the in-flight batches are resident, so the tensor can be far larger
 than memory while the results stay **bit-identical** to the in-memory path.
 
 The flow below is the CI smoke job: FROSTT ``.tns`` text → shard cache →
-streaming CP-ALS, checked against the fully in-memory decomposition. It
-drives both the library API and the CLI (`repro cache` / `repro decompose
---shard-cache ... --out-of-core`).
+streaming CP-ALS, checked against the fully in-memory decomposition — with
+the out-of-core run on the **process-pool backend** (workers attach to the
+mmap cache read-only; no tensor bytes cross a pipe) and **double-buffered
+prefetch** (a background thread faults the next batch's pages in while the
+current one reduces). It drives both the library API and the CLI
+(`repro cache` / `repro decompose --shard-cache ... --out-of-core
+--backend process --prefetch`).
 """
 
 import tempfile
@@ -68,10 +72,16 @@ def main() -> None:
         )
 
         # --- 4. the same decomposition, streamed out of core --------------
-        ooc = AmpedMTTKRP.from_shard_cache(cache_path, config, name="ooc")
+        # ... on the process-pool backend with double-buffered prefetch:
+        # pool workers re-open the cache read-only (only (rows, partial)
+        # results cross the pipe) and a loader thread stages the next batch
+        # while the current one reduces.
+        ooc_config = config.replace(backend="process", workers=2, prefetch=True)
+        ooc = AmpedMTTKRP.from_shard_cache(cache_path, ooc_config, name="ooc")
         print(
             f"out-of-core batch_size resolved to {ooc.engine.batch_size} "
-            f"(config batch_size={config.batch_size!r}, cache-model autotune)"
+            f"(config batch_size={config.batch_size!r}, cache-model autotune); "
+            f"backend={ooc.engine.backend.name}, prefetch on"
         )
         res = cp_als(
             ooc.tensor, rank=RANK, mttkrp=ooc.mttkrp, n_iters=ITERS,
@@ -92,7 +102,11 @@ def main() -> None:
             b = ooc.mttkrp(factors, mode)
             if not np.array_equal(a, b):
                 raise SystemExit(f"FAIL: mode {mode} bits differ")
-        print("MTTKRP outputs bit-identical across all modes")
+        print(
+            "MTTKRP outputs bit-identical across all modes "
+            "(process backend + prefetch vs in-memory serial)"
+        )
+        ooc.close()  # release the process pool and the mmap views
 
         # --- 5. what the residency accounting says ------------------------
         for label, ex in (("in-memory", in_memory), ("out-of-core", ooc)):
@@ -111,6 +125,9 @@ def main() -> None:
                 "decompose",
                 "--shard-cache", str(cli_cache),
                 "--out-of-core",
+                "--backend", "process",
+                "--workers", "2",
+                "--prefetch",
                 "--rank", str(RANK),
                 "--iters", str(ITERS),
                 "--gpus", str(GPUS),

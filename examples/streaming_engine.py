@@ -25,9 +25,15 @@ the cache level you target:
 * ``< ~1024``          — per-batch NumPy dispatch overhead starts to show;
   only worth it under severe memory pressure.
 
-``workers > 1`` reduces batches on a thread pool (NumPy releases the GIL in
-the vectorized kernels); results are applied in deterministic order, so the
-output never depends on scheduling.
+Execution backends
+------------------
+``backend=`` selects where batch reductions run: ``"serial"`` (calling
+thread), ``"thread"`` (persistent GIL-releasing thread pool), or
+``"process"`` (persistent process pool whose workers attach to the element
+data — shared memory for resident tensors, the mmap cache for out-of-core
+runs). ``prefetch=True`` double-buffers batch delivery on a background
+thread. Partial results are applied in deterministic order, so the output
+never depends on the backend or its scheduling.
 """
 
 import time
@@ -73,23 +79,40 @@ def main() -> None:
             f"{format_seconds(dt)} for all modes (bit-identical)"
         )
 
-    # --- 3. multi-worker batch reduction --------------------------------
-    # Threads pay off when batches are large enough that the GIL-releasing
-    # NumPy kernels dominate the per-batch Python dispatch; at this small
-    # functional scale the serial path usually wins — the knob exists for
-    # out-of-core-sized batches.
-    for workers in (1, 2, 4):
-        engine = StreamingExecutor(plan, batch_size=16_384, workers=workers)
-        t0 = time.perf_counter()
-        engine.mttkrp_all_modes(factors)
-        print(f"workers={workers}: {format_seconds(time.perf_counter() - t0)}")
+    # --- 3. pluggable execution backends --------------------------------
+    # Parallel backends pay off when batches are large enough that the
+    # kernels dominate the per-batch dispatch (threads release the GIL;
+    # processes sidestep it entirely by attaching to shared memory). At
+    # this small functional scale the serial path usually wins — the knobs
+    # exist for out-of-core-sized batches. Backends persist across calls:
+    # create the executor once, reuse it, close it (context manager).
+    want = eager.mttkrp_all_modes(factors)
+    for backend, workers, prefetch in (
+        ("serial", 1, False),
+        ("serial", 1, True),   # double-buffered staging
+        ("thread", 2, False),
+        ("process", 2, False),  # shared-memory workers
+    ):
+        with StreamingExecutor(
+            plan, batch_size=16_384, backend=backend, workers=workers,
+            prefetch=prefetch,
+        ) as engine:
+            t0 = time.perf_counter()
+            outs = engine.mttkrp_all_modes(factors)
+            dt = time.perf_counter() - t0
+        assert all(np.array_equal(o, e) for o, e in zip(outs, want))
+        label = f"{backend}(workers={workers}, prefetch={prefetch})"
+        print(f"{label:<42}: {format_seconds(dt)} (bit-identical)")
 
     # --- 4. the same knobs through AmpedMTTKRP + the simulator ----------
-    config = AmpedConfig(n_gpus=4, rank=rank, batch_size=16_384, workers=2)
+    config = AmpedConfig(
+        n_gpus=4, rank=rank, batch_size=16_384, backend="thread", workers=2
+    )
     executor = AmpedMTTKRP(tensor, config, name="streaming-demo")
     out = executor.mttkrp(factors, 0)
     assert np.array_equal(out, eager.mttkrp(factors, 0))
     result = executor.simulate()
+    executor.close()
     print(
         f"\nsimulated iteration (batch-granularity timing, one launch per "
         f"batch): {format_seconds(result.total_time)} on {result.n_gpus} GPUs"

@@ -6,7 +6,8 @@ Public API highlights:
 * :class:`repro.core.AmpedMTTKRP` — the paper's multi-GPU algorithm
   (functional NumPy execution + simulated-platform timing);
 * :class:`repro.engine.StreamingExecutor` — the streaming batched MTTKRP
-  engine (cache-sized element batches, optional worker pool) AMPED runs on;
+  engine (cache-sized element batches, pluggable serial/thread/process
+  execution backends, double-buffered prefetch) AMPED runs on;
 * :mod:`repro.engine` shard sources — :class:`repro.engine.InMemorySource`,
   :class:`repro.engine.MmapNpzSource` (out-of-core memory-mapped shard
   caches), :class:`repro.engine.SyntheticSource`;
@@ -33,7 +34,14 @@ from repro.errors import (
 from repro.tensor.coo import SparseTensorCOO
 from repro.core.amped import AmpedMTTKRP
 from repro.core.config import AmpedConfig
+from repro.engine.backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 from repro.engine.executor import StreamingExecutor
+from repro.engine.prefetch import PrefetchingSource
 from repro.engine.source import (
     InMemorySource,
     MmapNpzSource,
@@ -59,4 +67,9 @@ __all__ = [
     "InMemorySource",
     "MmapNpzSource",
     "SyntheticSource",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "PrefetchingSource",
 ]

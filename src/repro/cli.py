@@ -95,10 +95,25 @@ def build_parser() -> argparse.ArgumentParser:
         "'none' (whole shards)",
     )
     p_dec.add_argument(
+        "--backend",
+        default="serial",
+        help="execution backend for batch reductions: serial (default), "
+        "thread (persistent GIL-releasing thread pool), or process "
+        "(process pool attaching to the shard cache / shared memory); "
+        "results are bit-identical across backends",
+    )
+    p_dec.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="engine reduction worker threads (default: serial)",
+        help="worker count for the selected backend (with the default "
+        "serial backend, >1 is the deprecated alias for --backend thread)",
+    )
+    p_dec.add_argument(
+        "--prefetch",
+        action="store_true",
+        help="double-buffer batch delivery: stage the next element batch "
+        "on a background thread (async page read-ahead for --out-of-core)",
     )
     p_dec.add_argument(
         "--shard-cache",
@@ -257,7 +272,9 @@ def _cmd_decompose(args) -> int:
         n_gpus=args.gpus,
         rank=args.rank,
         batch_size=args.batch_size,
+        backend=args.backend,
         workers=args.workers,
+        prefetch=args.prefetch,
         out_of_core=args.out_of_core,
         shard_cache=None if cache is None else str(cache),
     )
@@ -287,15 +304,21 @@ def _cmd_decompose(args) -> int:
                 name = f"{cache} (loaded into memory)"
         ex = AmpedMTTKRP(tensor, config, name="cli")
     print(f"tensor: {name}, shape={tensor.shape}, nnz={tensor.nnz}")
-    res = cp_als(
-        tensor, rank=args.rank, n_iters=args.iters, seed=args.seed,
-        mttkrp=ex.mttkrp,
-    )
+    backend_name, backend_workers = config.resolved_backend()
     print(
-        f"CP-ALS rank {args.rank}: fit={res.final_fit:.4f} after "
-        f"{res.n_iters} iterations ({format_seconds(res.wall_seconds)} wall)"
+        f"engine backend: {backend_name} (workers={backend_workers}, "
+        f"prefetch={'on' if config.prefetch else 'off'})"
     )
-    sim = ex.simulate()
+    with ex:  # close pools / shared memory / mmap views deterministically
+        res = cp_als(
+            tensor, rank=args.rank, n_iters=args.iters, seed=args.seed,
+            mttkrp=ex.mttkrp,
+        )
+        print(
+            f"CP-ALS rank {args.rank}: fit={res.final_fit:.4f} after "
+            f"{res.n_iters} iterations ({format_seconds(res.wall_seconds)} wall)"
+        )
+        sim = ex.simulate()
     print(
         f"simulated MTTKRP iteration on {args.gpus} GPU(s): "
         f"{format_seconds(sim.total_time)}"

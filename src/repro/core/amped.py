@@ -139,12 +139,16 @@ class AmpedMTTKRP:
                 source, self.cost, rank=self.config.rank, name=name
             )
         self.source = source
+        self._owns_source = False
+        backend_name, backend_workers = self.config.resolved_backend()
         self.engine = StreamingExecutor(
             source,
             batch_size=self.config.resolved_batch_size(
                 self.cost, self.tensor.nmodes
             ),
-            workers=self.config.workers,
+            backend=backend_name,
+            workers=backend_workers,
+            prefetch=self.config.prefetch,
         )
 
     @property
@@ -182,7 +186,27 @@ class AmpedMTTKRP:
             shards_per_gpu=config.shards_per_gpu,
             policy=config.policy,
         )
-        return cls.from_source(source, config, **kw)
+        ex = cls.from_source(source, config, **kw)
+        ex._owns_source = True  # close() releases the mmap views too
+        return ex
+
+    # ------------------------------------------------------------------
+    # Lifecycle: the engine backend persists across calls — close it once
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the engine backend (pools, shared memory) and, when this
+        executor opened the source itself (:meth:`from_shard_cache`), the
+        memory-mapped views. Idempotent; the executor is a context manager.
+        """
+        self.engine.close()
+        if self._owns_source and hasattr(self.source, "close"):
+            self.source.close()
+
+    def __enter__(self) -> "AmpedMTTKRP":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Functional execution
@@ -191,8 +215,9 @@ class AmpedMTTKRP:
         """Exact MTTKRP for ``mode`` through the streaming shard/batch engine.
 
         The result is bit-identical for every ``(source, batch_size,
-        workers)`` configuration: every source yields byte-identical
-        mode-sorted copies and batch edges are segment-aligned, so each
+        backend, prefetch)`` configuration: every source yields
+        byte-identical mode-sorted copies, batch edges are segment-aligned,
+        and every backend returns partial results in batch order, so each
         output row is produced by one segmented reduction over the same
         elements in the same order.
         """

@@ -5,10 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.engine.autotune import resolve_batch_size, validate_batch_size
-from repro.engine.executor import MAX_WORKERS
+from repro.engine.backend import (
+    MAX_WORKERS,
+    validate_backend_name,
+    validate_workers,
+)
 from repro.errors import ReproError
 
-__all__ = ["AmpedConfig"]
+__all__ = ["AmpedConfig", "MAX_WORKERS"]
 
 
 @dataclass(frozen=True)
@@ -42,7 +46,22 @@ class AmpedConfig:
         (segments are never split, to keep results bit-identical). The
         resolved value also feeds the timing simulation, which charges one
         kernel launch per batch.
-    workers: reduction worker threads for the streaming engine (1 = serial).
+    backend: execution backend of the streaming engine — ``"serial"``
+        (reduce in the calling thread), ``"thread"`` (persistent GIL-
+        releasing thread pool), or ``"process"`` (persistent process pool
+        attaching to the mmap shard cache / shared-memory mode copies; true
+        multi-core scaling). Results are bit-identical across backends.
+    workers: worker count of the selected backend. With the default
+        ``backend="serial"``, ``workers > 1`` is the deprecated PR 1 alias
+        and maps onto the thread backend (see :meth:`resolved_backend`).
+    prefetch: double-buffer batch delivery — stage the next element batch
+        on a background thread (async page read-ahead for mmap sources),
+        the host-side mirror of ``double_buffer``. Never changes results.
+    stream_cache_fraction: fraction of the effective cache one streamed
+        lane's block may occupy when resolving ``batch_size="auto"``; in
+        (0, 1]. ``None`` defers to the ``REPRO_STREAM_CACHE_FRACTION``
+        environment variable, then the built-in calibration
+        (:data:`repro.engine.autotune.STREAM_CACHE_FRACTION`).
     out_of_core: stream element batches from a memory-mapped shard cache
         (:class:`repro.engine.MmapNpzSource`) instead of a resident
         partition plan; requires ``shard_cache``. Bounds the host-resident
@@ -61,7 +80,10 @@ class AmpedConfig:
     allgather: str = "ring"
     double_buffer: bool = True
     batch_size: int | str | None = "auto"
+    backend: str = "serial"
     workers: int = 1
+    prefetch: bool = False
+    stream_cache_fraction: float | None = None
     out_of_core: bool = False
     shard_cache: str | None = None
 
@@ -81,16 +103,32 @@ class AmpedConfig:
         if self.allgather not in ("ring", "direct"):
             raise ReproError(f"unknown allgather {self.allgather!r}")
         validate_batch_size(self.batch_size)
-        if not 1 <= self.workers <= MAX_WORKERS:
-            raise ReproError(
-                f"workers must be in [1, {MAX_WORKERS}], got {self.workers}"
-            )
+        # Worker/backend domains live in the backend layer (single source
+        # of truth shared with the executor and the CLI).
+        validate_backend_name(self.backend)
+        validate_workers(self.workers)
+        if self.stream_cache_fraction is not None:
+            # validated by the autotune layer; surface bad values eagerly
+            from repro.engine.autotune import stream_cache_fraction
+
+            stream_cache_fraction(self.stream_cache_fraction)
         if self.out_of_core and not self.shard_cache:
             raise ReproError(
                 "out_of_core=True requires shard_cache: point it at a .npz "
                 "shard cache written by repro.tensor.io.write_shard_cache "
                 "(CLI: `repro cache`, then pass --shard-cache)"
             )
+
+    def resolved_backend(self) -> tuple[str, int]:
+        """The effective ``(backend name, workers)`` pair.
+
+        ``workers > 1`` with the default ``backend="serial"`` is the
+        deprecated PR 1 spelling of "use a thread pool", so it maps onto
+        the thread backend; everything else passes through unchanged.
+        """
+        if self.backend == "serial" and self.workers > 1:
+            return "thread", self.workers
+        return self.backend, self.workers
 
     def resolved_batch_size(self, cost, nmodes: int) -> int | None:
         """The engine-level batch size this config means on a given platform.
@@ -106,7 +144,19 @@ class AmpedConfig:
             rank=self.rank,
             nmodes=nmodes,
             out_of_core=self.out_of_core,
+            cache_fraction=self.stream_cache_fraction,
         )
+
+    def stream_lanes(self) -> int:
+        """Concurrent host lanes staging a batch window at once.
+
+        Each backend worker streams its own batch block, and an enabled
+        prefetcher stages one more ahead of them — the host-residency
+        accounting :func:`repro.core.simulate.host_memory_plan` charges per
+        lane when running out of core.
+        """
+        _, workers = self.resolved_backend()
+        return workers + (1 if self.prefetch else 0)
 
     def with_gpus(self, n_gpus: int) -> "AmpedConfig":
         """Copy with a different GPU count (scalability sweeps)."""

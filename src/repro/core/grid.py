@@ -20,7 +20,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.engine.batch import slice_segments
+from repro.engine.backend import ExecutionBackend, create_backend
+from repro.engine.batch import ElementBatch, slice_segments
 from repro.engine.source import ShardSource
 from repro.errors import ReproError
 from repro.partition.isp import isp_slices_for_shard
@@ -28,6 +29,31 @@ from repro.partition.sharding import ModePartition, Shard
 from repro.tensor.kernels import mttkrp_sorted_segments
 
 __all__ = ["execute_shard", "execute_source_shard"]
+
+
+def _shard_batches(
+    part: ModePartition, shard: Shard, batch_size: int | None
+) -> list[ElementBatch]:
+    """The shard's segment-aligned element batches (the executor's cuts).
+
+    Cut directly from ``shard.elements`` rather than via
+    :func:`repro.engine.batch.build_batch_plan` because this grid-level API
+    accepts arbitrary ``Shard`` objects that need not sit in
+    ``part.shards`` — a table lookup by ``shard_id`` would bind the
+    semantics to the table instead of the shard actually passed.
+    """
+    base = shard.elements.start
+    keys = part.tensor.indices[shard.elements, part.mode]
+    return [
+        ElementBatch(
+            mode=part.mode,
+            shard_id=shard.shard_id,
+            batch_id=i,
+            elements=slice(base + lo, base + hi),
+            nnz=hi - lo,
+        )
+        for i, (lo, hi) in enumerate(slice_segments(keys, batch_size))
+    ]
 
 
 def execute_shard(
@@ -38,14 +64,28 @@ def execute_shard(
     *,
     n_sms: int = 1,
     batch_size: int | None = None,
+    backend: str | ExecutionBackend | None = None,
+    attach=None,
 ) -> np.ndarray:
     """Functionally execute one shard (grid) into ``out``.
 
     ``n_sms`` controls how many ISP threadblocks the shard is split into;
     the result is independent of it (tested), exactly as the real kernel's
-    output is independent of the SM schedule. When ``batch_size`` is given,
-    the shard is instead streamed as segment-aligned element batches of at
-    most that many nonzeros (``n_sms`` is ignored).
+    output is independent of the SM schedule. When ``batch_size`` is given
+    — or when any ``backend`` is selected — the shard is instead streamed
+    as segment-aligned element batches (the executor's granularity;
+    ``n_sms`` is ignored, and with plain ISP slicing a segment may be cut
+    mid-row, so the two slicings are equal-valued but not bit-identical).
+
+    ``backend`` routes the batch reductions through an
+    :class:`repro.engine.backend.ExecutionBackend` (name or instance; a
+    name creates a throwaway backend closed before returning — pass an
+    instance to reuse pools across shards). ``attach`` is the process-
+    attachment spec for a shared backend
+    (:meth:`repro.engine.source.ShardSource.process_attach_spec`);
+    :func:`execute_source_shard` fills it in. The scatter-add stays in
+    (shard, position) order, so results are bit-identical to the serial
+    grid for every backend.
 
     ``part`` may come from any shard source — in particular a
     memory-mapped one, whose ``part.tensor`` is a lazy view: the per-slice
@@ -53,13 +93,21 @@ def execute_shard(
     :func:`execute_source_shard`).
     """
     tensor = part.tensor
+    if backend is not None:
+        batches = _shard_batches(part, shard, batch_size)
+        owned = not isinstance(backend, ExecutionBackend)
+        backend = create_backend(backend)
+        try:
+            for rows, partial in backend.map_batches(
+                part, factors, part.mode, batches, attach=attach
+            ):
+                out[rows] += partial
+        finally:
+            if owned:
+                backend.close()
+        return out
     if batch_size is not None:
-        base = shard.elements.start
-        keys = tensor.indices[shard.elements, part.mode]
-        slices = [
-            slice(base + lo, base + hi)
-            for lo, hi in slice_segments(keys, batch_size)
-        ]
+        slices = [b.elements for b in _shard_batches(part, shard, batch_size)]
     else:
         slices = isp_slices_for_shard(shard, n_sms)
     for sl in slices:
@@ -82,13 +130,16 @@ def execute_source_shard(
     *,
     n_sms: int = 1,
     batch_size: int | None = None,
+    backend: str | ExecutionBackend | None = None,
 ) -> np.ndarray:
     """Execute one shard of a :class:`repro.engine.ShardSource` into ``out``.
 
     Thin grid-level adapter over :func:`execute_shard` for callers that hold
     a source (resident, memory-mapped, or synthetic) rather than a
     materialized partition — the element data is only touched slice by
-    slice, so out-of-core shards stream through the same code path.
+    slice, so out-of-core shards stream through the same code path. With a
+    ``backend``, the source's process-attachment spec is threaded through so
+    a process pool attaches to the shard cache instead of pickling bytes.
     """
     part = source.partition(mode)
     if not 0 <= int(shard_id) < len(part.shards):
@@ -103,4 +154,6 @@ def execute_source_shard(
         out,
         n_sms=n_sms,
         batch_size=batch_size,
+        backend=backend,
+        attach=source.process_attach_spec(mode) if backend is not None else None,
     )

@@ -88,6 +88,14 @@ def host_memory_plan(
       independent of nnz. (Mapped pages beyond the windows are evictable
       page cache, which this plan deliberately does not count as resident.)
 
+    The number of in-flight windows follows the execution backend: every
+    backend worker lane streams its own batch block and an enabled
+    prefetcher stages one more ahead of compute
+    (:meth:`repro.core.config.AmpedConfig.stream_lanes`), plus one extra
+    window when ``double_buffer`` overlaps the H2D copy-out. With the
+    defaults (serial backend, no prefetch, double buffering) this is the
+    classic two windows.
+
     Either way the host also pins every factor matrix (the functional
     engine gathers from them on every batch).
     """
@@ -97,8 +105,8 @@ def host_memory_plan(
         staging_elems = _max_shard_nnz(workload)
         if batch_size is not None:
             staging_elems = min(staging_elems, batch_size)
-        buffers = 2 if config.double_buffer else 1
-        tensor_resident = buffers * staging_elems * elem_bytes
+        windows = config.stream_lanes() + (1 if config.double_buffer else 0)
+        tensor_resident = windows * staging_elems * elem_bytes
     else:
         tensor_resident = workload.nmodes * workload.nnz * elem_bytes
     return {

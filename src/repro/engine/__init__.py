@@ -6,25 +6,43 @@
   resident (:class:`InMemorySource`), memory-mapped out-of-core
   (:class:`MmapNpzSource`), and generator-backed (:class:`SyntheticSource`)
   implementations;
+* :mod:`backend` — where batch reductions run: :class:`ExecutionBackend`
+  and its serial (:class:`SerialBackend`), persistent-thread-pool
+  (:class:`ThreadBackend`), and shared-memory process-pool
+  (:class:`ProcessBackend`) implementations;
+* :mod:`prefetch` — :class:`PrefetchingSource`, double-buffered batch
+  staging on a background thread (async page read-ahead for mmap sources);
 * :mod:`autotune` — cache-model batch sizing behind ``batch_size="auto"``;
-* :mod:`executor` — :class:`StreamingExecutor`, the batched (optionally
-  multi-worker) MTTKRP driver used by :class:`repro.core.AmpedMTTKRP`,
-  CP-ALS, and the benchmark suite.
+* :mod:`executor` — :class:`StreamingExecutor`, the batched MTTKRP driver
+  used by :class:`repro.core.AmpedMTTKRP`, CP-ALS, and the benchmark suite.
 
-The engine's contract: for any ``(source, batch_size, workers)`` the result
-is bit-identical to the eager whole-shard reduction, because every source
-yields byte-identical mode-sorted copies, batch edges are snapped to
-output-segment boundaries, and partial results are applied in a
-deterministic order.
+The engine's contract: for any ``(source, batch_size, backend, prefetch)``
+the result is bit-identical to the eager whole-shard reduction, because
+every source yields byte-identical mode-sorted copies, batch edges are
+snapped to output-segment boundaries, prefetch only changes *when* bytes
+are read, and partial results are applied in a deterministic order.
 """
 
 from repro.engine.autotune import (
     auto_batch_size,
     resolve_batch_size,
+    stream_cache_fraction,
     streamed_batch_bytes,
 )
+from repro.engine.backend import (
+    BACKEND_NAMES,
+    MAX_WORKERS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+    validate_backend_name,
+    validate_workers,
+)
 from repro.engine.batch import BatchPlan, ElementBatch, build_batch_plan, slice_segments
-from repro.engine.executor import StreamingExecutor, reduce_batch
+from repro.engine.executor import StreamingExecutor, reduce_batch, reduce_batch_arrays
+from repro.engine.prefetch import LoadedBatch, PrefetchingSource
 from repro.engine.source import (
     COOView,
     InMemorySource,
@@ -40,12 +58,25 @@ __all__ = [
     "slice_segments",
     "StreamingExecutor",
     "reduce_batch",
+    "reduce_batch_arrays",
     "ShardSource",
     "InMemorySource",
     "MmapNpzSource",
     "SyntheticSource",
     "COOView",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "validate_backend_name",
+    "validate_workers",
+    "BACKEND_NAMES",
+    "MAX_WORKERS",
+    "PrefetchingSource",
+    "LoadedBatch",
     "auto_batch_size",
     "resolve_batch_size",
+    "stream_cache_fraction",
     "streamed_batch_bytes",
 ]

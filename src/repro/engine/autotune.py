@@ -32,11 +32,14 @@ footprint, so ``auto`` resolves to the cache-derived size.
 
 from __future__ import annotations
 
+import os
+
 from repro.errors import ReproError
 
 __all__ = [
     "auto_batch_size",
     "resolve_batch_size",
+    "stream_cache_fraction",
     "streamed_batch_bytes",
     "validate_batch_size",
 ]
@@ -45,10 +48,48 @@ __all__ = [
 MIN_AUTO_BATCH = 4096
 #: above this, batches stop fitting any realistic cache level anyway
 MAX_AUTO_BATCH = 1 << 22
-#: fraction of the shared effective cache granted to one lane's streamed
-#: block; the rest serves factor-row gathers and the other execution lanes
-#: (calibrated on the --smoke sweep, see module docstring)
+#: default fraction of the shared effective cache granted to one lane's
+#: streamed block; the rest serves factor-row gathers and the other
+#: execution lanes (calibrated on the --smoke sweep, see module docstring).
+#: Override per run with ``AmpedConfig.stream_cache_fraction`` or per host
+#: with the ``REPRO_STREAM_CACHE_FRACTION`` environment variable —
+#: :func:`stream_cache_fraction` is the resolution order.
 STREAM_CACHE_FRACTION = 1 / 32
+
+#: environment override for measured per-host calibration
+STREAM_CACHE_FRACTION_ENV = "REPRO_STREAM_CACHE_FRACTION"
+
+
+def _validate_fraction(fraction, origin: str) -> float:
+    try:
+        fraction = float(fraction)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"{origin} must be a number in (0, 1], got {fraction!r}"
+        ) from None
+    if not 0.0 < fraction <= 1.0:
+        raise ReproError(
+            f"{origin} must be in (0, 1], got {fraction}"
+        )
+    return fraction
+
+
+def stream_cache_fraction(override: float | None = None) -> float:
+    """The cache fraction one streamed lane may occupy, validated to (0, 1].
+
+    Resolution order: explicit ``override`` (normally
+    ``AmpedConfig.stream_cache_fraction``) > the
+    ``REPRO_STREAM_CACHE_FRACTION`` environment variable (per-host measured
+    calibration) > the built-in :data:`STREAM_CACHE_FRACTION` default.
+    """
+    if override is not None:
+        return _validate_fraction(override, "stream_cache_fraction")
+    env = os.environ.get(STREAM_CACHE_FRACTION_ENV)
+    if env is not None and env.strip():
+        return _validate_fraction(
+            env, f"{STREAM_CACHE_FRACTION_ENV} environment variable"
+        )
+    return STREAM_CACHE_FRACTION
 
 
 def streamed_batch_bytes(batch_size: int, rank: int, nmodes: int) -> int:
@@ -62,14 +103,19 @@ def streamed_batch_bytes(batch_size: int, rank: int, nmodes: int) -> int:
     return int(batch_size) * per_element
 
 
-def auto_batch_size(cost, rank: int, nmodes: int) -> int:
+def auto_batch_size(
+    cost, rank: int, nmodes: int, *, cache_fraction: float | None = None
+) -> int:
     """The cache-model batch size for an out-of-core streamed reduction.
 
     ``cost`` is anything with an ``effective_cache_bytes`` attribute
     (normally a :class:`repro.simgpu.kernel.KernelCostModel`). The result is
-    the largest batch whose streamed block fits ``STREAM_CACHE_FRACTION`` of
-    the effective cache, clamped to ``[MIN_AUTO_BATCH, MAX_AUTO_BATCH]``
-    (below the floor, dispatch overhead outweighs any locality win).
+    the largest batch whose streamed block fits a
+    :func:`stream_cache_fraction` slice of the effective cache
+    (``cache_fraction`` overrides, else the ``REPRO_STREAM_CACHE_FRACTION``
+    env var, else the built-in default), clamped to
+    ``[MIN_AUTO_BATCH, MAX_AUTO_BATCH]`` (below the floor, dispatch
+    overhead outweighs any locality win).
     """
     if rank <= 0:
         raise ReproError(f"rank must be positive, got {rank}")
@@ -78,7 +124,7 @@ def auto_batch_size(cost, rank: int, nmodes: int) -> int:
     cache = int(getattr(cost, "effective_cache_bytes"))
     if cache <= 0:
         raise ReproError(f"effective_cache_bytes must be positive, got {cache}")
-    budget = int(cache * STREAM_CACHE_FRACTION)
+    budget = int(cache * stream_cache_fraction(cache_fraction))
     per_element = streamed_batch_bytes(1, rank, nmodes)
     batch = budget // per_element
     return int(min(MAX_AUTO_BATCH, max(MIN_AUTO_BATCH, batch)))
@@ -112,15 +158,19 @@ def resolve_batch_size(
     rank: int,
     nmodes: int,
     out_of_core: bool,
+    cache_fraction: float | None = None,
 ) -> int | None:
     """Resolve a ``batch_size`` config value to the engine's ``int | None``.
 
     ``"auto"`` resolves to :func:`auto_batch_size` when the element data is
     out of core and to ``None`` (eager whole-shard batches) when it is fully
     resident — see the module docstring for why. Integers and ``None`` pass
-    through validated.
+    through validated. ``cache_fraction`` threads the
+    ``AmpedConfig.stream_cache_fraction`` override into the cache model.
     """
     validate_batch_size(batch_size)
     if batch_size == "auto":
-        return auto_batch_size(cost, rank, nmodes) if out_of_core else None
+        if not out_of_core:
+            return None
+        return auto_batch_size(cost, rank, nmodes, cache_fraction=cache_fraction)
     return None if batch_size is None else int(batch_size)

@@ -12,14 +12,20 @@ instead of materializing whole shards, which
   cache on disk (:class:`repro.engine.source.MmapNpzSource` — tensors
   larger than host RAM), or a deterministic generator
   (:class:`repro.engine.source.SyntheticSource`);
-* exposes batch-level parallelism: independent batches can be reduced by a
-  pool of workers because segment-aligned batches of one mode never touch
-  the same output row (shards own disjoint index ranges and batch edges
-  never split a segment);
+* decouples the engine from where the reductions run: batches are mapped
+  through a pluggable :class:`repro.engine.backend.ExecutionBackend` —
+  serial, a persistent thread pool, or a process pool whose workers attach
+  to the element data instead of receiving it through a pipe;
+* optionally double-buffers batch delivery
+  (:class:`repro.engine.prefetch.PrefetchingSource`): a background thread
+  stages the next batch's element arrays — for a memory-mapped source this
+  is async page read-ahead overlapping disk with compute;
 * keeps the result **bit-identical** to the eager whole-shard reduction for
-  every ``(source, batch_size, workers)`` combination — each output row is
-  produced by one segmented reduction over the same elements in the same
-  order, and every source yields byte-identical mode-sorted copies.
+  every ``(source, batch_size, backend, prefetch)`` combination — each
+  output row is produced by one segmented reduction over the same elements
+  in the same order, every source yields byte-identical mode-sorted copies,
+  and every backend yields partial results in batch order for the
+  coordinator's deterministic scatter-add.
 
 Batch-size tuning
 -----------------
@@ -34,59 +40,45 @@ overhead starts to show; the regression gate in
 ``benchmarks/bench_kernels.py --smoke`` holds both the batched and the
 memory-mapped paths within 1.2x of eager.
 
-Workers
--------
-``workers > 1`` reduces batches on a thread pool. NumPy releases the GIL in
-the vectorized kernels, so threads scale for large batches. Every batch is
-computed into private buffers and scatter-added by the coordinating thread
-in deterministic (shard, position) order, so the result is identical to the
-serial path regardless of scheduling.
+Backends
+--------
+``backend`` selects where batch reductions run (``"serial"`` | ``"thread"``
+| ``"process"``, or an :class:`~repro.engine.backend.ExecutionBackend`
+instance). Backends persist across ``mttkrp`` calls — pools are created
+once and closed deterministically (the executor is a context manager; see
+:meth:`StreamingExecutor.close`). ``workers`` without an explicit backend
+is the deprecated PR 1 alias: ``workers > 1`` maps onto the thread backend.
+Every batch is computed into private buffers and scatter-added by the
+coordinating thread in deterministic (shard, position) order, so the result
+is identical to the serial path regardless of scheduling.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 import numpy as np
 
-from repro.engine.batch import BatchPlan, ElementBatch, build_batch_plan
+from repro.engine.backend import (
+    MAX_WORKERS,
+    ExecutionBackend,
+    create_backend,
+    reduce_batch,
+    reduce_batch_arrays,
+)
+from repro.engine.batch import BatchPlan, build_batch_plan
+from repro.engine.prefetch import PrefetchingSource
 from repro.engine.source import InMemorySource, ShardSource
 from repro.errors import ReproError
 from repro.partition.plan import PartitionPlan
-from repro.partition.sharding import ModePartition
-from repro.tensor.kernels import ec_contributions, segment_starts
 from repro.tensor.reference import check_factors
 
-__all__ = ["StreamingExecutor", "reduce_batch"]
-
-#: Worker counts above this are almost certainly a configuration mistake
-#: (the engine uses one OS thread per worker).
-MAX_WORKERS = 256
-
-
-def reduce_batch(
-    part: ModePartition,
-    batch: ElementBatch,
-    factors: Sequence[np.ndarray],
-    mode: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Reduce one element batch to ``(rows, partial)`` without touching shared
-    state.
-
-    ``rows`` are the distinct output-mode indices of the batch's segments and
-    ``partial`` their summed contribution rows — exactly the per-segment
-    reduction :func:`repro.tensor.kernels.mttkrp_sorted_segments` performs,
-    split from the scatter-add so workers stay pure. When ``part.tensor`` is
-    a memory-mapped view, the two slices below are the only element reads of
-    the whole reduction — this is where out-of-core paging happens.
-    """
-    sl = batch.elements
-    indices = part.tensor.indices[sl]
-    keys = np.asarray(indices[:, mode])
-    contrib = ec_contributions(indices, part.tensor.values[sl], factors, mode)
-    starts = segment_starts(keys)
-    return keys[starts], np.add.reduceat(contrib, starts, axis=0)
+__all__ = [
+    "StreamingExecutor",
+    "reduce_batch",
+    "reduce_batch_arrays",
+    "MAX_WORKERS",
+]
 
 
 class StreamingExecutor:
@@ -99,13 +91,25 @@ class StreamingExecutor:
         :class:`repro.engine.source.ShardSource`, or a bare
         :class:`repro.partition.plan.PartitionPlan` which is wrapped in an
         :class:`repro.engine.source.InMemorySource` (the PR 1 calling
-        convention, unchanged).
+        convention, unchanged). Passing a
+        :class:`repro.engine.prefetch.PrefetchingSource` turns prefetch on.
     batch_size:
         Target nonzeros per batch (``None``: one batch per shard). Must be
         >= 1. Config-level ``"auto"`` is resolved *before* the executor —
         pass the result of :func:`repro.engine.autotune.resolve_batch_size`.
+    backend:
+        ``"serial"`` | ``"thread"`` | ``"process"``, or an
+        :class:`~repro.engine.backend.ExecutionBackend` instance. A string
+        (or ``None``) creates a backend the executor owns and closes; an
+        instance is shared — the caller keeps ownership.
     workers:
-        Reduction worker threads (1 = serial in the calling thread).
+        Worker count for a string-specified backend. Without ``backend``
+        this is the deprecated PR 1 alias: ``workers > 1`` selects the
+        thread backend (``workers == 1``: serial).
+    prefetch:
+        Stage the next batch on a background thread (double buffering; see
+        :mod:`repro.engine.prefetch`). Equivalent to wrapping ``source`` in
+        a :class:`PrefetchingSource`.
     """
 
     def __init__(
@@ -114,6 +118,8 @@ class StreamingExecutor:
         *,
         batch_size: int | None = None,
         workers: int = 1,
+        backend: str | ExecutionBackend | None = None,
+        prefetch: bool = False,
     ) -> None:
         if isinstance(source, PartitionPlan):
             source = InMemorySource(source)
@@ -136,23 +142,45 @@ class StreamingExecutor:
                     f"batch_size must be >= 1 (or None for whole-shard "
                     f"batches), got {batch_size}"
                 )
-        workers = int(workers)
-        if workers < 1:
-            raise ReproError(f"workers must be >= 1, got {workers}")
-        if workers > MAX_WORKERS:
-            raise ReproError(
-                f"workers must be <= {MAX_WORKERS}, got {workers}"
-            )
+        if isinstance(source, PrefetchingSource):
+            prefetch = True
+        elif prefetch:
+            source = PrefetchingSource(source)
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = create_backend(backend, workers)
         self.source = source
         self.batch_size = batch_size
-        self.workers = workers
+        self.prefetch = bool(prefetch)
+        self._closed = False
         self._batch_plans: dict[int, BatchPlan] = {}
+
+    @property
+    def workers(self) -> int:
+        """The backend's worker count (back-compat accessor)."""
+        return self.backend.workers
 
     @property
     def plan(self) -> PartitionPlan:
         """A :class:`PartitionPlan` view of the source (back-compat; for
         :class:`SyntheticSource` this materializes every mode at once)."""
         return self.source.partition_plan()
+
+    # ------------------------------------------------------------------
+    # Lifecycle: the backend persists across calls, so close it once
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backend (pools, shared memory) if this executor owns
+        it. Idempotent; shared backend instances are left to their owner."""
+        if not self._closed:
+            self._closed = True
+            if self._owns_backend:
+                self.backend.close()
+
+    def __enter__(self) -> "StreamingExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def batch_plan(self, mode: int) -> BatchPlan:
@@ -183,24 +211,29 @@ class StreamingExecutor:
         ``out``.
 
         The scatter-add is applied in deterministic (shard, position) order;
-        with ``workers > 1`` batches are *computed* concurrently but still
-        *applied* by this thread, so results never depend on scheduling.
+        parallel backends *compute* batches concurrently but the partial
+        results are still *applied* by this thread in batch order, so
+        results never depend on scheduling.
         """
         batches = self.batch_plan(mode).batches_for_shards(shard_ids)
         if not batches:
             return out
         part = self.source.partition(mode)
-        if self.workers == 1:
-            for batch in batches:
-                rows, partial = reduce_batch(part, batch, factors, mode)
-                out[rows] += partial
-            return out
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            results = pool.map(
-                lambda b: reduce_batch(part, b, factors, mode), batches
-            )
-            for rows, partial in results:
-                out[rows] += partial
+        attach = self.source.process_attach_spec(mode)
+        # A process backend re-reads elements through its attachment, so
+        # staged LoadedBatch copies only help when staging performs real
+        # read-ahead (an out-of-core attachment warming the page cache);
+        # for resident sources they would be pure copy overhead.
+        stage = isinstance(self.source, PrefetchingSource) and not (
+            self.backend.crosses_processes and attach is None
+        )
+        items = (
+            self.source.iter_batches(mode, batches) if stage else batches
+        )
+        for rows, partial in self.backend.map_batches(
+            part, factors, mode, items, attach=attach
+        ):
+            out[rows] += partial
         return out
 
     def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:

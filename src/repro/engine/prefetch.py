@@ -1,0 +1,204 @@
+"""Double-buffered batch prefetch over any shard source.
+
+:class:`PrefetchingSource` wraps a :class:`repro.engine.source.ShardSource`
+and stages the *next* batch's element arrays on a background thread while
+the current batch is being reduced — the host-side mirror of the
+simulator's H2D/compute double-buffering (``AmpedConfig.double_buffer``).
+For a memory-mapped source the staging read is what faults the next batch's
+pages in, so disk latency overlaps compute (async page read-ahead); for
+resident sources it prepays the slice/copy.
+
+Semantics are intentionally boring: :meth:`PrefetchingSource.iter_batches`
+yields exactly the wrapped source's batches, in order, with byte-identical
+element arrays — prefetch changes *when* bytes are read, never *what* is
+reduced, so every ``(backend, prefetch)`` cell of the equivalence matrix
+stays bit-identical (a hypothesis property in
+``tests/property/test_prop_engine.py`` pins this). ``depth`` bounds the
+stage-ahead window: ``depth=1`` is classic double buffering (one batch in
+compute, one in flight), larger depths deepen the pipeline at the cost of
+``depth`` staged batches of residency — which
+:func:`repro.core.simulate.host_memory_plan` accounts for.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.engine.batch import ElementBatch
+from repro.engine.source import ShardSource
+from repro.errors import ReproError
+from repro.partition.sharding import ModePartition
+
+__all__ = ["LoadedBatch", "PrefetchingSource", "DEFAULT_PREFETCH_DEPTH"]
+
+#: one batch in compute + one staging = classic double buffering
+DEFAULT_PREFETCH_DEPTH = 1
+
+#: max batches a loader may stage ahead (beyond this the "prefetch" would
+#: really be a second resident tensor copy)
+MAX_PREFETCH_DEPTH = 64
+
+_DONE = object()
+
+
+@dataclass(frozen=True)
+class LoadedBatch:
+    """One staged batch: the plan entry plus its materialized element arrays.
+
+    ``indices``/``values`` hold exactly the bytes
+    ``part.tensor.indices[batch.elements]`` /
+    ``part.tensor.values[batch.elements]`` would read — contiguous copies,
+    so reducing a staged batch touches no mmap pages.
+    """
+
+    batch: ElementBatch
+    indices: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return self.batch.nnz
+
+
+class _LoadFailure:
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class PrefetchingSource(ShardSource):
+    """A :class:`ShardSource` whose batches are staged ahead on a thread.
+
+    Every structural accessor (``partition``/``assignment``/``shards``/
+    ``mode_keys``/``process_attach_spec``…) delegates to the wrapped source,
+    so shard tables, batch plans, and process-worker attachment are those of
+    the inner source; only batch *delivery* changes. The executor detects
+    this wrapper and consumes :meth:`iter_batches` instead of slicing
+    batches itself.
+    """
+
+    def __init__(
+        self, source: ShardSource, *, depth: int = DEFAULT_PREFETCH_DEPTH
+    ) -> None:
+        if not isinstance(source, ShardSource):
+            raise ReproError(
+                f"PrefetchingSource wraps a ShardSource, got "
+                f"{type(source).__name__}"
+            )
+        if isinstance(source, PrefetchingSource):
+            raise ReproError("PrefetchingSource is already prefetching")
+        depth = int(depth)
+        if not 1 <= depth <= MAX_PREFETCH_DEPTH:
+            raise ReproError(
+                f"prefetch depth must be in [1, {MAX_PREFETCH_DEPTH}], "
+                f"got {depth}"
+            )
+        self.source = source
+        self.depth = depth
+
+    # ---- delegation ---------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.source.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.source.nnz
+
+    @property
+    def n_gpus(self) -> int:
+        return self.source.n_gpus
+
+    @property
+    def is_out_of_core(self) -> bool:  # type: ignore[override]
+        return self.source.is_out_of_core
+
+    def partition(self, mode: int) -> ModePartition:
+        return self.source.partition(mode)
+
+    def assignment(self, mode: int) -> np.ndarray:
+        return self.source.assignment(mode)
+
+    def shards(self, mode: int):
+        return self.source.shards(mode)
+
+    def mode_keys(self, mode: int) -> np.ndarray:
+        return self.source.mode_keys(mode)
+
+    def partition_plan(self):
+        return self.source.partition_plan()
+
+    def process_attach_spec(self, mode: int):
+        return self.source.process_attach_spec(mode)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrefetchingSource({self.source!r}, depth={self.depth})"
+
+    # ---- the point ----------------------------------------------------
+    def iter_batches(
+        self, mode: int, batches: Iterable[ElementBatch]
+    ) -> Iterator[LoadedBatch]:
+        """Yield ``batches`` as staged :class:`LoadedBatch` items, in order.
+
+        A daemon loader thread stays at most ``depth`` batches ahead of the
+        consumer (a bounded queue is the backpressure). Loader exceptions
+        re-raise at the consumer's next pull; abandoning the iterator stops
+        the loader promptly.
+        """
+        part = self.source.partition(mode)
+        out: "queue.Queue" = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+
+        def _put(item) -> bool:
+            while not stop.is_set():
+                try:
+                    out.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def _load() -> None:
+            try:
+                for batch in batches:
+                    if stop.is_set():
+                        return
+                    sl = batch.elements
+                    staged = LoadedBatch(
+                        batch=batch,
+                        indices=np.ascontiguousarray(part.tensor.indices[sl]),
+                        values=np.ascontiguousarray(part.tensor.values[sl]),
+                    )
+                    if not _put(staged):
+                        return
+            except BaseException as exc:  # propagate to the consumer
+                _put(_LoadFailure(exc))
+                return
+            _put(_DONE)
+
+        loader = threading.Thread(
+            target=_load, name="repro-prefetch", daemon=True
+        )
+        loader.start()
+        try:
+            while True:
+                item = out.get()
+                if item is _DONE:
+                    break
+                if isinstance(item, _LoadFailure):
+                    raise item.exc
+                yield item
+        finally:
+            stop.set()
+            while True:  # drain so a blocked loader can observe `stop`
+                try:
+                    out.get_nowait()
+                except queue.Empty:
+                    break
+            loader.join(timeout=5.0)

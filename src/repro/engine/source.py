@@ -159,6 +159,18 @@ class ShardSource(ABC):
     def shards_for_gpu(self, mode: int, gpu: int) -> list[int]:
         return [int(j) for j in np.flatnonzero(self.assignment(mode) == gpu)]
 
+    def process_attach_spec(self, mode: int):
+        """How a :class:`repro.engine.backend.ProcessBackend` worker reaches
+        this source's element bytes without pickling them.
+
+        ``None`` (the default) means "no out-of-band attachment": the
+        backend publishes shared-memory copies of the resident mode arrays
+        instead. :class:`MmapNpzSource` overrides this with its cache path
+        so workers re-open the ``.npz`` read-only — zero tensor bytes are
+        copied anywhere (the OS page cache is shared across processes).
+        """
+        return None
+
     # ---- whole-plan views --------------------------------------------
     def partition_plan(self) -> PartitionPlan:
         """A full :class:`PartitionPlan` view over this source.
@@ -344,6 +356,12 @@ class MmapNpzSource(ShardSource):
 
     def assignment(self, mode: int) -> np.ndarray:
         return self._assignments[self._check_mode(mode)]
+
+    def process_attach_spec(self, mode: int):
+        """Process workers re-open this cache read-only by path (zero-copy:
+        both sides map the same on-disk bytes through the page cache)."""
+        self._check_mode(mode)
+        return ("mmap_npz", str(self.path))
 
     def close(self) -> None:
         """Drop the memory-mapped views (and with them the open file).

@@ -43,6 +43,13 @@ class TestAmpedConfig:
             {"workers": 0},
             {"workers": -1},
             {"workers": 100_000},
+            {"backend": "gpu"},
+            {"backend": ""},
+            {"backend": None},
+            {"stream_cache_fraction": 0},
+            {"stream_cache_fraction": -0.25},
+            {"stream_cache_fraction": 1.5},
+            {"stream_cache_fraction": "lots"},
             {"out_of_core": True},
             {"out_of_core": True, "shard_cache": None},
             {"out_of_core": True, "shard_cache": ""},
@@ -69,7 +76,10 @@ class TestAmpedConfig:
     def test_engine_knob_defaults(self):
         cfg = AmpedConfig()
         assert cfg.batch_size == "auto"  # cache-model autotuning by default
+        assert cfg.backend == "serial"
         assert cfg.workers == 1
+        assert cfg.prefetch is False
+        assert cfg.stream_cache_fraction is None
         assert cfg.out_of_core is False
         assert cfg.shard_cache is None
 
@@ -79,6 +89,10 @@ class TestAmpedConfig:
         assert cfg.workers == 8
         assert AmpedConfig(batch_size=None).batch_size is None
         assert AmpedConfig(batch_size="auto").batch_size == "auto"
+        for backend in ("serial", "thread", "process"):
+            assert AmpedConfig(backend=backend, workers=1).backend == backend
+        assert AmpedConfig(prefetch=True).prefetch is True
+        assert AmpedConfig(stream_cache_fraction=0.25).stream_cache_fraction == 0.25
 
     def test_out_of_core_accepted_with_cache(self):
         cfg = AmpedConfig(out_of_core=True, shard_cache="cache.npz")
@@ -89,6 +103,78 @@ class TestAmpedConfig:
         cfg = AmpedConfig()
         with pytest.raises(Exception):
             cfg.n_gpus = 8  # type: ignore[misc]
+
+
+class TestResolvedBackend:
+    """`workers` is the deprecated alias: it maps onto the thread backend."""
+
+    def test_default_is_serial(self):
+        assert AmpedConfig().resolved_backend() == ("serial", 1)
+
+    def test_workers_alias_upgrades_to_thread(self):
+        assert AmpedConfig(workers=4).resolved_backend() == ("thread", 4)
+
+    def test_explicit_backend_passes_through(self):
+        assert AmpedConfig(backend="thread", workers=2).resolved_backend() == (
+            "thread", 2,
+        )
+        assert AmpedConfig(backend="process", workers=3).resolved_backend() == (
+            "process", 3,
+        )
+
+    def test_stream_lanes_counts_workers_and_prefetch(self):
+        assert AmpedConfig().stream_lanes() == 1
+        assert AmpedConfig(workers=4).stream_lanes() == 4
+        assert AmpedConfig(backend="process", workers=2, prefetch=True
+                           ).stream_lanes() == 3
+
+    def test_routes_into_executor_backend(self):
+        """AmpedMTTKRP builds its engine from the resolved backend pair."""
+        import numpy as np
+
+        from repro.core.amped import AmpedMTTKRP
+        from repro.tensor.generate import zipf_coo
+
+        tensor = zipf_coo((12, 10, 8), 200, exponents=1.0, seed=3)
+        cfg = AmpedConfig(
+            n_gpus=2, rank=4, shards_per_gpu=2, backend="thread", workers=2,
+            prefetch=True,
+        )
+        with AmpedMTTKRP(tensor, cfg) as ex:
+            assert ex.engine.backend.name == "thread"
+            assert ex.engine.workers == 2
+            assert ex.engine.prefetch is True
+            rng = np.random.default_rng(0)
+            factors = [rng.random((s, 4)) for s in tensor.shape]
+            baseline = AmpedMTTKRP(
+                tensor, AmpedConfig(n_gpus=2, rank=4, shards_per_gpu=2)
+            )
+            assert np.array_equal(
+                ex.mttkrp(factors, 0), baseline.mttkrp(factors, 0)
+            )
+
+
+class TestStreamCacheFraction:
+    """AmpedConfig.stream_cache_fraction threads into batch autotuning."""
+
+    def test_override_changes_auto_batch(self):
+        cost = KernelCostModel()
+        base = AmpedConfig(out_of_core=True, shard_cache="x.npz")
+        wide = base.replace(stream_cache_fraction=1.0)
+        assert wide.resolved_batch_size(cost, 3) >= base.resolved_batch_size(
+            cost, 3
+        )
+        assert wide.resolved_batch_size(cost, 3) == auto_batch_size(
+            cost, 32, 3, cache_fraction=1.0
+        )
+
+    def test_env_var_applies_when_unset(self, monkeypatch):
+        cost = KernelCostModel()
+        base = AmpedConfig(out_of_core=True, shard_cache="x.npz")
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "1.0")
+        assert base.resolved_batch_size(cost, 3) == auto_batch_size(
+            cost, 32, 3, cache_fraction=1.0
+        )
 
 
 class TestResolvedBatchSize:

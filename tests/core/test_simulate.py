@@ -174,6 +174,27 @@ class TestHostMemoryPlan:
         batch = auto_batch_size(cost, cfg.rank, 3)
         assert plan["tensor_resident"] == 2 * batch * cost.host_element_bytes(3)
 
+    def test_out_of_core_charges_one_window_per_stream_lane(
+        self, amazon_wl, cost
+    ):
+        """Backend workers and the prefetcher each stage their own batch
+        window; double buffering adds one more — the backend-aware host
+        accounting (defaults stay the classic two windows)."""
+        base = AmpedConfig(
+            out_of_core=True, shard_cache="amazon.npz", batch_size=5000
+        )
+        elem = cost.host_element_bytes(3)
+        cases = [
+            (base, 2),  # 1 lane + double buffer
+            (base.replace(double_buffer=False), 1),
+            (base.replace(backend="process", workers=4), 5),
+            (base.replace(backend="thread", workers=2, prefetch=True), 4),
+            (base.replace(workers=3, double_buffer=False), 3),  # alias
+        ]
+        for cfg, windows in cases:
+            plan = host_memory_plan(amazon_wl, cfg, cost)
+            assert plan["tensor_resident"] == windows * 5000 * elem, cfg
+
     def test_factor_matrices_always_resident(self, amazon_wl, cost):
         cfg = AmpedConfig(out_of_core=True, shard_cache="amazon.npz")
         for config in (AmpedConfig(), cfg):

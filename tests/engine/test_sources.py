@@ -1,11 +1,13 @@
 """Source/equivalence test matrix for the shard-source abstraction.
 
-The engine contract extended to sources: for one logical tensor, every
-``ShardSource`` implementation yields byte-identical mode-sorted copies,
-identical shard tables and batch boundaries, and therefore **bit-identical**
-MTTKRP results for every ``(batch_size, workers, mode)`` cell — with
-:class:`MmapNpzSource` additionally keeping the element data on disk
-(memory-mapped) rather than resident.
+The engine contract extended to sources and backends: for one logical
+tensor, every ``ShardSource`` implementation yields byte-identical
+mode-sorted copies, identical shard tables and batch boundaries, and
+therefore **bit-identical** MTTKRP results for every ``(batch_size,
+backend, prefetch, mode)`` cell — with :class:`MmapNpzSource` additionally
+keeping the element data on disk (memory-mapped) rather than resident, and
+:class:`ProcessBackend` reducing in other processes that attach to the
+data instead of receiving it.
 """
 
 from __future__ import annotations
@@ -16,10 +18,14 @@ import pytest
 from repro.engine import (
     InMemorySource,
     MmapNpzSource,
+    ProcessBackend,
+    SerialBackend,
     StreamingExecutor,
     SyntheticSource,
+    ThreadBackend,
     auto_batch_size,
     resolve_batch_size,
+    stream_cache_fraction,
     streamed_batch_bytes,
 )
 from repro.engine.autotune import MAX_AUTO_BATCH, MIN_AUTO_BATCH
@@ -85,21 +91,43 @@ def make_source(kind: str, plan, cache_path):
 
 
 SOURCE_KINDS = ["memory", "mmap", "synthetic"]
+BACKEND_KINDS = ["serial", "thread", "process"]
+
+
+@pytest.fixture(scope="module")
+def shared_backends():
+    """One persistent pool per parallel backend for the whole matrix —
+    exactly how production reuses backends across calls (and it keeps the
+    process matrix from forking a pool per cell)."""
+    backends = {
+        "serial": SerialBackend(),
+        "thread": ThreadBackend(2),
+        "process": ProcessBackend(2),
+    }
+    yield backends
+    for backend in backends.values():
+        backend.close()
 
 
 class TestSourceEquivalenceMatrix:
-    """Every (source, batch_size, workers, mode) cell reproduces the eager
-    bits and matches the COO reference."""
+    """Every (source, batch_size, backend, prefetch, mode) cell reproduces
+    the eager bits and matches the COO reference."""
 
     @pytest.mark.parametrize("kind", SOURCE_KINDS)
     @pytest.mark.parametrize("batch_size", [1, 7, None])
-    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("backend", BACKEND_KINDS)
+    @pytest.mark.parametrize("prefetch", [False, True])
     def test_bit_identical_to_eager(
         self, tensor, factors, plan, cache_path, eager_outputs,
-        kind, batch_size, workers,
+        shared_backends, kind, batch_size, backend, prefetch,
     ):
         source = make_source(kind, plan, cache_path)
-        engine = StreamingExecutor(source, batch_size=batch_size, workers=workers)
+        engine = StreamingExecutor(
+            source,
+            batch_size=batch_size,
+            backend=shared_backends[backend],
+            prefetch=prefetch,
+        )
         for mode in range(tensor.nmodes):
             got = engine.mttkrp(factors, mode)
             assert np.array_equal(got, eager_outputs[mode])
@@ -109,6 +137,23 @@ class TestSourceEquivalenceMatrix:
                 rtol=REF_RTOL,
                 atol=REF_ATOL,
             )
+
+    @pytest.mark.parametrize("kind", SOURCE_KINDS)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_deprecated_workers_alias_still_bit_identical(
+        self, tensor, factors, plan, cache_path, eager_outputs, kind, workers
+    ):
+        """The PR 1 spelling (`workers=N`) keeps working: it maps onto the
+        thread backend and reproduces the same bits."""
+        source = make_source(kind, plan, cache_path)
+        with StreamingExecutor(
+            source, batch_size=7, workers=workers
+        ) as engine:
+            assert engine.backend.name == ("thread" if workers > 1 else "serial")
+            for mode in range(tensor.nmodes):
+                assert np.array_equal(
+                    engine.mttkrp(factors, mode), eager_outputs[mode]
+                )
 
     @pytest.mark.parametrize("kind", SOURCE_KINDS)
     def test_identical_shard_tables_and_batch_plans(
@@ -373,6 +418,33 @@ class TestAutotune:
     def test_executor_refuses_unresolved_auto(self, plan):
         with pytest.raises(ReproError, match="resolve"):
             StreamingExecutor(plan, batch_size="auto")
+
+    def test_cache_fraction_override_scales_batch(self):
+        """A larger cache slice per lane means a larger auto batch."""
+        cost = KernelCostModel()
+        default = auto_batch_size(cost, 32, 3)
+        wide = auto_batch_size(cost, 32, 3, cache_fraction=1.0)
+        narrow = auto_batch_size(cost, 32, 3, cache_fraction=1 / 1024)
+        assert narrow <= default <= wide
+        assert wide > default  # 1.0 is 32x the default slice
+
+    def test_cache_fraction_env_override(self, monkeypatch):
+        cost = KernelCostModel()
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "1.0")
+        assert stream_cache_fraction() == 1.0
+        assert auto_batch_size(cost, 32, 3) == auto_batch_size(
+            cost, 32, 3, cache_fraction=1.0
+        )
+        # explicit override beats the environment
+        assert stream_cache_fraction(0.5) == 0.5
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "nonsense")
+        with pytest.raises(ReproError, match="REPRO_STREAM_CACHE_FRACTION"):
+            stream_cache_fraction()
+
+    @pytest.mark.parametrize("bad", [0, -0.5, 1.5, "lots"])
+    def test_cache_fraction_domain(self, bad):
+        with pytest.raises(ReproError, match="stream_cache_fraction"):
+            stream_cache_fraction(bad)
 
 
 class TestAmpedIntegration:

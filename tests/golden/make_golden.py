@@ -13,7 +13,7 @@ Each case stores, in one ``.npz``:
   matrices (``factor_0..N-1``);
 * the expected MTTKRP output of every mode (``mttkrp_0..N-1``), computed by
   the streaming engine at its default (eager) granularity — bit-identical
-  across every ``(batch_size, workers)`` configuration by design;
+  across every ``(batch_size, backend, prefetch)`` configuration by design;
 * the expected CP-ALS final fit (``cpals_fit``, with ``cpals_rank`` /
   ``cpals_iters``), computed with the AMPED engine as the MTTKRP backend.
 """

@@ -1,10 +1,12 @@
 """Golden-regression tests: fixed-seed tensors vs checked-in expected outputs.
 
 The ``.npz`` files under ``data/`` pin the production MTTKRP numerics. The
-engine family (StreamingExecutor at any batch/worker granularity, and
-AmpedMTTKRP which runs on it) must reproduce them **bit-for-bit** — the
-segment-aligned batching guarantees every configuration performs the same
-reductions in the same order. Format baselines reduce in a different order
+engine family (StreamingExecutor at any batch granularity, on any execution
+backend — serial, thread pool, or shared-memory process pool — with or
+without prefetch, and AmpedMTTKRP which runs on it) must reproduce them
+**bit-for-bit** — the segment-aligned batching guarantees every
+configuration performs the same reductions in the same order, and every
+backend returns partial results in deterministic batch order. Format baselines reduce in a different order
 (CSF trees, HiCOO blocks, BLCO linearization), so they are held to an
 extremely tight tolerance instead: the measured worst-case deviation at this
 scale is ~1e-15 relative, and the 1e-12 gate leaves three orders of
@@ -27,8 +29,11 @@ from repro.cpd.als import cp_als
 from repro.engine import (
     InMemorySource,
     MmapNpzSource,
+    ProcessBackend,
+    SerialBackend,
     StreamingExecutor,
     SyntheticSource,
+    ThreadBackend,
 )
 from repro.errors import UnsupportedTensorError
 from repro.partition.plan import build_partition_plan
@@ -58,6 +63,19 @@ def case_cache(case, tmp_path_factory):
     return write_shard_cache(
         tensor, tmp_path_factory.mktemp("golden_cache") / f"{name}.npz"
     )
+
+
+@pytest.fixture(scope="module")
+def shared_backends():
+    """One persistent pool per backend kind for the whole golden matrix."""
+    backends = {
+        "serial": SerialBackend(),
+        "thread": ThreadBackend(3),
+        "process": ProcessBackend(2),
+    }
+    yield backends
+    for backend in backends.values():
+        backend.close()
 
 
 def _case_source(kind, name, tensor, config, cache_path):
@@ -117,38 +135,60 @@ class TestEngineBitExact:
 
     @pytest.mark.parametrize("source_kind", ["memory", "mmap", "synthetic"])
     @pytest.mark.parametrize("batch_size", [1, 17, None])
-    @pytest.mark.parametrize("workers", [1, 3])
-    def test_shard_sources(self, case, case_cache, source_kind, batch_size, workers):
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_shard_sources(
+        self, case, case_cache, shared_backends, source_kind, batch_size,
+        backend, prefetch,
+    ):
         """Every shard source reproduces the golden bits at every cell of the
-        (batch_size, workers) equivalence matrix."""
+        (batch_size, backend, prefetch) equivalence matrix."""
         name, tensor, factors, _, config, data = case
         source = _case_source(source_kind, name, tensor, config, case_cache)
-        engine = StreamingExecutor(source, batch_size=batch_size, workers=workers)
+        engine = StreamingExecutor(
+            source,
+            batch_size=batch_size,
+            backend=shared_backends[backend],
+            prefetch=prefetch,
+        )
         for m in range(tensor.nmodes):
             assert np.array_equal(engine.mttkrp(factors, m), _expected(data, m))
 
-    @pytest.mark.parametrize("batch_size,workers", [(1, 1), (17, 3), (None, 1)])
+    @pytest.mark.parametrize(
+        "batch_size,backend,workers,prefetch",
+        [
+            (1, "serial", 1, False),
+            (17, "thread", 3, True),
+            (None, "serial", 1, False),
+            (17, "process", 2, False),
+            (None, "process", 2, True),
+        ],
+    )
     def test_out_of_core_decompose_bit_identical(
-        self, case, case_cache, batch_size, workers
+        self, case, case_cache, batch_size, backend, workers, prefetch
     ):
         """CP-ALS streamed from the memory-mapped cache is *bit-identical* to
-        the in-memory decompose at every matrix cell (the out-of-core
-        acceptance bar), and a fully out-of-core run (mmap-backed norms too)
-        still lands on the golden fit."""
+        the in-memory decompose at every matrix cell — including process
+        workers attached to the cache and prefetched delivery (the
+        out-of-core acceptance bar) — and a fully out-of-core run
+        (mmap-backed norms too) still lands on the golden fit."""
         _, tensor, _, rank, config, data = case
         als_kw = dict(
             rank=rank, n_iters=int(data["cpals_iters"]), tol=0.0, seed=42
         )
         in_memory = AmpedMTTKRP(tensor, config)
         want = cp_als(tensor, mttkrp=in_memory.mttkrp, **als_kw).final_fit
-        cfg = config.replace(batch_size=batch_size, workers=workers)
-        ex = AmpedMTTKRP.from_shard_cache(case_cache, cfg)
-        got = cp_als(tensor, mttkrp=ex.mttkrp, **als_kw).final_fit
-        assert got == want  # bit-identical trajectory, not just close
-        fully_ooc = cp_als(ex.tensor, mttkrp=ex.mttkrp, **als_kw).final_fit
-        assert fully_ooc == pytest.approx(
-            float(data["cpals_fit"]), abs=CPALS_FIT_TOL
+        cfg = config.replace(
+            batch_size=batch_size, backend=backend, workers=workers,
+            prefetch=prefetch,
         )
+        with AmpedMTTKRP.from_shard_cache(case_cache, cfg) as ex:
+            got = cp_als(tensor, mttkrp=ex.mttkrp, **als_kw).final_fit
+            assert got == want  # bit-identical trajectory, not just close
+            fully_ooc = cp_als(ex.tensor, mttkrp=ex.mttkrp, **als_kw).final_fit
+            assert fully_ooc == pytest.approx(
+                float(data["cpals_fit"]), abs=CPALS_FIT_TOL
+            )
 
 
 class TestReferencesAndBaselines:

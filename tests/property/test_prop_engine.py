@@ -11,7 +11,11 @@ Invariants (satellites of the streaming-engine and shard-source issues):
 * every :class:`repro.engine.ShardSource` implementation yields exactly the
   same segment-aligned batch boundaries as the in-memory ``BatchPlan`` —
   the invariant that makes cache-backed and generator-backed runs
-  bit-identical to the resident path.
+  bit-identical to the resident path;
+* :class:`repro.engine.PrefetchingSource` yields exactly the wrapped
+  source's batches, in order, with byte-identical element arrays — for any
+  tensor, sharding, batch size, and prefetch depth (so prefetch can never
+  change a result, only when bytes are read).
 """
 
 from __future__ import annotations
@@ -24,7 +28,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import (
+    InMemorySource,
     MmapNpzSource,
+    PrefetchingSource,
     StreamingExecutor,
     SyntheticSource,
     build_batch_plan,
@@ -146,17 +152,41 @@ class TestSourceProperties:
             mmap.close()
 
 
-class TestExecutorProperties:
-    @given(engine_cases())
+class TestPrefetchProperties:
+    @given(engine_cases(), st.integers(1, 5))
     @settings(max_examples=40, deadline=None)
-    def test_streamed_equals_eager_bitwise(self, case):
+    def test_prefetching_source_yields_wrapped_batches_in_order(
+        self, case, depth
+    ):
+        """PrefetchingSource delivery == the wrapped source's batches: same
+        order, same plan entries, byte-identical staged element arrays."""
+        shape, nnz, seed, n_gpus, shards_per_gpu, batch_size, _, mode = case
+        t = zipf_coo(shape, nnz, exponents=1.0, seed=seed)
+        plan = build_partition_plan(t, n_gpus, shards_per_gpu=shards_per_gpu)
+        source = InMemorySource(plan)
+        prefetching = PrefetchingSource(source, depth=depth)
+        part = source.partition(mode)
+        batches = build_batch_plan(part, batch_size).batches
+        loaded = list(prefetching.iter_batches(mode, batches))
+        assert tuple(lb.batch for lb in loaded) == batches
+        for lb in loaded:
+            sl = lb.batch.elements
+            assert np.array_equal(lb.indices, part.tensor.indices[sl])
+            assert np.array_equal(lb.values, part.tensor.values[sl])
+
+
+class TestExecutorProperties:
+    @given(engine_cases(), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_streamed_equals_eager_bitwise(self, case, prefetch):
         shape, nnz, seed, n_gpus, shards_per_gpu, batch_size, workers, mode = case
         t = zipf_coo(shape, nnz, exponents=1.0, seed=seed)
         rng = np.random.default_rng(seed + 1)
         factors = [rng.standard_normal((s, 4)) for s in shape]
         plan = build_partition_plan(t, n_gpus, shards_per_gpu=shards_per_gpu)
         eager = StreamingExecutor(plan).mttkrp(factors, mode)
-        streamed = StreamingExecutor(
-            plan, batch_size=batch_size, workers=workers
-        ).mttkrp(factors, mode)
+        with StreamingExecutor(
+            plan, batch_size=batch_size, workers=workers, prefetch=prefetch
+        ) as engine:
+            streamed = engine.mttkrp(factors, mode)
         assert np.array_equal(eager, streamed)

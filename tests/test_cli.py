@@ -101,6 +101,61 @@ class TestCommands:
             assert rc == 0
             assert "fit=" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_decompose_backend_and_prefetch(self, backend, capsys):
+        """Every backend decomposes through the CLI and lands on the same
+        fit as the serial default (bit-identical engine contract)."""
+        args = [
+            "decompose",
+            "--dataset", "twitch",
+            "--nnz", "1500",
+            "--rank", "3",
+            "--iters", "2",
+            "--gpus", "2",
+            "--seed", "3",
+        ]
+        assert main(args) == 0
+        base_out = capsys.readouterr().out
+        workers = [] if backend == "serial" else ["--workers", "2"]
+        rc = main(args + ["--backend", backend, "--prefetch"] + workers)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"engine backend: {backend}" in out
+        assert "prefetch=on" in out
+        def fit(text: str) -> str:
+            line = next(l for l in text.splitlines() if "fit=" in l)
+            return line.split("fit=")[1].split()[0]
+
+        assert fit(out) == fit(base_out)
+
+    def test_decompose_workers_alias_reports_thread_backend(self, capsys):
+        rc = main(
+            [
+                "decompose",
+                "--dataset", "twitch",
+                "--nnz", "1500",
+                "--rank", "3",
+                "--iters", "2",
+                "--gpus", "2",
+                "--workers", "2",
+            ]
+        )
+        assert rc == 0
+        assert "engine backend: thread (workers=2" in capsys.readouterr().out
+
+    def test_decompose_rejects_unknown_backend(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="backend must be one of"):
+            main(
+                [
+                    "decompose",
+                    "--dataset", "twitch",
+                    "--nnz", "1500",
+                    "--backend", "quantum",
+                ]
+            )
+
     def test_decompose_rejects_garbage_batch_size(self, capsys):
         with pytest.raises(SystemExit):
             main(
