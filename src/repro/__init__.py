@@ -43,10 +43,12 @@ from repro.engine.backend import (
 from repro.engine.executor import StreamingExecutor
 from repro.engine.prefetch import PrefetchingSource
 from repro.engine.source import (
+    CompressedChunkSource,
     InMemorySource,
     MmapNpzSource,
     ShardSource,
     SyntheticSource,
+    open_shard_source,
 )
 
 __all__ = [
@@ -66,7 +68,9 @@ __all__ = [
     "ShardSource",
     "InMemorySource",
     "MmapNpzSource",
+    "CompressedChunkSource",
     "SyntheticSource",
+    "open_shard_source",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",

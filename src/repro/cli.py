@@ -20,6 +20,42 @@ from repro.version import __version__
 __all__ = ["main", "build_parser"]
 
 
+def _size_arg(text: str) -> int:
+    """Parse a byte count: a plain int or with a k/M/G (KiB/MiB/GiB) suffix."""
+    raw = text.strip()
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    mult = 1
+    if raw and raw[-1].lower() in units:
+        mult = units[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * mult
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte count (e.g. 268435456, 256M, 4G); got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"byte count must be positive; got {text!r}"
+        )
+    return value
+
+
+def _chunk_nnz_arg(text: str) -> int:
+    """Parse ``--chunk-nnz``: a positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer; got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"chunk-nnz must be >= 1; got {text!r}"
+        )
+    return value
+
+
 def _batch_size_arg(text: str):
     """Parse ``--batch-size``: an int, ``auto`` (cache model), or ``none``."""
     lowered = text.strip().lower()
@@ -151,6 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="refuse to materialize a .tns with more nonzeros than this",
+    )
+    p_cache.add_argument(
+        "--codec",
+        choices=["none", "zlib", "lzma", "zstd"],
+        default=None,
+        help="build a v2 chunked/compressed cache with this codec instead "
+        "of the v1 raw mmap .npz (zstd needs the optional 'zstandard' "
+        "package; readers autodetect the format)",
+    )
+    p_cache.add_argument(
+        "--chunk-nnz",
+        type=_chunk_nnz_arg,
+        default=None,
+        help="nonzeros per compressed chunk of a v2 cache (default: "
+        "65536); implies a v2 build",
+    )
+    p_cache.add_argument(
+        "--memory-budget",
+        type=_size_arg,
+        default=None,
+        metavar="BYTES",
+        help="build the (v2) cache with the external-sort streaming "
+        "builder under this peak element budget (suffixes k/M/G); with "
+        "--tns the input is never materialized, so .tns files larger "
+        "than RAM convert fine (--dataset instances are generated in "
+        "memory first, then streamed); implies a v2 build",
     )
 
     p_tr = sub.add_parser("trace", help="export a Chrome trace of a simulated run")
@@ -286,7 +348,7 @@ def _cmd_decompose(args) -> int:
     if args.out_of_core:
         ex = AmpedMTTKRP.from_shard_cache(cache, config, name="cli")
         tensor = ex.tensor
-        name = f"{cache} (out-of-core, mmap)"
+        name = f"{cache} (out-of-core, {type(ex.source).__name__})"
         print(
             f"streaming out of core at batch_size="
             f"{ex.engine.batch_size} (resolved from "
@@ -297,9 +359,9 @@ def _cmd_decompose(args) -> int:
             if args.tns or args.dataset:
                 tensor, name = _load_cli_tensor(args)
             else:  # an existing cache is the only tensor source given
-                from repro.engine.source import MmapNpzSource
+                from repro.engine.source import open_shard_source
 
-                cache_src = MmapNpzSource(cache, n_gpus=args.gpus)
+                cache_src = open_shard_source(cache, n_gpus=args.gpus)
                 tensor = cache_src.tensor_view().as_coo()
                 name = f"{cache} (loaded into memory)"
         ex = AmpedMTTKRP(tensor, config, name="cli")
@@ -327,14 +389,57 @@ def _cmd_decompose(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from repro.tensor.io import write_shard_cache
-
-    tensor, name = _load_cli_tensor(args)
-    path = write_shard_cache(tensor, args.output)
-    print(
-        f"wrote shard cache {path} for {name}: shape={tensor.shape}, "
-        f"nnz={tensor.nnz} ({tensor.nmodes} mode-sorted copies)"
+    from repro.tensor.io import (
+        DEFAULT_CHUNK_NNZ,
+        write_shard_cache,
+        write_shard_cache_streaming,
+        write_shard_cache_v2,
     )
+
+    v2 = (
+        args.codec is not None
+        or args.chunk_nnz is not None
+        or args.memory_budget is not None
+    )
+    codec = args.codec or "zlib"
+    chunk_nnz = args.chunk_nnz or DEFAULT_CHUNK_NNZ
+    if args.memory_budget is not None:
+        # External-sort streaming build. A .tns input streams straight off
+        # disk; a --dataset instance is generated in memory first (the
+        # builder still sorts it under the budget).
+        if args.tns:
+            source, name = args.tns, args.tns
+        else:
+            source, name = _load_cli_tensor(args)
+        res = write_shard_cache_streaming(
+            source,
+            args.output,
+            memory_budget=args.memory_budget,
+            codec=codec,
+            chunk_nnz=chunk_nnz,
+            max_nnz=args.max_nnz,
+        )
+        print(
+            f"wrote v2 shard cache {res.path} for {name}: shape={res.shape}, "
+            f"nnz={res.nnz} (codec={codec}, chunk_nnz={chunk_nnz}; "
+            f"external sort: {res.n_runs} run(s) of <= {res.run_nnz} "
+            f"elements, peak {res.peak_run_nnz} resident)"
+        )
+        path = res.path
+    else:
+        tensor, name = _load_cli_tensor(args)
+        if v2:
+            path = write_shard_cache_v2(
+                tensor, args.output, codec=codec, chunk_nnz=chunk_nnz
+            )
+            label = f"v2 shard cache (codec={codec}, chunk_nnz={chunk_nnz})"
+        else:
+            path = write_shard_cache(tensor, args.output)
+            label = "shard cache"
+        print(
+            f"wrote {label} {path} for {name}: shape={tensor.shape}, "
+            f"nnz={tensor.nnz} ({tensor.nmodes} mode-sorted copies)"
+        )
     print(
         f"stream it with: repro decompose --shard-cache {path} --out-of-core"
     )

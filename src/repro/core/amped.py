@@ -27,7 +27,7 @@ from repro.core.results import RunResult
 from repro.core.simulate import simulate_amped
 from repro.core.workload import TensorWorkload
 from repro.engine.executor import StreamingExecutor
-from repro.engine.source import InMemorySource, MmapNpzSource, ShardSource
+from repro.engine.source import InMemorySource, ShardSource, open_shard_source
 from repro.errors import ReproError
 from repro.partition.plan import PartitionPlan, build_partition_plan
 from repro.simgpu.kernel import KernelCostModel
@@ -130,6 +130,14 @@ class AmpedMTTKRP:
                     out_of_core=True,
                     shard_cache=str(getattr(source, "path", "<shard source>")),
                 )
+            codec = getattr(source, "codec", None)
+            if codec is not None and self.config.cache_codec is None:
+                # A v2 chunked source: record its codec/chunk size so the
+                # host accounting charges the decompression staging.
+                self.config = self.config.replace(
+                    cache_codec=codec,
+                    cache_chunk_nnz=getattr(source, "chunk_nnz", None),
+                )
             # No whole-plan materialization: the workload comes straight off
             # the source's key columns and shard metadata, so lazy sources
             # (mmap, synthetic) keep their residency guarantees.
@@ -177,17 +185,24 @@ class AmpedMTTKRP:
     def from_shard_cache(
         cls, path, config: AmpedConfig | None = None, **kw
     ) -> "AmpedMTTKRP":
-        """Open a shard cache (``repro.tensor.io.write_shard_cache``) and
-        stream it out of core through :class:`repro.engine.MmapNpzSource`."""
+        """Open a shard cache and stream it out of core.
+
+        The cache format is autodetected: a v1 mmap ``.npz``
+        (``repro.tensor.io.write_shard_cache``) opens as
+        :class:`repro.engine.MmapNpzSource`, a v2 chunked/compressed cache
+        (``write_shard_cache_v2`` / ``write_shard_cache_streaming``) as
+        :class:`repro.engine.CompressedChunkSource` — both stream
+        bit-identically to the in-memory path.
+        """
         config = config or AmpedConfig()
-        source = MmapNpzSource(
+        source = open_shard_source(
             path,
             n_gpus=config.n_gpus,
             shards_per_gpu=config.shards_per_gpu,
             policy=config.policy,
         )
         ex = cls.from_source(source, config, **kw)
-        ex._owns_source = True  # close() releases the mmap views too
+        ex._owns_source = True  # close() releases the mmap/chunk views too
         return ex
 
     # ------------------------------------------------------------------

@@ -62,13 +62,26 @@ class AmpedConfig:
         (0, 1]. ``None`` defers to the ``REPRO_STREAM_CACHE_FRACTION``
         environment variable, then the built-in calibration
         (:data:`repro.engine.autotune.STREAM_CACHE_FRACTION`).
-    out_of_core: stream element batches from a memory-mapped shard cache
-        (:class:`repro.engine.MmapNpzSource`) instead of a resident
-        partition plan; requires ``shard_cache``. Bounds the host-resident
-        tensor footprint at O(batch_size) — see
-        :func:`repro.core.simulate.host_memory_plan`.
-    shard_cache: path of the ``.npz`` shard cache written by
-        :func:`repro.tensor.io.write_shard_cache` (CLI: ``repro cache``).
+    out_of_core: stream element batches from an on-disk shard cache
+        (:class:`repro.engine.MmapNpzSource` for the v1 mmap format,
+        :class:`repro.engine.CompressedChunkSource` for the v2 chunked/
+        compressed format) instead of a resident partition plan; requires
+        ``shard_cache``. Bounds the host-resident tensor footprint at
+        O(batch_size) — see :func:`repro.core.simulate.host_memory_plan`.
+    shard_cache: path of the shard cache written by
+        :func:`repro.tensor.io.write_shard_cache` (v1) or
+        :func:`repro.tensor.io.write_shard_cache_v2` /
+        :func:`repro.tensor.io.write_shard_cache_streaming` (v2); the CLI
+        (``repro cache``) and :meth:`AmpedMTTKRP.from_shard_cache`
+        autodetect the format.
+    cache_codec: compression codec of a v2 shard cache (``"none"`` |
+        ``"zlib"`` | ``"lzma"`` | ``"zstd"``); ``None`` means the v1 raw
+        mmap format. Normalized from the cache manifest by
+        :meth:`AmpedMTTKRP.from_shard_cache`; drives the decompression
+        staging term of :func:`repro.core.simulate.host_memory_plan`.
+    cache_chunk_nnz: rows per compressed chunk of a v2 cache (``None``:
+        the format default). Each stream lane double-buffers two
+        decompressed chunks of this size.
     """
 
     n_gpus: int = 4
@@ -86,6 +99,8 @@ class AmpedConfig:
     stream_cache_fraction: float | None = None
     out_of_core: bool = False
     shard_cache: str | None = None
+    cache_codec: str | None = None
+    cache_chunk_nnz: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus <= 0:
@@ -117,6 +132,19 @@ class AmpedConfig:
                 "out_of_core=True requires shard_cache: point it at a .npz "
                 "shard cache written by repro.tensor.io.write_shard_cache "
                 "(CLI: `repro cache`, then pass --shard-cache)"
+            )
+        if self.cache_codec is not None:
+            from repro.tensor.io_v2 import CODEC_NAMES
+
+            if self.cache_codec not in CODEC_NAMES:
+                raise ReproError(
+                    f"cache_codec must be one of {list(CODEC_NAMES)} (or "
+                    f"None for the v1 mmap format), got {self.cache_codec!r}"
+                )
+        if self.cache_chunk_nnz is not None and int(self.cache_chunk_nnz) < 1:
+            raise ReproError(
+                f"cache_chunk_nnz must be >= 1 (or None for the format "
+                f"default), got {self.cache_chunk_nnz}"
             )
 
     def resolved_backend(self) -> tuple[str, int]:

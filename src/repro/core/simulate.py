@@ -96,21 +96,39 @@ def host_memory_plan(
     defaults (serial backend, no prefetch, double buffering) this is the
     classic two windows.
 
+    A **v2 chunked/compressed cache** (``config.cache_codec`` set to a
+    real codec) additionally charges *decompression staging*: every stream
+    lane double-buffers two decompressed chunks per array stream —
+    ``2 * cache_chunk_nnz`` elements per lane
+    (:class:`repro.engine.CompressedChunkSource` keeps exactly that LRU) —
+    still O(chunk), never O(nnz). The raw v1 mmap format (and
+    ``codec="none"`` frames, which decompress in place as views) charge
+    nothing here.
+
     Either way the host also pins every factor matrix (the functional
     engine gathers from them on every batch).
     """
     elem_bytes = cost.host_element_bytes(workload.nmodes)
     batch_size = config.resolved_batch_size(cost, workload.nmodes)
+    decompress_staging = 0
     if config.out_of_core:
         staging_elems = _max_shard_nnz(workload)
         if batch_size is not None:
             staging_elems = min(staging_elems, batch_size)
         windows = config.stream_lanes() + (1 if config.double_buffer else 0)
         tensor_resident = windows * staging_elems * elem_bytes
+        if config.cache_codec not in (None, "none"):
+            from repro.tensor.io_v2 import DEFAULT_CHUNK_NNZ
+
+            chunk_nnz = int(config.cache_chunk_nnz or DEFAULT_CHUNK_NNZ)
+            decompress_staging = (
+                config.stream_lanes() * 2 * chunk_nnz * elem_bytes
+            )
     else:
         tensor_resident = workload.nmodes * workload.nnz * elem_bytes
     return {
         "tensor_resident": int(tensor_resident),
+        "decompress_staging": int(decompress_staging),
         "factor_matrices": workload.factor_bytes(
             config.rank, cost.host_value_bytes
         ),

@@ -4,8 +4,11 @@
   element batches (:class:`ElementBatch` / :class:`BatchPlan`);
 * :mod:`source` — where batches come from: :class:`ShardSource` and its
   resident (:class:`InMemorySource`), memory-mapped out-of-core
-  (:class:`MmapNpzSource`), and generator-backed (:class:`SyntheticSource`)
-  implementations;
+  (:class:`MmapNpzSource`), chunked/compressed out-of-core
+  (:class:`CompressedChunkSource`, explicit double-buffered chunk reads
+  for cold storage), and generator-backed (:class:`SyntheticSource`)
+  implementations — :func:`open_shard_source` autodetects a cache file's
+  format;
 * :mod:`backend` — where batch reductions run: :class:`ExecutionBackend`
   and its serial (:class:`SerialBackend`), persistent-thread-pool
   (:class:`ThreadBackend`), and shared-memory process-pool
@@ -44,11 +47,13 @@ from repro.engine.batch import BatchPlan, ElementBatch, build_batch_plan, slice_
 from repro.engine.executor import StreamingExecutor, reduce_batch, reduce_batch_arrays
 from repro.engine.prefetch import LoadedBatch, PrefetchingSource
 from repro.engine.source import (
+    CompressedChunkSource,
     COOView,
     InMemorySource,
     MmapNpzSource,
     ShardSource,
     SyntheticSource,
+    open_shard_source,
 )
 
 __all__ = [
@@ -62,7 +67,9 @@ __all__ = [
     "ShardSource",
     "InMemorySource",
     "MmapNpzSource",
+    "CompressedChunkSource",
     "SyntheticSource",
+    "open_shard_source",
     "COOView",
     "ExecutionBackend",
     "SerialBackend",

@@ -379,6 +379,9 @@ def _worker_elements(spec, mode: int) -> tuple[np.ndarray, np.ndarray]:
     ``("mmap_npz", path)`` re-opens the shard cache read-only (the arrays
     are ``np.memmap`` views over the same on-disk bytes the coordinator
     maps; the page cache is shared, so nothing is copied).
+    ``("chunked_v2", path)`` re-opens a v2 chunked/compressed cache: the
+    arrays are lazy :class:`repro.tensor.io_v2.ChunkedArray` views, so each
+    worker reads and decompresses only the chunks its batches cover.
     ``("shm", idx_desc, val_desc)`` maps the coordinator's shared-memory
     copies of a resident mode.
     """
@@ -395,6 +398,13 @@ def _worker_elements(spec, mode: int) -> tuple[np.ndarray, np.ndarray]:
         indices = arrays[f"mode{mode}_indices"]
         values = arrays[f"mode{mode}_values"]
         shms: tuple = ()
+    elif kind == "chunked_v2":
+        from repro.tensor.io_v2 import load_shard_cache_v2
+
+        reader = load_shard_cache_v2(spec[1])
+        indices = reader.array(f"mode{mode}_indices")
+        values = reader.array(f"mode{mode}_values")
+        shms = ()
     elif kind == "shm":
         indices, idx_closer = _attach_view(spec[1])
         values, val_closer = _attach_view(spec[2])

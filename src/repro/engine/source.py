@@ -14,7 +14,16 @@ behind the batches so the same executor can stream from
   O(nnz), which is what opens tensors larger than host memory;
 * :class:`SyntheticSource` — a deterministic generator, for tests and
   benchmarks that want engine-scale inputs without materializing (and
-  keeping) every mode copy at once.
+  keeping) every mode copy at once;
+* :class:`CompressedChunkSource` — a v2 chunked/compressed shard cache
+  (:func:`repro.tensor.io.write_shard_cache_v2`) for cold-storage tensors:
+  instead of mmap's page faulting, batches are served by explicit
+  double-buffered chunk reads + decompression — wrap it in a
+  :class:`repro.engine.prefetch.PrefetchingSource` and the next batch's
+  chunks decompress on the loader thread while the current batch reduces.
+
+:func:`open_shard_source` sniffs a cache file's format (v1 mmap ``.npz``
+vs v2 chunked) and opens the matching source.
 
 The contract all sources share: for one logical tensor, every source yields
 **byte-identical mode-sorted copies**, hence the same shard tables, the same
@@ -36,13 +45,20 @@ from repro.partition.plan import PartitionPlan, build_partition_plan
 from repro.partition.sharding import ModePartition, Shard, shard_table
 from repro.tensor.coo import SparseTensorCOO
 from repro.tensor.io import load_shard_cache, shard_cache_path
+from repro.tensor.io_v2 import (
+    DEFAULT_CHUNK_CACHE,
+    detect_shard_cache_version,
+    load_shard_cache_v2,
+)
 
 __all__ = [
     "ShardSource",
     "InMemorySource",
     "MmapNpzSource",
+    "CompressedChunkSource",
     "SyntheticSource",
     "COOView",
+    "open_shard_source",
 ]
 
 #: chunk length for streaming reductions over (possibly memory-mapped) values
@@ -383,6 +399,177 @@ class MmapNpzSource(ShardSource):
             f"MmapNpzSource({str(self.path)!r}, shape={self._shape}, "
             f"nnz={self._nnz}, n_gpus={self._n_gpus})"
         )
+
+
+class CompressedChunkSource(ShardSource):
+    """Out-of-core source over a v2 chunked/compressed shard cache.
+
+    Where :class:`MmapNpzSource` trades on the OS page cache (raw bytes,
+    4 KiB-granular faults), this source trades on **explicit reads**: every
+    mode-sorted array lives as independently compressed chunk frames
+    (:mod:`repro.tensor.io_v2`), and slicing a batch reads, CRC-checks, and
+    decompresses only the chunks the batch overlaps, keeping
+    ``cache_chunks`` (default 2 — classic double buffering) decompressed
+    per array. That is the right trade for cold storage, where bytes
+    moved dominate and mmap would fault far more than a batch needs.
+
+    Delivery composes with :class:`repro.engine.prefetch.PrefetchingSource`
+    exactly like the mmap source: the loader thread's staging slice is what
+    triggers the chunk read + decompression, so decompression overlaps the
+    current batch's reduction. Shard tables, batch boundaries, and results
+    are bit-identical to every other source (the cache stores the same
+    stable mode-sorted copies), which the source/equivalence matrix pins.
+    """
+
+    is_out_of_core = True
+
+    def __init__(
+        self,
+        path,
+        *,
+        n_gpus: int = 4,
+        shards_per_gpu: int = 16,
+        policy: str = "lpt",
+        cache_chunks: int = DEFAULT_CHUNK_CACHE,
+    ) -> None:
+        if n_gpus <= 0:
+            raise ReproError("n_gpus must be positive")
+        if shards_per_gpu <= 0:
+            raise ReproError("shards_per_gpu must be positive")
+        self.path = shard_cache_path(path)
+        self._reader = load_shard_cache_v2(self.path, cache_chunks=cache_chunks)
+        self._shape = self._reader.shape
+        self._nnz = self._reader.nnz
+        self._n_gpus = int(n_gpus)
+        n_shards = self._n_gpus * int(shards_per_gpu)
+        self._shards: list[tuple[Shard, ...]] = []
+        self._assignments: list[np.ndarray] = []
+        self._keys_cache: tuple[int, np.ndarray] | None = None
+        for m, extent in enumerate(self._shape):
+            # one decompressed key column at a time (transient)
+            keys = np.asarray(self._reader.array(f"mode{m}_keys"))
+            shards = shard_table(keys, extent, m, n_shards)
+            nnz_per_shard = np.array([s.nnz for s in shards], dtype=np.int64)
+            self._shards.append(shards)
+            self._assignments.append(
+                assign_shards(nnz_per_shard, self._n_gpus, policy)
+            )
+
+    # ---- identity -----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def n_gpus(self) -> int:
+        return self._n_gpus
+
+    @property
+    def codec(self) -> str:
+        """Compression codec of the underlying cache (manifest field)."""
+        return self._checked_reader().codec_name
+
+    @property
+    def chunk_nnz(self) -> int:
+        """Rows per compressed chunk (manifest field; feeds the host
+        decompression-staging accounting)."""
+        return self._checked_reader().chunk_nnz
+
+    def _checked_reader(self):
+        if self._reader is None:
+            raise ReproError(
+                f"{self.path}: shard source is closed; reopen it with "
+                f"CompressedChunkSource({str(self.path)!r})"
+            )
+        return self._reader
+
+    # ---- per-mode structure ------------------------------------------
+    def mode_keys(self, mode: int) -> np.ndarray:
+        """The mode's key column, decompressed on demand.
+
+        Only the most recently used mode's column is kept (planning touches
+        one mode at a time), so key residency is ``nnz * 8`` bytes, not
+        ``nmodes * nnz * 8``.
+        """
+        mode = self._check_mode(mode)
+        if self._keys_cache is not None and self._keys_cache[0] == mode:
+            return self._keys_cache[1]
+        keys = np.asarray(self._checked_reader().array(f"mode{mode}_keys"))
+        self._keys_cache = (mode, keys)
+        return keys
+
+    def partition(self, mode: int) -> ModePartition:
+        mode = self._check_mode(mode)
+        reader = self._checked_reader()
+        view = COOView(
+            reader.array(f"mode{mode}_indices"),
+            reader.array(f"mode{mode}_values"),
+            self._shape,
+        )
+        return ModePartition(mode=mode, tensor=view, shards=self._shards[mode])
+
+    def shards(self, mode: int) -> tuple[Shard, ...]:
+        return self._shards[self._check_mode(mode)]
+
+    def assignment(self, mode: int) -> np.ndarray:
+        return self._assignments[self._check_mode(mode)]
+
+    def process_attach_spec(self, mode: int):
+        """Process workers re-open the v2 cache by path and decompress the
+        chunks their batches cover themselves — only ``(rows, partial)``
+        results cross the pipe, mirroring the mmap attachment."""
+        self._check_mode(mode)
+        return ("chunked_v2", str(self.path))
+
+    def close(self) -> None:
+        """Release the reader (file handle + decompressed chunk cache).
+
+        Arrays already handed out keep working only while their chunks stay
+        cached; new chunk reads raise a :class:`ReproError`/
+        :class:`TensorFormatError` naming the reopen path.
+        """
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        self._keys_cache = None
+
+    def __enter__(self) -> "CompressedChunkSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        codec = "closed" if self._reader is None else self._reader.codec_name
+        return (
+            f"CompressedChunkSource({str(self.path)!r}, shape={self._shape}, "
+            f"nnz={self._nnz}, codec={codec}, n_gpus={self._n_gpus})"
+        )
+
+
+def open_shard_source(
+    path,
+    *,
+    n_gpus: int = 4,
+    shards_per_gpu: int = 16,
+    policy: str = "lpt",
+) -> ShardSource:
+    """Open a shard cache with format autodetection (v1 mmap vs v2 chunked).
+
+    Sniffs the file's magic bytes (:func:`repro.tensor.io.detect_shard_cache_version`)
+    and returns the matching out-of-core source. This is what
+    :meth:`repro.core.amped.AmpedMTTKRP.from_shard_cache` and the CLI use,
+    so ``--shard-cache`` accepts either format transparently.
+    """
+    version = detect_shard_cache_version(path)
+    cls = MmapNpzSource if version == 1 else CompressedChunkSource
+    return cls(
+        path, n_gpus=n_gpus, shards_per_gpu=shards_per_gpu, policy=policy
+    )
 
 
 class SyntheticSource(ShardSource):

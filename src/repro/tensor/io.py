@@ -39,6 +39,18 @@ __all__ = [
     "load_shard_cache",
     "shard_cache_path",
     "SHARD_CACHE_VERSION",
+    # v2 chunked/compressed cache (re-exported from repro.tensor.io_v2)
+    "SHARD_CACHE_V2_VERSION",
+    "DEFAULT_CHUNK_NNZ",
+    "CODEC_NAMES",
+    "available_codecs",
+    "detect_shard_cache_version",
+    "write_shard_cache_v2",
+    "write_shard_cache_streaming",
+    "load_shard_cache_v2",
+    "ChunkedCacheReader",
+    "ChunkedArray",
+    "StreamingBuildResult",
 ]
 
 #: lines parsed per chunk by the streaming .tns reader
@@ -263,6 +275,17 @@ def load_shard_cache(path, *, mmap: bool = True) -> dict[str, np.ndarray]:
             f"write_shard_cache() / tns_to_shard_cache() "
             f"(CLI: `repro cache`)"
         )
+    from repro.tensor.io_v2 import SHARD_CACHE_V2_MAGIC
+
+    with open(path, "rb") as probe:
+        head = probe.read(len(SHARD_CACHE_V2_MAGIC))
+    if head == SHARD_CACHE_V2_MAGIC:
+        raise TensorFormatError(
+            f"{path}: found shard cache version 2 (chunked/compressed), "
+            f"which the v1 mmap reader cannot open; use "
+            f"CompressedChunkSource / load_shard_cache_v2(), or "
+            f"AmpedMTTKRP.from_shard_cache which autodetects the format"
+        )
     arrays: dict[str, np.ndarray] = {}
     try:
         with zipfile.ZipFile(path) as zf:
@@ -295,3 +318,23 @@ def load_shard_cache(path, *, mmap: bool = True) -> dict[str, np.ndarray]:
             f"{SHARD_CACHE_VERSION}); rebuild with write_shard_cache()"
         )
     return arrays
+
+
+# ----------------------------------------------------------------------
+# Shard cache v2: chunked, compressed frames (see repro.tensor.io_v2)
+# ----------------------------------------------------------------------
+# Imported at the bottom: io_v2 uses shard_cache_path and the .tns chunk
+# parser above, so this module must be fully defined first.
+from repro.tensor.io_v2 import (  # noqa: E402
+    CODEC_NAMES,
+    DEFAULT_CHUNK_NNZ,
+    SHARD_CACHE_V2_VERSION,
+    ChunkedArray,
+    ChunkedCacheReader,
+    StreamingBuildResult,
+    available_codecs,
+    detect_shard_cache_version,
+    load_shard_cache_v2,
+    write_shard_cache_streaming,
+    write_shard_cache_v2,
+)

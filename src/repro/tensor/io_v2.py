@@ -1,0 +1,1040 @@
+"""Shard cache v2: chunked, compressed frames for cold-storage tensors.
+
+The v1 cache (:mod:`repro.tensor.io`) stores raw bytes in an uncompressed
+``.npz`` so every array can be memory-mapped — the right trade when the
+tensor lives on fast local storage and the OS page cache does the staging.
+Cold-storage tensors (object stores, network filesystems, spinning disks)
+invert the trade: bytes are expensive, seeks are expensive, and mmap's
+4 KiB-granular faulting reads far more than a batch needs. The v2 format
+targets that regime:
+
+* every mode-sorted array is cut into **fixed-``chunk_nnz`` row chunks**,
+  each compressed independently into one frame (``zstd``/``zlib``/``lzma``,
+  or ``none`` for raw frames), so a streamed batch decompresses only the
+  chunks it overlaps;
+* a **JSON manifest** (written after the frames, located by a fixed header
+  pointer) carries the format version, codec, per-chunk row boundaries,
+  byte offsets, and **per-chunk CRC-32 checksums** — corruption is caught
+  and named before wrong numbers can propagate;
+* readers hand back :class:`ChunkedArray` views that materialize only the
+  chunks a slice covers, through a small per-array LRU (double buffer by
+  default) — the explicit-read analogue of v1's faulted pages.
+
+Construction no longer needs the tensor resident either:
+:func:`write_shard_cache_streaming` is an **external-sort builder** — it
+ingests ``.tns`` text or a COO tensor in bounded-memory runs, stable-sorts
+each run, spills it to disk, and k-way-merges the runs straight into the
+chunk frames. Peak resident element count is O(memory budget), never
+O(nnz), and the produced file is **byte-identical** to the in-memory
+:func:`write_shard_cache_v2` (stable run sort + stable merge == the global
+stable sort ``SparseTensorCOO.sorted_by_mode`` performs), which the
+property suite pins.
+
+On-disk layout::
+
+    bytes 0..8    magic  b"REPROSC2"
+    bytes 8..16   little-endian uint64: manifest byte offset
+    bytes 16..M   concatenated compressed chunk frames
+    bytes M..EOF  canonical JSON manifest (utf-8)
+
+Manifest schema (canonical ``json.dumps(..., sort_keys=True)``)::
+
+    {
+      "format": "repro-shard-cache-v2",
+      "version": 2,
+      "codec": "zstd" | "zlib" | "lzma" | "none",
+      "level": <int>,                 # resolved codec level
+      "chunk_nnz": <int>,             # target rows per chunk
+      "shape": [I_0, ...],
+      "nnz": <int>,
+      "arrays": {
+        "mode{d}_indices" | "mode{d}_values" | "mode{d}_keys": {
+          "dtype": "<i8" | "<f8",
+          "shape": [...],
+          "chunks": [
+            {"lo": r0, "hi": r1,      # row range of the chunk
+             "offset": o,             # absolute frame offset in the file
+             "nbytes": n,             # compressed frame length
+             "raw_nbytes": r,         # decompressed length (C-order bytes)
+             "crc32": c},             # CRC-32 of the compressed frame
+            ...
+          ]
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import TensorFormatError
+from repro.tensor.coo import SparseTensorCOO
+
+__all__ = [
+    "SHARD_CACHE_V2_VERSION",
+    "SHARD_CACHE_V2_MAGIC",
+    "DEFAULT_CHUNK_NNZ",
+    "DEFAULT_CHUNK_CACHE",
+    "CODEC_NAMES",
+    "available_codecs",
+    "codec_available",
+    "detect_shard_cache_version",
+    "write_shard_cache_v2",
+    "write_shard_cache_streaming",
+    "load_shard_cache_v2",
+    "ChunkedCacheReader",
+    "ChunkedArray",
+    "StreamingBuildResult",
+]
+
+SHARD_CACHE_V2_VERSION = 2
+SHARD_CACHE_V2_MAGIC = b"REPROSC2"
+
+#: manifest pointer is a fixed-width field right after the magic
+_HEADER_BYTES = len(SHARD_CACHE_V2_MAGIC) + 8
+
+#: default rows per compressed chunk — a few batches' worth at the
+#: cache-model auto batch size, so one staged batch touches 1-2 frames
+DEFAULT_CHUNK_NNZ = 65536
+
+#: chunks kept decompressed per array (2 == classic double buffering:
+#: the chunk being reduced plus the one the next batch is pulling in)
+DEFAULT_CHUNK_CACHE = 2
+
+
+# ----------------------------------------------------------------------
+# Codec registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Codec:
+    name: str
+    default_level: int
+    compress: Callable[[bytes, int], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+def _zstd_module():
+    try:
+        import zstandard
+    except ImportError:
+        return None
+    return zstandard
+
+
+def _make_codecs() -> dict[str, _Codec]:
+    import lzma
+
+    codecs = {
+        "none": _Codec("none", 0, lambda data, level: data, lambda data: data),
+        "zlib": _Codec(
+            "zlib",
+            6,
+            lambda data, level: zlib.compress(data, level),
+            zlib.decompress,
+        ),
+        "lzma": _Codec(
+            "lzma",
+            1,
+            lambda data, level: lzma.compress(data, preset=level),
+            lzma.decompress,
+        ),
+    }
+    zstd = _zstd_module()
+    if zstd is not None:
+        codecs["zstd"] = _Codec(
+            "zstd",
+            3,
+            lambda data, level: zstd.ZstdCompressor(level=level).compress(data),
+            lambda data: zstd.ZstdDecompressor().decompress(data),
+        )
+    return codecs
+
+
+#: every codec name the format knows (zstd needs the optional ``zstandard``
+#: package at runtime; :func:`available_codecs` reports what this host has)
+CODEC_NAMES = ("none", "zlib", "lzma", "zstd")
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Codec names usable on this host, in registry order."""
+    built = _make_codecs()
+    return tuple(name for name in CODEC_NAMES if name in built)
+
+
+def codec_available(name: str) -> bool:
+    return name in available_codecs()
+
+
+def _resolve_codec(name, origin: str = "codec") -> _Codec:
+    if not isinstance(name, str) or name not in CODEC_NAMES:
+        raise TensorFormatError(
+            f"{origin} must be one of {list(CODEC_NAMES)}, got {name!r}"
+        )
+    built = _make_codecs()
+    if name not in built:
+        raise TensorFormatError(
+            f"{origin} {name!r} is not available on this host (the optional "
+            f"'zstandard' package is not installed); available codecs: "
+            f"{list(built)}"
+        )
+    return built[name]
+
+
+def _shard_cache_path(path) -> Path:
+    # same normalization as the v1 writer so both formats resolve paths
+    # identically (import deferred: repro.tensor.io re-exports this module)
+    from repro.tensor.io import shard_cache_path
+
+    return shard_cache_path(path)
+
+
+# ----------------------------------------------------------------------
+# Format detection
+# ----------------------------------------------------------------------
+def detect_shard_cache_version(path) -> int:
+    """Sniff a shard-cache file: 1 (v1 mmap ``.npz``) or 2 (v2 chunked).
+
+    Detection is by content (zip magic vs the v2 magic), never by suffix,
+    so ``AmpedMTTKRP.from_shard_cache`` and the CLI can open either format
+    transparently. Anything else raises a :class:`TensorFormatError`.
+    """
+    path = _shard_cache_path(path)
+    if not path.is_file():
+        raise TensorFormatError(
+            f"shard cache {path} does not exist; build it with "
+            f"write_shard_cache() / write_shard_cache_v2() (CLI: `repro cache`)"
+        )
+    with open(path, "rb") as f:
+        head = f.read(len(SHARD_CACHE_V2_MAGIC))
+    if head == SHARD_CACHE_V2_MAGIC:
+        return 2
+    if head[:4] == b"PK\x03\x04":
+        return 1
+    raise TensorFormatError(
+        f"{path}: not a shard cache (neither a v1 .npz archive nor a v2 "
+        f"chunked cache); rebuild with `repro cache`"
+    )
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+class _V2Writer:
+    """Streams mode-sorted element blocks into chunk frames + manifest.
+
+    Modes must be appended in order; within a mode, blocks arrive in final
+    sorted order and are re-chunked at exactly ``chunk_nnz`` rows, so the
+    produced bytes depend only on the logical element stream — the
+    in-memory and external-sort builders therefore emit identical files.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        shape: Sequence[int],
+        nnz: int,
+        *,
+        codec: str = "zlib",
+        chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+        level: int | None = None,
+    ) -> None:
+        chunk_nnz = int(chunk_nnz)
+        if chunk_nnz < 1:
+            raise TensorFormatError(
+                f"chunk_nnz must be >= 1, got {chunk_nnz}"
+            )
+        self.path = Path(path)
+        self.shape = tuple(int(s) for s in shape)
+        self.nnz = int(nnz)
+        self.nmodes = len(self.shape)
+        self.codec = _resolve_codec(codec)
+        self.level = self.codec.default_level if level is None else int(level)
+        self.chunk_nnz = chunk_nnz
+        self._arrays: dict[str, dict] = {}
+        self._file = open(self.path, "wb")
+        self._file.write(SHARD_CACHE_V2_MAGIC + b"\x00" * 8)
+        self._offset = _HEADER_BYTES
+        self._mode = -1
+        self._buf_idx: list[np.ndarray] = []
+        self._buf_val: list[np.ndarray] = []
+        self._buffered = 0
+        self._mode_rows = 0
+        self._closed = False
+
+    # -- frame plumbing -------------------------------------------------
+    def _emit_frame(self, name: str, lo: int, hi: int, raw: bytes) -> None:
+        frame = self.codec.compress(raw, self.level)
+        self._arrays[name]["chunks"].append(
+            {
+                "lo": lo,
+                "hi": hi,
+                "offset": self._offset,
+                "nbytes": len(frame),
+                "raw_nbytes": len(raw),
+                "crc32": zlib.crc32(frame) & 0xFFFFFFFF,
+            }
+        )
+        self._file.write(frame)
+        self._offset += len(frame)
+
+    def _flush_chunk(self, rows: int) -> None:
+        """Emit one chunk of exactly ``rows`` rows from the buffers."""
+        idx = (
+            self._buf_idx[0]
+            if len(self._buf_idx) == 1
+            else np.concatenate(self._buf_idx)
+        )
+        val = (
+            self._buf_val[0]
+            if len(self._buf_val) == 1
+            else np.concatenate(self._buf_val)
+        )
+        take_i, rest_i = idx[:rows], idx[rows:]
+        take_v, rest_v = val[:rows], val[rows:]
+        lo, hi = self._mode_rows, self._mode_rows + rows
+        m = self._mode
+        self._emit_frame(
+            f"mode{m}_indices", lo, hi, np.ascontiguousarray(take_i).tobytes()
+        )
+        self._emit_frame(
+            f"mode{m}_values", lo, hi, np.ascontiguousarray(take_v).tobytes()
+        )
+        self._emit_frame(
+            f"mode{m}_keys", lo, hi,
+            np.ascontiguousarray(take_i[:, m]).tobytes(),
+        )
+        self._mode_rows = hi
+        self._buf_idx = [rest_i] if rest_i.shape[0] else []
+        self._buf_val = [rest_v] if rest_v.shape[0] else []
+        self._buffered = int(rest_i.shape[0])
+
+    def _finish_mode(self) -> None:
+        if self._mode < 0:
+            return
+        while self._buffered >= self.chunk_nnz:
+            self._flush_chunk(self.chunk_nnz)
+        if self._buffered:
+            self._flush_chunk(self._buffered)
+        if self._mode_rows != self.nnz:
+            raise TensorFormatError(
+                f"{self.path}: mode {self._mode} received {self._mode_rows} "
+                f"elements, expected nnz={self.nnz}"
+            )
+
+    # -- public API -----------------------------------------------------
+    def begin_mode(self, mode: int) -> None:
+        self._finish_mode()
+        if mode != self._mode + 1:
+            raise TensorFormatError(
+                f"modes must be written in order; got mode {mode} after "
+                f"{self._mode}"
+            )
+        self._mode = mode
+        self._mode_rows = 0
+        self._buffered = 0
+        self._buf_idx, self._buf_val = [], []
+        for part, dtype, shape in (
+            ("indices", "<i8", [self.nnz, self.nmodes]),
+            ("values", "<f8", [self.nnz]),
+            ("keys", "<i8", [self.nnz]),
+        ):
+            self._arrays[f"mode{mode}_{part}"] = {
+                "dtype": dtype,
+                "shape": shape,
+                "chunks": [],
+            }
+
+    def append(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Append the next block of the current mode's sorted element list."""
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if indices.shape[0]:
+            self._buf_idx.append(indices)
+            self._buf_val.append(values)
+            self._buffered += int(indices.shape[0])
+        while self._buffered >= self.chunk_nnz:
+            self._flush_chunk(self.chunk_nnz)
+
+    def finish(self) -> Path:
+        self._finish_mode()
+        if self._mode != self.nmodes - 1:
+            raise TensorFormatError(
+                f"{self.path}: only modes 0..{self._mode} written, expected "
+                f"{self.nmodes} modes"
+            )
+        manifest = {
+            "format": "repro-shard-cache-v2",
+            "version": SHARD_CACHE_V2_VERSION,
+            "codec": self.codec.name,
+            "level": self.level,
+            "chunk_nnz": self.chunk_nnz,
+            "shape": list(self.shape),
+            "nnz": self.nnz,
+            "arrays": self._arrays,
+        }
+        payload = json.dumps(
+            manifest, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        manifest_offset = self._offset
+        self._file.write(payload)
+        self._file.seek(len(SHARD_CACHE_V2_MAGIC))
+        self._file.write(manifest_offset.to_bytes(8, "little"))
+        self._file.close()
+        self._closed = True
+        return self.path
+
+    def abort(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+            self.path.unlink(missing_ok=True)
+
+
+def write_shard_cache_v2(
+    tensor: SparseTensorCOO,
+    path,
+    *,
+    codec: str = "zlib",
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+    level: int | None = None,
+) -> Path:
+    """Serialize ``tensor`` as a v2 chunked/compressed shard cache.
+
+    The logical content matches :func:`repro.tensor.io.write_shard_cache`
+    exactly — one stable-mode-sorted element list plus a contiguous key
+    column per mode — so a v2-backed run is bit-identical to both the v1
+    mmap path and the in-memory path. Only the container differs: chunked
+    compressed frames + JSON manifest instead of raw ``.npy`` members.
+
+    Returns the path actually written (``.npz`` suffix appended when the
+    given path has no suffix, mirroring the v1 writer's normalization —
+    readers detect the format by content, not by suffix).
+    """
+    out = _shard_cache_path(path)
+    writer = _V2Writer(
+        out, tensor.shape, tensor.nnz,
+        codec=codec, chunk_nnz=chunk_nnz, level=level,
+    )
+    try:
+        for m in range(tensor.nmodes):
+            writer.begin_mode(m)
+            sorted_t = tensor.sorted_by_mode(m)
+            writer.append(sorted_t.indices, sorted_t.values)
+        return writer.finish()
+    except BaseException:
+        writer.abort()
+        raise
+
+
+# ----------------------------------------------------------------------
+# External-sort streaming builder
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamingBuildResult:
+    """What :func:`write_shard_cache_streaming` built, and how big its
+    working set actually got (tests assert ``peak_run_nnz`` stays inside
+    the budget-derived ``run_nnz``)."""
+
+    path: Path
+    shape: tuple[int, ...]
+    nnz: int
+    n_runs: int
+    run_nnz: int
+    peak_run_nnz: int
+
+
+class _PeakTracker:
+    def __init__(self) -> None:
+        self.peak = 0
+
+    def see(self, elements: int) -> None:
+        if elements > self.peak:
+            self.peak = int(elements)
+
+
+def _ingest_blocks(source, shape, max_nnz):
+    """Yield ``(indices, values)`` blocks of the input in stream order.
+
+    ``source`` is a ``.tns`` path (streamed line by line through the v1
+    chunk parser) or an in-memory :class:`SparseTensorCOO` (sliced, no
+    copies). The caller re-blocks to the run size.
+    """
+    from repro.tensor.io import _TNS_CHUNK_LINES, _parse_tns_chunk
+
+    if isinstance(source, SparseTensorCOO):
+        if max_nnz is not None and source.nnz > max_nnz:
+            raise TensorFormatError(
+                f"tensor has {source.nnz} nonzeros, more than "
+                f"max_nnz={max_nnz}"
+            )
+        step = _TNS_CHUNK_LINES
+        for lo in range(0, source.nnz, step):
+            yield source.indices[lo : lo + step], source.values[lo : lo + step]
+        return
+    path = Path(source)
+    buf: list[list[str]] = []
+    width: int | None = None
+    nnz = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            fields = line.split()
+            if width is None:
+                width = len(fields)
+                if width < 2:
+                    raise TensorFormatError(
+                        f"{path}: lines must contain indices and a value"
+                    )
+            elif len(fields) != width:
+                raise TensorFormatError(f"{path}: inconsistent column counts")
+            nnz += 1
+            if max_nnz is not None and nnz > max_nnz:
+                raise TensorFormatError(
+                    f"{path}: more than max_nnz={max_nnz} nonzeros"
+                )
+            buf.append(fields)
+            if len(buf) >= _TNS_CHUNK_LINES:
+                yield _parse_tns_chunk(buf, path)
+                buf.clear()
+    if buf:
+        yield _parse_tns_chunk(buf, path)
+
+
+def _spill_input_segments(source, shape, max_nnz, run_nnz, tmp, track):
+    """Pass 0: re-block the input into <= run_nnz unsorted segments on disk.
+
+    Returns ``(segment paths, inferred shape, nnz)``. Only one segment of
+    elements is ever resident.
+    """
+    seg_idx: list[np.ndarray] = []
+    seg_val: list[np.ndarray] = []
+    seg_rows = 0
+    segments: list[tuple[Path, Path]] = []
+    nnz = 0
+    nmodes: int | None = None
+    max_index: np.ndarray | None = None
+
+    def flush() -> None:
+        nonlocal seg_rows
+        if not seg_rows:
+            return
+        idx = np.concatenate(seg_idx) if len(seg_idx) > 1 else seg_idx[0]
+        val = np.concatenate(seg_val) if len(seg_val) > 1 else seg_val[0]
+        track.see(idx.shape[0])
+        ip = tmp / f"seg{len(segments)}_idx.npy"
+        vp = tmp / f"seg{len(segments)}_val.npy"
+        np.save(ip, np.ascontiguousarray(idx, dtype=np.int64))
+        np.save(vp, np.ascontiguousarray(val, dtype=np.float64))
+        segments.append((ip, vp))
+        seg_idx.clear()
+        seg_val.clear()
+        seg_rows = 0
+
+    for indices, values in _ingest_blocks(source, shape, max_nnz):
+        if nmodes is None:
+            nmodes = int(indices.shape[1])
+            max_index = np.full(nmodes, -1, dtype=np.int64)
+        if indices.shape[0]:
+            np.maximum(max_index, indices.max(axis=0), out=max_index)
+        nnz += int(indices.shape[0])
+        pos = 0
+        while pos < indices.shape[0]:
+            take = min(run_nnz - seg_rows, indices.shape[0] - pos)
+            seg_idx.append(indices[pos : pos + take])
+            seg_val.append(values[pos : pos + take])
+            seg_rows += take
+            pos += take
+            if seg_rows >= run_nnz:
+                flush()
+    flush()
+
+    if shape is None:
+        if nnz == 0:
+            raise TensorFormatError(
+                f"{source}: empty tensor input and no shape given"
+            )
+        shape = tuple(int(m) + 1 for m in max_index)
+    else:
+        shape = tuple(int(s) for s in shape)
+        if nmodes is not None and len(shape) != nmodes:
+            raise TensorFormatError(
+                f"shape has {len(shape)} modes but input has {nmodes}"
+            )
+        if nnz and (max_index >= np.asarray(shape, dtype=np.int64)).any():
+            raise TensorFormatError(
+                f"index out of range for shape {shape} "
+                f"(max={max_index.tolist()})"
+            )
+    return segments, shape, nnz
+
+
+def _merge_sorted_runs(runs, mode, block, emit, track):
+    """Stable k-way merge of mode-sorted runs, in bounded blocks.
+
+    Each run is a pair of ``.npy`` paths holding a stably mode-sorted
+    segment, in input order (run *i* holds earlier input positions than run
+    *i+1*). The merge preserves that order for equal keys — concatenating
+    the runs' sub-frontier prefixes in run order and stable-sorting equals
+    the global stable sort, which is what keeps the streamed cache
+    byte-identical to the in-memory writer.
+    """
+    readers = [
+        (np.load(ip, mmap_mode="r"), np.load(vp, mmap_mode="r"))
+        for ip, vp in runs
+    ]
+    pos = [0] * len(readers)
+    sizes = [int(idx.shape[0]) for idx, _ in readers]
+    heads: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(readers)
+
+    def refill(i: int) -> None:
+        if heads[i] is None and pos[i] < sizes[i]:
+            idx_mm, val_mm = readers[i]
+            hi = min(pos[i] + block, sizes[i])
+            heads[i] = (
+                np.asarray(idx_mm[pos[i] : hi]),
+                np.asarray(val_mm[pos[i] : hi]),
+            )
+
+    def advance(i: int, rows: int) -> None:
+        idx, val = heads[i]
+        pos[i] += rows
+        heads[i] = (
+            (idx[rows:], val[rows:]) if rows < idx.shape[0] else None
+        )
+
+    while True:
+        for i in range(len(readers)):
+            refill(i)
+        active = [i for i in range(len(readers)) if heads[i] is not None]
+        if not active:
+            return
+        track.see(sum(heads[i][0].shape[0] for i in active))
+        # Frontier: the smallest of the runs' head-block end keys. Keys
+        # beyond any head are >= that head's last key, so elements with
+        # key < frontier are complete in the current heads.
+        frontier = min(int(heads[i][0][-1, mode]) for i in active)
+        collect_i: list[np.ndarray] = []
+        collect_v: list[np.ndarray] = []
+        for i in active:
+            idx, val = heads[i]
+            n_below = int(
+                np.searchsorted(idx[:, mode], frontier, side="left")
+            )
+            if n_below:
+                collect_i.append(idx[:n_below])
+                collect_v.append(val[:n_below])
+                advance(i, n_below)
+        if collect_i:
+            idx = np.concatenate(collect_i)
+            val = np.concatenate(collect_v)
+            track.see(2 * idx.shape[0])
+            order = np.argsort(idx[:, mode], kind="stable")
+            emit(idx[order], val[order])
+        # Now stream every element equal to the frontier key, run by run
+        # (run order == input order == stable order for equal keys).
+        for i in range(len(readers)):
+            while True:
+                refill(i)
+                if heads[i] is None:
+                    break
+                idx, val = heads[i]
+                n_eq = int(
+                    np.searchsorted(idx[:, mode], frontier, side="right")
+                )
+                if n_eq == 0:
+                    break
+                emit(idx[:n_eq], val[:n_eq])
+                advance(i, n_eq)
+
+
+def write_shard_cache_streaming(
+    source,
+    path,
+    *,
+    memory_budget: int,
+    codec: str = "zlib",
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+    level: int | None = None,
+    shape: Sequence[int] | None = None,
+    max_nnz: int | None = None,
+    tmp_dir=None,
+) -> StreamingBuildResult:
+    """Build a v2 shard cache by external sort, in O(memory_budget) memory.
+
+    ``source`` is a FROSTT ``.tns`` path (streamed line by line, never
+    materialized) or an in-memory :class:`SparseTensorCOO`. The build is a
+    classic external merge sort, once per mode:
+
+    1. **ingest** — re-block the input into unsorted disk segments of at
+       most ``run_nnz = memory_budget // ((nmodes + 3) * 8)`` elements
+       (one element costs ``nmodes*8 + 8`` bytes plus the sort
+       permutation; the denominator charges all three);
+    2. **run formation** — load one segment at a time, stable-sort it by
+       the mode key, spill the sorted run;
+    3. **k-way merge** — merge the runs in bounded blocks
+       (``run_nnz // n_runs`` elements per run head) straight into the
+       compressed chunk frames, preserving input order for equal keys.
+
+    Stable runs + a stable merge reproduce the global stable sort exactly,
+    so the output file is **byte-identical** to
+    :func:`write_shard_cache_v2` of the fully materialized tensor — any
+    budget, any run count (a hypothesis property pins this).
+
+    Returns a :class:`StreamingBuildResult`; ``peak_run_nnz`` is the
+    largest element count the builder ever held materialized (tracked so
+    tests can assert the budget was honored).
+    """
+    import shutil
+    import tempfile
+
+    memory_budget = int(memory_budget)
+    if memory_budget < 1:
+        raise TensorFormatError(
+            f"memory_budget must be a positive byte count, got {memory_budget}"
+        )
+    out = _shard_cache_path(path)
+    if isinstance(source, SparseTensorCOO) and shape is None:
+        shape = source.shape  # preserve trailing empty slices exactly
+    track = _PeakTracker()
+    tmp = Path(tempfile.mkdtemp(prefix="repro-extsort-", dir=tmp_dir))
+    writer: _V2Writer | None = None
+    try:
+        # Probe the mode count from the input head so the budget can be
+        # priced per element before any segment is materialized.
+        if isinstance(source, SparseTensorCOO):
+            nmodes = source.nmodes
+        else:
+            first = next(_ingest_blocks(source, shape, max_nnz), None)
+            if first is None:
+                if shape is None:
+                    raise TensorFormatError(
+                        f"{source}: empty tensor input and no shape given"
+                    )
+                nmodes = len(tuple(shape))
+            else:
+                nmodes = int(first[0].shape[1])
+        per_element = (nmodes + 3) * 8  # int64 row + float64 value + perm
+        run_nnz = max(1, memory_budget // per_element)
+
+        segments, out_shape, nnz = _spill_input_segments(
+            source, shape, max_nnz, run_nnz, tmp, track
+        )
+        writer = _V2Writer(
+            out, out_shape, nnz, codec=codec, chunk_nnz=chunk_nnz, level=level
+        )
+        n_runs = len(segments)
+        for mode in range(len(out_shape)):
+            writer.begin_mode(mode)
+            runs: list[tuple[Path, Path]] = []
+            for s, (ip, vp) in enumerate(segments):
+                idx = np.load(ip)
+                val = np.load(vp)
+                track.see(2 * idx.shape[0])  # segment + sort permutation
+                order = np.argsort(idx[:, mode], kind="stable")
+                rip = tmp / f"run{mode}_{s}_idx.npy"
+                rvp = tmp / f"run{mode}_{s}_val.npy"
+                np.save(rip, idx[order])
+                np.save(rvp, val[order])
+                runs.append((rip, rvp))
+            if len(runs) == 1:
+                idx = np.load(runs[0][0])
+                val = np.load(runs[0][1])
+                track.see(idx.shape[0])
+                writer.append(idx, val)
+            elif runs:
+                block = max(1, run_nnz // len(runs))
+                _merge_sorted_runs(
+                    runs, mode, block, writer.append, track
+                )
+            for rip, rvp in runs:
+                rip.unlink()
+                rvp.unlink()
+        built = writer.finish()
+        writer = None
+        return StreamingBuildResult(
+            path=built,
+            shape=out_shape,
+            nnz=nnz,
+            n_runs=n_runs,
+            run_nnz=run_nnz,
+            peak_run_nnz=track.peak,
+        )
+    except BaseException:
+        if writer is not None:
+            writer.abort()
+        raise
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+class ChunkedArray:
+    """Lazy array view over one manifest entry's compressed chunks.
+
+    Slicing materializes only the chunks the row range covers (through the
+    reader's per-array LRU — double-buffered by default), so a streamed
+    batch decompresses O(batch) bytes. ``np.asarray`` materializes the
+    whole array (planning-time key columns use this once per mode).
+    """
+
+    def __init__(self, reader: "ChunkedCacheReader", name: str, meta: dict):
+        self._reader = reader
+        self.name = name
+        self.dtype = np.dtype(meta["dtype"])
+        self.shape = tuple(int(s) for s in meta["shape"])
+        self._chunks = meta["chunks"]
+        # hi row of every chunk, for row -> chunk binary search
+        self._his = np.array([c["hi"] for c in self._chunks], dtype=np.int64)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def _rows(self, lo: int, hi: int) -> np.ndarray:
+        """Materialize rows ``[lo, hi)`` from their covering chunks."""
+        n = self.shape[0]
+        lo = max(0, min(lo, n))
+        hi = max(lo, min(hi, n))
+        if hi == lo:
+            return np.empty((0,) + self.shape[1:], dtype=self.dtype)
+        first = int(np.searchsorted(self._his, lo, side="right"))
+        last = int(np.searchsorted(self._his, hi - 1, side="right"))
+        parts = [
+            self._reader._chunk(self.name, i) for i in range(first, last + 1)
+        ]
+        block = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        base = int(self._chunks[first]["lo"])
+        return block[lo - base : hi - base]
+
+    def __getitem__(self, key):
+        head, rest = (key[0], key[1:]) if isinstance(key, tuple) else (key, ())
+        if isinstance(head, slice):
+            start, stop, step = head.indices(self.shape[0])
+            if step != 1:  # rare: materialize and defer to numpy
+                return np.asarray(self)[key]
+            out = self._rows(start, stop)
+            if rest:
+                out = out[(slice(None),) + rest]
+            return out
+        if isinstance(head, (int, np.integer)):
+            i = int(head)
+            if i < 0:
+                i += self.shape[0]
+            if not 0 <= i < self.shape[0]:
+                raise IndexError(
+                    f"index {head} out of range for {self.shape[0]} rows"
+                )
+            out = self._rows(i, i + 1)[0]
+            return out[rest] if rest else out
+        # boolean masks / fancy indexing: materialize (test paths only)
+        return np.asarray(self)[key]
+
+    def __array__(self, dtype=None, copy=None):
+        out = self._rows(0, self.shape[0])
+        return out if dtype is None else out.astype(dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChunkedArray({self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, chunks={len(self._chunks)})"
+        )
+
+
+class ChunkedCacheReader:
+    """Open v2 cache: manifest + checksum-verified lazy chunk access.
+
+    Opening reads only the header and the JSON manifest; chunk frames are
+    read, CRC-checked, and decompressed on demand, with
+    ``cache_chunks`` decompressed chunks kept per array (2 == the chunk
+    being reduced plus the next one staging — explicit double buffering,
+    the cold-storage analogue of v1's page cache). Thread-safe: the
+    prefetch loader and the compute thread may pull chunks concurrently.
+    """
+
+    def __init__(self, path, *, cache_chunks: int = DEFAULT_CHUNK_CACHE):
+        cache_chunks = int(cache_chunks)
+        if cache_chunks < 1:
+            raise TensorFormatError(
+                f"cache_chunks must be >= 1, got {cache_chunks}"
+            )
+        self.path = _shard_cache_path(path)
+        self.cache_chunks = cache_chunks
+        version = detect_shard_cache_version(self.path)
+        if version != 2:
+            raise TensorFormatError(
+                f"{self.path}: found shard cache version {version} (v1 mmap "
+                f".npz), not a v2 chunked cache; open it with MmapNpzSource "
+                f"/ load_shard_cache(), or rebuild with `repro cache "
+                f"--codec zstd` (AmpedMTTKRP.from_shard_cache autodetects)"
+            )
+        self._file = open(self.path, "rb")
+        self._lock = threading.Lock()
+        header = self._file.read(_HEADER_BYTES)
+        manifest_offset = int.from_bytes(
+            header[len(SHARD_CACHE_V2_MAGIC) :], "little"
+        )
+        file_size = self.path.stat().st_size
+        if not _HEADER_BYTES <= manifest_offset <= file_size:
+            raise TensorFormatError(
+                f"{self.path}: manifest pointer {manifest_offset} is outside "
+                f"the file (size {file_size}); the cache is truncated or "
+                f"corrupt — rebuild it"
+            )
+        self._file.seek(manifest_offset)
+        try:
+            self.manifest = json.loads(self._file.read().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TensorFormatError(
+                f"{self.path}: corrupt v2 manifest: {exc}; rebuild the cache"
+            ) from exc
+        if self.manifest.get("version") != SHARD_CACHE_V2_VERSION:
+            raise TensorFormatError(
+                f"{self.path}: shard cache version "
+                f"{self.manifest.get('version')} unsupported (expected "
+                f"{SHARD_CACHE_V2_VERSION})"
+            )
+        self.codec_name = str(self.manifest.get("codec"))
+        self._codec = _resolve_codec(self.codec_name, origin=f"{self.path}: codec")
+        self.shape = tuple(int(s) for s in self.manifest["shape"])
+        self.nnz = int(self.manifest["nnz"])
+        self.chunk_nnz = int(self.manifest["chunk_nnz"])
+        self._meta = self.manifest["arrays"]
+        missing = [
+            f"mode{m}_{part}"
+            for m in range(len(self.shape))
+            for part in ("indices", "values", "keys")
+            if f"mode{m}_{part}" not in self._meta
+        ]
+        if missing:
+            raise TensorFormatError(
+                f"{self.path}: v2 manifest is missing arrays {missing}; "
+                f"rebuild the cache"
+            )
+        # per-array LRU of decompressed chunks
+        self._cache: dict[str, OrderedDict[int, np.ndarray]] = {}
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    def array_names(self) -> tuple[str, ...]:
+        return tuple(self._meta)
+
+    def array(self, name: str) -> ChunkedArray:
+        if name not in self._meta:
+            raise TensorFormatError(
+                f"{self.path}: no array {name!r} in this cache "
+                f"(has {sorted(self._meta)})"
+            )
+        return ChunkedArray(self, name, self._meta[name])
+
+    def _chunk(self, name: str, i: int) -> np.ndarray:
+        # The lock covers only the cache lookup and the seek+read (the file
+        # offset is shared state); CRC and decompression run outside it so
+        # thread-backend workers and the prefetch loader genuinely overlap.
+        # Two threads may decompress the same chunk concurrently; both
+        # produce identical bytes and the second insert just wins the LRU.
+        with self._lock:
+            if self._file is None:
+                raise TensorFormatError(
+                    f"{self.path}: cache reader is closed; reopen with "
+                    f"load_shard_cache_v2()"
+                )
+            lru = self._cache.setdefault(name, OrderedDict())
+            if i in lru:
+                lru.move_to_end(i)
+                return lru[i]
+            meta = self._meta[name]
+            chunk = meta["chunks"][i]
+            self._file.seek(int(chunk["offset"]))
+            frame = self._file.read(int(chunk["nbytes"]))
+        where = f"{self.path}: array {name!r} chunk {i} (rows " \
+                f"{chunk['lo']}..{chunk['hi']})"
+        if len(frame) != int(chunk["nbytes"]):
+            raise TensorFormatError(
+                f"{where}: frame truncated — expected {chunk['nbytes']} "
+                f"bytes, file holds {len(frame)}; the cache was cut "
+                f"short, rebuild it"
+            )
+        crc = zlib.crc32(frame) & 0xFFFFFFFF
+        if crc != int(chunk["crc32"]):
+            raise TensorFormatError(
+                f"{where}: checksum mismatch (crc32 {crc:#010x} != "
+                f"manifest {int(chunk['crc32']):#010x}); the cache is "
+                f"corrupt, rebuild it"
+            )
+        try:
+            raw = self._codec.decompress(frame)
+        except Exception as exc:
+            raise TensorFormatError(
+                f"{where}: {self.codec_name} decompression failed: {exc}"
+            ) from exc
+        if len(raw) != int(chunk["raw_nbytes"]):
+            raise TensorFormatError(
+                f"{where}: decompressed to {len(raw)} bytes, manifest "
+                f"says {chunk['raw_nbytes']}; the cache is corrupt"
+            )
+        rows = int(chunk["hi"]) - int(chunk["lo"])
+        arr_shape = (rows,) + tuple(int(s) for s in meta["shape"][1:])
+        arr = np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(
+            arr_shape
+        )
+        with self._lock:
+            lru[i] = arr
+            while len(lru) > self.cache_chunks:
+                lru.popitem(last=False)
+        return arr
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            self._cache.clear()
+
+    def __enter__(self) -> "ChunkedCacheReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChunkedCacheReader({str(self.path)!r}, shape={self.shape}, "
+            f"nnz={self.nnz}, codec={self.codec_name!r}, "
+            f"chunk_nnz={self.chunk_nnz})"
+        )
+
+
+def load_shard_cache_v2(
+    path, *, cache_chunks: int = DEFAULT_CHUNK_CACHE
+) -> ChunkedCacheReader:
+    """Open a v2 chunked shard cache written by
+    :func:`write_shard_cache_v2` / :func:`write_shard_cache_streaming`.
+
+    Returns a :class:`ChunkedCacheReader`;
+    :class:`repro.engine.CompressedChunkSource` is the structured consumer.
+    A v1 cache is rejected with its found version and a pointer at the
+    mmap reader.
+    """
+    return ChunkedCacheReader(path, cache_chunks=cache_chunks)

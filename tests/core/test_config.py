@@ -53,11 +53,27 @@ class TestAmpedConfig:
             {"out_of_core": True},
             {"out_of_core": True, "shard_cache": None},
             {"out_of_core": True, "shard_cache": ""},
+            {"cache_codec": "brotli"},
+            {"cache_codec": ""},
+            {"cache_chunk_nnz": 0},
+            {"cache_chunk_nnz": -4},
         ],
     )
     def test_invalid_rejected(self, kw):
         with pytest.raises(ReproError):
             AmpedConfig(**kw)
+
+    def test_v2_cache_fields_accepted(self):
+        cfg = AmpedConfig(
+            out_of_core=True,
+            shard_cache="t.npz",
+            cache_codec="zstd",
+            cache_chunk_nnz=4096,
+        )
+        assert cfg.cache_codec == "zstd" and cfg.cache_chunk_nnz == 4096
+        # None means the v1 raw mmap format (the default)
+        assert AmpedConfig().cache_codec is None
+        assert AmpedConfig().cache_chunk_nnz is None
 
     def test_invalid_batch_size_message_is_clear(self):
         with pytest.raises(ReproError, match="batch_size must be >= 1"):

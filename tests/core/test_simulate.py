@@ -195,6 +195,46 @@ class TestHostMemoryPlan:
             plan = host_memory_plan(amazon_wl, cfg, cost)
             assert plan["tensor_resident"] == windows * 5000 * elem, cfg
 
+    def test_v2_compressed_cache_charges_decompress_staging(
+        self, amazon_wl, cost
+    ):
+        """A v2 chunked/compressed cache double-buffers two decompressed
+        chunks per stream lane; the raw formats charge nothing."""
+        elem = cost.host_element_bytes(3)
+        base = AmpedConfig(
+            out_of_core=True, shard_cache="amazon.npz", batch_size=5000
+        )
+        assert host_memory_plan(amazon_wl, base, cost)[
+            "decompress_staging"
+        ] == 0  # v1 mmap
+        raw_v2 = base.replace(cache_codec="none", cache_chunk_nnz=4096)
+        assert host_memory_plan(amazon_wl, raw_v2, cost)[
+            "decompress_staging"
+        ] == 0  # uncompressed frames decompress in place
+        zlib_v2 = base.replace(cache_codec="zlib", cache_chunk_nnz=4096)
+        plan = host_memory_plan(amazon_wl, zlib_v2, cost)
+        assert plan["decompress_staging"] == 1 * 2 * 4096 * elem
+        wide = zlib_v2.replace(backend="process", workers=4, prefetch=True)
+        assert host_memory_plan(amazon_wl, wide, cost)[
+            "decompress_staging"
+        ] == 5 * 2 * 4096 * elem  # one double buffer per stream lane
+        # resident runs never stage decompression
+        assert host_memory_plan(amazon_wl, AmpedConfig(), cost)[
+            "decompress_staging"
+        ] == 0
+
+    def test_v2_default_chunk_when_unset(self, amazon_wl, cost):
+        from repro.tensor.io_v2 import DEFAULT_CHUNK_NNZ
+
+        cfg = AmpedConfig(
+            out_of_core=True, shard_cache="a.npz", batch_size=5000,
+            cache_codec="zstd",
+        )
+        plan = host_memory_plan(amazon_wl, cfg, cost)
+        assert plan["decompress_staging"] == (
+            2 * DEFAULT_CHUNK_NNZ * cost.host_element_bytes(3)
+        )
+
     def test_factor_matrices_always_resident(self, amazon_wl, cost):
         cfg = AmpedConfig(out_of_core=True, shard_cache="amazon.npz")
         for config in (AmpedConfig(), cfg):

@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.engine import (
+    CompressedChunkSource,
     InMemorySource,
     MmapNpzSource,
     ProcessBackend,
@@ -24,6 +25,7 @@ from repro.engine import (
     SyntheticSource,
     ThreadBackend,
     auto_batch_size,
+    open_shard_source,
     resolve_batch_size,
     stream_cache_fraction,
     streamed_batch_bytes,
@@ -34,7 +36,7 @@ from repro.errors import ReproError, TensorFormatError
 from repro.partition.plan import build_partition_plan
 from repro.simgpu.kernel import KernelCostModel
 from repro.tensor.generate import zipf_coo
-from repro.tensor.io import write_shard_cache
+from repro.tensor.io import write_shard_cache, write_shard_cache_v2
 from repro.tensor.reference import mttkrp_coo_reference
 
 REF_RTOL = 1e-9
@@ -70,18 +72,34 @@ def cache_path(tensor, tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
+def cache_v2_path(tensor, tmp_path_factory):
+    """A v2 chunked/compressed cache with chunks far smaller than the
+    tensor, so batches genuinely cross chunk boundaries."""
+    return write_shard_cache_v2(
+        tensor,
+        tmp_path_factory.mktemp("cache_v2") / "t.npz",
+        codec="zlib",
+        chunk_nnz=128,
+    )
+
+
+@pytest.fixture(scope="module")
 def eager_outputs(tensor, factors, plan):
     """Canonical bits: the in-memory engine at eager granularity."""
     engine = StreamingExecutor(plan)
     return [engine.mttkrp(factors, m) for m in range(tensor.nmodes)]
 
 
-def make_source(kind: str, plan, cache_path):
+def make_source(kind: str, plan, cache_path, cache_v2_path=None):
     if kind == "memory":
         return InMemorySource(plan)
     if kind == "mmap":
         return MmapNpzSource(
             cache_path, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+    if kind == "chunked":
+        return CompressedChunkSource(
+            cache_v2_path, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
         )
     if kind == "synthetic":
         return SyntheticSource(
@@ -90,7 +108,7 @@ def make_source(kind: str, plan, cache_path):
     raise AssertionError(kind)
 
 
-SOURCE_KINDS = ["memory", "mmap", "synthetic"]
+SOURCE_KINDS = ["memory", "mmap", "chunked", "synthetic"]
 BACKEND_KINDS = ["serial", "thread", "process"]
 
 
@@ -118,10 +136,10 @@ class TestSourceEquivalenceMatrix:
     @pytest.mark.parametrize("backend", BACKEND_KINDS)
     @pytest.mark.parametrize("prefetch", [False, True])
     def test_bit_identical_to_eager(
-        self, tensor, factors, plan, cache_path, eager_outputs,
+        self, tensor, factors, plan, cache_path, cache_v2_path, eager_outputs,
         shared_backends, kind, batch_size, backend, prefetch,
     ):
-        source = make_source(kind, plan, cache_path)
+        source = make_source(kind, plan, cache_path, cache_v2_path)
         engine = StreamingExecutor(
             source,
             batch_size=batch_size,
@@ -141,11 +159,12 @@ class TestSourceEquivalenceMatrix:
     @pytest.mark.parametrize("kind", SOURCE_KINDS)
     @pytest.mark.parametrize("workers", [1, 4])
     def test_deprecated_workers_alias_still_bit_identical(
-        self, tensor, factors, plan, cache_path, eager_outputs, kind, workers
+        self, tensor, factors, plan, cache_path, cache_v2_path,
+        eager_outputs, kind, workers
     ):
         """The PR 1 spelling (`workers=N`) keeps working: it maps onto the
         thread backend and reproduces the same bits."""
-        source = make_source(kind, plan, cache_path)
+        source = make_source(kind, plan, cache_path, cache_v2_path)
         with StreamingExecutor(
             source, batch_size=7, workers=workers
         ) as engine:
@@ -157,9 +176,9 @@ class TestSourceEquivalenceMatrix:
 
     @pytest.mark.parametrize("kind", SOURCE_KINDS)
     def test_identical_shard_tables_and_batch_plans(
-        self, tensor, plan, cache_path, kind
+        self, tensor, plan, cache_path, cache_v2_path, kind
     ):
-        source = make_source(kind, plan, cache_path)
+        source = make_source(kind, plan, cache_path, cache_v2_path)
         assert source.shape == tensor.shape
         assert source.nnz == tensor.nnz
         for mode in range(tensor.nmodes):
@@ -176,14 +195,14 @@ class TestSourceEquivalenceMatrix:
             assert got.batches == want.batches
 
     @pytest.mark.parametrize("kind", SOURCE_KINDS)
-    def test_validate_passes(self, plan, cache_path, kind):
-        make_source(kind, plan, cache_path).validate()
+    def test_validate_passes(self, plan, cache_path, cache_v2_path, kind):
+        make_source(kind, plan, cache_path, cache_v2_path).validate()
 
     @pytest.mark.parametrize("kind", SOURCE_KINDS)
     def test_per_gpu_restriction_partitions_output(
-        self, tensor, factors, plan, cache_path, kind
+        self, tensor, factors, plan, cache_path, cache_v2_path, kind
     ):
-        source = make_source(kind, plan, cache_path)
+        source = make_source(kind, plan, cache_path, cache_v2_path)
         engine = StreamingExecutor(source, batch_size=64)
         mode = 1
         total = np.zeros((tensor.shape[mode], 6))
@@ -294,6 +313,97 @@ class TestMmapNpzSource:
             MmapNpzSource(cache_path, n_gpus=0)
         with pytest.raises(ReproError, match="shards_per_gpu"):
             MmapNpzSource(cache_path, shards_per_gpu=0)
+
+
+class TestCompressedChunkSource:
+    def test_element_arrays_are_lazy_chunked(self, plan, cache_v2_path):
+        from repro.tensor.io import ChunkedArray
+
+        source = make_source("chunked", plan, None, cache_v2_path)
+        for mode in range(len(source.shape)):
+            part = source.partition(mode)
+            assert isinstance(part.tensor.indices, ChunkedArray)
+            assert isinstance(part.tensor.values, ChunkedArray)
+        assert source.codec == "zlib"
+        assert source.chunk_nnz == 128
+
+    def test_mode_keys_cached_one_mode_at_a_time(self, plan, cache_v2_path):
+        source = make_source("chunked", plan, None, cache_v2_path)
+        k0 = source.mode_keys(0)
+        assert source.mode_keys(0) is k0  # cached while current
+        source.mode_keys(1)
+        assert source.mode_keys(0) is not k0  # evicted, re-decompressed
+
+    def test_v1_cache_rejected_with_found_version(self, cache_path):
+        """Opening a v1 mmap cache as v2 names the found version and the
+        right reader instead of failing cryptically."""
+        with pytest.raises(TensorFormatError, match="version 1"):
+            CompressedChunkSource(cache_path)
+
+    def test_v2_cache_rejected_by_v1_source_with_found_version(
+        self, cache_v2_path
+    ):
+        """The reverse direction: MmapNpzSource on a v2 cache must name
+        version 2 and point at the chunked reader, not die inside zipfile."""
+        with pytest.raises(TensorFormatError, match="version 2"):
+            MmapNpzSource(cache_v2_path)
+
+    def test_missing_file_is_actionable(self, tmp_path):
+        with pytest.raises(TensorFormatError, match="repro cache"):
+            CompressedChunkSource(tmp_path / "nope.npz")
+
+    def test_close_and_context_manager(self, plan, cache_v2_path):
+        with make_source("chunked", plan, None, cache_v2_path) as source:
+            assert source.nnz > 0
+        with pytest.raises(ReproError, match="closed"):
+            source.mode_keys(0)
+        with pytest.raises(ReproError, match="reopen"):
+            source.partition(0).tensor.indices[0:10]
+
+    def test_corrupt_chunk_named_in_error(self, tensor, tmp_path):
+        """A flipped byte inside a chunk frame trips the CRC with a
+        diagnostic naming the array and chunk, not wrong numbers."""
+        path = write_shard_cache_v2(
+            tensor, tmp_path / "corrupt.npz", codec="zlib", chunk_nnz=128
+        )
+        raw = bytearray(path.read_bytes())
+        raw[40] ^= 0xFF  # inside the first frame (frames start at byte 16)
+        path.write_bytes(bytes(raw))
+        source = CompressedChunkSource(
+            path, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+        with pytest.raises(
+            TensorFormatError, match="chunk 0.*checksum mismatch"
+        ):
+            np.asarray(source.partition(0).tensor.indices)
+
+    def test_process_attach_spec_reopens_by_path(self, plan, cache_v2_path):
+        source = make_source("chunked", plan, None, cache_v2_path)
+        assert source.process_attach_spec(0) == (
+            "chunked_v2",
+            str(cache_v2_path),
+        )
+
+    def test_bad_construction_args(self, cache_v2_path):
+        with pytest.raises(ReproError, match="n_gpus"):
+            CompressedChunkSource(cache_v2_path, n_gpus=0)
+        with pytest.raises(ReproError, match="shards_per_gpu"):
+            CompressedChunkSource(cache_v2_path, shards_per_gpu=0)
+
+    def test_open_shard_source_autodetects(self, cache_path, cache_v2_path):
+        v1 = open_shard_source(
+            cache_path, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+        v2 = open_shard_source(
+            cache_v2_path, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+        try:
+            assert isinstance(v1, MmapNpzSource)
+            assert isinstance(v2, CompressedChunkSource)
+            assert v1.nnz == v2.nnz and v1.shape == v2.shape
+        finally:
+            v1.close()
+            v2.close()
 
 
 class TestSyntheticSource:
@@ -450,16 +560,16 @@ class TestAutotune:
 class TestAmpedIntegration:
     """AmpedMTTKRP over each source kind: identical bits, O(batch) residency."""
 
-    @pytest.mark.parametrize("kind", ["memory", "mmap"])
+    @pytest.mark.parametrize("kind", ["memory", "mmap", "chunked"])
     def test_amped_over_sources_bit_identical(
-        self, tensor, factors, plan, cache_path, kind
+        self, tensor, factors, plan, cache_path, cache_v2_path, kind
     ):
         from repro.core.amped import AmpedMTTKRP
         from repro.core.config import AmpedConfig
 
         cfg = AmpedConfig(n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU)
         baseline = AmpedMTTKRP(tensor, cfg)
-        source = make_source(kind, plan, cache_path)
+        source = make_source(kind, plan, cache_path, cache_v2_path)
         ex = AmpedMTTKRP.from_source(source, cfg)
         for mode in range(tensor.nmodes):
             assert np.array_equal(
@@ -512,6 +622,33 @@ class TestAmpedIntegration:
             assert np.array_equal(
                 ex.mttkrp(factors, mode), baseline.mttkrp(factors, mode)
             )
+
+    def test_from_shard_cache_autodetects_v2_and_normalizes_config(
+        self, tensor, factors, cache_v2_path
+    ):
+        """from_shard_cache on a v2 cache opens the chunked source and
+        records the codec/chunk size so host accounting charges the
+        decompression staging — and stays bit-identical to in-memory."""
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+        from repro.core.simulate import host_memory_plan
+
+        cfg = AmpedConfig(n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU)
+        with AmpedMTTKRP.from_shard_cache(cache_v2_path, cfg) as ex:
+            assert isinstance(ex.source, CompressedChunkSource)
+            assert ex.config.out_of_core is True
+            assert ex.config.cache_codec == "zlib"
+            assert ex.config.cache_chunk_nnz == 128
+            plan = host_memory_plan(ex.workload, ex.config, ex.cost)
+            lanes = ex.config.stream_lanes()
+            assert plan["decompress_staging"] == (
+                lanes * 2 * 128 * ex.cost.host_element_bytes(tensor.nmodes)
+            )
+            baseline = AmpedMTTKRP(tensor, cfg)
+            for mode in range(tensor.nmodes):
+                assert np.array_equal(
+                    ex.mttkrp(factors, mode), baseline.mttkrp(factors, mode)
+                )
 
     def test_run_iteration_out_of_core(self, tensor, factors, cache_path):
         from repro.core.amped import AmpedMTTKRP

@@ -27,6 +27,7 @@ from repro.baselines.registry import BACKEND_REGISTRY, make_backend
 from repro.core.amped import AmpedMTTKRP
 from repro.cpd.als import cp_als
 from repro.engine import (
+    CompressedChunkSource,
     InMemorySource,
     MmapNpzSource,
     ProcessBackend,
@@ -37,7 +38,7 @@ from repro.engine import (
 )
 from repro.errors import UnsupportedTensorError
 from repro.partition.plan import build_partition_plan
-from repro.tensor.io import write_shard_cache
+from repro.tensor.io import write_shard_cache, write_shard_cache_v2
 from repro.tensor.reference import mttkrp_coo_reference, mttkrp_dense_reference
 
 CASE_NAMES = sorted(CASES)
@@ -66,6 +67,19 @@ def case_cache(case, tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
+def case_cache_v2(case, tmp_path_factory):
+    """v2 chunked/compressed cache of the case tensor (small chunks so
+    batches cross chunk boundaries), for the compressed source cells."""
+    name, tensor, *_ = case
+    return write_shard_cache_v2(
+        tensor,
+        tmp_path_factory.mktemp("golden_cache_v2") / f"{name}.npz",
+        codec="zlib",
+        chunk_nnz=97,
+    )
+
+
+@pytest.fixture(scope="module")
 def shared_backends():
     """One persistent pool per backend kind for the whole golden matrix."""
     backends = {
@@ -87,6 +101,12 @@ def _case_source(kind, name, tensor, config, cache_path):
         )
     if kind == "mmap":
         return MmapNpzSource(
+            cache_path,
+            n_gpus=config.n_gpus,
+            shards_per_gpu=config.shards_per_gpu,
+        )
+    if kind == "chunked":
+        return CompressedChunkSource(
             cache_path,
             n_gpus=config.n_gpus,
             shards_per_gpu=config.shards_per_gpu,
@@ -133,18 +153,21 @@ class TestEngineBitExact:
         for m in range(tensor.nmodes):
             assert np.array_equal(engine.mttkrp(factors, m), _expected(data, m))
 
-    @pytest.mark.parametrize("source_kind", ["memory", "mmap", "synthetic"])
+    @pytest.mark.parametrize(
+        "source_kind", ["memory", "mmap", "chunked", "synthetic"]
+    )
     @pytest.mark.parametrize("batch_size", [1, 17, None])
     @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     @pytest.mark.parametrize("prefetch", [False, True])
     def test_shard_sources(
-        self, case, case_cache, shared_backends, source_kind, batch_size,
-        backend, prefetch,
+        self, case, case_cache, case_cache_v2, shared_backends, source_kind,
+        batch_size, backend, prefetch,
     ):
         """Every shard source reproduces the golden bits at every cell of the
         (batch_size, backend, prefetch) equivalence matrix."""
         name, tensor, factors, _, config, data = case
-        source = _case_source(source_kind, name, tensor, config, case_cache)
+        cache = case_cache_v2 if source_kind == "chunked" else case_cache
+        source = _case_source(source_kind, name, tensor, config, cache)
         engine = StreamingExecutor(
             source,
             batch_size=batch_size,
@@ -189,6 +212,29 @@ class TestEngineBitExact:
             assert fully_ooc == pytest.approx(
                 float(data["cpals_fit"]), abs=CPALS_FIT_TOL
             )
+
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_v2_compressed_decompose_bit_identical_to_v1_mmap(
+        self, case, case_cache, case_cache_v2, backend, prefetch
+    ):
+        """CP-ALS streamed from a v2 chunked/compressed cache is
+        *bit-identical* to the v1 mmap path at every (backend, prefetch)
+        cell — the v2 acceptance bar: compression changes how bytes reach
+        the engine, never which reductions run."""
+        _, tensor, _, rank, config, data = case
+        als_kw = dict(
+            rank=rank, n_iters=int(data["cpals_iters"]), tol=0.0, seed=42
+        )
+        cfg = config.replace(backend=backend, workers=2, prefetch=prefetch)
+        with AmpedMTTKRP.from_shard_cache(case_cache, cfg) as v1:
+            want = cp_als(tensor, mttkrp=v1.mttkrp, **als_kw).final_fit
+        with AmpedMTTKRP.from_shard_cache(case_cache_v2, cfg) as v2:
+            assert type(v2.source).__name__ == "CompressedChunkSource"
+            got = cp_als(tensor, mttkrp=v2.mttkrp, **als_kw).final_fit
+        assert got == want  # bit-identical trajectory, not just close
+        assert got == pytest.approx(float(data["cpals_fit"]), abs=CPALS_FIT_TOL)
 
 
 class TestReferencesAndBaselines:

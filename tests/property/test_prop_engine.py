@@ -15,7 +15,14 @@ Invariants (satellites of the streaming-engine and shard-source issues):
 * :class:`repro.engine.PrefetchingSource` yields exactly the wrapped
   source's batches, in order, with byte-identical element arrays — for any
   tensor, sharding, batch size, and prefetch depth (so prefetch can never
-  change a result, only when bytes are read).
+  change a result, only when bytes are read);
+* the v2 chunked/compressed shard cache round-trips **byte-identically**
+  for any tensor, codec, and chunk size — every mode-sorted array read
+  back equals the bytes ``sorted_by_mode`` produced;
+* the external-sort streaming builder, under an arbitrary tiny memory
+  budget, emits a cache file **bit-identical** to the in-memory v2 writer
+  (stable runs + stable merge == the global stable sort), with its tracked
+  peak run size inside the budget-derived bound.
 """
 
 from __future__ import annotations
@@ -39,7 +46,13 @@ from repro.engine import (
 from repro.partition.plan import build_partition_plan
 from repro.partition.sharding import shard_mode
 from repro.tensor.generate import zipf_coo
-from repro.tensor.io import write_shard_cache
+from repro.tensor.io import (
+    available_codecs,
+    load_shard_cache_v2,
+    write_shard_cache,
+    write_shard_cache_streaming,
+    write_shard_cache_v2,
+)
 
 
 @st.composite
@@ -190,3 +203,74 @@ class TestExecutorProperties:
         ) as engine:
             streamed = engine.mttkrp(factors, mode)
         assert np.array_equal(eager, streamed)
+
+
+@st.composite
+def v2_cache_cases(draw):
+    """An arbitrary small COO tensor plus v2 format knobs."""
+    nmodes = draw(st.integers(2, 4))
+    shape = tuple(draw(st.integers(2, 12)) for _ in range(nmodes))
+    nnz = draw(st.integers(1, 200))
+    seed = draw(st.integers(0, 2**31 - 1))
+    codec = draw(st.sampled_from(available_codecs()))
+    chunk_nnz = draw(st.integers(1, 64))
+    return shape, nnz, seed, codec, chunk_nnz
+
+
+class TestCompressedCacheProperties:
+    @given(v2_cache_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_v2_round_trip_is_byte_identical(self, case):
+        """write_shard_cache_v2 -> load_shard_cache_v2 reproduces every
+        mode-sorted array byte for byte, for any tensor, codec, and chunk
+        size — compression and chunking never touch the logical content."""
+        shape, nnz, seed, codec, chunk_nnz = case
+        t = zipf_coo(shape, nnz, exponents=1.0, seed=seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_shard_cache_v2(
+                t, Path(tmp) / "t.npz", codec=codec, chunk_nnz=chunk_nnz
+            )
+            with load_shard_cache_v2(path) as reader:
+                assert reader.shape == t.shape
+                assert reader.nnz == t.nnz
+                assert reader.codec_name == codec
+                for m in range(t.nmodes):
+                    s = t.sorted_by_mode(m)
+                    idx = np.asarray(reader.array(f"mode{m}_indices"))
+                    val = np.asarray(reader.array(f"mode{m}_values"))
+                    keys = np.asarray(reader.array(f"mode{m}_keys"))
+                    assert idx.tobytes() == s.indices.tobytes()
+                    assert val.tobytes() == s.values.tobytes()
+                    assert keys.tobytes() == s.indices[:, m].tobytes()
+
+    @given(v2_cache_cases(), st.integers(1, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_external_sort_builder_bit_identical_under_any_budget(
+        self, case, budget_elems
+    ):
+        """The streaming external-sort builder produces a file *bit-identical*
+        to the in-memory v2 writer for any memory budget — even budgets so
+        tiny that every element lands in its own run — and its tracked peak
+        stays inside the budget-derived run bound."""
+        shape, nnz, seed, codec, chunk_nnz = case
+        t = zipf_coo(shape, nnz, exponents=1.0, seed=seed)
+        per_element = (t.nmodes + 3) * 8
+        budget = budget_elems * per_element
+        with tempfile.TemporaryDirectory() as tmp:
+            want = write_shard_cache_v2(
+                t, Path(tmp) / "mem.npz", codec=codec, chunk_nnz=chunk_nnz
+            )
+            res = write_shard_cache_streaming(
+                t,
+                Path(tmp) / "ext.npz",
+                memory_budget=budget,
+                codec=codec,
+                chunk_nnz=chunk_nnz,
+            )
+            assert res.path.read_bytes() == want.read_bytes()
+            assert res.nnz == t.nnz and res.shape == t.shape
+            assert res.run_nnz == max(1, budget // per_element)
+            # the tracked peak: one run plus its sort permutation, or the
+            # k-way merge working set — head blocks are at least one
+            # element per run, so the floor is the run count, never O(nnz)
+            assert res.peak_run_nnz <= 2 * max(res.run_nnz, res.n_runs)

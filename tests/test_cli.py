@@ -256,6 +256,67 @@ class TestOutOfCoreCommands:
         assert rc == 0
         assert "fit=" in capsys.readouterr().out
 
+    def test_cache_v2_flags_build_and_stream(self, tmp_path, capsys):
+        """`repro cache --codec --chunk-nnz --memory-budget` builds a v2
+        chunked cache via the external-sort builder, and decompose
+        autodetects the format both out of core and in memory."""
+        from repro.tensor.io import detect_shard_cache_version
+
+        tensor = lowrank_coo((12, 10, 8), 400, rank=2, seed=0)
+        tns = tmp_path / "t.tns"
+        write_tns(tns, tensor)
+        cache = tmp_path / "v2.npz"
+        rc = main(
+            ["cache", "--tns", str(tns), str(cache),
+             "--codec", "zlib", "--chunk-nnz", "128",
+             "--memory-budget", "8k"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wrote v2 shard cache" in out and "external sort" in out
+        assert detect_shard_cache_version(cache) == 2
+        rc = main(
+            ["decompose", "--shard-cache", str(cache), "--out-of-core",
+             "--rank", "3", "--iters", "2", "--gpus", "2", "--prefetch"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CompressedChunkSource" in out and "fit=" in out
+        # an existing v2 cache also works as an in-memory tensor source
+        rc = main(
+            ["decompose", "--shard-cache", str(cache),
+             "--rank", "3", "--iters", "2", "--gpus", "2"]
+        )
+        assert rc == 0
+        assert "fit=" in capsys.readouterr().out
+
+    def test_cache_v2_in_memory_build(self, tmp_path, capsys):
+        """--codec without --memory-budget takes the in-memory v2 writer."""
+        cache = tmp_path / "v2mem.npz"
+        rc = main(
+            ["cache", "--dataset", "twitch", "--nnz", "2000",
+             "--codec", "zlib", str(cache)]
+        )
+        assert rc == 0
+        assert "wrote v2 shard cache" in capsys.readouterr().out
+
+    def test_cache_bad_memory_budget_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["cache", "--dataset", "twitch", str(tmp_path / "c.npz"),
+                 "--memory-budget", "lots"]
+            )
+
+    @pytest.mark.parametrize("bad", ["0", "-5", "many"])
+    def test_cache_bad_chunk_nnz_rejected(self, tmp_path, capsys, bad):
+        """--chunk-nnz must be a positive int; 0 must not silently fall
+        back to the format default."""
+        with pytest.raises(SystemExit):
+            main(
+                ["cache", "--dataset", "twitch", str(tmp_path / "c.npz"),
+                 "--chunk-nnz", bad]
+            )
+
     def test_cache_max_nnz_guard(self, tmp_path, capsys):
         tensor = lowrank_coo((12, 10, 8), 400, rank=2, seed=0)
         tns = tmp_path / "t.tns"
