@@ -12,7 +12,11 @@ every probed batch size, and the cache-model ``auto`` batch must land within
 1.2x of the best manually tuned one — and finally sweeps the execution
 backends: the process pool (attached to the mmap cache, with and without
 prefetch) must be bit-identical, and the persistent thread pool must stay
-within 1.2x of the serial backend's wall time.
+within 1.2x of the serial backend's wall time. The backend sweep ends with
+the host-pipeline timing-model gate: a quick host calibration
+(``repro.engine.profile``) feeds ``host_time_plan``, whose predicted
+serial-vs-thread ordering must match the measured one (ties near parity
+pass — see ``_run_prediction_smoke``).
 """
 
 import numpy as np
@@ -232,6 +236,57 @@ def run_smoke(batch_size: int = 4096, workers: int = 1) -> int:
     return 0
 
 
+#: Measured or predicted serial/thread ratios closer to parity than this
+#: are ties: the ordering is not meaningful at smoke scale, so the
+#: prediction gate only fails on a *confident* disagreement.
+PREDICTION_TIE_BAND = 0.10
+
+
+def _run_prediction_smoke(tensor, plan, batch_size, t_serial, t_thread) -> int:
+    """Host-pipeline timing-model gate.
+
+    Calibrates this host with the quick profiler, predicts the serial and
+    thread(2) backend times for the smoke workload through
+    ``host_time_plan``, and requires the predicted serial-vs-thread
+    ordering to match the measured one. Ratios within
+    ``PREDICTION_TIE_BAND`` of parity (on either side) are ties — at smoke
+    scale the two backends can be genuinely indistinguishable, and the
+    model must only be *confidently wrong* to fail CI.
+    """
+    from repro.core.config import AmpedConfig
+    from repro.core.simulate import host_time_plan
+    from repro.core.workload import TensorWorkload
+    from repro.engine.profile import profile_host
+
+    cost = KernelCostModel()
+    profile = profile_host(quick=True)
+    workload = TensorWorkload.from_plan(tensor, plan, cost, rank=32)
+    cfg = AmpedConfig(batch_size=batch_size)
+    pred_serial = host_time_plan(workload, cfg, cost, profile)["total_s"]
+    pred_thread = host_time_plan(
+        workload, cfg.replace(backend="thread", workers=2), cost, profile
+    )["total_s"]
+    measured_ratio = t_thread / t_serial
+    predicted_ratio = pred_thread / pred_serial
+    print(
+        f"prediction smoke: measured thread/serial {measured_ratio:.3f}x, "
+        f"predicted {predicted_ratio:.3f}x (serial {pred_serial * 1e3:.1f} ms "
+        f"vs thread {pred_thread * 1e3:.1f} ms predicted; quick profile: "
+        f"reduce {profile.reduce_bandwidth / 1e9:.2f} GB/s, thread "
+        f"efficiency {profile.thread_efficiency:.2f})"
+    )
+    lo, hi = 1.0 - PREDICTION_TIE_BAND, 1.0 + PREDICTION_TIE_BAND
+    if lo <= measured_ratio <= hi or lo <= predicted_ratio <= hi:
+        return 0  # a tie on either side: ordering not meaningful
+    if (measured_ratio > 1.0) != (predicted_ratio > 1.0):
+        print(
+            "SMOKE FAIL: the timing model confidently predicts the wrong "
+            "serial-vs-thread ordering for this host"
+        )
+        return 1
+    return 0
+
+
 def _run_compressed_smoke(tensor, factors, eager_out) -> int:
     """v2 chunked/compressed cache gate.
 
@@ -359,7 +414,7 @@ def _run_backend_smoke(tensor, factors, plan, eager_out, batch_size) -> int:
             f"serial backend"
         )
         return 1
-    return 0
+    return _run_prediction_smoke(tensor, plan, batch_size, t_serial, t_thread)
 
 
 def _run_out_of_core_smoke(tensor, factors, eager_out, t_eager: float) -> int:

@@ -7,6 +7,7 @@ datasets      list the Table 3 dataset profiles
 simulate      simulate one dataset x method at paper scale
 decompose     CP-ALS on a FROSTT .tns file (or a synthetic dataset instance)
 cache         build an out-of-core shard cache (.npz) from a tensor
+profile       calibrate this host (microbenchmarks -> JSON host profile)
 trace         export a simulated AMPED run as Chrome trace JSON
 """
 
@@ -15,45 +16,32 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.util.humanize import parse_size
 from repro.version import __version__
 
 __all__ = ["main", "build_parser"]
 
 
 def _size_arg(text: str) -> int:
-    """Parse a byte count: a plain int or with a k/M/G (KiB/MiB/GiB) suffix."""
-    raw = text.strip()
-    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
-    mult = 1
-    if raw and raw[-1].lower() in units:
-        mult = units[raw[-1].lower()]
-        raw = raw[:-1]
+    """Parse a byte count: a positive int, optionally with a binary k/M/G
+    suffix (case-insensitive). Shares the one canonical parser/message with
+    ``--chunk-nnz`` and ``AmpedConfig.cache_chunk_nnz``
+    (:func:`repro.util.humanize.parse_size`), so ``0``/``0k``/negative
+    values are rejected identically everywhere — including after the
+    suffix multiplication."""
     try:
-        value = int(raw) * mult
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected a byte count (e.g. 268435456, 256M, 4G); got {text!r}"
-        ) from None
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"byte count must be positive; got {text!r}"
-        )
-    return value
+        return parse_size(text, what="byte count")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _chunk_nnz_arg(text: str) -> int:
-    """Parse ``--chunk-nnz``: a positive integer."""
+    """Parse ``--chunk-nnz``: a positive nonzero count, same literals and
+    same canonical rejection as ``--memory-budget`` and the config field."""
     try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected a positive integer; got {text!r}"
-        ) from None
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"chunk-nnz must be >= 1; got {text!r}"
-        )
-    return value
+        return parse_size(text, what="chunk-nnz")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _batch_size_arg(text: str):
@@ -107,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default; resolves to whole shards for the resident model runs "
         "this command times), or 'none' (whole shards)",
     )
+    p_sim.add_argument(
+        "--host-profile",
+        default=None,
+        metavar="PATH",
+        help="measured host profile JSON (written by `repro profile`) for "
+        "the host-pipeline time prediction printed alongside the device "
+        "simulation; default: the REPRO_HOST_PROFILE env var, else the "
+        "committed synthetic calibration",
+    )
 
     p_dec = sub.add_parser("decompose", help="CP-ALS on a tensor")
     # Not required: an existing --shard-cache is a tensor source by itself.
@@ -134,9 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default="serial",
         help="execution backend for batch reductions: serial (default), "
-        "thread (persistent GIL-releasing thread pool), or process "
-        "(process pool attaching to the shard cache / shared memory); "
-        "results are bit-identical across backends",
+        "thread (persistent GIL-releasing thread pool), process "
+        "(process pool attaching to the shard cache / shared memory), or "
+        "auto (pick the backend the host cost model predicts fastest for "
+        "this workload, using --host-profile when given); results are "
+        "bit-identical across backends",
+    )
+    p_dec.add_argument(
+        "--host-profile",
+        default=None,
+        metavar="PATH",
+        help="measured host profile JSON (written by `repro profile`) "
+        "consumed by --backend auto, batch autotuning, and the host "
+        "pipeline prediction; default: the REPRO_HOST_PROFILE env var",
     )
     p_dec.add_argument(
         "--workers",
@@ -215,6 +222,25 @@ def build_parser() -> argparse.ArgumentParser:
         "memory first, then streamed); implies a v2 build",
     )
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="calibrate this host: microbenchmarks -> versioned JSON "
+        "profile consumed by simulate/decompose (--host-profile or the "
+        "REPRO_HOST_PROFILE env var)",
+    )
+    p_prof.add_argument(
+        "output",
+        nargs="?",
+        default=None,
+        help="output JSON path (default: ~/.cache/repro/host_profile.json)",
+    )
+    p_prof.add_argument(
+        "--quick",
+        action="store_true",
+        help="small working sets and repeat counts (about a second; CI "
+        "mode) — bandwidth numbers are noisier than the full run",
+    )
+
     p_tr = sub.add_parser("trace", help="export a Chrome trace of a simulated run")
     p_tr.add_argument("dataset", choices=["amazon", "patents", "reddit", "twitch"])
     p_tr.add_argument("output", help="output .json path")
@@ -290,6 +316,17 @@ def _cmd_simulate(args) -> int:
     )
     for key, share in res.breakdown().items():
         print(f"  {key:<15} {share:6.1%}")
+    if args.method == "amped":
+        from repro.core.simulate import host_time_plan
+
+        plan = host_time_plan(
+            wl, cfg.replace(host_profile=args.host_profile), KernelCostModel()
+        )
+        print(
+            f"host pipeline ({plan['backend']}, "
+            f"{plan['n_batches']} batches): "
+            f"{format_seconds(plan['total_s'])} predicted per iteration"
+        )
     return 0
 
 
@@ -339,6 +376,7 @@ def _cmd_decompose(args) -> int:
         prefetch=args.prefetch,
         out_of_core=args.out_of_core,
         shard_cache=None if cache is None else str(cache),
+        host_profile=args.host_profile,
     )
     tensor = name = None
     if cache is not None and not cache_exists:
@@ -366,10 +404,18 @@ def _cmd_decompose(args) -> int:
                 name = f"{cache} (loaded into memory)"
         ex = AmpedMTTKRP(tensor, config, name="cli")
     print(f"tensor: {name}, shape={tensor.shape}, nnz={tensor.nnz}")
-    backend_name, backend_workers = config.resolved_backend()
+    # The executor's config carries the concrete backend even when the
+    # user asked for --backend auto (resolution happens at construction).
+    backend_name, backend_workers = ex.config.resolved_backend()
+    resolved_note = (
+        " (resolved from 'auto' by the host cost model)"
+        if args.backend == "auto"
+        else ""
+    )
     print(
         f"engine backend: {backend_name} (workers={backend_workers}, "
         f"prefetch={'on' if config.prefetch else 'off'})"
+        f"{resolved_note}"
     )
     with ex:  # close pools / shared memory / mmap views deterministically
         res = cp_als(
@@ -381,9 +427,15 @@ def _cmd_decompose(args) -> int:
             f"{res.n_iters} iterations ({format_seconds(res.wall_seconds)} wall)"
         )
         sim = ex.simulate()
+        host_plan = ex.host_time_plan()
     print(
         f"simulated MTTKRP iteration on {args.gpus} GPU(s): "
         f"{format_seconds(sim.total_time)}"
+    )
+    print(
+        f"predicted host pipeline ({host_plan['backend']}, "
+        f"{host_plan['n_batches']} batches): "
+        f"{format_seconds(host_plan['total_s'])} per iteration"
     )
     return 0
 
@@ -446,6 +498,35 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.engine.profile import write_host_profile
+    from repro.util.humanize import format_bytes, format_seconds
+
+    path, profile = write_host_profile(args.output, quick=args.quick)
+    mode = "quick" if args.quick else "full"
+    print(f"calibrated {profile.hostname} ({mode} microbenchmarks):")
+    print(f"  memcpy            {format_bytes(profile.memcpy_bandwidth)}/s")
+    print(f"  batch reduce      {format_bytes(profile.reduce_bandwidth)}/s streamed")
+    print(f"  mmap stage        {format_bytes(profile.mmap_read_bandwidth)}/s")
+    print(f"  chunk read        {format_bytes(profile.chunk_read_bandwidth)}/s")
+    for codec, bw in sorted(profile.decompress_bandwidth.items()):
+        print(f"  decompress {codec:<7}{format_bytes(bw)}/s raw")
+    print(
+        f"  dispatch          serial {format_seconds(profile.serial_dispatch_s)}, "
+        f"thread {format_seconds(profile.thread_dispatch_s)}, "
+        f"process {format_seconds(profile.process_task_s)} per batch"
+    )
+    print(f"  pipe              {format_bytes(profile.pipe_bandwidth)}/s")
+    print(f"  thread efficiency {profile.thread_efficiency:.2f}")
+    print(f"  cache fraction    {profile.stream_cache_fraction:.4f}")
+    print(f"wrote host profile {path} (version {profile.version})")
+    print(
+        f"consume it with `repro decompose --backend auto --host-profile "
+        f"{path}` or `export REPRO_HOST_PROFILE={path}`"
+    )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.core.config import AmpedConfig
     from repro.bench.harness import run_amped_model
@@ -467,6 +548,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "decompose": _cmd_decompose,
     "cache": _cmd_cache,
+    "profile": _cmd_profile,
     "trace": _cmd_trace,
 }
 

@@ -148,6 +148,19 @@ class AmpedMTTKRP:
             )
         self.source = source
         self._owns_source = False
+        if self.config.backend == "auto":
+            # Pick the backend with the smallest host-pipeline prediction
+            # for this actual workload (measured host profile preferred)
+            # and pin it, so every later consumer sees a concrete backend.
+            from repro.engine.costmodel import resolve_auto_backend
+
+            auto_name, auto_workers = resolve_auto_backend(
+                self.workload, self.config, self.cost,
+                self.config.resolved_host_profile(),
+            )
+            self.config = self.config.replace(
+                backend=auto_name, workers=auto_workers
+            )
         backend_name, backend_workers = self.config.resolved_backend()
         self.engine = StreamingExecutor(
             source,
@@ -292,3 +305,15 @@ class AmpedMTTKRP:
         if reset:
             self.platform.reset()
         return simulate_amped(self.platform, self.cost, self.workload, self.config)
+
+    def host_time_plan(self, profile=None) -> dict:
+        """Predicted functional host-pipeline time for one MTTKRP iteration.
+
+        The per-batch dispatch/IPC/staging/decompression accounting of
+        :func:`repro.core.simulate.host_time_plan` for this executor's
+        workload and (resolved) config; ``profile`` overrides the config's
+        host profile.
+        """
+        from repro.core.simulate import host_time_plan
+
+        return host_time_plan(self.workload, self.config, self.cost, profile)

@@ -4,15 +4,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.engine.autotune import resolve_batch_size, validate_batch_size
+from repro.engine.autotune import (
+    resolve_batch_size,
+    stream_cache_fraction,
+    validate_batch_size,
+)
 from repro.engine.backend import (
     MAX_WORKERS,
     validate_backend_name,
     validate_workers,
 )
+from repro.engine.costmodel.hostprofile import HostProfile, resolve_host_profile
 from repro.errors import ReproError
+from repro.util.humanize import parse_size
 
-__all__ = ["AmpedConfig", "MAX_WORKERS"]
+__all__ = ["AmpedConfig", "MAX_WORKERS", "AUTO_BACKEND"]
+
+#: The config spelling of "let the host cost model pick the backend"
+#: (resolved by :func:`repro.engine.costmodel.resolve_auto_backend`;
+#: :class:`repro.core.AmpedMTTKRP` pins the concrete choice at construction).
+AUTO_BACKEND = "auto"
 
 
 @dataclass(frozen=True)
@@ -48,9 +59,14 @@ class AmpedConfig:
         kernel launch per batch.
     backend: execution backend of the streaming engine — ``"serial"``
         (reduce in the calling thread), ``"thread"`` (persistent GIL-
-        releasing thread pool), or ``"process"`` (persistent process pool
+        releasing thread pool), ``"process"`` (persistent process pool
         attaching to the mmap shard cache / shared-memory mode copies; true
-        multi-core scaling). Results are bit-identical across backends.
+        multi-core scaling), or ``"auto"`` (pick the backend with the
+        smallest :func:`repro.engine.costmodel.host_time_plan` prediction
+        for the actual workload — resolved once at
+        :class:`~repro.core.amped.AmpedMTTKRP` construction, preferring the
+        measured ``host_profile``). Results are bit-identical across
+        backends, so the choice only moves wall time.
     workers: worker count of the selected backend. With the default
         ``backend="serial"``, ``workers > 1`` is the deprecated PR 1 alias
         and maps onto the thread backend (see :meth:`resolved_backend`).
@@ -59,9 +75,23 @@ class AmpedConfig:
         the host-side mirror of ``double_buffer``. Never changes results.
     stream_cache_fraction: fraction of the effective cache one streamed
         lane's block may occupy when resolving ``batch_size="auto"``; in
-        (0, 1]. ``None`` defers to the ``REPRO_STREAM_CACHE_FRACTION``
-        environment variable, then the built-in calibration
-        (:data:`repro.engine.autotune.STREAM_CACHE_FRACTION`).
+        (0, 1]. ``None`` defers to the measured ``host_profile`` fraction,
+        then the ``REPRO_STREAM_CACHE_FRACTION`` environment variable,
+        then the built-in calibration
+        (:data:`repro.engine.autotune.STREAM_CACHE_FRACTION`). The env
+        var (and a configured profile) is validated here, at config
+        construction — a malformed value raises :class:`ReproError`
+        immediately instead of surfacing deep inside batch autotuning.
+    host_profile: the measured per-host calibration consumed by the host
+        pipeline timing model, ``backend="auto"``, and batch autotuning —
+        a :class:`repro.engine.costmodel.HostProfile`, a path to the JSON
+        written by ``repro profile``, or ``None`` (consult the
+        ``REPRO_HOST_PROFILE`` environment variable, else fall back to the
+        committed synthetic default where a profile is required). A path
+        (or the env var) is loaded, validated, and **pinned as the loaded
+        instance at construction** — the file is read exactly once, so
+        deleting or editing it afterwards cannot change or break this
+        config.
     out_of_core: stream element batches from an on-disk shard cache
         (:class:`repro.engine.MmapNpzSource` for the v1 mmap format,
         :class:`repro.engine.CompressedChunkSource` for the v2 chunked/
@@ -80,8 +110,12 @@ class AmpedConfig:
         :meth:`AmpedMTTKRP.from_shard_cache`; drives the decompression
         staging term of :func:`repro.core.simulate.host_memory_plan`.
     cache_chunk_nnz: rows per compressed chunk of a v2 cache (``None``:
-        the format default). Each stream lane double-buffers two
-        decompressed chunks of this size.
+        the format default). Accepts the same literals as the CLI's
+        ``--chunk-nnz`` — a positive int or a string with a binary k/M/G
+        suffix (``"64k"``), normalized to the int at construction by the
+        shared parser (:func:`repro.util.humanize.parse_size`), so the CLI
+        and the API can never disagree on a literal. Each stream lane
+        double-buffers two decompressed chunks of this size.
     """
 
     n_gpus: int = 4
@@ -100,7 +134,8 @@ class AmpedConfig:
     out_of_core: bool = False
     shard_cache: str | None = None
     cache_codec: str | None = None
-    cache_chunk_nnz: int | None = None
+    cache_chunk_nnz: int | str | None = None
+    host_profile: HostProfile | str | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus <= 0:
@@ -119,14 +154,29 @@ class AmpedConfig:
             raise ReproError(f"unknown allgather {self.allgather!r}")
         validate_batch_size(self.batch_size)
         # Worker/backend domains live in the backend layer (single source
-        # of truth shared with the executor and the CLI).
-        validate_backend_name(self.backend)
+        # of truth shared with the executor and the CLI); "auto" is a
+        # config-level spelling resolved through the host cost model.
+        if self.backend != AUTO_BACKEND:
+            validate_backend_name(self.backend)
         validate_workers(self.workers)
-        if self.stream_cache_fraction is not None:
-            # validated by the autotune layer; surface bad values eagerly
-            from repro.engine.autotune import stream_cache_fraction
-
-            stream_cache_fraction(self.stream_cache_fraction)
+        # Resolve the host profile ONCE, eagerly (validates a configured
+        # path / the REPRO_HOST_PROFILE env var) and pin the loaded
+        # instance into the field — later consumers never re-read the
+        # file, so what was validated here is exactly what runs, and a
+        # profile file deleted or edited after construction cannot fail
+        # late or drift.
+        profile = resolve_host_profile(self.host_profile)
+        if profile is not None:
+            object.__setattr__(self, "host_profile", profile)
+        # Validate the stream-cache-fraction chain eagerly too: a
+        # malformed value must fail here, at config resolution, as a named
+        # ReproError — never as a bare ValueError deep inside batch
+        # autotuning. The env var is checked unconditionally (second
+        # call), even when an explicit override or a measured profile wins
+        # the resolution: garbage in REPRO_STREAM_CACHE_FRACTION would
+        # otherwise lie in wait for the next unconfigured run.
+        stream_cache_fraction(self.stream_cache_fraction, profile)
+        stream_cache_fraction(None, None)
         if self.out_of_core and not self.shard_cache:
             raise ReproError(
                 "out_of_core=True requires shard_cache: point it at a .npz "
@@ -141,11 +191,30 @@ class AmpedConfig:
                     f"cache_codec must be one of {list(CODEC_NAMES)} (or "
                     f"None for the v1 mmap format), got {self.cache_codec!r}"
                 )
-        if self.cache_chunk_nnz is not None and int(self.cache_chunk_nnz) < 1:
-            raise ReproError(
-                f"cache_chunk_nnz must be >= 1 (or None for the format "
-                f"default), got {self.cache_chunk_nnz}"
-            )
+        if self.cache_chunk_nnz is not None:
+            # The one chunk-size parser, shared with the CLI's --chunk-nnz:
+            # both reject 0/negative (also after suffix multiplication) with
+            # the same canonical message.
+            try:
+                normalized = parse_size(self.cache_chunk_nnz, what="cache_chunk_nnz")
+            except ValueError as exc:
+                raise ReproError(str(exc)) from None
+            object.__setattr__(self, "cache_chunk_nnz", normalized)
+
+    def resolved_host_profile(self) -> HostProfile | None:
+        """The measured :class:`HostProfile` this config means (or ``None``).
+
+        Resolution happened once, eagerly, at construction — a configured
+        path (or the ``REPRO_HOST_PROFILE`` environment variable) was
+        loaded, validated, and pinned into the field then, so this is a
+        plain read. ``None`` means nothing was configured anywhere; callers
+        needing a profile then use the committed synthetic default,
+        :data:`repro.engine.costmodel.DEFAULT_HOST_PROFILE`.
+        """
+        assert self.host_profile is None or isinstance(
+            self.host_profile, HostProfile
+        )
+        return self.host_profile
 
     def resolved_backend(self) -> tuple[str, int]:
         """The effective ``(backend name, workers)`` pair.
@@ -153,7 +222,16 @@ class AmpedConfig:
         ``workers > 1`` with the default ``backend="serial"`` is the
         deprecated PR 1 spelling of "use a thread pool", so it maps onto
         the thread backend; everything else passes through unchanged.
+        ``backend="auto"`` has no answer without a workload — resolve it
+        first (:func:`repro.engine.costmodel.resolve_auto_backend`, done
+        automatically by :class:`~repro.core.amped.AmpedMTTKRP`).
         """
+        if self.backend == AUTO_BACKEND:
+            raise ReproError(
+                "backend='auto' is resolved against a workload: build the "
+                "executor (AmpedMTTKRP pins the choice) or call "
+                "repro.engine.costmodel.resolve_auto_backend first"
+            )
         if self.backend == "serial" and self.workers > 1:
             return "thread", self.workers
         return self.backend, self.workers
@@ -173,6 +251,7 @@ class AmpedConfig:
             nmodes=nmodes,
             out_of_core=self.out_of_core,
             cache_fraction=self.stream_cache_fraction,
+            profile=self.resolved_host_profile(),
         )
 
     def stream_lanes(self) -> int:

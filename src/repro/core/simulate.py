@@ -25,12 +25,18 @@ from repro.comm.allgather import direct_allgather_time, ring_allgather_time
 from repro.core.config import AmpedConfig
 from repro.core.results import ModeTiming, RunResult
 from repro.core.workload import ModeWorkload, TensorWorkload
+from repro.engine.costmodel import host_time_plan
 from repro.errors import DeviceMemoryError, SimulationError
 from repro.simgpu.kernel import KernelCostModel
 from repro.simgpu.platform import MultiGPUPlatform
 from repro.simgpu.trace import Category
 
-__all__ = ["simulate_amped", "amped_memory_plan", "host_memory_plan"]
+__all__ = [
+    "simulate_amped",
+    "amped_memory_plan",
+    "host_memory_plan",
+    "host_time_plan",
+]
 
 
 def _max_shard_nnz(workload: TensorWorkload) -> int:
@@ -107,6 +113,12 @@ def host_memory_plan(
 
     Either way the host also pins every factor matrix (the functional
     engine gathers from them on every batch).
+
+    This plan accounts *residency*; its time-side companion is
+    :func:`host_time_plan` (re-exported from
+    :mod:`repro.engine.costmodel`), which charges the same pipeline's
+    per-batch dispatch/IPC/staging/decompression cost against a measured
+    host profile.
     """
     elem_bytes = cost.host_element_bytes(workload.nmodes)
     batch_size = config.resolved_batch_size(cost, workload.nmodes)

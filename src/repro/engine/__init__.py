@@ -16,6 +16,13 @@
 * :mod:`prefetch` — :class:`PrefetchingSource`, double-buffered batch
   staging on a background thread (async page read-ahead for mmap sources);
 * :mod:`autotune` — cache-model batch sizing behind ``batch_size="auto"``;
+* :mod:`costmodel` — the measured host-pipeline cost model:
+  :class:`HostProfile` (versioned per-host calibration JSON),
+  :func:`host_time_plan` (per-batch backend dispatch/IPC, staging, codec
+  decompression, prefetch overlap), and ``backend="auto"`` resolution
+  (:func:`resolve_auto_backend`);
+* :mod:`profile` — the microbenchmark profiler filling a
+  :class:`HostProfile` (CLI: ``repro profile``);
 * :mod:`executor` — :class:`StreamingExecutor`, the batched MTTKRP driver
   used by :class:`repro.core.AmpedMTTKRP`, CP-ALS, and the benchmark suite.
 
@@ -44,6 +51,16 @@ from repro.engine.backend import (
     validate_workers,
 )
 from repro.engine.batch import BatchPlan, ElementBatch, build_batch_plan, slice_segments
+from repro.engine.costmodel import (
+    DEFAULT_HOST_PROFILE,
+    HOST_PROFILE_ENV,
+    HostProfile,
+    host_time_plan,
+    load_host_profile,
+    rank_backends,
+    resolve_auto_backend,
+    resolve_host_profile,
+)
 from repro.engine.executor import StreamingExecutor, reduce_batch, reduce_batch_arrays
 from repro.engine.prefetch import LoadedBatch, PrefetchingSource
 from repro.engine.source import (
@@ -86,4 +103,12 @@ __all__ = [
     "resolve_batch_size",
     "stream_cache_fraction",
     "streamed_batch_bytes",
+    "HostProfile",
+    "DEFAULT_HOST_PROFILE",
+    "HOST_PROFILE_ENV",
+    "load_host_profile",
+    "resolve_host_profile",
+    "host_time_plan",
+    "rank_backends",
+    "resolve_auto_backend",
 ]

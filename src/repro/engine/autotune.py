@@ -74,16 +74,29 @@ def _validate_fraction(fraction, origin: str) -> float:
     return fraction
 
 
-def stream_cache_fraction(override: float | None = None) -> float:
+def stream_cache_fraction(override: float | None = None, profile=None) -> float:
     """The cache fraction one streamed lane may occupy, validated to (0, 1].
 
     Resolution order: explicit ``override`` (normally
-    ``AmpedConfig.stream_cache_fraction``) > the
-    ``REPRO_STREAM_CACHE_FRACTION`` environment variable (per-host measured
-    calibration) > the built-in :data:`STREAM_CACHE_FRACTION` default.
+    ``AmpedConfig.stream_cache_fraction``) > a measured host profile's
+    ``stream_cache_fraction`` (``profile`` is a
+    :class:`repro.engine.costmodel.HostProfile`, the product of
+    ``repro profile``) > the ``REPRO_STREAM_CACHE_FRACTION`` environment
+    variable > the built-in :data:`STREAM_CACHE_FRACTION` default.
+
+    A measured profile deliberately beats the env var: the env var is the
+    blunt per-host override PR 3 introduced, the profile is the measured
+    calibration that replaces it — and both lose to an explicit per-run
+    config value. Bad values raise the named :class:`ReproError` wherever
+    they come from; :class:`repro.core.config.AmpedConfig` calls this at
+    construction so a malformed env var fails at config resolution, not
+    deep inside batch autotuning.
     """
     if override is not None:
         return _validate_fraction(override, "stream_cache_fraction")
+    measured = getattr(profile, "stream_cache_fraction", None)
+    if measured is not None:
+        return _validate_fraction(measured, "host profile stream_cache_fraction")
     env = os.environ.get(STREAM_CACHE_FRACTION_ENV)
     if env is not None and env.strip():
         return _validate_fraction(
@@ -104,7 +117,12 @@ def streamed_batch_bytes(batch_size: int, rank: int, nmodes: int) -> int:
 
 
 def auto_batch_size(
-    cost, rank: int, nmodes: int, *, cache_fraction: float | None = None
+    cost,
+    rank: int,
+    nmodes: int,
+    *,
+    cache_fraction: float | None = None,
+    profile=None,
 ) -> int:
     """The cache-model batch size for an out-of-core streamed reduction.
 
@@ -112,10 +130,10 @@ def auto_batch_size(
     (normally a :class:`repro.simgpu.kernel.KernelCostModel`). The result is
     the largest batch whose streamed block fits a
     :func:`stream_cache_fraction` slice of the effective cache
-    (``cache_fraction`` overrides, else the ``REPRO_STREAM_CACHE_FRACTION``
-    env var, else the built-in default), clamped to
-    ``[MIN_AUTO_BATCH, MAX_AUTO_BATCH]`` (below the floor, dispatch
-    overhead outweighs any locality win).
+    (``cache_fraction`` overrides, else a measured host ``profile``'s
+    fraction, else the ``REPRO_STREAM_CACHE_FRACTION`` env var, else the
+    built-in default), clamped to ``[MIN_AUTO_BATCH, MAX_AUTO_BATCH]``
+    (below the floor, dispatch overhead outweighs any locality win).
     """
     if rank <= 0:
         raise ReproError(f"rank must be positive, got {rank}")
@@ -124,7 +142,7 @@ def auto_batch_size(
     cache = int(getattr(cost, "effective_cache_bytes"))
     if cache <= 0:
         raise ReproError(f"effective_cache_bytes must be positive, got {cache}")
-    budget = int(cache * stream_cache_fraction(cache_fraction))
+    budget = int(cache * stream_cache_fraction(cache_fraction, profile))
     per_element = streamed_batch_bytes(1, rank, nmodes)
     batch = budget // per_element
     return int(min(MAX_AUTO_BATCH, max(MIN_AUTO_BATCH, batch)))
@@ -159,6 +177,7 @@ def resolve_batch_size(
     nmodes: int,
     out_of_core: bool,
     cache_fraction: float | None = None,
+    profile=None,
 ) -> int | None:
     """Resolve a ``batch_size`` config value to the engine's ``int | None``.
 
@@ -166,11 +185,14 @@ def resolve_batch_size(
     out of core and to ``None`` (eager whole-shard batches) when it is fully
     resident — see the module docstring for why. Integers and ``None`` pass
     through validated. ``cache_fraction`` threads the
-    ``AmpedConfig.stream_cache_fraction`` override into the cache model.
+    ``AmpedConfig.stream_cache_fraction`` override into the cache model;
+    ``profile`` a measured :class:`repro.engine.costmodel.HostProfile`.
     """
     validate_batch_size(batch_size)
     if batch_size == "auto":
         if not out_of_core:
             return None
-        return auto_batch_size(cost, rank, nmodes, cache_fraction=cache_fraction)
+        return auto_batch_size(
+            cost, rank, nmodes, cache_fraction=cache_fraction, profile=profile
+        )
     return None if batch_size is None else int(batch_size)

@@ -469,6 +469,10 @@ class ProcessBackend(ExecutionBackend):
         self._call_id = 0
         # (array ids) -> (spec, shm blocks, strong array refs pinning the ids)
         self._shm_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # factor publications of map_batches calls still in flight — close()
+        # releases them if a generator was abandoned mid-iteration (e.g. a
+        # worker exception unwound the consumer before GeneratorExit ran)
+        self._inflight_factors: list[list] = []
 
     def start(self) -> None:
         super().start()
@@ -478,13 +482,29 @@ class ProcessBackend(ExecutionBackend):
             self._pool = mp.get_context().Pool(processes=self.workers)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Release the pool and every shared-memory segment; never raises.
+
+        Deliberately tolerant: ``close()`` runs after worker exceptions
+        (the pool may hold dead or wedged processes) and may run twice —
+        once via a ``with`` block and again via
+        :meth:`repro.core.amped.AmpedMTTKRP.close` — so teardown must stay
+        idempotent, and a pool that fails to terminate must not keep the
+        shared-memory segments (mode copies *and* in-flight factor
+        publications) from being unlinked: leaked segments are what the
+        ``resource_tracker`` warns about at interpreter exit.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:  # pragma: no cover - wedged/poisoned pool
+                pass
         while self._shm_cache:
             _, (_spec, shms, _refs) = self._shm_cache.popitem(last=False)
             self._release(shms)
+        while self._inflight_factors:
+            self._release(self._inflight_factors.pop())
         super().close()
 
     def __del__(self):  # pragma: no cover - GC safety net for unclosed pools
@@ -525,6 +545,12 @@ class ProcessBackend(ExecutionBackend):
         stays 0 when workers attach to an mmap shard cache instead)."""
         return len(self._shm_cache)
 
+    @property
+    def inflight_publications(self) -> int:
+        """Factor publications not yet released (test hook: 0 after every
+        fully consumed or abandoned ``map_batches`` call is cleaned up)."""
+        return len(self._inflight_factors)
+
     def map_batches(self, part, factors, mode, items, *, attach=None):
         self.start()
         self._call_id += 1
@@ -536,6 +562,7 @@ class ProcessBackend(ExecutionBackend):
         published = [_publish_array(np.asarray(f)) for f in factors]
         factor_shms = [shm for shm, _ in published]
         factor_descs = tuple(desc for _, desc in published)
+        self._inflight_factors.append(factor_shms)
         try:
             tasks = (
                 (spec, mode, call_id, factor_descs, _item_bounds(item))
@@ -546,4 +573,6 @@ class ProcessBackend(ExecutionBackend):
             ):
                 yield rows, partial
         finally:
-            self._release(factor_shms)
+            if factor_shms in self._inflight_factors:
+                self._inflight_factors.remove(factor_shms)
+                self._release(factor_shms)

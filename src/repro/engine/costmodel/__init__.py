@@ -1,0 +1,49 @@
+"""repro.engine.costmodel — the measured host-pipeline cost model.
+
+* :mod:`hostprofile` — :class:`HostProfile`, the versioned per-host
+  calibration record (measured bandwidths/overheads, persisted as JSON by
+  ``repro profile``), its load/save/resolution helpers, and the committed
+  synthetic :data:`DEFAULT_HOST_PROFILE`;
+* :mod:`timing` — :func:`host_time_plan`, the per-batch timing model of
+  the functional host pipeline (backend dispatch/IPC, mmap vs explicit
+  staging, v2 per-chunk decompression, prefetch overlap), and the
+  ``backend="auto"`` resolution built on it
+  (:func:`rank_backends` / :func:`resolve_auto_backend`).
+
+The profiler that fills a :class:`HostProfile` lives in
+:mod:`repro.engine.profile` (CLI: ``repro profile``); the residency-side
+companion of :func:`host_time_plan` is
+:func:`repro.core.simulate.host_memory_plan`.
+"""
+
+from repro.engine.costmodel.hostprofile import (
+    DEFAULT_HOST_PROFILE,
+    DEFAULT_PROFILE_PATH,
+    HOST_PROFILE_ENV,
+    HOST_PROFILE_VERSION,
+    HostProfile,
+    load_host_profile,
+    resolve_host_profile,
+)
+from repro.engine.costmodel.timing import (
+    AUTO_BACKEND_WORKERS,
+    DEFAULT_CODEC_RATIO,
+    host_time_plan,
+    rank_backends,
+    resolve_auto_backend,
+)
+
+__all__ = [
+    "HostProfile",
+    "DEFAULT_HOST_PROFILE",
+    "DEFAULT_PROFILE_PATH",
+    "HOST_PROFILE_ENV",
+    "HOST_PROFILE_VERSION",
+    "load_host_profile",
+    "resolve_host_profile",
+    "AUTO_BACKEND_WORKERS",
+    "DEFAULT_CODEC_RATIO",
+    "host_time_plan",
+    "rank_backends",
+    "resolve_auto_backend",
+]

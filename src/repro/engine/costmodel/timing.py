@@ -1,0 +1,286 @@
+"""The host-pipeline timing model: per-batch dispatch, IPC, staging, codecs.
+
+:func:`host_memory_plan` (PR 2-4) accounts what the functional host pipeline
+keeps *resident*; this module charges what it *costs in time*. For a
+workload descriptor and a config it predicts, per output-mode pass and
+summed over modes:
+
+* **compute** — streamed-batch bytes through one serial reduction lane
+  (:func:`repro.engine.autotune.streamed_batch_bytes` counts the bytes,
+  the profile's measured ``reduce_bandwidth`` prices them), scaled by the
+  backend's worker speedup ``1 + (workers - 1) * efficiency``;
+* **dispatch** — one per-batch overhead per backend: Python call dispatch
+  (serial), pool submit/result bookkeeping (thread), or the pool task
+  round-trip (process);
+* **IPC** — process backend only: the pickled task tuples out and the
+  reduced ``(rows, partial)`` blocks back through the pool pipe. Tensor
+  bytes never cross the pipe (workers attach), so this term counts segment
+  rows, not elements;
+* **staging** — out-of-core only: faulting the batch window in from a v1
+  mmap cache, or explicitly reading + decompressing v2 chunk frames (the
+  codec's measured throughput and compression ratio);
+* **prefetch overlap** — with ``config.prefetch`` the staging pipeline runs
+  on the loader thread, so only the part of staging that exceeds
+  compute + dispatch stalls the consumer (classic double-buffer overlap),
+  at a small per-batch handoff overhead.
+
+Every term is linear (or a max of linear terms) in nnz and in the codec's
+compressed-size ratio, so predictions are monotone in both — a property
+test pins this, and a golden test pins the exact output for the committed
+synthetic profile. The model is what turns the simulator into a planner:
+``backend="auto"`` (:func:`resolve_auto_backend`) picks the backend with
+the smallest predicted total for the actual workload.
+"""
+
+from __future__ import annotations
+
+from repro.engine.autotune import resolve_batch_size, streamed_batch_bytes
+from repro.engine.costmodel.hostprofile import (
+    DEFAULT_HOST_PROFILE,
+    HostProfile,
+    resolve_host_profile,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_CODEC_RATIO",
+    "AUTO_BACKEND_WORKERS",
+    "host_time_plan",
+    "rank_backends",
+    "resolve_auto_backend",
+]
+
+#: Nominal compressed/raw size ratio per v2 codec, used when the caller has
+#: no measured ratio from an actual cache manifest (pass ``codec_ratio`` to
+#: override). Ratios are data-dependent; these sit in the middle of the
+#: sorted-element caches the test matrix builds.
+DEFAULT_CODEC_RATIO = {"none": 1.0, "zlib": 0.55, "lzma": 0.45, "zstd": 0.50}
+
+#: Worker count ``backend="auto"`` considers for the parallel candidates
+#: when the config leaves ``workers`` at its default of 1 (a deterministic
+#: constant, not ``os.cpu_count()``, so resolution is host-independent).
+AUTO_BACKEND_WORKERS = 2
+
+#: Pickled bytes of one process-pool task tuple (spec key, mode, call id,
+#: factor descriptors, bounds) — measured order of magnitude.
+_TASK_BYTES = 256
+
+#: Value/index bytes of one reduced segment row crossing the result pipe
+#: (float64 partial row + int64 row id).
+def _result_row_bytes(rank: int) -> int:
+    return rank * 8 + 8
+
+
+def _mode_batches(shard_nnz, batch_size) -> int:
+    """Batches one mode pass dispatches (mirrors the engine's batch plan
+    at descriptor scale: segment snapping is ignored, like
+    :meth:`repro.simgpu.kernel.KernelCostModel.batch_split`)."""
+    n = 0
+    for nnz in shard_nnz:
+        nnz = int(nnz)
+        if nnz <= 0:
+            continue
+        if batch_size is None or batch_size >= nnz:
+            n += 1
+        else:
+            n += nnz // batch_size + (1 if nnz % batch_size else 0)
+    return n
+
+
+def host_time_plan(
+    workload,
+    config,
+    cost,
+    profile: HostProfile | None = None,
+    *,
+    backend: tuple[str, int] | None = None,
+    codec_ratio: float | None = None,
+) -> dict:
+    """Predict the functional host pipeline's time for one MTTKRP iteration.
+
+    Parameters
+    ----------
+    workload: a :class:`repro.core.workload.TensorWorkload` descriptor.
+    config: the :class:`repro.core.config.AmpedConfig`; its backend,
+        prefetch, batch-size, and cache-codec knobs select the terms.
+    cost: the :class:`repro.simgpu.kernel.KernelCostModel` behind batch
+        resolution and host element sizes.
+    profile: a :class:`HostProfile`; ``None`` resolves the config's
+        ``host_profile`` (then the ``REPRO_HOST_PROFILE`` env var, then the
+        committed :data:`DEFAULT_HOST_PROFILE`).
+    backend: explicit ``(name, workers)`` override — how
+        :func:`resolve_auto_backend` evaluates candidates without mutating
+        the config. Defaults to ``config.resolved_backend()``.
+    codec_ratio: measured compressed/raw byte ratio of the v2 cache;
+        ``None`` uses :data:`DEFAULT_CODEC_RATIO` for the config's codec.
+
+    Returns a dict of named seconds terms plus the resolved granularity:
+    ``compute_s``, ``dispatch_s``, ``ipc_s``, ``staging_read_s``,
+    ``decompress_s`` (the raw pipeline components), ``stall_s`` (staging
+    visible after prefetch overlap), ``prefetch_overhead_s``, and
+    ``total_s = compute + dispatch + ipc + stall + prefetch overhead``.
+    """
+    if profile is None:
+        profile = resolve_host_profile(getattr(config, "host_profile", None))
+        if profile is None:
+            profile = DEFAULT_HOST_PROFILE
+    if backend is None:
+        backend_name, workers = config.resolved_backend()
+    else:
+        backend_name, workers = backend
+        workers = int(workers)
+    if backend_name not in ("serial", "thread", "process"):
+        raise ReproError(
+            f"host_time_plan needs a concrete backend (serial/thread/"
+            f"process), got {backend_name!r}; resolve 'auto' with "
+            f"resolve_auto_backend first"
+        )
+    nmodes = workload.nmodes
+    rank = config.rank
+    batch_size = resolve_batch_size(
+        config.batch_size,
+        cost=cost,
+        rank=rank,
+        nmodes=nmodes,
+        out_of_core=config.out_of_core,
+        cache_fraction=config.stream_cache_fraction,
+        profile=profile,
+    )
+    elem_bytes = cost.host_element_bytes(nmodes)
+    streamed_per_elem = streamed_batch_bytes(1, rank, nmodes)
+
+    n_batches = 0
+    result_rows = 0
+    for mw in workload.modes:
+        mb = _mode_batches(mw.shard_nnz, batch_size)
+        n_batches += mb
+        # Segment rows one mode pass sends back: at most one per distinct
+        # output index, plus one boundary segment per extra batch.
+        result_rows += min(int(mw.nnz), int(mw.extent)) + mb
+
+    total_elems = nmodes * workload.nnz  # every mode pass reduces all nnz
+    streamed_bytes = total_elems * streamed_per_elem
+    raw_bytes = total_elems * elem_bytes
+
+    # ---- compute -------------------------------------------------------
+    speedup = 1.0
+    if backend_name == "thread" and workers > 1:
+        speedup = 1.0 + (workers - 1) * profile.thread_efficiency
+    elif backend_name == "process" and workers > 1:
+        speedup = 1.0 + (workers - 1) * profile.process_efficiency
+    compute_s = streamed_bytes / profile.reduce_bandwidth / speedup
+
+    # ---- dispatch ------------------------------------------------------
+    per_batch = {
+        "serial": profile.serial_dispatch_s,
+        "thread": profile.thread_dispatch_s,
+        "process": profile.process_task_s,
+    }[backend_name]
+    dispatch_s = n_batches * per_batch
+
+    # ---- IPC (process pipe traffic; elements never cross it) -----------
+    ipc_s = 0.0
+    if backend_name == "process":
+        pipe_bytes = n_batches * _TASK_BYTES + result_rows * _result_row_bytes(
+            rank
+        )
+        ipc_s = pipe_bytes / profile.pipe_bandwidth
+
+    # ---- staging (out of core only) ------------------------------------
+    staging_read_s = 0.0
+    decompress_s = 0.0
+    codec = getattr(config, "cache_codec", None)
+    if config.out_of_core:
+        if codec is None:
+            staging_read_s = raw_bytes / profile.mmap_read_bandwidth
+        else:
+            ratio = (
+                float(codec_ratio)
+                if codec_ratio is not None
+                else DEFAULT_CODEC_RATIO.get(codec, 1.0)
+            )
+            if ratio < 0.0:
+                raise ReproError(
+                    f"codec_ratio must be >= 0, got {codec_ratio!r}"
+                )
+            staging_read_s = raw_bytes * ratio / profile.chunk_read_bandwidth
+            decompress_s = raw_bytes / profile.decompress_rate(codec)
+
+    # ---- prefetch overlap ----------------------------------------------
+    staging_s = staging_read_s + decompress_s
+    prefetch_overhead_s = 0.0
+    if config.prefetch:
+        prefetch_overhead_s = n_batches * profile.prefetch_overhead_s
+        stall_s = max(0.0, staging_s - (compute_s + dispatch_s))
+    else:
+        stall_s = staging_s
+
+    total_s = compute_s + dispatch_s + ipc_s + stall_s + prefetch_overhead_s
+    return {
+        "backend": backend_name,
+        "workers": workers,
+        "prefetch": bool(config.prefetch),
+        "batch_size": batch_size,
+        "n_batches": int(n_batches),
+        "compute_s": float(compute_s),
+        "dispatch_s": float(dispatch_s),
+        "ipc_s": float(ipc_s),
+        "staging_read_s": float(staging_read_s),
+        "decompress_s": float(decompress_s),
+        "stall_s": float(stall_s),
+        "prefetch_overhead_s": float(prefetch_overhead_s),
+        "total_s": float(total_s),
+    }
+
+
+def rank_backends(
+    workload,
+    config,
+    cost,
+    profile: HostProfile | None = None,
+    *,
+    workers: int | None = None,
+    codec_ratio: float | None = None,
+) -> list[dict]:
+    """Predicted plans for every backend candidate, fastest first.
+
+    The parallel candidates run at ``workers`` (default: the config's
+    ``workers`` when above 1, else :data:`AUTO_BACKEND_WORKERS`); the
+    serial candidate always runs at 1. Ties keep registry order
+    (serial < thread < process), so resolution is deterministic.
+    """
+    if workers is None:
+        workers = config.workers if config.workers > 1 else AUTO_BACKEND_WORKERS
+    candidates = [("serial", 1), ("thread", workers), ("process", workers)]
+    plans = [
+        host_time_plan(
+            workload, config, cost, profile,
+            backend=cand, codec_ratio=codec_ratio,
+        )
+        for cand in candidates
+    ]
+    order = sorted(range(len(plans)), key=lambda i: plans[i]["total_s"])
+    return [plans[i] for i in order]
+
+
+def resolve_auto_backend(
+    workload,
+    config,
+    cost,
+    profile: HostProfile | None = None,
+    *,
+    workers: int | None = None,
+    codec_ratio: float | None = None,
+) -> tuple[str, int]:
+    """The ``(backend, workers)`` pair ``backend="auto"`` means for a run.
+
+    Evaluates :func:`host_time_plan` for the serial, thread, and process
+    candidates against the actual workload and picks the smallest predicted
+    total. :class:`repro.core.AmpedMTTKRP` calls this once at construction
+    and pins the concrete backend into its config.
+    """
+    best = rank_backends(
+        workload, config, cost, profile,
+        workers=workers, codec_ratio=codec_ratio,
+    )[0]
+    return best["backend"], best["workers"]

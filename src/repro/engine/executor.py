@@ -142,10 +142,12 @@ class StreamingExecutor:
                     f"batch_size must be >= 1 (or None for whole-shard "
                     f"batches), got {batch_size}"
                 )
+        self._owns_prefetcher = False
         if isinstance(source, PrefetchingSource):
             prefetch = True
         elif prefetch:
             source = PrefetchingSource(source)
+            self._owns_prefetcher = True
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = create_backend(backend, workers)
         self.source = source
@@ -170,11 +172,15 @@ class StreamingExecutor:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the backend (pools, shared memory) if this executor owns
-        it. Idempotent; shared backend instances are left to their owner."""
+        it, and stop any prefetch loader threads of a wrapper this executor
+        created (a caller-provided :class:`PrefetchingSource` stays with its
+        owner, like a backend instance). Idempotent."""
         if not self._closed:
             self._closed = True
             if self._owns_backend:
                 self.backend.close()
+            if self._owns_prefetcher:
+                self.source.close()
 
     def __enter__(self) -> "StreamingExecutor":
         return self

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -44,6 +45,11 @@ DEFAULT_PREFETCH_DEPTH = 1
 MAX_PREFETCH_DEPTH = 64
 
 _DONE = object()
+
+#: give up joining a loader wedged inside one batch read (stalled disk/NFS)
+#: after this many seconds — it is a daemon thread, and leaking it beats
+#: hanging the caller's close()/break path on I/O that may never return
+LOADER_JOIN_TIMEOUT = 5.0
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,65 @@ class _LoadFailure:
 
     def __init__(self, exc: BaseException) -> None:
         self.exc = exc
+
+
+class _Loader:
+    """One staging thread plus the queue/stop-flag it is coupled to.
+
+    The shutdown contract lives here so both the consumer generator's
+    ``finally`` (normal end, early ``break``, GeneratorExit) and
+    :meth:`PrefetchingSource.close` (a consumer that abandoned the iterator
+    without closing it) run the *same* join: signal ``stop``, then
+    alternately drain the queue and join until the thread is dead. The
+    loader re-checks ``stop`` at least every 50 ms even while blocked on a
+    full queue, so the loop terminates promptly; draining just releases
+    staged arrays early. A loader exception that arrives after the consumer
+    stopped pulling is dropped on the floor by design — there is nobody
+    left to re-raise it to, and the thread must still exit.
+    """
+
+    def __init__(self, depth: int) -> None:
+        self.queue: "queue.Queue" = queue.Queue(maxsize=depth)
+        self.stop = threading.Event()
+        self.thread: threading.Thread | None = None
+
+    def put(self, item) -> bool:
+        """Blocking put that aborts (returns False) once ``stop`` is set."""
+        while not self.stop.is_set():
+            try:
+                self.queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def shutdown(self) -> None:
+        """Stop the thread and join it; idempotent, never raises.
+
+        The join is bounded by :data:`LOADER_JOIN_TIMEOUT`: a loader wedged
+        inside one batch read (stalled I/O never re-checks ``stop``) is
+        abandoned as the daemon thread it is rather than hanging the
+        caller. Either way a ``_DONE`` sentinel is enqueued at the end so a
+        consumer blocked in ``queue.get()`` on another thread (close() from
+        elsewhere while it waits for the next batch) always wakes up — the
+        stopped loader itself will never send one.
+        """
+        self.stop.set()
+        thread = self.thread
+        if thread is not None:
+            deadline = time.monotonic() + LOADER_JOIN_TIMEOUT
+            while thread.is_alive() and time.monotonic() < deadline:
+                try:  # release staged arrays / unblock a put-in-progress
+                    self.queue.get_nowait()
+                except queue.Empty:
+                    pass
+                thread.join(timeout=0.05)
+            if not thread.is_alive():
+                self.thread = None
+        try:
+            self.queue.put_nowait(_DONE)
+        except queue.Full:  # pragma: no cover - racing wedged loader
+            pass
 
 
 class PrefetchingSource(ShardSource):
@@ -101,6 +166,8 @@ class PrefetchingSource(ShardSource):
             )
         self.source = source
         self.depth = depth
+        self._lock = threading.Lock()
+        self._active: set[_Loader] = set()
 
     # ---- delegation ---------------------------------------------------
     @property
@@ -140,6 +207,33 @@ class PrefetchingSource(ShardSource):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PrefetchingSource({self.source!r}, depth={self.depth})"
 
+    # ---- lifecycle ----------------------------------------------------
+    def close(self) -> None:
+        """Stop and join every in-flight loader thread.
+
+        The safety net for consumers that abandoned an :meth:`iter_batches`
+        iterator without exhausting or closing it (the generator's own
+        ``finally`` handles ``break``/``GeneratorExit``/exceptions): without
+        this, an abandoned loader would sit blocked on its full queue until
+        interpreter exit. Idempotent; does **not** close the wrapped source
+        — ownership of the inner source stays with whoever created it.
+        :meth:`repro.engine.executor.StreamingExecutor.close` calls this for
+        wrappers the executor created itself.
+        """
+        while True:
+            with self._lock:
+                if not self._active:
+                    return
+                loader = next(iter(self._active))
+                self._active.discard(loader)
+            loader.shutdown()
+
+    @property
+    def active_loaders(self) -> int:
+        """In-flight loader threads (test/introspection hook)."""
+        with self._lock:
+            return len(self._active)
+
     # ---- the point ----------------------------------------------------
     def iter_batches(
         self, mode: int, batches: Iterable[ElementBatch]
@@ -148,26 +242,18 @@ class PrefetchingSource(ShardSource):
 
         A daemon loader thread stays at most ``depth`` batches ahead of the
         consumer (a bounded queue is the backpressure). Loader exceptions
-        re-raise at the consumer's next pull; abandoning the iterator stops
-        the loader promptly.
+        re-raise at the consumer's next pull; abandoning the iterator —
+        ``break``, ``GeneratorExit``, an exception, or :meth:`close` on this
+        source — always stops **and joins** the loader, so no daemon thread
+        outlives its iterator.
         """
         part = self.source.partition(mode)
-        out: "queue.Queue" = queue.Queue(maxsize=self.depth)
-        stop = threading.Event()
-
-        def _put(item) -> bool:
-            while not stop.is_set():
-                try:
-                    out.put(item, timeout=0.05)
-                    return True
-                except queue.Full:
-                    continue
-            return False
+        loader = _Loader(self.depth)
 
         def _load() -> None:
             try:
                 for batch in batches:
-                    if stop.is_set():
+                    if loader.stop.is_set():
                         return
                     sl = batch.elements
                     staged = LoadedBatch(
@@ -175,30 +261,28 @@ class PrefetchingSource(ShardSource):
                         indices=np.ascontiguousarray(part.tensor.indices[sl]),
                         values=np.ascontiguousarray(part.tensor.values[sl]),
                     )
-                    if not _put(staged):
+                    if not loader.put(staged):
                         return
             except BaseException as exc:  # propagate to the consumer
-                _put(_LoadFailure(exc))
+                loader.put(_LoadFailure(exc))
                 return
-            _put(_DONE)
+            loader.put(_DONE)
 
-        loader = threading.Thread(
+        loader.thread = threading.Thread(
             target=_load, name="repro-prefetch", daemon=True
         )
-        loader.start()
+        with self._lock:
+            self._active.add(loader)
+        loader.thread.start()
         try:
             while True:
-                item = out.get()
+                item = loader.queue.get()
                 if item is _DONE:
                     break
                 if isinstance(item, _LoadFailure):
                     raise item.exc
                 yield item
         finally:
-            stop.set()
-            while True:  # drain so a blocked loader can observe `stop`
-                try:
-                    out.get_nowait()
-                except queue.Empty:
-                    break
-            loader.join(timeout=5.0)
+            with self._lock:
+                self._active.discard(loader)
+            loader.shutdown()

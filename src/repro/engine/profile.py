@@ -1,0 +1,297 @@
+"""Per-host calibration profiler: microbenchmarks filling a HostProfile.
+
+``repro profile`` (CLI) runs this module's short microbenchmarks and
+persists the result as the versioned JSON
+:class:`repro.engine.costmodel.HostProfile` that the host-pipeline timing
+model (:func:`repro.engine.costmodel.host_time_plan`), batch autotuning
+(``batch_size="auto"`` through the measured ``stream_cache_fraction``), and
+``backend="auto"`` resolution consume. Measured per benchmark:
+
+* ``memcpy_bandwidth`` — large-block :func:`numpy.copyto`;
+* ``reduce_bandwidth`` — streamed-batch bytes through one serial
+  :func:`repro.engine.backend.reduce_batch_arrays` lane (the actual
+  engine kernel, so the compute term tracks this host's NumPy build);
+* ``thread_efficiency`` — the realized speedup of running two of those
+  reductions on a two-worker thread pool (GIL residue included);
+* ``mmap_read_bandwidth`` / ``chunk_read_bandwidth`` — memory-mapped vs
+  explicit reads of a temporary file (page-cache-warm, like a hot run);
+* ``decompress_bandwidth`` — raw bytes/s per available v2 cache codec;
+* ``serial_dispatch_s`` / ``thread_dispatch_s`` / ``process_task_s`` /
+  ``pipe_bandwidth`` / ``prefetch_overhead_s`` — the per-batch overheads
+  of each dispatch path (Python call, pool submit, process-pool round
+  trip + pickled pipe traffic, staging-queue handoff);
+* ``stream_cache_fraction`` — a batch-size sweep of the reduction kernel:
+  the largest batch within 10% of peak throughput, expressed as the
+  fraction of the cost model's effective cache its streamed block occupies.
+
+``quick=True`` shrinks every working set and repeat count (CI-friendly,
+about a second); the profile records which mode produced it.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import tempfile
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.autotune import streamed_batch_bytes
+from repro.engine.backend import reduce_batch_arrays
+from repro.engine.costmodel.hostprofile import (
+    DEFAULT_PROFILE_PATH,
+    HostProfile,
+)
+
+__all__ = ["profile_host", "write_host_profile"]
+
+#: rank/modes the calibration reductions run at (the paper's defaults).
+_RANK = 32
+_NMODES = 3
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return max(best, 1e-9)
+
+
+def _reduce_case(nnz: int, seed: int = 0):
+    """A mode-sorted synthetic batch + factors for the reduction benchmark."""
+    rng = np.random.default_rng(seed)
+    shape = (max(64, nnz // 16), 1000, 800)
+    indices = np.stack(
+        [np.sort(rng.integers(0, s, nnz)) for s in shape], axis=1
+    ).astype(np.int64)
+    indices[:, 0].sort(kind="stable")
+    values = rng.random(nnz)
+    factors = [rng.random((s, _RANK)) for s in shape]
+    return indices, values, factors
+
+
+def _measure_reduce(nnz: int, repeats: int) -> float:
+    indices, values, factors = _reduce_case(nnz)
+    t = _best(lambda: reduce_batch_arrays(indices, values, factors, 0), repeats)
+    return streamed_batch_bytes(nnz, _RANK, _NMODES) / t
+
+
+def _measure_memcpy(nbytes: int, repeats: int) -> float:
+    src = np.ones(nbytes // 8, dtype=np.float64)
+    dst = np.empty_like(src)
+    return src.nbytes / _best(lambda: np.copyto(dst, src), repeats)
+
+
+def _measure_thread_efficiency(nnz: int, repeats: int) -> float:
+    """Realized fraction of a second worker: speedup(2 workers) - 1."""
+    indices, values, factors = _reduce_case(nnz)
+
+    def one():
+        reduce_batch_arrays(indices, values, factors, 0)
+
+    t_serial = _best(lambda: (one(), one()), repeats)
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        def both():
+            futs = [pool.submit(one), pool.submit(one)]
+            for f in futs:
+                f.result()
+
+        both()  # warm the pool before timing
+        t_pool = _best(both, repeats)
+    return float(min(1.0, max(0.05, t_serial / t_pool - 1.0)))
+
+
+def _measure_file_bandwidths(nbytes: int, repeats: int) -> tuple[float, float]:
+    """(mmap_read, chunk_read) bytes/s over a temp file (page-cache warm)."""
+    data = np.arange(nbytes // 8, dtype=np.int64)
+    with tempfile.NamedTemporaryFile(suffix=".bin") as tmp:
+        data.tofile(tmp.name)
+
+        def fault():
+            view = np.memmap(tmp.name, dtype=np.int64, mode="r")
+            # touch every page through the map (what batch staging does)
+            return int(view[:: 512].sum())
+
+        mmap_bw = nbytes / _best(fault, repeats)
+
+        def read():
+            with open(tmp.name, "rb") as f:
+                while f.read(1 << 20):
+                    pass
+
+        chunk_bw = nbytes / _best(read, repeats)
+    return mmap_bw, chunk_bw
+
+
+def _measure_decompress(nbytes: int, repeats: int, memcpy_bw: float) -> dict:
+    """Raw bytes/s per available codec (``none`` frames are plain views)."""
+    raw = np.arange(nbytes // 8, dtype=np.int64).tobytes()
+    rates = {"none": float(memcpy_bw)}
+    rates["zlib"] = len(raw) / _best(
+        lambda blob=zlib.compress(raw, 6): zlib.decompress(blob), repeats
+    )
+    import lzma
+
+    rates["lzma"] = len(raw) / _best(
+        lambda blob=lzma.compress(raw, preset=1): lzma.decompress(blob),
+        max(1, repeats // 2),
+    )
+    try:
+        import zstandard
+    except ImportError:
+        pass
+    else:
+        blob = zstandard.ZstdCompressor().compress(raw)
+        dctx = zstandard.ZstdDecompressor()
+        rates["zstd"] = len(raw) / _best(lambda: dctx.decompress(blob), repeats)
+    return rates
+
+
+def _noop():
+    return None
+
+
+def _echo_len(payload) -> int:
+    return len(payload)
+
+
+def _measure_dispatch(repeats: int) -> tuple[float, float, float]:
+    """(serial, thread, prefetch-handoff) per-operation overheads."""
+    n = 2000 * repeats
+
+    def calls():
+        for _ in range(n):
+            _noop()
+
+    serial = _best(calls, 3) / n
+
+    m = 200 * repeats
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        pool.submit(_noop).result()  # warm
+
+        def submits():
+            for _ in range(m):
+                pool.submit(_noop).result()
+
+        thread = _best(submits, 3) / m
+
+    q: "queue.Queue" = queue.Queue(maxsize=4)
+
+    def handoff():
+        for _ in range(m):
+            q.put(None)
+            q.get()
+
+    prefetch = _best(handoff, 3) / m
+    return serial, thread, prefetch
+
+
+def _measure_process(payload_bytes: int, repeats: int) -> tuple[float, float]:
+    """(per-task round-trip seconds, pipe bytes/s) through an mp pool."""
+    import multiprocessing as mp
+
+    with mp.get_context().Pool(processes=1) as pool:
+        pool.apply(_noop)  # warm the worker
+
+        n = 50 * repeats
+
+        def round_trips():
+            for _ in range(n):
+                pool.apply(_noop)
+
+        task_s = _best(round_trips, 3) / n
+
+        payload = b"\x00" * payload_bytes
+
+        def pipe():
+            pool.apply(_echo_len, (payload,))
+
+        pipe_t = _best(pipe, max(3, repeats))
+        pipe_bw = payload_bytes / max(pipe_t - task_s, 1e-9)
+    return task_s, pipe_bw
+
+
+def _measure_cache_fraction(quick: bool, cost=None) -> float:
+    """Batch-size sweep of the reduction: the plateau edge as a fraction.
+
+    Picks the largest batch whose throughput stays within 10% of the best
+    probed throughput and expresses its streamed block as a fraction of
+    the cost model's effective cache (the quantity
+    ``batch_size="auto"`` consumes).
+    """
+    from repro.simgpu.kernel import KernelCostModel
+
+    cost = cost or KernelCostModel()
+    sizes = [4096, 32768] if quick else [4096, 16384, 65536, 262144]
+    repeats = 2 if quick else 4
+    rates = {b: _measure_reduce(b, repeats) for b in sizes}
+    best = max(rates.values())
+    plateau = max(b for b, r in rates.items() if r >= 0.9 * best)
+    frac = streamed_batch_bytes(plateau, _RANK, _NMODES) / float(
+        cost.effective_cache_bytes
+    )
+    return float(min(1.0, max(1e-4, frac)))
+
+
+def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
+    """Run every microbenchmark and return the measured :class:`HostProfile`.
+
+    ``quick=True`` shrinks working sets and repeats (about a second; CI
+    mode); the full run uses larger blocks for steadier bandwidth numbers.
+    ``cost`` overrides the :class:`repro.simgpu.kernel.KernelCostModel`
+    whose effective cache the measured ``stream_cache_fraction`` is
+    relative to.
+    """
+    repeats = 2 if quick else 5
+    big = (8 << 20) if quick else (64 << 20)
+    blob = (1 << 20) if quick else (8 << 20)
+    reduce_nnz = 16384 if quick else 65536
+
+    memcpy_bw = _measure_memcpy(big, repeats)
+    reduce_bw = _measure_reduce(reduce_nnz, repeats)
+    thread_eff = _measure_thread_efficiency(reduce_nnz, repeats)
+    mmap_bw, chunk_bw = _measure_file_bandwidths(big, repeats)
+    decompress = _measure_decompress(blob, repeats, memcpy_bw)
+    serial_s, thread_s, prefetch_s = _measure_dispatch(1 if quick else 3)
+    task_s, pipe_bw = _measure_process(blob, 1 if quick else 3)
+    fraction = _measure_cache_fraction(quick, cost)
+
+    return HostProfile(
+        hostname=socket.gethostname(),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        quick=bool(quick),
+        memcpy_bandwidth=memcpy_bw,
+        reduce_bandwidth=reduce_bw,
+        mmap_read_bandwidth=mmap_bw,
+        chunk_read_bandwidth=chunk_bw,
+        decompress_bandwidth=decompress,
+        serial_dispatch_s=serial_s,
+        thread_dispatch_s=thread_s,
+        process_task_s=task_s,
+        pipe_bandwidth=pipe_bw,
+        thread_efficiency=thread_eff,
+        prefetch_overhead_s=prefetch_s,
+        stream_cache_fraction=fraction,
+    )
+
+
+def write_host_profile(
+    path=None, *, quick: bool = False, cost=None
+) -> tuple[Path, HostProfile]:
+    """Profile this host and persist the JSON; returns ``(path, profile)``.
+
+    ``path=None`` writes the default location
+    (:data:`repro.engine.costmodel.DEFAULT_PROFILE_PATH`); point the
+    ``REPRO_HOST_PROFILE`` environment variable at the written file to have
+    every later run consume it.
+    """
+    profile = profile_host(quick=quick, cost=cost)
+    out = profile.save(path if path is not None else DEFAULT_PROFILE_PATH)
+    return out, profile

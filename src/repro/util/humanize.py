@@ -1,13 +1,57 @@
-"""Human-readable formatting for byte counts, element counts, and durations.
+"""Human-readable formatting and parsing for byte/element counts and durations.
 
-These mirror the notation used in the paper's tables (e.g. ``4.8M x 1.8M``
-shapes, ``1.7B`` nonzeros) so harness output reads like the original.
+The formatters mirror the notation used in the paper's tables (e.g.
+``4.8M x 1.8M`` shapes, ``1.7B`` nonzeros) so harness output reads like the
+original. :func:`parse_size` is the inverse direction — the one parser for
+suffixed positive counts (``256M``, ``64k``) shared by the CLI argument
+types and :class:`repro.core.config.AmpedConfig`, so the two can never
+disagree on what a size literal means or how its rejection reads.
 """
 
 from __future__ import annotations
 
 _BYTE_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
 _COUNT_UNITS = ["", "K", "M", "B", "T"]
+
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_size(text, *, what: str = "size") -> int:
+    """Parse a positive integer with an optional binary k/M/G suffix.
+
+    Suffixes are case-insensitive (``64k`` == ``64K``); the value must stay
+    positive *after* the suffix multiplication, so ``0k`` and ``-1M`` are
+    rejected like ``0`` and ``-1``. Raises :class:`ValueError` with the one
+    canonical message — callers (the CLI argument types,
+    ``AmpedConfig.cache_chunk_nnz``) re-wrap it in their own error type but
+    never re-word it.
+    """
+    if isinstance(text, bool):
+        raise ValueError(_size_error(what, text))
+    if isinstance(text, int):
+        value = int(text)
+    elif isinstance(text, str):
+        raw = text.strip()
+        mult = 1
+        if raw and raw[-1].lower() in _SIZE_SUFFIXES:
+            mult = _SIZE_SUFFIXES[raw[-1].lower()]
+            raw = raw[:-1]
+        try:
+            value = int(raw) * mult
+        except ValueError:
+            raise ValueError(_size_error(what, text)) from None
+    else:
+        raise ValueError(_size_error(what, text))
+    if value < 1:
+        raise ValueError(_size_error(what, text))
+    return value
+
+
+def _size_error(what: str, text) -> str:
+    return (
+        f"{what} must be a positive integer, optionally with a binary "
+        f"k/M/G suffix (e.g. 65536, 64k, 256M, 4G); got {text!r}"
+    )
 
 
 def format_bytes(n: float) -> str:

@@ -225,3 +225,95 @@ class TestResolvedBatchSize:
         assert cfg.resolved_batch_size(small_cache, 3) <= cfg.resolved_batch_size(
             cost, 3
         )
+
+
+class TestEnvValidationAtConstruction:
+    """Satellite contract: a malformed REPRO_STREAM_CACHE_FRACTION (or host
+    profile) fails *at config resolution* as a named ReproError — never as
+    a bare ValueError deep inside batch autotuning."""
+
+    @pytest.mark.parametrize("bad", ["lots", "1.5", "0", "-0.25", "nan"])
+    def test_bad_fraction_env_rejected_eagerly(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", bad)
+        with pytest.raises(ReproError, match="REPRO_STREAM_CACHE_FRACTION"):
+            AmpedConfig()
+
+    def test_valid_fraction_env_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "0.5")
+        AmpedConfig()  # must not raise
+
+    def test_blank_fraction_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "   ")
+        AmpedConfig()
+
+    def test_bad_host_profile_env_rejected_eagerly(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_HOST_PROFILE", str(tmp_path / "nope.json"))
+        with pytest.raises(ReproError, match="cannot read host profile"):
+            AmpedConfig()
+
+    def test_explicit_override_beats_bad_env(self, monkeypatch):
+        """An explicit per-run fraction wins the resolution, but the env
+        var is still validated — silent acceptance of garbage would let it
+        bite the next unconfigured run."""
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "lots")
+        with pytest.raises(ReproError):
+            AmpedConfig(stream_cache_fraction=0.5)
+        monkeypatch.delenv("REPRO_STREAM_CACHE_FRACTION")
+        assert AmpedConfig(stream_cache_fraction=0.5).stream_cache_fraction == 0.5
+
+
+class TestAutoBackendConfig:
+    def test_auto_accepted(self):
+        assert AmpedConfig(backend="auto").backend == "auto"
+
+    def test_auto_with_workers_accepted(self):
+        cfg = AmpedConfig(backend="auto", workers=4)
+        assert cfg.backend == "auto" and cfg.workers == 4
+
+    def test_resolved_backend_refuses_unresolved_auto(self):
+        with pytest.raises(ReproError, match="resolve_auto_backend"):
+            AmpedConfig(backend="auto").resolved_backend()
+
+    def test_stream_lanes_needs_resolution_too(self):
+        with pytest.raises(ReproError, match="resolve_auto_backend"):
+            AmpedConfig(backend="auto").stream_lanes()
+
+    def test_other_spellings_still_rejected(self):
+        with pytest.raises(ReproError, match="backend"):
+            AmpedConfig(backend="automatic")
+
+
+class TestHostProfilePinning:
+    """The host profile is loaded once at construction and pinned: what was
+    validated is exactly what runs, regardless of later file changes."""
+
+    def test_path_normalized_to_instance(self, tmp_path):
+        from repro.engine.costmodel import DEFAULT_HOST_PROFILE, HostProfile
+
+        path = DEFAULT_HOST_PROFILE.save(tmp_path / "p.json")
+        cfg = AmpedConfig(host_profile=str(path))
+        assert isinstance(cfg.host_profile, HostProfile)
+        path.unlink()  # file gone: the pinned instance must keep working
+        assert cfg.resolved_host_profile() == DEFAULT_HOST_PROFILE
+
+    def test_env_var_pinned_at_construction(self, tmp_path, monkeypatch):
+        from repro.engine.costmodel import DEFAULT_HOST_PROFILE, HostProfile
+
+        path = DEFAULT_HOST_PROFILE.replace(hostname="pinned").save(
+            tmp_path / "env.json"
+        )
+        monkeypatch.setenv("REPRO_HOST_PROFILE", str(path))
+        cfg = AmpedConfig()
+        assert isinstance(cfg.host_profile, HostProfile)
+        monkeypatch.setenv("REPRO_HOST_PROFILE", str(tmp_path / "gone.json"))
+        assert cfg.resolved_host_profile().hostname == "pinned"
+
+    def test_bad_env_rejected_even_with_measured_profile(self, monkeypatch):
+        """The env var is validated unconditionally — a measured profile
+        winning the fraction resolution must not hide garbage in it."""
+        from repro.engine.costmodel import DEFAULT_HOST_PROFILE
+
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "lots")
+        profile = DEFAULT_HOST_PROFILE.replace(stream_cache_fraction=0.25)
+        with pytest.raises(ReproError, match="REPRO_STREAM_CACHE_FRACTION"):
+            AmpedConfig(host_profile=profile)

@@ -396,3 +396,76 @@ class TestGridBackends:
                 )
             assert backend.published_modes == 0  # attached, not copied
         assert np.array_equal(got, want)
+
+
+class TestProcessTeardown:
+    """Satellite hardening: ProcessBackend.close() is idempotent and never
+    leaks shared memory — not after a worker exception, not when closed
+    twice (context manager + AmpedMTTKRP.close), not mid-iteration."""
+
+    @staticmethod
+    def _shm_segments() -> set:
+        import pathlib
+
+        shm = pathlib.Path("/dev/shm")
+        if not shm.is_dir():  # pragma: no cover - non-Linux
+            return set()
+        return {p.name for p in shm.glob("psm_*")}
+
+    def test_worker_exception_then_close_is_clean(self, plan, factors):
+        """Poison a worker mid-call (factors too small make the reduction
+        raise inside the pool); the exception must surface, and close()
+        afterwards must neither raise nor leave shared-memory segments
+        (the resource_tracker would warn about leaks at interpreter exit)."""
+        before = self._shm_segments()
+        backend = ProcessBackend(2)
+        poisoned = [f[:1] for f in factors]  # worker-side IndexError
+        engine = StreamingExecutor(plan, batch_size=32, backend=backend)
+        with pytest.raises(Exception):
+            engine.mttkrp(poisoned, 0)
+        backend.close()
+        backend.close()  # double-close must stay silent
+        assert backend.closed
+        assert backend.published_modes == 0
+        assert backend.inflight_publications == 0
+        assert self._shm_segments() <= before
+
+    def test_close_while_generator_suspended_releases_factors(
+        self, plan, factors
+    ):
+        """close() with a map_batches generator still suspended (consumer
+        stopped pulling) must release the in-flight factor publication."""
+        before = self._shm_segments()
+        backend = ProcessBackend(2)
+        source = InMemorySource(plan)
+        part = source.partition(0)
+        batches = build_batch_plan(part, 32).batches
+        it = backend.map_batches(part, factors, 0, batches)
+        next(it)  # generator now suspended holding its publication
+        assert backend.inflight_publications == 1
+        backend.close()
+        assert backend.inflight_publications == 0
+        it.close()  # late generator cleanup must not raise or double-free
+        backend.close()
+        assert self._shm_segments() <= before
+
+    def test_double_close_via_context_and_amped(self, tensor, factors):
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        cfg = AmpedConfig(
+            n_gpus=N_GPUS, rank=5, shards_per_gpu=2,
+            backend="process", workers=2, batch_size=64,
+        )
+        before = self._shm_segments()
+        with AmpedMTTKRP(tensor, cfg) as ex:
+            ex.mttkrp(factors, 0)
+        ex.close()  # second close via the explicit path
+        assert ex.engine.backend.closed
+        assert self._shm_segments() <= before
+
+    def test_fresh_backend_close_without_start(self):
+        backend = ProcessBackend(2)
+        backend.close()
+        backend.close()
+        assert backend.closed

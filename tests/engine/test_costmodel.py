@@ -1,0 +1,334 @@
+"""Unit tests for the host-pipeline cost model (repro.engine.costmodel).
+
+The golden pin (``tests/golden/test_host_time_plan.py``) freezes the exact
+arithmetic; this module covers the machinery around it — HostProfile
+validation/persistence/versioning, profile resolution order (explicit >
+``REPRO_HOST_PROFILE`` env var), the structure of ``host_time_plan``
+(which terms appear for which backend / out-of-core / prefetch settings),
+``backend="auto"`` resolution, and the AmpedConfig / AmpedMTTKRP wiring
+including the measured-fraction precedence over the
+``REPRO_STREAM_CACHE_FRACTION`` env var.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.amped import AmpedMTTKRP
+from repro.core.config import AmpedConfig
+from repro.core.simulate import host_time_plan as core_host_time_plan
+from repro.engine.costmodel import (
+    DEFAULT_HOST_PROFILE,
+    HOST_PROFILE_ENV,
+    HOST_PROFILE_VERSION,
+    HostProfile,
+    host_time_plan,
+    load_host_profile,
+    rank_backends,
+    resolve_auto_backend,
+    resolve_host_profile,
+)
+from repro.errors import ReproError
+from repro.simgpu.kernel import KernelCostModel
+from repro.tensor.generate import zipf_coo
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return zipf_coo((40, 30, 20), 1200, exponents=1.0, seed=9)
+
+
+@pytest.fixture(scope="module")
+def workload(tensor):
+    ex = AmpedMTTKRP(tensor, AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2))
+    return ex.workload
+
+
+COST = KernelCostModel()
+
+
+class TestHostProfile:
+    def test_defaults_are_valid(self):
+        HostProfile()  # must not raise
+
+    def test_json_round_trip(self, tmp_path):
+        profile = DEFAULT_HOST_PROFILE.replace(
+            hostname="box", reduce_bandwidth=3.5e9,
+            stream_cache_fraction=0.125,
+        )
+        path = profile.save(tmp_path / "p.json")
+        loaded = load_host_profile(path)
+        assert loaded == profile
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"version": 0},
+            {"memcpy_bandwidth": 0.0},
+            {"reduce_bandwidth": -1.0},
+            {"pipe_bandwidth": 0.0},
+            {"serial_dispatch_s": -1e-6},
+            {"thread_efficiency": 0.0},
+            {"process_efficiency": 1.5},
+            {"decompress_bandwidth": {"zlib": 0.0}},
+            {"stream_cache_fraction": 0.0},
+            {"stream_cache_fraction": 2.0},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ReproError):
+            HostProfile(**kw)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        data = DEFAULT_HOST_PROFILE.to_json().replace(
+            f'"version": {HOST_PROFILE_VERSION}', '"version": 99'
+        )
+        path.write_text(data)
+        with pytest.raises(ReproError, match="version 99"):
+            load_host_profile(path)
+
+    def test_unknown_fields_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(
+            DEFAULT_HOST_PROFILE.to_json().replace(
+                '"quick"', '"mystery": 1, "quick"'
+            )
+        )
+        with pytest.raises(ReproError, match="mystery"):
+            load_host_profile(path)
+
+    def test_missing_file_error_is_actionable(self, tmp_path):
+        with pytest.raises(ReproError, match="repro profile"):
+            load_host_profile(tmp_path / "absent.json")
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_host_profile(path)
+
+    def test_decompress_rate_falls_back_to_none(self):
+        profile = DEFAULT_HOST_PROFILE
+        assert profile.decompress_rate(None) == profile.decompress_rate("none")
+        assert profile.decompress_rate("made-up-codec") == pytest.approx(
+            profile.decompress_bandwidth["none"]
+        )
+
+
+class TestResolveHostProfile:
+    def test_none_without_env_is_none(self, monkeypatch):
+        monkeypatch.delenv(HOST_PROFILE_ENV, raising=False)
+        assert resolve_host_profile(None) is None
+
+    def test_instance_passes_through(self):
+        assert resolve_host_profile(DEFAULT_HOST_PROFILE) is DEFAULT_HOST_PROFILE
+
+    def test_path_loads(self, tmp_path):
+        path = DEFAULT_HOST_PROFILE.save(tmp_path / "p.json")
+        assert resolve_host_profile(str(path)) == DEFAULT_HOST_PROFILE
+
+    def test_env_var_consulted(self, tmp_path, monkeypatch):
+        profile = DEFAULT_HOST_PROFILE.replace(hostname="from-env")
+        path = profile.save(tmp_path / "env.json")
+        monkeypatch.setenv(HOST_PROFILE_ENV, str(path))
+        assert resolve_host_profile(None).hostname == "from-env"
+
+    def test_bad_env_var_raises_named_error(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HOST_PROFILE_ENV, str(tmp_path / "missing.json"))
+        with pytest.raises(ReproError, match="cannot read host profile"):
+            resolve_host_profile(None)
+
+    def test_garbage_spec_rejected(self):
+        with pytest.raises(ReproError, match="host_profile"):
+            resolve_host_profile(123)
+
+
+class TestHostTimePlan:
+    def test_resident_serial_has_no_staging_or_ipc(self, workload):
+        plan = host_time_plan(workload, AmpedConfig(rank=8, n_gpus=2), COST)
+        assert plan["backend"] == "serial" and plan["workers"] == 1
+        assert plan["staging_read_s"] == 0.0
+        assert plan["decompress_s"] == 0.0
+        assert plan["ipc_s"] == 0.0
+        assert plan["compute_s"] > 0.0 and plan["dispatch_s"] > 0.0
+        assert plan["total_s"] == pytest.approx(
+            plan["compute_s"] + plan["dispatch_s"]
+        )
+
+    def test_process_charges_ipc_and_dispatch(self, workload):
+        cfg = AmpedConfig(rank=8, n_gpus=2, backend="process", workers=2)
+        plan = host_time_plan(workload, cfg, COST)
+        assert plan["ipc_s"] > 0.0
+        serial = host_time_plan(workload, AmpedConfig(rank=8, n_gpus=2), COST)
+        # the pool speedup divides compute, the pipe adds IPC
+        assert plan["compute_s"] < serial["compute_s"]
+        assert plan["dispatch_s"] > serial["dispatch_s"]
+
+    def test_out_of_core_mmap_charges_staging(self, workload):
+        cfg = AmpedConfig(
+            rank=8, n_gpus=2, out_of_core=True, shard_cache="x.npz",
+            batch_size=128,
+        )
+        plan = host_time_plan(workload, cfg, COST)
+        assert plan["staging_read_s"] > 0.0
+        assert plan["decompress_s"] == 0.0  # v1 mmap: no codec
+        assert plan["stall_s"] == plan["staging_read_s"]
+
+    def test_v2_codec_charges_decompression(self, workload):
+        cfg = AmpedConfig(
+            rank=8, n_gpus=2, out_of_core=True, shard_cache="x.npz",
+            cache_codec="zlib", batch_size=128,
+        )
+        plan = host_time_plan(workload, cfg, COST)
+        assert plan["decompress_s"] > 0.0
+        slower = host_time_plan(
+            workload, cfg.replace(cache_codec="lzma"), COST
+        )
+        # the default profile decompresses lzma slower than zlib
+        assert slower["decompress_s"] > plan["decompress_s"]
+
+    def test_prefetch_overlaps_staging(self, workload):
+        cfg = AmpedConfig(
+            rank=8, n_gpus=2, out_of_core=True, shard_cache="x.npz",
+            cache_codec="lzma", batch_size=128,
+        )
+        plain = host_time_plan(workload, cfg, COST)
+        overlapped = host_time_plan(workload, cfg.replace(prefetch=True), COST)
+        assert overlapped["stall_s"] < plain["stall_s"]
+        assert overlapped["prefetch_overhead_s"] > 0.0
+        # overlap hides staging behind compute+dispatch, never below zero
+        expected = max(
+            0.0,
+            plain["staging_read_s"] + plain["decompress_s"]
+            - (overlapped["compute_s"] + overlapped["dispatch_s"]),
+        )
+        assert overlapped["stall_s"] == pytest.approx(expected)
+
+    def test_codec_ratio_scales_read_term(self, workload):
+        cfg = AmpedConfig(
+            rank=8, n_gpus=2, out_of_core=True, shard_cache="x.npz",
+            cache_codec="zstd", batch_size=128,
+        )
+        lo = host_time_plan(workload, cfg, COST, codec_ratio=0.2)
+        hi = host_time_plan(workload, cfg, COST, codec_ratio=0.8)
+        assert hi["staging_read_s"] == pytest.approx(4 * lo["staging_read_s"])
+
+    def test_auto_spelling_rejected_without_resolution(self, workload):
+        cfg = AmpedConfig(rank=8, n_gpus=2, backend="auto")
+        with pytest.raises(ReproError, match="resolve_auto_backend"):
+            host_time_plan(workload, cfg, COST)
+
+    def test_explicit_backend_override(self, workload):
+        cfg = AmpedConfig(rank=8, n_gpus=2)
+        plan = host_time_plan(workload, cfg, COST, backend=("thread", 4))
+        assert plan["backend"] == "thread" and plan["workers"] == 4
+
+    def test_core_reexport_is_the_same_function(self):
+        assert core_host_time_plan is host_time_plan
+
+
+class TestAutoBackend:
+    def test_rank_backends_sorted_and_complete(self, workload):
+        cfg = AmpedConfig(rank=8, n_gpus=2)
+        plans = rank_backends(workload, cfg, COST)
+        assert [p["backend"] for p in plans] != []
+        assert {p["backend"] for p in plans} == {"serial", "thread", "process"}
+        totals = [p["total_s"] for p in plans]
+        assert totals == sorted(totals)
+
+    def test_resolution_is_deterministic(self, workload):
+        cfg = AmpedConfig(rank=8, n_gpus=2)
+        first = resolve_auto_backend(workload, cfg, COST)
+        assert resolve_auto_backend(workload, cfg, COST) == first
+
+    def test_dispatch_heavy_profile_prefers_serial(self, workload):
+        # make every parallel dispatch ruinously expensive
+        profile = DEFAULT_HOST_PROFILE.replace(
+            thread_dispatch_s=10.0, process_task_s=10.0
+        )
+        name, workers = resolve_auto_backend(workload, AmpedConfig(rank=8, n_gpus=2), COST, profile)
+        assert (name, workers) == ("serial", 1)
+
+    def test_parallel_friendly_profile_prefers_parallel(self, workload):
+        profile = DEFAULT_HOST_PROFILE.replace(
+            thread_efficiency=1.0,
+            thread_dispatch_s=0.0,
+            serial_dispatch_s=0.0,
+        )
+        name, _ = resolve_auto_backend(
+            workload, AmpedConfig(rank=8, n_gpus=2), COST, profile,
+            workers=4,
+        )
+        assert name in ("thread", "process")
+
+    def test_amped_pins_auto_backend(self, tensor):
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2, backend="auto")
+        with AmpedMTTKRP(tensor, cfg) as ex:
+            assert ex.config.backend in ("serial", "thread", "process")
+            expected = resolve_auto_backend(ex.workload, cfg, ex.cost)
+            assert ex.config.resolved_backend() == expected
+            assert ex.engine.backend.name == expected[0]
+
+    def test_auto_backend_is_bit_identical(self, tensor):
+        rng = np.random.default_rng(3)
+        factors = [rng.random((s, 8)) for s in tensor.shape]
+        base_cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        with AmpedMTTKRP(tensor, base_cfg) as base, AmpedMTTKRP(
+            tensor, base_cfg.replace(backend="auto")
+        ) as auto:
+            for m in range(tensor.nmodes):
+                assert np.array_equal(
+                    auto.mttkrp(factors, m), base.mttkrp(factors, m)
+                )
+
+    def test_amped_host_time_plan_accessor(self, tensor):
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        with AmpedMTTKRP(tensor, cfg) as ex:
+            plan = ex.host_time_plan()
+            assert plan["backend"] == "serial"
+            assert plan["total_s"] > 0.0
+
+
+class TestConfigWiring:
+    def test_host_profile_field_accepts_instance_and_path(self, tmp_path):
+        path = DEFAULT_HOST_PROFILE.save(tmp_path / "p.json")
+        by_path = AmpedConfig(host_profile=str(path))
+        assert by_path.resolved_host_profile() == DEFAULT_HOST_PROFILE
+        by_instance = AmpedConfig(host_profile=DEFAULT_HOST_PROFILE)
+        assert by_instance.resolved_host_profile() is DEFAULT_HOST_PROFILE
+
+    def test_bad_host_profile_path_fails_at_construction(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read host profile"):
+            AmpedConfig(host_profile=str(tmp_path / "nope.json"))
+
+    def test_profile_fraction_beats_env_var(self, tmp_path, monkeypatch):
+        """Satellite contract: measured profile > REPRO_STREAM_CACHE_FRACTION."""
+        from repro.engine.autotune import auto_batch_size
+
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "0.001")
+        profile = DEFAULT_HOST_PROFILE.replace(stream_cache_fraction=1.0)
+        cfg = AmpedConfig(
+            out_of_core=True, shard_cache="x.npz", host_profile=profile
+        )
+        assert cfg.resolved_batch_size(COST, 3) == auto_batch_size(
+            COST, 32, 3, cache_fraction=1.0
+        )
+        # explicit config value still beats the profile
+        explicit = cfg.replace(stream_cache_fraction=0.5)
+        assert explicit.resolved_batch_size(COST, 3) == auto_batch_size(
+            COST, 32, 3, cache_fraction=0.5
+        )
+
+    def test_unmeasured_profile_falls_through_to_env(self, monkeypatch):
+        from repro.engine.autotune import auto_batch_size
+
+        monkeypatch.setenv("REPRO_STREAM_CACHE_FRACTION", "1.0")
+        profile = DEFAULT_HOST_PROFILE  # stream_cache_fraction is None
+        cfg = AmpedConfig(
+            out_of_core=True, shard_cache="x.npz", host_profile=profile
+        )
+        assert cfg.resolved_batch_size(COST, 3) == auto_batch_size(
+            COST, 32, 3, cache_fraction=1.0
+        )

@@ -1,0 +1,272 @@
+"""Regression tests for the PrefetchingSource loader-thread lifecycle.
+
+The satellite bug: a consumer that stops pulling mid-stream (an early
+``break``, an exception, or simply dropping the iterator) used to leave the
+daemon loader thread blocked on its full queue — and a loader exception
+arriving *after* the consumer stopped had nowhere to go. The contract now:
+every abandonment path (``break``/GeneratorExit via the generator's
+``finally``, or :meth:`PrefetchingSource.close` for a dropped reference)
+stops **and joins** the loader, on every source type, and late loader
+exceptions are swallowed without wedging the thread.
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CompressedChunkSource,
+    InMemorySource,
+    MmapNpzSource,
+    PrefetchingSource,
+    StreamingExecutor,
+    SyntheticSource,
+)
+from repro.engine.batch import build_batch_plan
+from repro.partition.plan import build_partition_plan
+from repro.tensor.generate import zipf_coo
+from repro.tensor.io import write_shard_cache, write_shard_cache_v2
+
+N_GPUS = 2
+SHARDS_PER_GPU = 3
+
+
+def _tensor():
+    return zipf_coo((30, 20, 25), 900, exponents=1.0, seed=12)
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return _tensor()
+
+
+@pytest.fixture(scope="module")
+def plan(tensor):
+    return build_partition_plan(tensor, N_GPUS, shards_per_gpu=SHARDS_PER_GPU)
+
+
+@pytest.fixture(scope="module")
+def cache_path(tensor, tmp_path_factory):
+    return write_shard_cache(tensor, tmp_path_factory.mktemp("pf") / "t.npz")
+
+
+@pytest.fixture(scope="module")
+def cache_v2_path(tensor, tmp_path_factory):
+    return write_shard_cache_v2(
+        tensor, tmp_path_factory.mktemp("pf2") / "t.npz",
+        codec="zlib", chunk_nnz=128,
+    )
+
+
+SOURCE_KINDS = ["memory", "mmap", "chunked", "synthetic"]
+
+
+def make_source(kind, plan, cache_path, cache_v2_path):
+    if kind == "memory":
+        return InMemorySource(plan)
+    if kind == "mmap":
+        return MmapNpzSource(
+            cache_path, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+    if kind == "chunked":
+        return CompressedChunkSource(
+            cache_v2_path, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+    if kind == "synthetic":
+        return SyntheticSource(
+            _tensor, n_gpus=N_GPUS, shards_per_gpu=SHARDS_PER_GPU
+        )
+    raise AssertionError(kind)
+
+
+def _live_loaders() -> list[threading.Thread]:
+    return [
+        t
+        for t in threading.enumerate()
+        if t.name.startswith("repro-prefetch") and t.is_alive()
+    ]
+
+
+def _assert_no_loaders(deadline: float = 5.0) -> None:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if not _live_loaders():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"leaked prefetch loaders: {_live_loaders()}")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_loaders():
+    """Every test must leave zero loader threads behind."""
+    assert not _live_loaders(), "dirty state from a previous test"
+    yield
+    _assert_no_loaders()
+
+
+class TestAbandonedIteration:
+    """Consumer breaks mid-stream: the loader must be joined, per source."""
+
+    @pytest.mark.parametrize("kind", SOURCE_KINDS)
+    def test_break_joins_loader(self, kind, plan, cache_path, cache_v2_path):
+        source = make_source(kind, plan, cache_path, cache_v2_path)
+        ps = PrefetchingSource(source, depth=1)
+        # a batch plan with many small batches so the loader is mid-flight
+        batches = build_batch_plan(
+            ps.partition(0), 32, keys=ps.mode_keys(0)
+        ).batches
+        assert len(batches) > 4
+        for i, loaded in enumerate(ps.iter_batches(0, batches)):
+            assert loaded.nnz > 0
+            if i == 1:
+                break  # GeneratorExit -> finally -> shutdown
+        assert ps.active_loaders == 0
+        _assert_no_loaders()
+        if hasattr(source, "close"):
+            source.close()
+
+    @pytest.mark.parametrize("kind", SOURCE_KINDS)
+    def test_dropped_iterator_joined_by_close(
+        self, kind, plan, cache_path, cache_v2_path
+    ):
+        """A reference-dropped (never closed) iterator is the leak case the
+        generator's ``finally`` cannot see until GC; ``close()`` must join
+        the loader deterministically."""
+        source = make_source(kind, plan, cache_path, cache_v2_path)
+        ps = PrefetchingSource(source, depth=1)
+        batches = build_batch_plan(
+            ps.partition(0), 32, keys=ps.mode_keys(0)
+        ).batches
+        it = ps.iter_batches(0, batches)
+        next(it)
+        assert ps.active_loaders == 1
+        ps.close()  # the consumer never touched `it` again
+        assert ps.active_loaders == 0
+        _assert_no_loaders()
+        # closing again is a no-op, and the abandoned generator's own
+        # cleanup must not raise either
+        ps.close()
+        it.close()
+        if hasattr(source, "close"):
+            source.close()
+
+    def test_exhausted_iteration_leaves_nothing(self, plan):
+        ps = PrefetchingSource(InMemorySource(plan), depth=2)
+        batches = build_batch_plan(ps.partition(0), 64).batches
+        assert len(list(ps.iter_batches(0, batches))) == len(batches)
+        assert ps.active_loaders == 0
+
+
+class TestLateLoaderFailure:
+    def test_error_after_consumer_stopped_is_swallowed(self, plan):
+        """A loader exception with nobody left to pull must not wedge the
+        thread (the old code could spin forever trying to enqueue it)."""
+        ps = PrefetchingSource(InMemorySource(plan), depth=1)
+        released = threading.Event()
+
+        def batches():
+            yield from build_batch_plan(plan.modes[0], 32).batches[:2]
+            released.wait(5.0)  # past the consumer's break
+            raise RuntimeError("late disk failure")
+
+        it = ps.iter_batches(0, batches())
+        next(it)
+        # release the loader into its raise *while* close() is joining it:
+        # the exception arrives with the consumer already gone
+        threading.Timer(0.05, released.set).start()
+        it.close()
+        _assert_no_loaders()
+
+    def test_error_while_consuming_still_propagates(self, plan):
+        ps = PrefetchingSource(InMemorySource(plan), depth=1)
+
+        def batches():
+            yield from build_batch_plan(plan.modes[0], 32).batches[:1]
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            list(ps.iter_batches(0, batches()))
+        assert ps.active_loaders == 0
+
+
+class TestExecutorOwnership:
+    def test_executor_close_joins_owned_prefetcher(self, plan):
+        factors = [
+            np.random.default_rng(1).random((s, 4))
+            for s in InMemorySource(plan).shape
+        ]
+        engine = StreamingExecutor(
+            InMemorySource(plan), batch_size=32, prefetch=True
+        )
+        engine.mttkrp(factors, 0)
+        engine.close()
+        assert engine.source.active_loaders == 0
+        _assert_no_loaders()
+
+    def test_executor_leaves_shared_prefetcher_to_owner(self, plan):
+        ps = PrefetchingSource(InMemorySource(plan), depth=1)
+        batches = build_batch_plan(ps.partition(0), 32).batches
+        it = ps.iter_batches(0, batches)
+        next(it)
+        with StreamingExecutor(ps, batch_size=32):
+            pass  # close() must not touch the caller's loaders
+        assert ps.active_loaders == 1
+        ps.close()
+        it.close()
+
+    def test_amped_prefetch_run_leaves_nothing(self, tensor):
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        rng = np.random.default_rng(5)
+        factors = [rng.random((s, 4)) for s in tensor.shape]
+        cfg = AmpedConfig(
+            n_gpus=2, rank=4, shards_per_gpu=2, prefetch=True, batch_size=64
+        )
+        with AmpedMTTKRP(tensor, cfg) as ex:
+            ex.mttkrp(factors, 0)
+        gc.collect()
+        _assert_no_loaders()
+
+
+class TestWedgedLoaderAndCrossThreadClose:
+    """Review hardening: shutdown must bound its join on a loader wedged in
+    stalled I/O, and close() from another thread must wake a consumer
+    blocked in ``queue.get()`` rather than strand it."""
+
+    def test_close_gives_up_on_wedged_loader_and_wakes_consumer(
+        self, plan, monkeypatch
+    ):
+        import repro.engine.prefetch as prefetch_mod
+
+        monkeypatch.setattr(prefetch_mod, "LOADER_JOIN_TIMEOUT", 0.3)
+        ps = PrefetchingSource(InMemorySource(plan), depth=1)
+        release = threading.Event()
+
+        def batches():
+            yield from build_batch_plan(plan.modes[0], 32).batches[:1]
+            release.wait(10.0)  # the loader is now wedged mid-"read"
+
+        it = ps.iter_batches(0, batches())
+        next(it)
+        drained: dict = {}
+
+        def consume():
+            drained["rest"] = sum(1 for _ in it)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        time.sleep(0.1)  # consumer is blocked in queue.get()
+        t0 = time.monotonic()
+        ps.close()  # must neither hang on the wedged loader...
+        assert time.monotonic() - t0 < 5.0
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()  # ...nor strand the consumer
+        assert drained["rest"] == 0
+        release.set()  # un-wedge; the loader observes stop and exits
+        _assert_no_loaders()

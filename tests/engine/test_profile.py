@@ -1,0 +1,76 @@
+"""Tests for the per-host calibration profiler (repro.engine.profile).
+
+One real quick-mode run (a second or two: it spawns a worker process and
+times actual kernels) validates the whole measurement path; the rest of the
+module exercises persistence and the profile's consumption contract without
+re-measuring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.costmodel import (
+    HOST_PROFILE_VERSION,
+    HostProfile,
+    load_host_profile,
+)
+from repro.engine.profile import profile_host, write_host_profile
+
+
+@pytest.fixture(scope="module")
+def measured() -> HostProfile:
+    return profile_host(quick=True)
+
+
+def test_quick_profile_is_valid_and_marked(measured):
+    assert isinstance(measured, HostProfile)  # __post_init__ validated it
+    assert measured.version == HOST_PROFILE_VERSION
+    assert measured.quick is True
+    assert measured.hostname
+
+
+def test_quick_profile_measures_every_channel(measured):
+    assert measured.memcpy_bandwidth > 0
+    assert measured.reduce_bandwidth > 0
+    assert measured.mmap_read_bandwidth > 0
+    assert measured.chunk_read_bandwidth > 0
+    # zlib/lzma ship with CPython; zstd only when zstandard is installed
+    assert {"none", "zlib", "lzma"} <= set(measured.decompress_bandwidth)
+    assert 0.0 < measured.thread_efficiency <= 1.0
+    assert measured.stream_cache_fraction is not None
+    assert 0.0 < measured.stream_cache_fraction <= 1.0
+
+
+def test_decompress_rates_are_plausibly_ordered(measured):
+    rates = measured.decompress_bandwidth
+    # raw "none" frames are views/copies: far faster than real codecs
+    assert rates["none"] > rates["zlib"]
+    assert rates["none"] > rates["lzma"]
+
+
+def test_write_round_trip(tmp_path, measured, monkeypatch):
+    # write_host_profile re-measures; route through save/load on the
+    # already-measured profile to keep the suite fast.
+    path = measured.save(tmp_path / "sub" / "host.json")
+    assert path.is_file()
+    assert load_host_profile(path) == measured
+
+
+def test_write_host_profile_quick(tmp_path):
+    path, profile = write_host_profile(tmp_path / "w.json", quick=True)
+    assert path == tmp_path / "w.json"
+    assert load_host_profile(path) == profile
+
+
+def test_profile_feeds_the_timing_model(measured):
+    from repro.core.amped import AmpedMTTKRP
+    from repro.core.config import AmpedConfig
+    from repro.core.simulate import host_time_plan
+    from repro.simgpu.kernel import KernelCostModel
+    from repro.tensor.generate import zipf_coo
+
+    tensor = zipf_coo((20, 15, 10), 400, exponents=1.0, seed=1)
+    ex = AmpedMTTKRP(tensor, AmpedConfig(n_gpus=2, rank=4, shards_per_gpu=2))
+    plan = host_time_plan(ex.workload, ex.config, KernelCostModel(), measured)
+    assert plan["total_s"] > 0.0

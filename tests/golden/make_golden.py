@@ -16,21 +16,64 @@ Each case stores, in one ``.npz``:
   across every ``(batch_size, backend, prefetch)`` configuration by design;
 * the expected CP-ALS final fit (``cpals_fit``, with ``cpals_rank`` /
   ``cpals_iters``), computed with the AMPED engine as the MTTKRP backend.
+
+It also pins the host-pipeline timing model: ``host_time_plan.json`` holds
+the exact :func:`repro.core.simulate.host_time_plan` output for the
+committed synthetic host profile (``host_profile.json``) over a matrix of
+backend/out-of-core configs on the ``zipf3`` workload — the model is pure
+arithmetic, so any diff is a deliberate cost-model change.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import numpy as np
 
 from repro.core.amped import AmpedMTTKRP
 from repro.core.config import AmpedConfig
+from repro.core.simulate import host_time_plan
 from repro.cpd.als import cp_als
+from repro.engine.costmodel import load_host_profile
 from repro.tensor.coo import SparseTensorCOO
 from repro.tensor.generate import lowrank_coo, random_coo, zipf_coo
 
 DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+#: config matrix pinned by host_time_plan.json (name -> AmpedConfig kwargs);
+#: the workload is the ``zipf3`` case's, the profile the committed
+#: ``host_profile.json``.
+HOST_TIME_CASES: dict[str, dict] = {
+    "serial_resident": {},
+    "thread2_resident": dict(backend="thread", workers=2),
+    "process2_prefetch_resident": dict(
+        backend="process", workers=2, prefetch=True
+    ),
+    "serial_mmap_oc": dict(out_of_core=True, shard_cache="golden.npz"),
+    "process2_zlib_oc_prefetch": dict(
+        backend="process",
+        workers=2,
+        prefetch=True,
+        out_of_core=True,
+        shard_cache="golden_v2.npz",
+        cache_codec="zlib",
+        cache_chunk_nnz=4096,
+    ),
+}
+
+
+def compute_host_time_plans() -> dict[str, dict]:
+    """host_time_plan output per HOST_TIME_CASES entry (zipf3 workload)."""
+    tensor, _factors, rank, config = build_case("zipf3")
+    profile = load_host_profile(DATA_DIR / "host_profile.json")
+    ex = AmpedMTTKRP(tensor, config, name="zipf3")
+    plans = {}
+    for case, kw in HOST_TIME_CASES.items():
+        plans[case] = host_time_plan(
+            ex.workload, config.replace(**kw), ex.cost, profile
+        )
+    return plans
 
 #: name -> (tensor builder, factor seed, rank, AmpedConfig kwargs)
 CASES: dict[str, dict] = {
@@ -105,6 +148,10 @@ def main() -> None:
             f"wrote {golden_path(name)} (nnz={nnz}, "
             f"fit={float(payload['cpals_fit']):.6f})"
         )
+    plans = compute_host_time_plans()
+    out = DATA_DIR / "host_time_plan.json"
+    out.write_text(json.dumps(plans, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(plans)} host-pipeline plans)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,59 @@
+"""Golden pin of the host-pipeline timing model.
+
+``host_time_plan`` is pure arithmetic over a workload descriptor, a config,
+and a host profile, so for the committed synthetic profile
+(``data/host_profile.json``) its output on the ``zipf3`` golden workload is
+exactly reproducible. ``data/host_time_plan.json`` pins every term for a
+matrix of backend/out-of-core configs; a diff here is a deliberate
+cost-model change and must be regenerated with ``make_golden.py`` and
+explained in review — exactly like the numerical golden data.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from make_golden import DATA_DIR, HOST_TIME_CASES, compute_host_time_plans
+
+
+@pytest.fixture(scope="module")
+def pinned() -> dict:
+    return json.loads((DATA_DIR / "host_time_plan.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def computed() -> dict:
+    return compute_host_time_plans()
+
+
+def test_every_case_is_pinned(pinned):
+    assert set(pinned) == set(HOST_TIME_CASES)
+
+
+@pytest.mark.parametrize("case", sorted(HOST_TIME_CASES))
+def test_host_time_plan_matches_pin(case, pinned, computed):
+    expected, actual = pinned[case], computed[case]
+    assert set(expected) == set(actual)
+    for key, want in expected.items():
+        got = actual[key]
+        if isinstance(want, float):
+            assert math.isclose(got, want, rel_tol=1e-12, abs_tol=0.0), (
+                f"{case}.{key}: pinned {want!r}, computed {got!r}"
+            )
+        else:
+            assert got == want, f"{case}.{key}: pinned {want!r}, computed {got!r}"
+
+
+def test_total_is_the_sum_of_visible_terms(computed):
+    for case, plan in computed.items():
+        visible = (
+            plan["compute_s"]
+            + plan["dispatch_s"]
+            + plan["ipc_s"]
+            + plan["stall_s"]
+            + plan["prefetch_overhead_s"]
+        )
+        assert math.isclose(plan["total_s"], visible, rel_tol=1e-12), case

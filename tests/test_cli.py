@@ -330,3 +330,118 @@ class TestOutOfCoreCommands:
         assert main(["trace", "twitch", str(out_path), "--gpus", "2"]) == 0
         payload = json.loads(out_path.read_text())
         assert payload["traceEvents"]
+
+
+class TestSizeArgParsing:
+    """The one canonical size parser behind --memory-budget / --chunk-nnz
+    (and AmpedConfig.cache_chunk_nnz): suffixes are case-insensitive, zero
+    and negative values are rejected *after* suffix multiplication, and
+    every rejection carries the same message."""
+
+    ACCEPTED = [
+        ("1024", 1024),
+        ("64k", 64 << 10),
+        ("64K", 64 << 10),
+        ("2m", 2 << 20),
+        ("256M", 256 << 20),
+        ("4g", 4 << 30),
+        ("4G", 4 << 30),
+        (" 16k ", 16 << 10),
+    ]
+    REJECTED = ["0", "0k", "0M", "-1", "-2G", "", "k", "M", "1.5G", "64kb",
+                "lots", "1e3"]
+
+    @pytest.mark.parametrize("text,expected", ACCEPTED)
+    def test_accepted_literals(self, text, expected):
+        from repro.cli import _chunk_nnz_arg, _size_arg
+
+        assert _size_arg(text) == expected
+        assert _chunk_nnz_arg(text) == expected
+
+    @pytest.mark.parametrize("text", REJECTED)
+    def test_rejected_literals_share_the_canonical_message(self, text):
+        import argparse
+
+        from repro.cli import _chunk_nnz_arg, _size_arg
+
+        with pytest.raises(
+            argparse.ArgumentTypeError, match="positive integer"
+        ) as size_exc:
+            _size_arg(text)
+        with pytest.raises(
+            argparse.ArgumentTypeError, match="positive integer"
+        ) as chunk_exc:
+            _chunk_nnz_arg(text)
+        # identical wording up to the knob name
+        assert str(size_exc.value).replace("byte count", "X") == str(
+            chunk_exc.value
+        ).replace("chunk-nnz", "X")
+
+    def test_config_mirrors_the_cli_validation(self):
+        """AmpedConfig.cache_chunk_nnz accepts/rejects the same literals."""
+        from repro.core.config import AmpedConfig
+        from repro.errors import ReproError
+
+        for text, expected in self.ACCEPTED:
+            assert AmpedConfig(cache_chunk_nnz=text).cache_chunk_nnz == expected
+        for text in self.REJECTED:
+            with pytest.raises(ReproError, match="positive integer"):
+                AmpedConfig(cache_chunk_nnz=text)
+
+    def test_chunk_nnz_suffix_builds_a_cache(self, tmp_path, capsys):
+        cache = tmp_path / "suffixed.npz"
+        rc = main(
+            ["cache", "--dataset", "twitch", "--nnz", "2000",
+             "--codec", "zlib", "--chunk-nnz", "1k", str(cache)]
+        )
+        assert rc == 0
+        assert "chunk_nnz=1024" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_quick_writes_and_reports(self, tmp_path, capsys):
+        out_path = tmp_path / "host.json"
+        assert main(["profile", str(out_path), "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote host profile" in out
+        assert "--backend auto" in out
+        from repro.engine.costmodel import load_host_profile
+
+        profile = load_host_profile(out_path)
+        assert profile.quick is True
+
+    def test_decompose_backend_auto_with_profile(self, tmp_path, capsys):
+        from repro.engine.costmodel import DEFAULT_HOST_PROFILE
+
+        path = DEFAULT_HOST_PROFILE.save(tmp_path / "p.json")
+        rc = main(
+            ["decompose", "--dataset", "twitch", "--nnz", "2000",
+             "--rank", "3", "--iters", "2", "--gpus", "2",
+             "--backend", "auto", "--host-profile", str(path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resolved from 'auto' by the host cost model" in out
+        assert "predicted host pipeline" in out
+
+    def test_decompose_prints_host_prediction(self, capsys):
+        rc = main(
+            ["decompose", "--dataset", "twitch", "--nnz", "2000",
+             "--rank", "3", "--iters", "2", "--gpus", "2"]
+        )
+        assert rc == 0
+        assert "predicted host pipeline (serial" in capsys.readouterr().out
+
+    def test_simulate_prints_host_prediction(self, capsys):
+        assert main(["simulate", "amazon", "--shards-per-gpu", "4"]) == 0
+        assert "host pipeline" in capsys.readouterr().out
+
+    def test_decompose_bad_host_profile_fails_cleanly(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="cannot read host profile"):
+            main(
+                ["decompose", "--dataset", "twitch", "--nnz", "2000",
+                 "--gpus", "2", "--host-profile",
+                 str(tmp_path / "missing.json")]
+            )
