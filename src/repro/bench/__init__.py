@@ -10,6 +10,14 @@ execution on scaled tensors, wall-clocked by pytest-benchmark).
 from repro.bench.metrics import geometric_mean, speedup, speedups_over
 from repro.bench.report import render_table
 from repro.bench.harness import ExperimentResult, model_workloads
+from repro.bench.trials import TrialSpec, expand_sweep, run_trial
+from repro.bench.trajectory import (
+    compare_trajectories,
+    load_trajectory,
+    render_report,
+    save_trajectory,
+)
+from repro.bench.runner import DEFAULT_SWEEP, SMOKE_SWEEP, run_bench
 from repro.bench import experiments
 
 __all__ = [
@@ -20,4 +28,14 @@ __all__ = [
     "ExperimentResult",
     "model_workloads",
     "experiments",
+    "TrialSpec",
+    "expand_sweep",
+    "run_trial",
+    "compare_trajectories",
+    "load_trajectory",
+    "render_report",
+    "save_trajectory",
+    "DEFAULT_SWEEP",
+    "SMOKE_SWEEP",
+    "run_bench",
 ]

@@ -1,0 +1,370 @@
+"""Versioned benchmark trajectories: persistence, comparison, reporting.
+
+A *trajectory* is the committed aggregate of one ``repro bench run`` — a
+versioned JSON file (``BENCH_<n>.json`` at the repo root) holding every
+per-trial record from :mod:`repro.bench.trials` plus run-level provenance
+(git revision, host, creation time). Committing one per perf-relevant PR
+turns isolated CI pass/fail gates into a measured trajectory: any later
+run can be compared cell-by-cell against any earlier file.
+
+Comparison is statistical, not point-estimate: each shared cell's new/old
+wall-time ratio gets a bootstrap confidence interval over the recorded
+repeats, and the verdict is ``regression`` only when the whole interval
+sits above the noise band (symmetrically ``improvement`` below it, ``tie``
+otherwise). Report rendering is lazy, fuzzbench-style — the trajectory
+stores raw records and every table/summary is computed on demand by
+:func:`render_report`.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from statistics import median
+
+import numpy as np
+
+from repro.bench.metrics import geometric_mean
+from repro.bench.report import render_table
+from repro.errors import ReproError
+
+__all__ = [
+    "TRAJECTORY_VERSION",
+    "build_trajectory",
+    "save_trajectory",
+    "load_trajectory",
+    "validate_trajectory",
+    "bootstrap_ratio_ci",
+    "compare_trajectories",
+    "render_report",
+]
+
+#: Format version of a persisted trajectory file; bump on schema changes.
+TRAJECTORY_VERSION = 1
+
+#: Keys every per-trial record must carry (schema validation).
+REQUIRED_TRIAL_KEYS = (
+    "record_version",
+    "cell",
+    "spec",
+    "config_fingerprint",
+    "wall_times_s",
+    "median_s",
+    "predicted_total_s",
+    "prediction_error",
+)
+
+#: Ratio band treated as noise when classifying a cell (±5%).
+DEFAULT_NOISE_BAND = 0.05
+
+
+# ----------------------------------------------------------------------
+# Construction + persistence
+# ----------------------------------------------------------------------
+def build_trajectory(
+    trials: list[dict],
+    *,
+    label: str = "",
+    git_rev: str | None = None,
+    host: str = "",
+    created: str | None = None,
+) -> dict:
+    """Assemble trial records into a trajectory dict (validated)."""
+    traj = {
+        "version": TRAJECTORY_VERSION,
+        "label": label,
+        "created": created
+        or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": git_rev,
+        "host": host,
+        "trials": list(trials),
+    }
+    return validate_trajectory(traj)
+
+
+def validate_trajectory(data) -> dict:
+    """Structurally validate a trajectory dict; returns it or raises.
+
+    Checks the container version and that every trial record carries the
+    :data:`REQUIRED_TRIAL_KEYS` with sane shapes — the same validation CI
+    applies to the committed ``BENCH_*.json`` files.
+    """
+    if not isinstance(data, dict):
+        raise ReproError(
+            f"trajectory must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("version")
+    if version != TRAJECTORY_VERSION:
+        raise ReproError(
+            f"trajectory version {version!r} is not supported (this build "
+            f"reads version {TRAJECTORY_VERSION}); re-run `repro bench run` "
+            f"to regenerate it"
+        )
+    trials = data.get("trials")
+    if not isinstance(trials, list):
+        raise ReproError("trajectory 'trials' must be a list of records")
+    seen: set[str] = set()
+    for i, rec in enumerate(trials):
+        if not isinstance(rec, dict):
+            raise ReproError(f"trial {i} must be an object")
+        missing = [k for k in REQUIRED_TRIAL_KEYS if k not in rec]
+        if missing:
+            raise ReproError(
+                f"trial {i} ({rec.get('cell', '?')}) is missing keys "
+                f"{missing}"
+            )
+        times = rec["wall_times_s"]
+        if not isinstance(times, list) or not times or not all(
+            isinstance(t, (int, float)) and t > 0 for t in times
+        ):
+            raise ReproError(
+                f"trial {i} ({rec['cell']}): wall_times_s must be a "
+                f"non-empty list of positive seconds, got {times!r}"
+            )
+        if rec["cell"] in seen:
+            raise ReproError(
+                f"trial {i}: duplicate cell {rec['cell']!r} — each cell "
+                f"appears once per trajectory"
+            )
+        seen.add(rec["cell"])
+    return data
+
+
+def save_trajectory(path, trajectory: dict) -> Path:
+    """Validate and write a trajectory JSON (stable key order)."""
+    validate_trajectory(trajectory)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def load_trajectory(path) -> dict:
+    """Read and validate a trajectory file written by ``repro bench run``."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read trajectory {p}: {exc}; produce one with "
+            f"`repro bench run --out {p}`"
+        ) from None
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ReproError(f"trajectory {p} is not valid JSON: {exc}") from None
+    try:
+        return validate_trajectory(data)
+    except ReproError as exc:
+        raise ReproError(f"trajectory {p}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Statistical comparison
+# ----------------------------------------------------------------------
+def bootstrap_ratio_ci(
+    new_times,
+    old_times,
+    *,
+    n_boot: int = 2000,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> tuple[float, float]:
+    """Bootstrap CI of ``median(new)/median(old)`` over timing repeats.
+
+    Resamples both repeat sets with replacement (seeded, so comparisons are
+    deterministic) and returns the central ``confidence`` interval of the
+    ratio of medians. With a single repeat on either side the interval
+    degenerates to the point ratio — verdicts then hinge on the noise band
+    alone.
+    """
+    new = np.asarray(list(new_times), dtype=float)
+    old = np.asarray(list(old_times), dtype=float)
+    if new.size == 0 or old.size == 0:
+        raise ReproError("bootstrap_ratio_ci needs non-empty samples")
+    if (new <= 0).any() or (old <= 0).any():
+        raise ReproError("bootstrap_ratio_ci needs positive times")
+    rng = np.random.default_rng(seed)
+    boot_new = np.median(
+        rng.choice(new, size=(n_boot, new.size), replace=True), axis=1
+    )
+    boot_old = np.median(
+        rng.choice(old, size=(n_boot, old.size), replace=True), axis=1
+    )
+    ratios = boot_new / boot_old
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def _verdict(ci_lo: float, ci_hi: float, band: float) -> str:
+    if ci_lo > 1.0 + band:
+        return "regression"
+    if ci_hi < 1.0 - band:
+        return "improvement"
+    return "tie"
+
+
+def compare_trajectories(
+    new: dict,
+    old: dict,
+    *,
+    band: float = DEFAULT_NOISE_BAND,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> list[dict]:
+    """Cell-by-cell statistical comparison of two trajectories.
+
+    Returns one row per cell across both files, sorted by cell key. Shared
+    cells get ``ratio`` (new/old medians), the bootstrap ``ci``, and a
+    ``verdict`` of ``regression`` / ``improvement`` / ``tie``; cells only
+    in one file get verdict ``new`` or ``dropped`` — they are reported, not
+    silently skipped.
+    """
+    validate_trajectory(new)
+    validate_trajectory(old)
+    new_by = {t["cell"]: t for t in new["trials"]}
+    old_by = {t["cell"]: t for t in old["trials"]}
+    rows = []
+    for cell in sorted(set(new_by) | set(old_by)):
+        if cell not in old_by:
+            rows.append({
+                "cell": cell,
+                "verdict": "new",
+                "median_new_s": float(new_by[cell]["median_s"]),
+                "median_old_s": None,
+                "ratio": None,
+                "ci": None,
+            })
+            continue
+        if cell not in new_by:
+            rows.append({
+                "cell": cell,
+                "verdict": "dropped",
+                "median_new_s": None,
+                "median_old_s": float(old_by[cell]["median_s"]),
+                "ratio": None,
+                "ci": None,
+            })
+            continue
+        n, o = new_by[cell], old_by[cell]
+        med_new = float(median(n["wall_times_s"]))
+        med_old = float(median(o["wall_times_s"]))
+        ci = bootstrap_ratio_ci(
+            n["wall_times_s"], o["wall_times_s"], n_boot=n_boot, seed=seed
+        )
+        rows.append({
+            "cell": cell,
+            "verdict": _verdict(ci[0], ci[1], band),
+            "median_new_s": med_new,
+            "median_old_s": med_old,
+            "ratio": med_new / med_old,
+            "ci": [ci[0], ci[1]],
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Markdown report
+# ----------------------------------------------------------------------
+def _fmt_s(value: float) -> str:
+    return f"{value * 1e3:.2f}ms" if value < 1.0 else f"{value:.3f}s"
+
+
+def render_report(
+    trajectory: dict,
+    previous: dict | None = None,
+    *,
+    band: float = DEFAULT_NOISE_BAND,
+    seed: int = 0,
+) -> str:
+    """Markdown report of a trajectory, optionally compared to a previous one.
+
+    The first table lists every trial with its measured median, the host
+    cost-model prediction, and the signed predicted-vs-measured error (the
+    number the PR 6 cost-model fixes are judged by). With ``previous``, a
+    second table adds the per-cell bootstrap verdicts and a geometric-mean
+    ratio over the shared cells.
+    """
+    validate_trajectory(trajectory)
+    lines = [
+        f"# Benchmark trajectory: {trajectory.get('label') or 'unlabeled'}",
+        "",
+        f"- created: {trajectory.get('created', '?')}",
+        f"- git rev: {trajectory.get('git_rev') or 'unknown'}",
+        f"- host: {trajectory.get('host') or 'unknown'}",
+        f"- trials: {len(trajectory['trials'])}",
+        "",
+        "## Trials (measured vs predicted)",
+        "",
+        "```",
+    ]
+    rows = []
+    for rec in sorted(trajectory["trials"], key=lambda r: r["cell"]):
+        rows.append([
+            rec["cell"],
+            _fmt_s(float(rec["median_s"])),
+            _fmt_s(float(rec["predicted_total_s"])),
+            f"{float(rec['prediction_error']) * 100:+.1f}%",
+            "-" if rec.get("codec_ratio") is None
+            else f"{float(rec['codec_ratio']):.3f}",
+        ])
+    lines.append(render_table(
+        ["cell", "median", "predicted", "pred err", "codec ratio"], rows
+    ))
+    lines.append("```")
+    errors = [abs(float(r["prediction_error"])) for r in trajectory["trials"]]
+    if errors:
+        lines += [
+            "",
+            f"Mean |prediction error|: "
+            f"{sum(errors) / len(errors) * 100:.1f}% over "
+            f"{len(errors)} trials.",
+        ]
+
+    if previous is not None:
+        comparisons = compare_trajectories(
+            trajectory, previous, band=band, seed=seed
+        )
+        lines += [
+            "",
+            f"## Comparison vs {previous.get('label') or 'previous'} "
+            f"({previous.get('git_rev') or 'unknown rev'})",
+            "",
+            "```",
+        ]
+        comp_rows = []
+        for row in comparisons:
+            ci = row["ci"]
+            comp_rows.append([
+                row["cell"],
+                "-" if row["median_old_s"] is None
+                else _fmt_s(row["median_old_s"]),
+                "-" if row["median_new_s"] is None
+                else _fmt_s(row["median_new_s"]),
+                "-" if row["ratio"] is None else f"{row['ratio']:.3f}",
+                "-" if ci is None else f"[{ci[0]:.3f}, {ci[1]:.3f}]",
+                row["verdict"],
+            ])
+        lines.append(render_table(
+            ["cell", "old", "new", "ratio", "95% CI", "verdict"], comp_rows
+        ))
+        lines.append("```")
+        shared = [r["ratio"] for r in comparisons if r["ratio"] is not None]
+        counts: dict[str, int] = {}
+        for row in comparisons:
+            counts[row["verdict"]] = counts.get(row["verdict"], 0) + 1
+        summary = ", ".join(
+            f"{counts[v]} {v}" for v in
+            ("regression", "improvement", "tie", "new", "dropped")
+            if v in counts
+        )
+        lines.append("")
+        lines.append(f"Verdicts: {summary}.")
+        if shared:
+            lines.append(
+                f"Geometric-mean ratio over {len(shared)} shared cells: "
+                f"{geometric_mean(shared):.3f} (new/old; < 1 is faster)."
+            )
+    return "\n".join(lines) + "\n"

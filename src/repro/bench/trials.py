@@ -1,0 +1,303 @@
+"""Scheduled benchmark trials: sweep expansion + single-trial execution.
+
+A *trial* is one measured cell of the benchmark sweep — (dataset × source ×
+backend × prefetch × codec × rank) — run with warmup iterations followed by
+timed repeats of a full MTTKRP iteration (``mttkrp_all_modes``), the same
+quantity the host-pipeline timing model predicts. Each trial produces one
+versioned JSON record holding the measured wall times, the per-phase
+prediction from :func:`repro.core.simulate.host_time_plan`, the
+predicted-vs-measured error, peak RSS, a config fingerprint, the host
+profile hash, and the git revision — enough provenance to compare the same
+cell across trajectory files from different commits (see
+:mod:`repro.bench.trajectory`).
+
+Modeled on fuzzbench's scheduler: the sweep spec expands into a flat list
+of pending :class:`TrialSpec` rows up front, and the runner
+(:mod:`repro.bench.runner`) drains them one at a time so a crash loses at
+most the in-flight trial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import resource
+import subprocess
+import tempfile
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from statistics import median
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TRIAL_RECORD_VERSION",
+    "TrialSpec",
+    "expand_sweep",
+    "run_trial",
+    "git_rev",
+    "host_profile_hash",
+]
+
+#: Format version of one per-trial record (the ``record_version`` field).
+TRIAL_RECORD_VERSION = 1
+
+#: How a trial's element data reaches the engine.
+SOURCES = ("inmem", "mmap", "chunked")
+
+#: Execution backends a trial may request (``auto`` resolves at construction).
+BACKENDS = ("serial", "thread", "process", "auto")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-specified benchmark cell (what to run, how many times).
+
+    ``source`` selects element delivery: ``inmem`` (resident
+    :class:`~repro.engine.InMemorySource`), ``mmap`` (v1 shard cache via
+    ``write_shard_cache``), or ``chunked`` (v2 compressed cache via
+    ``write_shard_cache_v2`` with ``codec``). ``codec`` is only meaningful
+    for ``chunked``. The identity fields (everything except
+    ``warmup``/``repeats``/``seed``) define the :attr:`cell` key that
+    trajectory comparison matches across runs.
+    """
+
+    dataset: str = "twitch"
+    nnz: int = 2000
+    source: str = "inmem"
+    backend: str = "serial"
+    workers: int = 1
+    prefetch: bool = False
+    codec: str | None = None
+    rank: int = 8
+    n_gpus: int = 2
+    shards_per_gpu: int = 2
+    warmup: int = 1
+    repeats: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ReproError(
+                f"trial source must be one of {list(SOURCES)}, "
+                f"got {self.source!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise ReproError(
+                f"trial backend must be one of {list(BACKENDS)}, "
+                f"got {self.backend!r}"
+            )
+        if self.codec is not None and self.source != "chunked":
+            raise ReproError(
+                f"codec={self.codec!r} only applies to the 'chunked' "
+                f"source, got source={self.source!r}"
+            )
+        if self.repeats < 1:
+            raise ReproError(f"repeats must be >= 1, got {self.repeats}")
+        if self.warmup < 0:
+            raise ReproError(f"warmup must be >= 0, got {self.warmup}")
+
+    # ------------------------------------------------------------------
+    @property
+    def cell(self) -> str:
+        """The cross-trajectory comparison key of this cell."""
+        src = self.source if self.codec is None else f"{self.source}+{self.codec}"
+        pf = "pf" if self.prefetch else "nopf"
+        return (
+            f"{self.dataset}/{self.nnz}/{src}/"
+            f"{self.backend}x{self.workers}/{pf}/r{self.rank}"
+        )
+
+    def fingerprint(self) -> str:
+        """Stable hash of every spec field (config provenance per record)."""
+        blob = json.dumps(asdict(self), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def expand_sweep(axes: dict) -> list[TrialSpec]:
+    """Expand a sweep spec into scheduled trials (full cartesian product).
+
+    ``axes`` maps axis names to lists: ``datasets``, ``nnz``, ``sources``
+    (entries like ``"inmem"``, ``"mmap"``, ``"chunked:zlib"`` — the suffix
+    after ``:`` is the codec), ``backends`` (``"serial"``, ``"thread:2"``,
+    ``"process:2"``, ``"auto"`` — suffix is the worker count), ``prefetch``
+    (bools), and ``ranks``; scalar knobs ``warmup``/``repeats``/``seed``
+    and shape knobs ``n_gpus``/``shards_per_gpu`` apply to every trial.
+    Unknown keys raise so a typoed axis cannot silently shrink the sweep.
+    """
+    known = {
+        "datasets", "nnz", "sources", "backends", "prefetch", "ranks",
+        "warmup", "repeats", "seed", "n_gpus", "shards_per_gpu",
+    }
+    unknown = set(axes) - known
+    if unknown:
+        raise ReproError(
+            f"unknown sweep axes {sorted(unknown)}; known: {sorted(known)}"
+        )
+    specs: list[TrialSpec] = []
+    for dataset in axes.get("datasets", ["twitch"]):
+        for nnz in axes.get("nnz", [2000]):
+            for src_spec in axes.get("sources", ["inmem"]):
+                source, _, codec = str(src_spec).partition(":")
+                for be_spec in axes.get("backends", ["serial"]):
+                    backend, _, w = str(be_spec).partition(":")
+                    if w:
+                        workers = int(w)
+                    else:
+                        workers = 2 if backend in ("thread", "process") else 1
+                    for prefetch in axes.get("prefetch", [False]):
+                        for rank in axes.get("ranks", [8]):
+                            specs.append(TrialSpec(
+                                dataset=dataset,
+                                nnz=int(nnz),
+                                source=source,
+                                backend=backend,
+                                workers=workers,
+                                prefetch=bool(prefetch),
+                                codec=codec or None,
+                                rank=int(rank),
+                                n_gpus=int(axes.get("n_gpus", 2)),
+                                shards_per_gpu=int(
+                                    axes.get("shards_per_gpu", 2)
+                                ),
+                                warmup=int(axes.get("warmup", 1)),
+                                repeats=int(axes.get("repeats", 3)),
+                                seed=int(axes.get("seed", 0)),
+                            ))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Provenance helpers
+# ----------------------------------------------------------------------
+def git_rev() -> str | None:
+    """Short git revision of the working tree, or ``None`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def host_profile_hash(profile) -> str:
+    """Stable hash of the resolved host profile a prediction used."""
+    return hashlib.sha256(profile.to_json().encode()).hexdigest()[:16]
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process (``ru_maxrss`` is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _build_executor(spec: TrialSpec, tensor, config, workdir: Path):
+    """The executor for a trial's source kind (caches land in ``workdir``)."""
+    from repro.core.amped import AmpedMTTKRP
+    from repro.tensor.io import write_shard_cache, write_shard_cache_v2
+
+    if spec.source == "inmem":
+        return AmpedMTTKRP(tensor, config, name=spec.cell)
+    if spec.source == "mmap":
+        cache = write_shard_cache(tensor, workdir / "trial_cache")
+    else:  # chunked
+        cache = write_shard_cache_v2(
+            tensor, workdir / "trial_cache", codec=spec.codec or "zlib"
+        )
+    config = config.replace(out_of_core=True, shard_cache=str(cache))
+    return AmpedMTTKRP.from_shard_cache(cache, config, name=spec.cell)
+
+
+def run_trial(
+    spec: TrialSpec,
+    *,
+    host_profile=None,
+    workdir=None,
+) -> dict:
+    """Run one trial and return its versioned JSON record.
+
+    Builds the dataset and source, predicts the host pipeline with
+    :meth:`AmpedMTTKRP.host_time_plan` (which feeds a v2 cache's measured
+    ``codec_ratio`` automatically), runs ``warmup`` untimed iterations, then
+    times ``repeats`` full MTTKRP iterations. ``host_profile`` overrides
+    the prediction's calibration (profile object or path); ``workdir``
+    holds trial shard caches (a temporary directory by default).
+    """
+    from repro.core.config import AmpedConfig
+    from repro.datasets.profiles import profile_by_name
+    from repro.datasets.synthetic import materialize
+    from repro.util.timer import Timer
+
+    tensor = materialize(
+        profile_by_name(spec.dataset), spec.nnz, seed=spec.seed
+    )
+    config = AmpedConfig(
+        n_gpus=spec.n_gpus,
+        rank=spec.rank,
+        shards_per_gpu=spec.shards_per_gpu,
+        backend=spec.backend,
+        workers=spec.workers,
+        prefetch=spec.prefetch,
+        host_profile=host_profile,
+    )
+    rng = np.random.default_rng(spec.seed + 1)
+    factors = [rng.random((s, spec.rank)) for s in tensor.shape]
+
+    started = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    with tempfile.TemporaryDirectory(prefix="repro-trial-") as tmp:
+        base = Path(workdir) if workdir is not None else Path(tmp)
+        ex = _build_executor(spec, tensor, config, base)
+        with ex:
+            plan = ex.host_time_plan()
+            codec_ratio = ex.cache_codec_ratio
+            resolved_backend, resolved_workers = ex.config.resolved_backend()
+            profile = ex.config.resolved_host_profile()
+            if profile is None:
+                from repro.engine.costmodel import DEFAULT_HOST_PROFILE
+
+                profile = DEFAULT_HOST_PROFILE
+            for _ in range(spec.warmup):
+                ex.mttkrp_all_modes(factors)
+            wall_times: list[float] = []
+            for _ in range(spec.repeats):
+                timer = Timer()
+                with timer:
+                    ex.mttkrp_all_modes(factors)
+                wall_times.append(timer.elapsed)
+
+    measured_s = float(median(wall_times))
+    predicted_s = float(plan["total_s"])
+    return {
+        "record_version": TRIAL_RECORD_VERSION,
+        "cell": spec.cell,
+        "spec": asdict(spec),
+        "config_fingerprint": spec.fingerprint(),
+        "resolved_backend": resolved_backend,
+        "resolved_workers": int(resolved_workers),
+        "nnz": int(tensor.nnz),
+        "wall_times_s": [float(t) for t in wall_times],
+        "median_s": measured_s,
+        "predicted": {k: plan[k] for k in (
+            "compute_s", "dispatch_s", "ipc_s", "staging_read_s",
+            "decompress_s", "stall_s", "prefetch_overhead_s", "total_s",
+            "batch_size", "n_batches",
+        )},
+        "predicted_total_s": predicted_s,
+        "prediction_error": (predicted_s - measured_s) / measured_s,
+        "codec_ratio": None if codec_ratio is None else float(codec_ratio),
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "host_profile_hash": host_profile_hash(profile),
+        "git_rev": git_rev(),
+        "started": started,
+    }

@@ -9,6 +9,7 @@ decompose     CP-ALS on a FROSTT .tns file (or a synthetic dataset instance)
 cache         build an out-of-core shard cache (.npz) from a tensor
 profile       calibrate this host (microbenchmarks -> JSON host profile)
 trace         export a simulated AMPED run as Chrome trace JSON
+bench         trial harness: run sweeps, write/compare BENCH trajectories
 """
 
 from __future__ import annotations
@@ -103,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
         "the host-pipeline time prediction printed alongside the device "
         "simulation; default: the REPRO_HOST_PROFILE env var, else the "
         "committed synthetic calibration",
+    )
+    p_sim.add_argument(
+        "--shard-cache",
+        default=None,
+        metavar="PATH",
+        help="existing shard cache whose real layout feeds the host-pipeline "
+        "prediction: a v2 cache contributes its codec, chunk size, and the "
+        "manifest's measured compressed/raw ratio (instead of the analytic "
+        "per-codec default); a v1 cache prices uncompressed mmap staging",
     )
 
     p_dec = sub.add_parser("decompose", help="CP-ALS on a tensor")
@@ -245,6 +255,98 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("dataset", choices=["amazon", "patents", "reddit", "twitch"])
     p_tr.add_argument("output", help="output .json path")
     p_tr.add_argument("--gpus", type=int, default=4)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="trial harness: run benchmark sweeps, compare trajectories",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_brun = bench_sub.add_parser(
+        "run",
+        help="expand a sweep into scheduled trials and write a "
+        "versioned trajectory JSON (the committed BENCH_*.json files)",
+    )
+    p_brun.add_argument(
+        "--out",
+        default="BENCH_6.json",
+        metavar="PATH",
+        help="trajectory output path (default: BENCH_6.json)",
+    )
+    p_brun.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the CI smoke matrix (tiny tensors, in-process backends "
+        "only; seconds) instead of the full committed sweep",
+    )
+    p_brun.add_argument(
+        "--label",
+        default=None,
+        help="trajectory label recorded in the file (default: the sweep "
+        "name)",
+    )
+    p_brun.add_argument(
+        "--only",
+        default=None,
+        metavar="SUBSTR",
+        help="run only cells whose key contains this substring",
+    )
+    p_brun.add_argument(
+        "--nnz",
+        type=int,
+        default=None,
+        help="override the sweep's target nonzero count per dataset",
+    )
+    p_brun.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override timed repeats per trial",
+    )
+    p_brun.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="override untimed warmup iterations per trial",
+    )
+    p_brun.add_argument(
+        "--previous",
+        default=None,
+        metavar="PATH",
+        help="previous trajectory to print a comparison report against "
+        "after the run",
+    )
+    p_brun.add_argument(
+        "--host-profile",
+        default=None,
+        metavar="PATH",
+        help="measured host profile JSON for the per-trial predictions "
+        "(default: REPRO_HOST_PROFILE, else the committed synthetic "
+        "calibration)",
+    )
+    p_brep = bench_sub.add_parser(
+        "report",
+        help="render the markdown report of a trajectory file, optionally "
+        "compared against a previous one (bootstrap verdict per cell)",
+    )
+    p_brep.add_argument(
+        "trajectory",
+        nargs="?",
+        default="BENCH_6.json",
+        help="trajectory JSON written by `repro bench run` "
+        "(default: BENCH_6.json)",
+    )
+    p_brep.add_argument(
+        "--previous",
+        default=None,
+        metavar="PATH",
+        help="previous trajectory to compare against",
+    )
+    p_brep.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the markdown to this file",
+    )
     return parser
 
 
@@ -278,6 +380,33 @@ def _cmd_datasets(_args) -> int:
 
     print(table3().text)
     return 0
+
+
+def _cache_plan_inputs(cfg, cache):
+    """``(annotated config, measured codec_ratio)`` for an existing cache.
+
+    Marks the config out-of-core against ``cache`` and, for a v2 chunked
+    cache, records the manifest's codec/chunk size and returns its measured
+    compressed/raw byte ratio so ``host_time_plan`` prices the staging-read
+    term with real on-disk bytes. A v1 mmap cache (stored uncompressed)
+    returns ``None`` — the analytic default applies.
+    """
+    from repro.tensor.io import detect_shard_cache_version, shard_cache_path
+    from repro.tensor.io_v2 import ChunkedCacheReader
+
+    cache = shard_cache_path(cache)
+    version = detect_shard_cache_version(cache)
+    cfg = cfg.replace(out_of_core=True, shard_cache=str(cache))
+    if version != 2:
+        return cfg, None
+    reader = ChunkedCacheReader(cache)
+    try:
+        cfg = cfg.replace(
+            cache_codec=reader.codec_name, cache_chunk_nnz=reader.chunk_nnz
+        )
+        return cfg, reader.codec_ratio
+    finally:
+        reader.close()
 
 
 def _cmd_simulate(args) -> int:
@@ -318,15 +447,31 @@ def _cmd_simulate(args) -> int:
         print(f"  {key:<15} {share:6.1%}")
     if args.method == "amped":
         from repro.core.simulate import host_time_plan
+        from repro.errors import ReproError
 
+        plan_cfg = cfg.replace(host_profile=args.host_profile)
+        codec_ratio = None
+        if args.shard_cache:
+            try:
+                plan_cfg, codec_ratio = _cache_plan_inputs(
+                    plan_cfg, args.shard_cache
+                )
+            except ReproError as exc:
+                print(f"--shard-cache: {exc}")
+                return 2
         plan = host_time_plan(
-            wl, cfg.replace(host_profile=args.host_profile), KernelCostModel()
+            wl, plan_cfg, KernelCostModel(), codec_ratio=codec_ratio
         )
         print(
             f"host pipeline ({plan['backend']}, "
             f"{plan['n_batches']} batches): "
             f"{format_seconds(plan['total_s'])} predicted per iteration"
         )
+        if codec_ratio is not None:
+            print(
+                f"  staging priced at measured codec ratio "
+                f"{codec_ratio:.3f} ({plan_cfg.cache_codec} manifest)"
+            )
     return 0
 
 
@@ -518,12 +663,86 @@ def _cmd_profile(args) -> int:
     )
     print(f"  pipe              {format_bytes(profile.pipe_bandwidth)}/s")
     print(f"  thread efficiency {profile.thread_efficiency:.2f}")
+    print(
+        f"  process efficiency {profile.process_efficiency:.2f} "
+        f"(measured ProcessBackend sweep)"
+    )
     print(f"  cache fraction    {profile.stream_cache_fraction:.4f}")
     print(f"wrote host profile {path} (version {profile.version})")
     print(
         f"consume it with `repro decompose --backend auto --host-profile "
         f"{path}` or `export REPRO_HOST_PROFILE={path}`"
     )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.errors import ReproError
+
+    if args.bench_command == "run":
+        from repro.bench.runner import DEFAULT_SWEEP, SMOKE_SWEEP, run_bench
+        from repro.bench.trajectory import load_trajectory, render_report
+
+        sweep = dict(SMOKE_SWEEP if args.smoke else DEFAULT_SWEEP)
+        if args.nnz is not None:
+            sweep["nnz"] = [args.nnz]
+        if args.repeats is not None:
+            sweep["repeats"] = args.repeats
+        if args.warmup is not None:
+            sweep["warmup"] = args.warmup
+        label = args.label or ("smoke" if args.smoke else "default")
+        previous = None
+        if args.previous:
+            try:
+                previous = load_trajectory(args.previous)
+            except ReproError as exc:
+                print(f"--previous: {exc}")
+                return 2
+        try:
+            path, trajectory = run_bench(
+                sweep,
+                out=args.out,
+                label=label,
+                host_profile=args.host_profile,
+                only=args.only,
+                progress=print,
+            )
+        except ReproError as exc:
+            print(f"bench run failed: {exc}")
+            return 1
+        if not trajectory["trials"]:
+            print(
+                f"no trials matched --only {args.only!r}; nothing written "
+                f"beyond an empty trajectory at {path}"
+            )
+            return 2
+        print(
+            f"wrote trajectory {path} ({len(trajectory['trials'])} trials, "
+            f"label={label!r}, rev={trajectory['git_rev'] or 'unknown'})"
+        )
+        if previous is not None:
+            print()
+            print(render_report(trajectory, previous))
+        return 0
+
+    # bench report
+    from repro.bench.trajectory import load_trajectory, render_report
+
+    try:
+        trajectory = load_trajectory(args.trajectory)
+        previous = (
+            load_trajectory(args.previous) if args.previous else None
+        )
+    except ReproError as exc:
+        print(str(exc))
+        return 2
+    text = render_report(trajectory, previous)
+    print(text, end="")
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"(also wrote {args.out})")
     return 0
 
 
@@ -550,6 +769,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

@@ -148,6 +148,11 @@ class AmpedMTTKRP:
             )
         self.source = source
         self._owns_source = False
+        # A v2 source's manifest records the real on-disk compressed/raw
+        # ratio; every host-pipeline prediction made through this executor
+        # (backend="auto" below, host_time_plan()) uses it instead of the
+        # analytic per-codec default. None for v1/in-memory sources.
+        self.cache_codec_ratio = getattr(source, "codec_ratio", None)
         if self.config.backend == "auto":
             # Pick the backend with the smallest host-pipeline prediction
             # for this actual workload (measured host profile preferred)
@@ -157,6 +162,7 @@ class AmpedMTTKRP:
             auto_name, auto_workers = resolve_auto_backend(
                 self.workload, self.config, self.cost,
                 self.config.resolved_host_profile(),
+                codec_ratio=self.cache_codec_ratio,
             )
             self.config = self.config.replace(
                 backend=auto_name, workers=auto_workers
@@ -312,8 +318,13 @@ class AmpedMTTKRP:
         The per-batch dispatch/IPC/staging/decompression accounting of
         :func:`repro.core.simulate.host_time_plan` for this executor's
         workload and (resolved) config; ``profile`` overrides the config's
-        host profile.
+        host profile. When the source is a v2 chunked cache, the manifest's
+        measured ``codec_ratio`` replaces the analytic per-codec default in
+        the staging-read term.
         """
         from repro.core.simulate import host_time_plan
 
-        return host_time_plan(self.workload, self.config, self.cost, profile)
+        return host_time_plan(
+            self.workload, self.config, self.cost, profile,
+            codec_ratio=self.cache_codec_ratio,
+        )

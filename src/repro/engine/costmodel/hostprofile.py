@@ -39,7 +39,11 @@ __all__ = [
 ]
 
 #: Format version of the persisted JSON; bump on incompatible field changes.
-HOST_PROFILE_VERSION = 1
+#: v2: ``process_efficiency`` is measured by the profiler (a real
+#: ``ProcessBackend`` sweep) instead of shipping the documented default, so
+#: v1 files — whose 0.70 was never a measurement — are rejected with a
+#: re-profile pointer.
+HOST_PROFILE_VERSION = 2
 
 #: Environment variable naming the profile file a host was calibrated into.
 HOST_PROFILE_ENV = "REPRO_HOST_PROFILE"

@@ -13,6 +13,10 @@ model (:func:`repro.engine.costmodel.host_time_plan`), batch autotuning
   engine kernel, so the compute term tracks this host's NumPy build);
 * ``thread_efficiency`` — the realized speedup of running two of those
   reductions on a two-worker thread pool (GIL residue included);
+* ``process_efficiency`` — the realized speedup of streaming a small batch
+  sweep through a real two-worker :class:`repro.engine.backend.ProcessBackend`
+  (shared-memory publication, task pickling, and result-pipe traffic all
+  included — this was a documented 0.70 default before profile version 2);
 * ``mmap_read_bandwidth`` / ``chunk_read_bandwidth`` — memory-mapped vs
   explicit reads of a temporary file (page-cache-warm, like a hot run);
 * ``decompress_bandwidth`` — raw bytes/s per available v2 cache codec;
@@ -105,6 +109,57 @@ def _measure_thread_efficiency(nnz: int, repeats: int) -> float:
 
         both()  # warm the pool before timing
         t_pool = _best(both, repeats)
+    return float(min(1.0, max(0.05, t_serial / t_pool - 1.0)))
+
+
+def _measure_process_efficiency(nnz: int, repeats: int) -> float:
+    """Realized extra-worker fraction of a real two-worker process pool.
+
+    Streams a small :class:`repro.engine.batch.ElementBatch` sweep through an
+    actual :class:`repro.engine.backend.ProcessBackend` — shared-memory
+    publication, per-call factor publication, task pickling, and the result
+    pipe are all on the clock, exactly as they are in a real run — and
+    compares against the same batches reduced serially in-process. Mirrors
+    :func:`_measure_thread_efficiency`:
+    ``efficiency = speedup(2 workers) - 1``, clamped to ``(0.05, 1.0]``.
+    """
+    from types import SimpleNamespace
+
+    from repro.engine.backend import ProcessBackend
+    from repro.engine.batch import ElementBatch
+
+    indices, values, factors = _reduce_case(nnz)
+    part = SimpleNamespace(
+        tensor=SimpleNamespace(indices=indices, values=values)
+    )
+    n_batches = 8
+    step = nnz // n_batches
+    items = [
+        ElementBatch(
+            mode=0,
+            shard_id=0,
+            batch_id=i,
+            elements=slice(i * step, nnz if i == n_batches - 1 else (i + 1) * step),
+            nnz=(nnz - i * step) if i == n_batches - 1 else step,
+        )
+        for i in range(n_batches)
+    ]
+
+    def serial_pass():
+        for item in items:
+            reduce_batch_arrays(
+                indices[item.elements], values[item.elements], factors, 0
+            )
+
+    t_serial = _best(serial_pass, repeats)
+
+    with ProcessBackend(workers=2) as backend:
+        def pool_pass():
+            for _ in backend.map_batches(part, factors, 0, items):
+                pass
+
+        pool_pass()  # warm: spawn workers, publish + map the shared mode
+        t_pool = _best(pool_pass, repeats)
     return float(min(1.0, max(0.05, t_serial / t_pool - 1.0)))
 
 
@@ -257,6 +312,9 @@ def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
     memcpy_bw = _measure_memcpy(big, repeats)
     reduce_bw = _measure_reduce(reduce_nnz, repeats)
     thread_eff = _measure_thread_efficiency(reduce_nnz, repeats)
+    process_eff = _measure_process_efficiency(
+        4096 if quick else 32768, 1 if quick else 3
+    )
     mmap_bw, chunk_bw = _measure_file_bandwidths(big, repeats)
     decompress = _measure_decompress(blob, repeats, memcpy_bw)
     serial_s, thread_s, prefetch_s = _measure_dispatch(1 if quick else 3)
@@ -277,6 +335,7 @@ def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
         process_task_s=task_s,
         pipe_bandwidth=pipe_bw,
         thread_efficiency=thread_eff,
+        process_efficiency=process_eff,
         prefetch_overhead_s=prefetch_s,
         stream_cache_fraction=fraction,
     )

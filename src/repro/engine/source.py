@@ -479,6 +479,15 @@ class CompressedChunkSource(ShardSource):
         decompression-staging accounting)."""
         return self._checked_reader().chunk_nnz
 
+    @property
+    def codec_ratio(self) -> float:
+        """Measured compressed/raw byte ratio from the cache manifest.
+
+        The real on-disk ratio, not the analytic per-codec default — feed
+        it to ``host_time_plan`` / ``rank_backends`` as ``codec_ratio`` so
+        the staging-read term prices the bytes actually read."""
+        return self._checked_reader().codec_ratio
+
     def _checked_reader(self):
         if self._reader is None:
             raise ReproError(

@@ -88,6 +88,7 @@ __all__ = [
     "available_codecs",
     "codec_available",
     "detect_shard_cache_version",
+    "shard_cache_codec_ratio",
     "write_shard_cache_v2",
     "write_shard_cache_streaming",
     "load_shard_cache_v2",
@@ -223,6 +224,29 @@ def detect_shard_cache_version(path) -> int:
         f"{path}: not a shard cache (neither a v1 .npz archive nor a v2 "
         f"chunked cache); rebuild with `repro cache`"
     )
+
+
+def shard_cache_codec_ratio(path) -> float | None:
+    """Measured compressed/raw ratio of an existing v2 cache, else ``None``.
+
+    ``None`` means "no measured ratio available" — the path is missing, a
+    v1 mmap cache (stored uncompressed), or not a shard cache at all — and
+    callers should fall back to the analytic per-codec default. Feed the
+    returned ratio to :func:`repro.engine.costmodel.timing.host_time_plan`
+    / ``rank_backends`` as ``codec_ratio`` so staging-read predictions use
+    the cache's real on-disk bytes.
+    """
+    try:
+        path = _shard_cache_path(path)
+        if not path.is_file() or detect_shard_cache_version(path) != 2:
+            return None
+        reader = ChunkedCacheReader(path)
+    except TensorFormatError:
+        return None
+    try:
+        return reader.codec_ratio
+    finally:
+        reader.close()
 
 
 # ----------------------------------------------------------------------
@@ -936,6 +960,26 @@ class ChunkedCacheReader:
     @property
     def nmodes(self) -> int:
         return len(self.shape)
+
+    @property
+    def codec_ratio(self) -> float:
+        """Measured compressed/raw byte ratio over every chunk in the cache.
+
+        This is the real on-disk ratio the manifest records (frame ``nbytes``
+        over ``raw_nbytes``, summed across all arrays), the number the host
+        timing model's staging-read term should use instead of the analytic
+        per-codec default in
+        :data:`repro.engine.costmodel.timing.DEFAULT_CODEC_RATIO`.
+        """
+        compressed = 0
+        raw = 0
+        for meta in self._meta.values():
+            for chunk in meta["chunks"]:
+                compressed += int(chunk["nbytes"])
+                raw += int(chunk["raw_nbytes"])
+        if raw <= 0:
+            return 1.0
+        return compressed / raw
 
     def array_names(self) -> tuple[str, ...]:
         return tuple(self._meta)

@@ -24,7 +24,9 @@ class Timer:
     True
 
     Re-entering accumulates, which is convenient for timing the same phase
-    across the modes of an MTTKRP sweep.
+    across the modes of an MTTKRP sweep. Entering while already started is
+    an error: silently overwriting the prior start would drop time on the
+    floor, so nesting the same timer raises instead.
     """
 
     clock: WallClock = field(default_factory=WallClock)
@@ -32,6 +34,11 @@ class Timer:
     _started: float | None = None
 
     def __enter__(self) -> "Timer":
+        if self._started is not None:
+            raise RuntimeError(
+                "Timer entered while already started (exit it first; "
+                "re-entry would silently drop the prior start)"
+            )
         self._started = self.clock.now()
         return self
 

@@ -1,0 +1,148 @@
+"""Tests for sweep expansion and the trial runner (repro.bench.trials/runner).
+
+Sweep expansion and spec validation are pure and run everywhere; the
+real-execution tests run one tiny trial per source kind (resident and
+compressed) so the whole measure→record→trajectory path is exercised in a
+few hundred milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import DEFAULT_SWEEP, SMOKE_SWEEP, run_bench
+from repro.bench.trials import (
+    TRIAL_RECORD_VERSION,
+    TrialSpec,
+    expand_sweep,
+    run_trial,
+)
+from repro.bench.trajectory import load_trajectory
+from repro.errors import ReproError
+
+
+class TestTrialSpec:
+    def test_cell_key_encodes_identity(self):
+        spec = TrialSpec(
+            dataset="twitch", nnz=2000, source="chunked", codec="zlib",
+            backend="thread", workers=2, prefetch=True, rank=8,
+        )
+        assert spec.cell == "twitch/2000/chunked+zlib/threadx2/pf/r8"
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = TrialSpec()
+        assert a.fingerprint() == TrialSpec().fingerprint()
+        assert a.fingerprint() != TrialSpec(rank=9).fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="source"):
+            TrialSpec(source="carrier-pigeon")
+        with pytest.raises(ReproError, match="backend"):
+            TrialSpec(backend="gpu")
+        with pytest.raises(ReproError, match="codec"):
+            TrialSpec(source="inmem", codec="zlib")
+        with pytest.raises(ReproError, match="repeats"):
+            TrialSpec(repeats=0)
+        with pytest.raises(ReproError, match="warmup"):
+            TrialSpec(warmup=-1)
+
+
+class TestExpandSweep:
+    def test_cartesian_product_size(self):
+        specs = expand_sweep({
+            "datasets": ["twitch"],
+            "nnz": [1000, 2000],
+            "sources": ["inmem", "chunked:zlib"],
+            "backends": ["serial", "thread:4"],
+            "prefetch": [False, True],
+            "ranks": [4],
+        })
+        assert len(specs) == 2 * 2 * 2 * 2
+        assert len({s.cell for s in specs}) == len(specs)
+
+    def test_source_and_backend_suffix_parsing(self):
+        specs = expand_sweep({
+            "sources": ["chunked:lzma"], "backends": ["process:3"],
+        })
+        (spec,) = specs
+        assert spec.source == "chunked" and spec.codec == "lzma"
+        assert spec.backend == "process" and spec.workers == 3
+
+    def test_parallel_backends_default_two_workers(self):
+        specs = expand_sweep({"backends": ["thread", "process", "serial"]})
+        workers = {s.backend: s.workers for s in specs}
+        assert workers == {"thread": 2, "process": 2, "serial": 1}
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ReproError, match="unknown sweep axes"):
+            expand_sweep({"dataset": ["twitch"]})  # typo: singular
+
+    def test_builtin_sweeps_expand(self):
+        smoke = expand_sweep(SMOKE_SWEEP)
+        full = expand_sweep(DEFAULT_SWEEP)
+        assert 0 < len(smoke) < len(full)
+        # the CI gate must not spawn process pools
+        assert all(s.backend != "process" for s in smoke)
+        assert any(s.backend == "process" for s in full)
+
+
+class TestRunTrial:
+    def test_inmem_record_schema(self):
+        spec = TrialSpec(nnz=500, rank=4, warmup=0, repeats=2)
+        rec = run_trial(spec)
+        assert rec["record_version"] == TRIAL_RECORD_VERSION
+        assert rec["cell"] == spec.cell
+        assert rec["config_fingerprint"] == spec.fingerprint()
+        assert len(rec["wall_times_s"]) == 2
+        assert all(t > 0 for t in rec["wall_times_s"])
+        assert rec["median_s"] > 0
+        assert rec["predicted_total_s"] > 0
+        assert rec["predicted"]["total_s"] == rec["predicted_total_s"]
+        assert rec["prediction_error"] == pytest.approx(
+            (rec["predicted_total_s"] - rec["median_s"]) / rec["median_s"]
+        )
+        assert rec["codec_ratio"] is None  # resident source
+        assert rec["peak_rss_bytes"] > 0
+        assert len(rec["host_profile_hash"]) == 16
+        assert rec["resolved_backend"] == "serial"
+
+    def test_chunked_trial_records_measured_ratio(self, tmp_path):
+        spec = TrialSpec(
+            nnz=500, rank=4, source="chunked", codec="zlib",
+            warmup=0, repeats=1,
+        )
+        rec = run_trial(spec, workdir=tmp_path)
+        assert rec["codec_ratio"] is not None
+        assert 0.0 < rec["codec_ratio"] < 1.0
+        assert rec["predicted"]["staging_read_s"] > 0
+
+    def test_auto_backend_resolves_in_record(self):
+        spec = TrialSpec(nnz=500, rank=4, backend="auto", warmup=0, repeats=1)
+        rec = run_trial(spec)
+        assert rec["resolved_backend"] in ("serial", "thread", "process")
+
+
+class TestRunBench:
+    def test_only_filter_and_trajectory_output(self, tmp_path):
+        lines = []
+        path, traj = run_bench(
+            {
+                "nnz": [500],
+                "sources": ["inmem"],
+                "backends": ["serial", "thread:2"],
+                "ranks": [4],
+                "warmup": 0,
+                "repeats": 2,
+            },
+            out=tmp_path / "traj.json",
+            label="unit",
+            only="serial",
+            progress=lines.append,
+        )
+        assert path.is_file()
+        assert len(traj["trials"]) == 1
+        assert "serialx1" in traj["trials"][0]["cell"]
+        assert traj["label"] == "unit"
+        assert lines  # progress callback was driven
+        # the file round-trips through the validated loader
+        assert load_trajectory(path)["trials"] == traj["trials"]

@@ -1,0 +1,192 @@
+"""Tests for the versioned benchmark trajectory (repro.bench.trajectory).
+
+Synthetic trial records only — no real timing runs. Covers the schema
+round-trip, version gating, structural validation, the bootstrap verdict
+machinery (regression / improvement / tie plus new / dropped cells), and
+the markdown report's load-bearing content.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    DEFAULT_NOISE_BAND,
+    TRAJECTORY_VERSION,
+    bootstrap_ratio_ci,
+    build_trajectory,
+    compare_trajectories,
+    load_trajectory,
+    render_report,
+    save_trajectory,
+    validate_trajectory,
+)
+from repro.bench.trials import TRIAL_RECORD_VERSION
+from repro.errors import ReproError
+
+
+def make_record(cell: str, times: list[float], predicted: float = 0.01) -> dict:
+    """A minimal schema-complete synthetic trial record."""
+    from statistics import median
+
+    measured = float(median(times))
+    return {
+        "record_version": TRIAL_RECORD_VERSION,
+        "cell": cell,
+        "spec": {"dataset": "twitch", "source": "inmem"},
+        "config_fingerprint": "f" * 16,
+        "wall_times_s": list(times),
+        "median_s": measured,
+        "predicted_total_s": predicted,
+        "prediction_error": (predicted - measured) / measured,
+    }
+
+
+def make_trajectory(cells: dict[str, list[float]], **kw) -> dict:
+    return build_trajectory(
+        [make_record(c, t) for c, t in cells.items()], **kw
+    )
+
+
+class TestSchemaRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        traj = make_trajectory(
+            {"a": [0.01, 0.011, 0.012], "b": [0.02, 0.02, 0.021]},
+            label="t", git_rev="abc1234", host="h",
+        )
+        path = save_trajectory(tmp_path / "BENCH_t.json", traj)
+        loaded = load_trajectory(path)
+        assert loaded == traj
+        # the on-disk form is plain, stable JSON
+        raw = json.loads(path.read_text())
+        assert raw["version"] == TRAJECTORY_VERSION
+        assert len(raw["trials"]) == 2
+
+    def test_version_mismatch_rejected_with_clear_error(self, tmp_path):
+        traj = make_trajectory({"a": [0.01]})
+        traj["version"] = TRAJECTORY_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(traj))
+        with pytest.raises(ReproError, match="version") as exc:
+            load_trajectory(path)
+        # the error names the file, both versions, and the fix
+        assert str(path) in str(exc.value)
+        assert "repro bench run" in str(exc.value)
+
+    def test_missing_file_and_bad_json(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read trajectory"):
+            load_trajectory(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_trajectory(bad)
+
+
+class TestValidation:
+    def test_non_dict_rejected(self):
+        with pytest.raises(ReproError, match="JSON object"):
+            validate_trajectory([1, 2, 3])
+
+    def test_missing_trial_keys_named(self):
+        traj = make_trajectory({"a": [0.01]})
+        del traj["trials"][0]["predicted_total_s"]
+        with pytest.raises(ReproError, match="predicted_total_s"):
+            validate_trajectory(traj)
+
+    def test_empty_or_nonpositive_times_rejected(self):
+        traj = make_trajectory({"a": [0.01]})
+        traj["trials"][0]["wall_times_s"] = []
+        with pytest.raises(ReproError, match="wall_times_s"):
+            validate_trajectory(traj)
+        traj["trials"][0]["wall_times_s"] = [0.01, -0.5]
+        with pytest.raises(ReproError, match="wall_times_s"):
+            validate_trajectory(traj)
+
+    def test_duplicate_cells_rejected(self):
+        rec = make_record("same", [0.01])
+        with pytest.raises(ReproError, match="duplicate cell"):
+            build_trajectory([rec, dict(rec)])
+
+
+class TestBootstrapCi:
+    def test_deterministic_and_ordered(self):
+        a = [0.010, 0.011, 0.012, 0.010, 0.011]
+        b = [0.020, 0.021, 0.019, 0.020, 0.022]
+        lo1, hi1 = bootstrap_ratio_ci(a, b, seed=3)
+        lo2, hi2 = bootstrap_ratio_ci(a, b, seed=3)
+        assert (lo1, hi1) == (lo2, hi2)
+        assert lo1 <= hi1
+        assert hi1 < 1.0  # a is clearly ~2x faster than b
+
+    def test_single_repeat_degenerates_to_point(self):
+        lo, hi = bootstrap_ratio_ci([0.01], [0.02])
+        assert lo == hi == pytest.approx(0.5)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ReproError, match="non-empty"):
+            bootstrap_ratio_ci([], [0.01])
+        with pytest.raises(ReproError, match="positive"):
+            bootstrap_ratio_ci([0.0], [0.01])
+
+
+class TestVerdicts:
+    def test_regression_improvement_tie(self):
+        old = make_trajectory({
+            "slower": [0.010, 0.010, 0.011, 0.010, 0.010],
+            "faster": [0.010, 0.010, 0.011, 0.010, 0.010],
+            "same": [0.010, 0.010, 0.011, 0.010, 0.010],
+        })
+        new = make_trajectory({
+            "slower": [0.020, 0.021, 0.020, 0.020, 0.022],
+            "faster": [0.005, 0.005, 0.005, 0.006, 0.005],
+            "same": [0.010, 0.011, 0.010, 0.010, 0.010],
+        })
+        rows = {r["cell"]: r for r in compare_trajectories(new, old)}
+        assert rows["slower"]["verdict"] == "regression"
+        assert rows["faster"]["verdict"] == "improvement"
+        assert rows["same"]["verdict"] == "tie"
+        assert rows["slower"]["ratio"] == pytest.approx(2.0)
+        assert rows["faster"]["ratio"] == pytest.approx(0.5)
+
+    def test_band_widens_tie(self):
+        # a 10% slowdown with tight repeats: regression at the default
+        # band, tie when the caller accepts 20% noise
+        old = make_trajectory({"c": [0.010] * 5})
+        new = make_trajectory({"c": [0.011] * 5})
+        assert compare_trajectories(new, old)[0]["verdict"] == "regression"
+        assert (
+            compare_trajectories(new, old, band=0.20)[0]["verdict"] == "tie"
+        )
+        assert DEFAULT_NOISE_BAND < 0.20
+
+    def test_new_and_dropped_cells_reported(self):
+        old = make_trajectory({"kept": [0.01], "gone": [0.01]})
+        new = make_trajectory({"kept": [0.01], "added": [0.01]})
+        rows = {r["cell"]: r for r in compare_trajectories(new, old)}
+        assert rows["added"]["verdict"] == "new"
+        assert rows["added"]["ratio"] is None
+        assert rows["gone"]["verdict"] == "dropped"
+        assert rows["gone"]["median_new_s"] is None
+        assert rows["kept"]["verdict"] == "tie"
+
+
+class TestRenderReport:
+    def test_report_lists_trials_and_prediction_error(self):
+        traj = make_trajectory(
+            {"cellA": [0.01, 0.01, 0.01]}, label="pr6", git_rev="abc"
+        )
+        text = render_report(traj)
+        assert "cellA" in text
+        assert "pred err" in text
+        assert "Mean |prediction error|" in text
+        assert "pr6" in text and "abc" in text
+
+    def test_report_with_previous_has_verdict_summary(self):
+        old = make_trajectory({"c": [0.010] * 5}, label="old")
+        new = make_trajectory({"c": [0.030] * 5}, label="new")
+        text = render_report(new, old)
+        assert "regression" in text
+        assert "Geometric-mean ratio" in text
+        assert "1 regression" in text

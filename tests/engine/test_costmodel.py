@@ -332,3 +332,86 @@ class TestConfigWiring:
         assert cfg.resolved_batch_size(COST, 3) == auto_batch_size(
             COST, 32, 3, cache_fraction=1.0
         )
+
+
+class TestMeasuredCodecRatioFeed:
+    """PR 6 bugfix: the v2 manifest's real compressed/raw ratio reaches
+    every prediction instead of the analytic per-codec default."""
+
+    @pytest.fixture(scope="class")
+    def zlib_cache(self, tmp_path_factory, tensor):
+        from repro.tensor.io import write_shard_cache_v2
+
+        return write_shard_cache_v2(
+            tensor, tmp_path_factory.mktemp("v2") / "cache",
+            codec="zlib", chunk_nnz=256,
+        )
+
+    def test_reader_and_source_expose_manifest_ratio(self, zlib_cache):
+        from repro.engine.source import CompressedChunkSource
+        from repro.tensor.io import ChunkedCacheReader, shard_cache_codec_ratio
+
+        reader = ChunkedCacheReader(zlib_cache)
+        try:
+            ratio = reader.codec_ratio
+        finally:
+            reader.close()
+        assert 0.0 < ratio < 1.0  # sorted int64/float64 columns compress
+        assert shard_cache_codec_ratio(zlib_cache) == pytest.approx(ratio)
+        src = CompressedChunkSource(zlib_cache, n_gpus=2, shards_per_gpu=2)
+        try:
+            assert src.codec_ratio == pytest.approx(ratio)
+        finally:
+            src.close()
+
+    def test_helper_returns_none_for_v1_and_missing(self, tmp_path, tensor):
+        from repro.tensor.io import shard_cache_codec_ratio, write_shard_cache
+
+        v1 = write_shard_cache(tensor, tmp_path / "v1cache")
+        assert shard_cache_codec_ratio(v1) is None
+        assert shard_cache_codec_ratio(tmp_path / "missing.npz") is None
+
+    def test_executor_feeds_measured_ratio_into_prediction(self, zlib_cache):
+        from repro.engine.costmodel.timing import DEFAULT_CODEC_RATIO
+
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2, batch_size=256)
+        ex = AmpedMTTKRP.from_shard_cache(zlib_cache, cfg, name="ratio")
+        with ex:
+            measured_ratio = ex.cache_codec_ratio
+            plan = ex.host_time_plan()
+            default_plan = host_time_plan(ex.workload, ex.config, ex.cost)
+        assert measured_ratio is not None
+        assert measured_ratio != pytest.approx(DEFAULT_CODEC_RATIO["zlib"])
+        # staging-read term scales linearly in the ratio
+        assert plan["staging_read_s"] == pytest.approx(
+            default_plan["staging_read_s"]
+            * measured_ratio / DEFAULT_CODEC_RATIO["zlib"]
+        )
+        assert plan["staging_read_s"] != default_plan["staging_read_s"]
+
+    def test_v1_executor_has_no_measured_ratio(self, tmp_path, tensor):
+        from repro.tensor.io import write_shard_cache
+
+        v1 = write_shard_cache(tensor, tmp_path / "v1feed")
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        ex = AmpedMTTKRP.from_shard_cache(v1, cfg, name="v1")
+        with ex:
+            assert ex.cache_codec_ratio is None
+
+    def test_zstd_cache_ratio_changes_prediction(self, tmp_path, tensor):
+        pytest.importorskip("zstandard")
+        from repro.engine.costmodel.timing import DEFAULT_CODEC_RATIO
+        from repro.tensor.io import write_shard_cache_v2
+
+        cache = write_shard_cache_v2(
+            tensor, tmp_path / "zstd_cache", codec="zstd", chunk_nnz=256
+        )
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2, batch_size=256)
+        ex = AmpedMTTKRP.from_shard_cache(cache, cfg, name="zstd")
+        with ex:
+            plan = ex.host_time_plan()
+            analytic = host_time_plan(ex.workload, ex.config, ex.cost)
+            ratio = ex.cache_codec_ratio
+        assert ratio is not None
+        assert ratio != pytest.approx(DEFAULT_CODEC_RATIO["zstd"])
+        assert plan["staging_read_s"] != analytic["staging_read_s"]

@@ -38,8 +38,21 @@ def test_quick_profile_measures_every_channel(measured):
     # zlib/lzma ship with CPython; zstd only when zstandard is installed
     assert {"none", "zlib", "lzma"} <= set(measured.decompress_bandwidth)
     assert 0.0 < measured.thread_efficiency <= 1.0
+    assert 0.0 < measured.process_efficiency <= 1.0
     assert measured.stream_cache_fraction is not None
     assert 0.0 < measured.stream_cache_fraction <= 1.0
+
+
+def test_process_efficiency_is_measured_not_default(measured):
+    # The v1 bug: profile_host shipped the dataclass default (0.70)
+    # untouched. A real ProcessBackend sweep essentially never lands on
+    # the documented default exactly; assert the field was assigned by
+    # measurement (any clamped value is fine, the default is not).
+    field_default = HostProfile.__dataclass_fields__[
+        "process_efficiency"
+    ].default
+    assert field_default == 0.70
+    assert measured.process_efficiency != field_default
 
 
 def test_decompress_rates_are_plausibly_ordered(measured):

@@ -35,11 +35,40 @@ from repro.core.amped import AmpedMTTKRP
 from repro.core.config import AmpedConfig
 from repro.core.simulate import host_time_plan
 from repro.cpd.als import cp_als
-from repro.engine.costmodel import load_host_profile
+from repro.engine.costmodel import HostProfile, load_host_profile
 from repro.tensor.coo import SparseTensorCOO
 from repro.tensor.generate import lowrank_coo, random_coo, zipf_coo
 
 DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+#: the committed synthetic calibration pinned by ``host_profile.json`` —
+#: deterministic mid-range values (NOT this machine's measurements), written
+#: at the current ``HOST_PROFILE_VERSION`` so a profile-format bump
+#: regenerates the golden file here instead of orphaning it at an
+#: unreadable old version.
+GOLDEN_HOST_PROFILE = HostProfile(
+    hostname="golden-host",
+    created="2026-07-29T00:00:00+00:00",
+    quick=False,
+    memcpy_bandwidth=1.0e10,
+    reduce_bandwidth=2.0e9,
+    mmap_read_bandwidth=5.0e9,
+    chunk_read_bandwidth=2.5e9,
+    decompress_bandwidth={
+        "none": 1.0e10,
+        "zlib": 5.0e8,
+        "lzma": 1.0e8,
+        "zstd": 1.5e9,
+    },
+    serial_dispatch_s=4e-6,
+    thread_dispatch_s=2e-5,
+    process_task_s=8e-5,
+    pipe_bandwidth=2.0e9,
+    thread_efficiency=0.6,
+    process_efficiency=0.75,
+    prefetch_overhead_s=1e-5,
+    stream_cache_fraction=0.03125,
+)
 
 #: config matrix pinned by host_time_plan.json (name -> AmpedConfig kwargs);
 #: the workload is the ``zipf3`` case's, the profile the committed
@@ -148,6 +177,8 @@ def main() -> None:
             f"wrote {golden_path(name)} (nnz={nnz}, "
             f"fit={float(payload['cpals_fit']):.6f})"
         )
+    profile_path = GOLDEN_HOST_PROFILE.save(DATA_DIR / "host_profile.json")
+    print(f"wrote {profile_path} (version {GOLDEN_HOST_PROFILE.version})")
     plans = compute_host_time_plans()
     out = DATA_DIR / "host_time_plan.json"
     out.write_text(json.dumps(plans, indent=2, sort_keys=True) + "\n")

@@ -445,3 +445,105 @@ class TestProfileCommand:
                  "--gpus", "2", "--host-profile",
                  str(tmp_path / "missing.json")]
             )
+
+
+class TestBenchCommand:
+    def test_bench_run_smoke_subset_and_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_t.json"
+        rc = main(
+            ["bench", "run", "--smoke", "--out", str(out_path),
+             "--only", "serial", "--nnz", "500", "--repeats", "2",
+             "--warmup", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote trajectory" in out
+        from repro.bench.trajectory import load_trajectory
+
+        traj = load_trajectory(out_path)
+        assert traj["label"] == "smoke"
+        assert traj["trials"]
+        assert all("serial" in t["cell"] for t in traj["trials"])
+        assert all("prediction_error" in t for t in traj["trials"])
+
+        rc = main(
+            ["bench", "report", str(out_path),
+             "--previous", str(out_path),
+             "--out", str(tmp_path / "report.md")]
+        )
+        assert rc == 0
+        report = capsys.readouterr().out
+        assert "Mean |prediction error|" in report
+        assert "tie" in report  # self-comparison can only tie
+        assert (tmp_path / "report.md").is_file()
+
+    def test_bench_run_no_matching_cells(self, tmp_path, capsys):
+        rc = main(
+            ["bench", "run", "--smoke", "--out",
+             str(tmp_path / "empty.json"), "--only", "no-such-cell"]
+        )
+        assert rc == 2
+        assert "no trials matched" in capsys.readouterr().out
+
+    def test_bench_report_missing_file(self, tmp_path, capsys):
+        rc = main(["bench", "report", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot read trajectory" in capsys.readouterr().out
+
+    def test_bench_report_version_mismatch(self, tmp_path, capsys):
+        bad = tmp_path / "future.json"
+        bad.write_text(json.dumps({"version": 999, "trials": []}))
+        rc = main(["bench", "report", str(bad)])
+        assert rc == 2
+        assert "version" in capsys.readouterr().out
+
+    def test_committed_trajectory_is_valid(self):
+        """BENCH_6.json at the repo root must stay loadable (CI gate)."""
+        import pathlib
+
+        from repro.bench.trajectory import load_trajectory
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        committed = root / "BENCH_6.json"
+        assert committed.is_file(), "BENCH_6.json must be committed"
+        traj = load_trajectory(committed)
+        assert traj["trials"], "committed trajectory must hold trials"
+        for t in traj["trials"]:
+            assert "prediction_error" in t
+
+    def test_profile_reports_measured_process_efficiency(
+        self, tmp_path, capsys
+    ):
+        assert main(["profile", str(tmp_path / "p.json"), "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "process efficiency" in out
+        assert "measured ProcessBackend sweep" in out
+
+    def test_simulate_with_v2_cache_uses_measured_ratio(
+        self, tmp_path, capsys
+    ):
+        cache = tmp_path / "sim_cache"
+        rc = main(
+            ["cache", str(cache), "--dataset", "twitch", "--nnz", "2000",
+             "--codec", "zlib"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(
+            ["simulate", "twitch", "--shards-per-gpu", "4",
+             "--shard-cache", str(cache)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "staging priced at measured codec ratio" in out
+        assert "zlib manifest" in out
+
+    def test_simulate_with_missing_cache_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        rc = main(
+            ["simulate", "twitch", "--shards-per-gpu", "4",
+             "--shard-cache", str(tmp_path / "missing.npz")]
+        )
+        assert rc == 2
+        assert "--shard-cache" in capsys.readouterr().out

@@ -101,6 +101,24 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             t.__exit__(None, None, None)
 
+    def test_reenter_while_started_raises(self):
+        # Regression: __enter__ used to overwrite the prior start silently,
+        # dropping the already-elapsed time on the floor.
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError, match="already started"):
+                t.__enter__()
+        assert t.elapsed >= 0.0  # the outer exit still accounted cleanly
+
+    def test_usable_after_reenter_error(self):
+        t = Timer()
+        t.__enter__()
+        with pytest.raises(RuntimeError):
+            t.__enter__()
+        t.__exit__(None, None, None)
+        with t:  # a full exit resets the guard; re-entry accumulates again
+            pass
+
 
 class TestHumanize:
     def test_bytes(self):
