@@ -29,6 +29,7 @@ SMOKE_SWEEP: dict = {
     "nnz": [2000],
     "sources": ["inmem", "chunked:zlib"],
     "backends": ["serial", "thread:2", "auto"],
+    "kernels": ["auto", "numpy"],
     "prefetch": [False],
     "ranks": [4],
     "n_gpus": 2,
@@ -39,12 +40,16 @@ SMOKE_SWEEP: dict = {
 
 #: The committed-trajectory matrix: every source kind (resident, v1 mmap,
 #: v2 compressed), every backend including the process pool and auto
-#: resolution, with and without prefetch.
+#: resolution, both the auto-resolved and pinned-numpy kernel tiers
+#: (auto cells keep pre-registry cell keys, so trajectory comparison
+#: against older files sees the compiled tier as an in-place improvement),
+#: with and without prefetch.
 DEFAULT_SWEEP: dict = {
     "datasets": ["twitch"],
     "nnz": [4000],
     "sources": ["inmem", "mmap", "chunked:zlib"],
     "backends": ["serial", "thread:2", "process:2", "auto"],
+    "kernels": ["auto", "numpy"],
     "prefetch": [False, True],
     "ranks": [8],
     "n_gpus": 2,

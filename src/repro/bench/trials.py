@@ -1,7 +1,8 @@
 """Scheduled benchmark trials: sweep expansion + single-trial execution.
 
 A *trial* is one measured cell of the benchmark sweep — (dataset × source ×
-backend × prefetch × codec × rank) — run with warmup iterations followed by
+backend × kernel × prefetch × codec × rank) — run with warmup iterations
+followed by
 timed repeats of a full MTTKRP iteration (``mttkrp_all_modes``), the same
 quantity the host-pipeline timing model predicts. Each trial produces one
 versioned JSON record holding the measured wall times, the per-phase
@@ -32,6 +33,7 @@ from statistics import median
 import numpy as np
 
 from repro.errors import ReproError
+from repro.tensor.kernelreg import AUTO_KERNEL, validate_kernel_name
 
 __all__ = [
     "TRIAL_RECORD_VERSION",
@@ -69,6 +71,7 @@ class TrialSpec:
     nnz: int = 2000
     source: str = "inmem"
     backend: str = "serial"
+    kernel: str = AUTO_KERNEL
     workers: int = 1
     prefetch: bool = False
     codec: str | None = None
@@ -90,6 +93,7 @@ class TrialSpec:
                 f"trial backend must be one of {list(BACKENDS)}, "
                 f"got {self.backend!r}"
             )
+        validate_kernel_name(self.kernel)
         if self.codec is not None and self.source != "chunked":
             raise ReproError(
                 f"codec={self.codec!r} only applies to the 'chunked' "
@@ -103,13 +107,23 @@ class TrialSpec:
     # ------------------------------------------------------------------
     @property
     def cell(self) -> str:
-        """The cross-trajectory comparison key of this cell."""
+        """The cross-trajectory comparison key of this cell.
+
+        The kernel segment only appears for an explicitly pinned tier:
+        ``kernel="auto"`` cells keep the pre-kernel-registry key layout so
+        trajectory files from before the registry existed still line up
+        with the same logical cell (what the engine picked is recorded in
+        the trial record's ``resolved_kernel``, not in the identity).
+        """
         src = self.source if self.codec is None else f"{self.source}+{self.codec}"
         pf = "pf" if self.prefetch else "nopf"
-        return (
+        key = (
             f"{self.dataset}/{self.nnz}/{src}/"
             f"{self.backend}x{self.workers}/{pf}/r{self.rank}"
         )
+        if self.kernel != AUTO_KERNEL:
+            key += f"/k-{self.kernel}"
+        return key
 
     def fingerprint(self) -> str:
         """Stable hash of every spec field (config provenance per record)."""
@@ -123,14 +137,17 @@ def expand_sweep(axes: dict) -> list[TrialSpec]:
     ``axes`` maps axis names to lists: ``datasets``, ``nnz``, ``sources``
     (entries like ``"inmem"``, ``"mmap"``, ``"chunked:zlib"`` — the suffix
     after ``:`` is the codec), ``backends`` (``"serial"``, ``"thread:2"``,
-    ``"process:2"``, ``"auto"`` — suffix is the worker count), ``prefetch``
-    (bools), and ``ranks``; scalar knobs ``warmup``/``repeats``/``seed``
-    and shape knobs ``n_gpus``/``shards_per_gpu`` apply to every trial.
-    Unknown keys raise so a typoed axis cannot silently shrink the sweep.
+    ``"process:2"``, ``"auto"`` — suffix is the worker count), ``kernels``
+    (registry tier names or ``"auto"``; unavailable explicit tiers fall
+    back to numpy at run time and the record's ``resolved_kernel`` says
+    so), ``prefetch`` (bools), and ``ranks``; scalar knobs
+    ``warmup``/``repeats``/``seed`` and shape knobs
+    ``n_gpus``/``shards_per_gpu`` apply to every trial. Unknown keys raise
+    so a typoed axis cannot silently shrink the sweep.
     """
     known = {
-        "datasets", "nnz", "sources", "backends", "prefetch", "ranks",
-        "warmup", "repeats", "seed", "n_gpus", "shards_per_gpu",
+        "datasets", "nnz", "sources", "backends", "kernels", "prefetch",
+        "ranks", "warmup", "repeats", "seed", "n_gpus", "shards_per_gpu",
     }
     unknown = set(axes) - known
     if unknown:
@@ -148,25 +165,27 @@ def expand_sweep(axes: dict) -> list[TrialSpec]:
                         workers = int(w)
                     else:
                         workers = 2 if backend in ("thread", "process") else 1
-                    for prefetch in axes.get("prefetch", [False]):
-                        for rank in axes.get("ranks", [8]):
-                            specs.append(TrialSpec(
-                                dataset=dataset,
-                                nnz=int(nnz),
-                                source=source,
-                                backend=backend,
-                                workers=workers,
-                                prefetch=bool(prefetch),
-                                codec=codec or None,
-                                rank=int(rank),
-                                n_gpus=int(axes.get("n_gpus", 2)),
-                                shards_per_gpu=int(
-                                    axes.get("shards_per_gpu", 2)
-                                ),
-                                warmup=int(axes.get("warmup", 1)),
-                                repeats=int(axes.get("repeats", 3)),
-                                seed=int(axes.get("seed", 0)),
-                            ))
+                    for kernel in axes.get("kernels", [AUTO_KERNEL]):
+                        for prefetch in axes.get("prefetch", [False]):
+                            for rank in axes.get("ranks", [8]):
+                                specs.append(TrialSpec(
+                                    dataset=dataset,
+                                    nnz=int(nnz),
+                                    source=source,
+                                    backend=backend,
+                                    kernel=str(kernel),
+                                    workers=workers,
+                                    prefetch=bool(prefetch),
+                                    codec=codec or None,
+                                    rank=int(rank),
+                                    n_gpus=int(axes.get("n_gpus", 2)),
+                                    shards_per_gpu=int(
+                                        axes.get("shards_per_gpu", 2)
+                                    ),
+                                    warmup=int(axes.get("warmup", 1)),
+                                    repeats=int(axes.get("repeats", 3)),
+                                    seed=int(axes.get("seed", 0)),
+                                ))
     return specs
 
 
@@ -247,6 +266,7 @@ def run_trial(
         rank=spec.rank,
         shards_per_gpu=spec.shards_per_gpu,
         backend=spec.backend,
+        kernel=spec.kernel,
         workers=spec.workers,
         prefetch=spec.prefetch,
         host_profile=host_profile,
@@ -262,6 +282,7 @@ def run_trial(
             plan = ex.host_time_plan()
             codec_ratio = ex.cache_codec_ratio
             resolved_backend, resolved_workers = ex.config.resolved_backend()
+            resolved_kernel = ex.config.resolved_kernel()
             profile = ex.config.resolved_host_profile()
             if profile is None:
                 from repro.engine.costmodel import DEFAULT_HOST_PROFILE
@@ -285,6 +306,7 @@ def run_trial(
         "config_fingerprint": spec.fingerprint(),
         "resolved_backend": resolved_backend,
         "resolved_workers": int(resolved_workers),
+        "resolved_kernel": resolved_kernel,
         "nnz": int(tensor.nnz),
         "wall_times_s": [float(t) for t in wall_times],
         "median_s": measured_s,

@@ -148,12 +148,22 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical across backends",
     )
     p_dec.add_argument(
+        "--kernel",
+        default="numpy",
+        choices=["auto", "numpy", "numba", "cc"],
+        help="MTTKRP kernel tier for batch reductions: numpy (default; the "
+        "bit-exact reference), numba / cc (fused compiled tiers — "
+        "deterministic, within ~1e-12 of numpy, falling back to numpy "
+        "when unavailable on this host), or auto (pick the tier the host "
+        "cost model predicts fastest, alongside --backend auto)",
+    )
+    p_dec.add_argument(
         "--host-profile",
         default=None,
         metavar="PATH",
         help="measured host profile JSON (written by `repro profile`) "
-        "consumed by --backend auto, batch autotuning, and the host "
-        "pipeline prediction; default: the REPRO_HOST_PROFILE env var",
+        "consumed by --backend/--kernel auto, batch autotuning, and the "
+        "host pipeline prediction; default: the REPRO_HOST_PROFILE env var",
     )
     p_dec.add_argument(
         "--workers",
@@ -268,9 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_brun.add_argument(
         "--out",
-        default="BENCH_6.json",
+        default="BENCH_7.json",
         metavar="PATH",
-        help="trajectory output path (default: BENCH_6.json)",
+        help="trajectory output path (default: BENCH_7.json)",
     )
     p_brun.add_argument(
         "--smoke",
@@ -331,9 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_brep.add_argument(
         "trajectory",
         nargs="?",
-        default="BENCH_6.json",
+        default="BENCH_7.json",
         help="trajectory JSON written by `repro bench run` "
-        "(default: BENCH_6.json)",
+        "(default: BENCH_7.json)",
     )
     p_brep.add_argument(
         "--previous",
@@ -518,6 +528,7 @@ def _cmd_decompose(args) -> int:
         batch_size=args.batch_size,
         backend=args.backend,
         workers=args.workers,
+        kernel=args.kernel,
         prefetch=args.prefetch,
         out_of_core=args.out_of_core,
         shard_cache=None if cache is None else str(cache),
@@ -562,6 +573,13 @@ def _cmd_decompose(args) -> int:
         f"prefetch={'on' if config.prefetch else 'off'})"
         f"{resolved_note}"
     )
+    resolved_kernel = ex.config.resolved_kernel()
+    kernel_note = ""
+    if args.kernel == "auto":
+        kernel_note = " (resolved from 'auto' by the host cost model)"
+    elif resolved_kernel != args.kernel:
+        kernel_note = f" (fallback: {args.kernel!r} unavailable on this host)"
+    print(f"engine kernel: {resolved_kernel}{kernel_note}")
     with ex:  # close pools / shared memory / mmap views deterministically
         res = cp_als(
             tensor, rank=args.rank, n_iters=args.iters, seed=args.seed,
@@ -652,6 +670,8 @@ def _cmd_profile(args) -> int:
     print(f"calibrated {profile.hostname} ({mode} microbenchmarks):")
     print(f"  memcpy            {format_bytes(profile.memcpy_bandwidth)}/s")
     print(f"  batch reduce      {format_bytes(profile.reduce_bandwidth)}/s streamed")
+    for kname, bw in sorted(profile.kernel_reduce_bandwidth.items()):
+        print(f"  kernel {kname:<11}{format_bytes(bw)}/s streamed")
     print(f"  mmap stage        {format_bytes(profile.mmap_read_bandwidth)}/s")
     print(f"  chunk read        {format_bytes(profile.chunk_read_bandwidth)}/s")
     for codec, bw in sorted(profile.decompress_bandwidth.items()):

@@ -153,19 +153,21 @@ class AmpedMTTKRP:
         # (backend="auto" below, host_time_plan()) uses it instead of the
         # analytic per-codec default. None for v1/in-memory sources.
         self.cache_codec_ratio = getattr(source, "codec_ratio", None)
-        if self.config.backend == "auto":
-            # Pick the backend with the smallest host-pipeline prediction
-            # for this actual workload (measured host profile preferred)
-            # and pin it, so every later consumer sees a concrete backend.
-            from repro.engine.costmodel import resolve_auto_backend
+        if self.config.backend == "auto" or self.config.kernel == "auto":
+            # Pick the (kernel, backend) pair with the smallest
+            # host-pipeline prediction for this actual workload (measured
+            # host profile preferred; an axis the config pins concrete is
+            # held fixed) and pin all of it, so every later consumer sees
+            # concrete choices.
+            from repro.engine.costmodel import resolve_auto_execution
 
-            auto_name, auto_workers = resolve_auto_backend(
+            auto_kernel, auto_name, auto_workers = resolve_auto_execution(
                 self.workload, self.config, self.cost,
                 self.config.resolved_host_profile(),
                 codec_ratio=self.cache_codec_ratio,
             )
             self.config = self.config.replace(
-                backend=auto_name, workers=auto_workers
+                kernel=auto_kernel, backend=auto_name, workers=auto_workers
             )
         backend_name, backend_workers = self.config.resolved_backend()
         self.engine = StreamingExecutor(
@@ -176,6 +178,7 @@ class AmpedMTTKRP:
             backend=backend_name,
             workers=backend_workers,
             prefetch=self.config.prefetch,
+            kernel=self.config.resolved_kernel(),
         )
 
     @property
@@ -253,7 +256,10 @@ class AmpedMTTKRP:
         byte-identical mode-sorted copies, batch edges are segment-aligned,
         and every backend returns partial results in batch order, so each
         output row is produced by one segmented reduction over the same
-        elements in the same order.
+        elements in the same order. The default ``kernel="numpy"``
+        preserves that contract exactly; compiled tiers are deterministic
+        but agree with it only to the documented ~1e-12 tolerance
+        (``docs/kernels.md``).
         """
         # One pass over all shards: the per-GPU grouping is irrelevant to the
         # functional result (shards own disjoint output rows and batch order

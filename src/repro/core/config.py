@@ -16,9 +16,14 @@ from repro.engine.backend import (
 )
 from repro.engine.costmodel.hostprofile import HostProfile, resolve_host_profile
 from repro.errors import ReproError
+from repro.tensor.kernelreg import (
+    AUTO_KERNEL,
+    resolve_kernel_name,
+    validate_kernel_name,
+)
 from repro.util.humanize import parse_size
 
-__all__ = ["AmpedConfig", "MAX_WORKERS", "AUTO_BACKEND"]
+__all__ = ["AmpedConfig", "MAX_WORKERS", "AUTO_BACKEND", "AUTO_KERNEL"]
 
 #: The config spelling of "let the host cost model pick the backend"
 #: (resolved by :func:`repro.engine.costmodel.resolve_auto_backend`;
@@ -70,6 +75,16 @@ class AmpedConfig:
     workers: worker count of the selected backend. With the default
         ``backend="serial"``, ``workers > 1`` is the deprecated PR 1 alias
         and maps onto the thread backend (see :meth:`resolved_backend`).
+    kernel: MTTKRP kernel tier of the streaming engine
+        (:mod:`repro.tensor.kernelreg`) — ``"numpy"`` (the bit-exact
+        reference, the default: results stay bit-identical to every
+        golden pin), ``"numba"`` / ``"cc"`` (fused compiled tiers —
+        deterministic but a documented ~1e-12 tolerance tier against
+        numpy, falling back to numpy when unavailable on the host), or
+        ``"auto"`` (pick the tier with the smallest
+        :func:`repro.engine.costmodel.host_time_plan` prediction, like
+        ``backend="auto"`` — resolved once at
+        :class:`~repro.core.amped.AmpedMTTKRP` construction).
     prefetch: double-buffer batch delivery — stage the next element batch
         on a background thread (async page read-ahead for mmap sources),
         the host-side mirror of ``double_buffer``. Never changes results.
@@ -129,6 +144,7 @@ class AmpedConfig:
     batch_size: int | str | None = "auto"
     backend: str = "serial"
     workers: int = 1
+    kernel: str = "numpy"
     prefetch: bool = False
     stream_cache_fraction: float | None = None
     out_of_core: bool = False
@@ -159,6 +175,10 @@ class AmpedConfig:
         if self.backend != AUTO_BACKEND:
             validate_backend_name(self.backend)
         validate_workers(self.workers)
+        # Kernel names live in the registry layer ("auto" included): the
+        # domain check here, resolution (availability + cost model) at
+        # AmpedMTTKRP construction.
+        validate_kernel_name(self.kernel)
         # Resolve the host profile ONCE, eagerly (validates a configured
         # path / the REPRO_HOST_PROFILE env var) and pin the loaded
         # instance into the field — later consumers never re-read the
@@ -235,6 +255,23 @@ class AmpedConfig:
         if self.backend == "serial" and self.workers > 1:
             return "thread", self.workers
         return self.backend, self.workers
+
+    def resolved_kernel(self) -> str:
+        """The concrete kernel tier this config means.
+
+        A named tier resolves through the registry's availability probe
+        (an unavailable tier gracefully falls back to ``"numpy"``).
+        ``kernel="auto"`` has no answer without a workload — resolve it
+        first (:func:`repro.engine.costmodel.resolve_auto_execution`,
+        done automatically by :class:`~repro.core.amped.AmpedMTTKRP`).
+        """
+        if self.kernel == AUTO_KERNEL:
+            raise ReproError(
+                "kernel='auto' is resolved against a workload: build the "
+                "executor (AmpedMTTKRP pins the choice) or call "
+                "repro.engine.costmodel.resolve_auto_execution first"
+            )
+        return resolve_kernel_name(self.kernel)
 
     def resolved_batch_size(self, cost, nmodes: int) -> int | None:
         """The engine-level batch size this config means on a given platform.

@@ -114,9 +114,15 @@ def execute_shard(
         if sl.stop <= sl.start:
             continue
         # The tensor copy is sorted by the output mode, so every slice is
-        # itself sorted -> segmented fast path (no cross-segment atomics).
+        # itself sorted -> segmented fast path (no cross-segment atomics,
+        # no per-batch sortedness scan).
         mttkrp_sorted_segments(
-            tensor.indices[sl], tensor.values[sl], factors, part.mode, out
+            tensor.indices[sl],
+            tensor.values[sl],
+            factors,
+            part.mode,
+            out,
+            assume_sorted=True,
         )
     return out
 

@@ -58,7 +58,9 @@ from repro.engine.costmodel import (
     host_time_plan,
     load_host_profile,
     rank_backends,
+    rank_executions,
     resolve_auto_backend,
+    resolve_auto_execution,
     resolve_host_profile,
 )
 from repro.engine.executor import StreamingExecutor, reduce_batch, reduce_batch_arrays
@@ -110,5 +112,7 @@ __all__ = [
     "resolve_host_profile",
     "host_time_plan",
     "rank_backends",
+    "rank_executions",
     "resolve_auto_backend",
+    "resolve_auto_execution",
 ]

@@ -45,7 +45,7 @@ import numpy as np
 
 from repro.engine.batch import ElementBatch
 from repro.errors import ReproError
-from repro.tensor.kernels import ec_contributions, segment_starts
+from repro.tensor.kernelreg import get_kernel
 
 __all__ = [
     "MAX_WORKERS",
@@ -129,18 +129,19 @@ def reduce_batch_arrays(
     values: np.ndarray,
     factors: Sequence[np.ndarray],
     mode: int,
+    kernel: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Segmented reduction of one batch's (already materialized) elements.
 
     ``rows`` are the distinct output-mode indices of the batch's segments
     and ``partial`` their summed contribution rows — the per-segment
     reduction of :func:`repro.tensor.kernels.mttkrp_sorted_segments`, split
-    from the scatter-add so workers stay pure.
+    from the scatter-add so workers stay pure. ``kernel`` names the
+    :mod:`repro.tensor.kernelreg` tier to dispatch to; ``None`` keeps the
+    bit-exact ``numpy`` reference (back-compat for existing callers).
     """
-    keys = np.asarray(indices[:, mode])
-    contrib = ec_contributions(indices, values, factors, mode)
-    starts = segment_starts(keys)
-    return keys[starts], np.add.reduceat(contrib, starts, axis=0)
+    spec = get_kernel(kernel if kernel is not None else "numpy")
+    return spec.reduce_batch(indices, values, factors, mode)
 
 
 def reduce_batch(
@@ -148,6 +149,7 @@ def reduce_batch(
     batch: ElementBatch,
     factors: Sequence[np.ndarray],
     mode: int,
+    kernel: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Reduce one element batch of ``part`` without touching shared state.
 
@@ -157,16 +159,16 @@ def reduce_batch(
     """
     sl = batch.elements
     return reduce_batch_arrays(
-        part.tensor.indices[sl], part.tensor.values[sl], factors, mode
+        part.tensor.indices[sl], part.tensor.values[sl], factors, mode, kernel
     )
 
 
-def _reduce_item(part, item, factors, mode):
+def _reduce_item(part, item, factors, mode, kernel=None):
     """Reduce an :class:`ElementBatch` (slice the source) or a prefetched
     :class:`repro.engine.prefetch.LoadedBatch` (arrays already staged)."""
     if isinstance(item, ElementBatch):
-        return reduce_batch(part, item, factors, mode)
-    return reduce_batch_arrays(item.indices, item.values, factors, mode)
+        return reduce_batch(part, item, factors, mode, kernel)
+    return reduce_batch_arrays(item.indices, item.values, factors, mode, kernel)
 
 
 def _item_bounds(item) -> tuple[int, int]:
@@ -239,6 +241,7 @@ class ExecutionBackend(ABC):
         items: Iterable,
         *,
         attach=None,
+        kernel: str | None = None,
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield ``(rows, partial)`` for every item of ``items``, in order.
 
@@ -247,8 +250,12 @@ class ExecutionBackend(ABC):
         the source's process-attachment spec
         (:meth:`repro.engine.source.ShardSource.process_attach_spec`) —
         in-process backends ignore it; :class:`ProcessBackend` uses it to
-        reach the element bytes without pickling them. The iterator must be
-        consumed fully (the executor and grid always do).
+        reach the element bytes without pickling them. ``kernel`` names the
+        :mod:`repro.tensor.kernelreg` tier every reduction dispatches to
+        (``None`` = the bit-exact numpy reference); process workers resolve
+        the name in their own registry, so a tier that fails to build in a
+        worker degrades to numpy there too. The iterator must be consumed
+        fully (the executor and grid always do).
         """
 
 
@@ -266,10 +273,10 @@ class SerialBackend(ExecutionBackend):
                 f"be 1, got {self.workers}"
             )
 
-    def map_batches(self, part, factors, mode, items, *, attach=None):
+    def map_batches(self, part, factors, mode, items, *, attach=None, kernel=None):
         self.start()
         for item in items:
-            yield _reduce_item(part, item, factors, mode)
+            yield _reduce_item(part, item, factors, mode, kernel)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -301,13 +308,13 @@ class ThreadBackend(ExecutionBackend):
             self._pool = None
         super().close()
 
-    def map_batches(self, part, factors, mode, items, *, attach=None):
+    def map_batches(self, part, factors, mode, items, *, attach=None, kernel=None):
         self.start()
         window = self.workers + 2
         pending: deque = deque()
         for item in items:
             pending.append(
-                self._pool.submit(_reduce_item, part, item, factors, mode)
+                self._pool.submit(_reduce_item, part, item, factors, mode, kernel)
             )
             if len(pending) >= window:
                 yield pending.popleft().result()
@@ -434,11 +441,20 @@ def _worker_factors(call_id, descs) -> list[np.ndarray]:
 
 
 def _process_reduce_task(task):
-    """Top-level worker entry point (must be picklable by name)."""
-    spec, mode, call_id, factor_descs, (lo, hi) = task
+    """Top-level worker entry point (must be picklable by name).
+
+    The kernel travels as its registry *name* (a short string), not a
+    callable: each worker resolves it against its own lazily-probed
+    registry, so a fork inherits the coordinator's compiled state while a
+    spawn re-probes (hitting the on-disk ``cc`` object cache) — and a tier
+    that fails to build inside a worker degrades to numpy there.
+    """
+    spec, mode, call_id, factor_descs, (lo, hi), kernel = task
     indices, values = _worker_elements(spec, mode)
     factors = _worker_factors(call_id, factor_descs)
-    return reduce_batch_arrays(indices[lo:hi], values[lo:hi], factors, mode)
+    return reduce_batch_arrays(
+        indices[lo:hi], values[lo:hi], factors, mode, kernel
+    )
 
 
 class ProcessBackend(ExecutionBackend):
@@ -551,7 +567,7 @@ class ProcessBackend(ExecutionBackend):
         fully consumed or abandoned ``map_batches`` call is cleaned up)."""
         return len(self._inflight_factors)
 
-    def map_batches(self, part, factors, mode, items, *, attach=None):
+    def map_batches(self, part, factors, mode, items, *, attach=None, kernel=None):
         self.start()
         self._call_id += 1
         call_id = self._call_id
@@ -565,7 +581,7 @@ class ProcessBackend(ExecutionBackend):
         self._inflight_factors.append(factor_shms)
         try:
             tasks = (
-                (spec, mode, call_id, factor_descs, _item_bounds(item))
+                (spec, mode, call_id, factor_descs, _item_bounds(item), kernel)
                 for item in items
             )
             for rows, partial in self._pool.imap(

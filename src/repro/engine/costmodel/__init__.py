@@ -7,8 +7,10 @@
 * :mod:`timing` — :func:`host_time_plan`, the per-batch timing model of
   the functional host pipeline (backend dispatch/IPC, mmap vs explicit
   staging, v2 per-chunk decompression, prefetch overlap), and the
-  ``backend="auto"`` resolution built on it
-  (:func:`rank_backends` / :func:`resolve_auto_backend`).
+  ``backend="auto"`` / ``kernel="auto"`` resolution built on it
+  (:func:`rank_backends` / :func:`resolve_auto_backend` for the backend
+  axis alone, :func:`rank_executions` / :func:`resolve_auto_execution`
+  across the (kernel × backend) product).
 
 The profiler that fills a :class:`HostProfile` lives in
 :mod:`repro.engine.profile` (CLI: ``repro profile``); the residency-side
@@ -30,7 +32,9 @@ from repro.engine.costmodel.timing import (
     DEFAULT_CODEC_RATIO,
     host_time_plan,
     rank_backends,
+    rank_executions,
     resolve_auto_backend,
+    resolve_auto_execution,
 )
 
 __all__ = [
@@ -45,5 +49,7 @@ __all__ = [
     "DEFAULT_CODEC_RATIO",
     "host_time_plan",
     "rank_backends",
+    "rank_executions",
     "resolve_auto_backend",
+    "resolve_auto_execution",
 ]

@@ -43,7 +43,11 @@ __all__ = [
 #: ``ProcessBackend`` sweep) instead of shipping the documented default, so
 #: v1 files — whose 0.70 was never a measurement — are rejected with a
 #: re-profile pointer.
-HOST_PROFILE_VERSION = 2
+#: v3: the profiler calibrates every available kernel tier
+#: (``kernel_reduce_bandwidth``) so ``kernel="auto"`` can rank
+#: (kernel × backend) candidates; v2 files predate the kernel registry and
+#: are rejected with the same re-profile pointer.
+HOST_PROFILE_VERSION = 3
 
 #: Environment variable naming the profile file a host was calibrated into.
 HOST_PROFILE_ENV = "REPRO_HOST_PROFILE"
@@ -76,6 +80,14 @@ class HostProfile:
     reduce_bandwidth: streamed-batch bytes per second through one serial
         ``reduce_batch_arrays`` lane — the compute term's denominator
         (bytes counted by :func:`repro.engine.autotune.streamed_batch_bytes`).
+        Measured with the reference ``numpy`` kernel; per-tier rates live
+        in ``kernel_reduce_bandwidth``.
+    kernel_reduce_bandwidth: measured ``reduce_bandwidth`` per
+        :mod:`repro.tensor.kernelreg` tier name (only tiers available on
+        the profiled host appear). :meth:`kernel_rate` resolves a tier,
+        falling back to ``reduce_bandwidth`` for unmeasured ones — so a
+        pre-kernel consumer and a profile from a host without compiled
+        tiers both keep working.
     mmap_read_bandwidth: effective rate of faulting a mapped shard cache's
         batch window in (page-cache-warm sequential reads in practice).
     chunk_read_bandwidth: explicit ``read()`` rate of v2 compressed chunk
@@ -110,6 +122,7 @@ class HostProfile:
     decompress_bandwidth: dict[str, float] = field(
         default_factory=lambda: dict(_DEFAULT_DECOMPRESS)
     )
+    kernel_reduce_bandwidth: dict[str, float] = field(default_factory=dict)
     serial_dispatch_s: float = 5e-6
     thread_dispatch_s: float = 25e-6
     process_task_s: float = 100e-6
@@ -155,6 +168,12 @@ class HostProfile:
                     f"host profile decompress_bandwidth[{codec!r}] must be "
                     f"positive, got {bw!r}"
                 )
+        for kname, bw in self.kernel_reduce_bandwidth.items():
+            if not float(bw) > 0.0:
+                raise ReproError(
+                    f"host profile kernel_reduce_bandwidth[{kname!r}] must "
+                    f"be positive, got {bw!r}"
+                )
         if self.stream_cache_fraction is not None:
             frac = float(self.stream_cache_fraction)
             if not 0.0 < frac <= 1.0:
@@ -170,6 +189,20 @@ class HostProfile:
             codec = "none"
         table = self.decompress_bandwidth
         return float(table.get(codec, table.get("none", 8.0e9)))
+
+    def kernel_rate(self, kernel: str | None) -> float:
+        """Measured reduce bandwidth of one kernel tier.
+
+        Unmeasured tiers (and ``None``) fall back to the kernel-agnostic
+        ``reduce_bandwidth`` — the numpy-measured rate — which keeps every
+        pre-kernel prediction unchanged and makes unprofiled tiers tie (the
+        dispatch preference order then breaks the tie).
+        """
+        if kernel is None:
+            return float(self.reduce_bandwidth)
+        return float(
+            self.kernel_reduce_bandwidth.get(kernel, self.reduce_bandwidth)
+        )
 
     def replace(self, **kw) -> "HostProfile":
         return replace(self, **kw)

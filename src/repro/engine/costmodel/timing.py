@@ -29,7 +29,10 @@ compressed-size ratio, so predictions are monotone in both — a property
 test pins this, and a golden test pins the exact output for the committed
 synthetic profile. The model is what turns the simulator into a planner:
 ``backend="auto"`` (:func:`resolve_auto_backend`) picks the backend with
-the smallest predicted total for the actual workload.
+the smallest predicted total for the actual workload, and
+``kernel="auto"`` (:func:`resolve_auto_execution`) extends the same search
+across the (kernel × backend) product using the profile's per-tier
+measured reduce rates.
 """
 
 from __future__ import annotations
@@ -41,13 +44,21 @@ from repro.engine.costmodel.hostprofile import (
     resolve_host_profile,
 )
 from repro.errors import ReproError
+from repro.tensor.kernelreg import (
+    AUTO_KERNEL,
+    KERNEL_PREFERENCE,
+    available_kernels,
+    resolve_kernel_name,
+)
 
 __all__ = [
     "DEFAULT_CODEC_RATIO",
     "AUTO_BACKEND_WORKERS",
     "host_time_plan",
     "rank_backends",
+    "rank_executions",
     "resolve_auto_backend",
+    "resolve_auto_execution",
 ]
 
 #: Nominal compressed/raw size ratio per v2 codec, used when the caller has
@@ -94,6 +105,7 @@ def host_time_plan(
     profile: HostProfile | None = None,
     *,
     backend: tuple[str, int] | None = None,
+    kernel: str | None = None,
     codec_ratio: float | None = None,
 ) -> dict:
     """Predict the functional host pipeline's time for one MTTKRP iteration.
@@ -102,7 +114,8 @@ def host_time_plan(
     ----------
     workload: a :class:`repro.core.workload.TensorWorkload` descriptor.
     config: the :class:`repro.core.config.AmpedConfig`; its backend,
-        prefetch, batch-size, and cache-codec knobs select the terms.
+        kernel, prefetch, batch-size, and cache-codec knobs select the
+        terms.
     cost: the :class:`repro.simgpu.kernel.KernelCostModel` behind batch
         resolution and host element sizes.
     profile: a :class:`HostProfile`; ``None`` resolves the config's
@@ -111,6 +124,11 @@ def host_time_plan(
     backend: explicit ``(name, workers)`` override — how
         :func:`resolve_auto_backend` evaluates candidates without mutating
         the config. Defaults to ``config.resolved_backend()``.
+    kernel: explicit kernel-tier override pricing the compute term with
+        the profile's :meth:`HostProfile.kernel_rate`. Defaults to the
+        config's ``kernel`` (where present; the reference ``numpy``
+        otherwise); like the backend it must be concrete — resolve
+        ``"auto"`` with :func:`resolve_auto_execution` first.
     codec_ratio: measured compressed/raw byte ratio of the v2 cache;
         ``None`` uses :data:`DEFAULT_CODEC_RATIO` for the config's codec.
 
@@ -134,6 +152,13 @@ def host_time_plan(
             f"host_time_plan needs a concrete backend (serial/thread/"
             f"process), got {backend_name!r}; resolve 'auto' with "
             f"resolve_auto_backend first"
+        )
+    if kernel is None:
+        kernel = getattr(config, "kernel", None) or "numpy"
+    if kernel == AUTO_KERNEL:
+        raise ReproError(
+            "host_time_plan needs a concrete kernel tier, got 'auto'; "
+            "resolve it with resolve_auto_execution first"
         )
     nmodes = workload.nmodes
     rank = config.rank
@@ -168,7 +193,7 @@ def host_time_plan(
         speedup = 1.0 + (workers - 1) * profile.thread_efficiency
     elif backend_name == "process" and workers > 1:
         speedup = 1.0 + (workers - 1) * profile.process_efficiency
-    compute_s = streamed_bytes / profile.reduce_bandwidth / speedup
+    compute_s = streamed_bytes / profile.kernel_rate(kernel) / speedup
 
     # ---- dispatch ------------------------------------------------------
     per_batch = {
@@ -219,6 +244,7 @@ def host_time_plan(
     return {
         "backend": backend_name,
         "workers": workers,
+        "kernel": str(kernel),
         "prefetch": bool(config.prefetch),
         "batch_size": batch_size,
         "n_batches": int(n_batches),
@@ -233,6 +259,24 @@ def host_time_plan(
     }
 
 
+def _auto_workers(config, workers: int | None) -> int:
+    if workers is None:
+        return config.workers if config.workers > 1 else AUTO_BACKEND_WORKERS
+    return int(workers)
+
+
+def _kernel_candidates(config, kernel: str | None) -> list[str]:
+    """Concrete kernel tiers an auto search should price, in preference
+    order (so the stable total-time sort breaks ties toward the preferred —
+    compiled — tier when an unprofiled host makes every tier tie)."""
+    if kernel is None:
+        kernel = getattr(config, "kernel", None) or "numpy"
+    if kernel == AUTO_KERNEL:
+        avail = available_kernels()
+        return [k for k in KERNEL_PREFERENCE if k in avail]
+    return [resolve_kernel_name(kernel)]
+
+
 def rank_backends(
     workload,
     config,
@@ -240,23 +284,68 @@ def rank_backends(
     profile: HostProfile | None = None,
     *,
     workers: int | None = None,
+    kernel: str | None = None,
     codec_ratio: float | None = None,
 ) -> list[dict]:
     """Predicted plans for every backend candidate, fastest first.
 
     The parallel candidates run at ``workers`` (default: the config's
     ``workers`` when above 1, else :data:`AUTO_BACKEND_WORKERS`); the
-    serial candidate always runs at 1. Ties keep registry order
-    (serial < thread < process), so resolution is deterministic.
+    serial candidate always runs at 1. The kernel tier is held fixed
+    (default: the config's — an ``"auto"`` kernel is resolved by registry
+    preference here; use :func:`rank_executions` to search both axes).
+    Ties keep registry order (serial < thread < process), so resolution is
+    deterministic.
     """
-    if workers is None:
-        workers = config.workers if config.workers > 1 else AUTO_BACKEND_WORKERS
+    kern = _kernel_candidates(config, kernel)[0]
+    workers = _auto_workers(config, workers)
     candidates = [("serial", 1), ("thread", workers), ("process", workers)]
     plans = [
         host_time_plan(
             workload, config, cost, profile,
-            backend=cand, codec_ratio=codec_ratio,
+            backend=cand, kernel=kern, codec_ratio=codec_ratio,
         )
+        for cand in candidates
+    ]
+    order = sorted(range(len(plans)), key=lambda i: plans[i]["total_s"])
+    return [plans[i] for i in order]
+
+
+def rank_executions(
+    workload,
+    config,
+    cost,
+    profile: HostProfile | None = None,
+    *,
+    workers: int | None = None,
+    kernels: list[str] | None = None,
+    backends: list[tuple[str, int]] | None = None,
+    codec_ratio: float | None = None,
+) -> list[dict]:
+    """Predicted plans over the (kernel × backend) product, fastest first.
+
+    ``kernels`` defaults to the config's tier — expanded to every
+    *available* tier in :data:`KERNEL_PREFERENCE` order when the config
+    says ``"auto"``. ``backends`` defaults to the standard auto candidates
+    (serial×1, thread×w, process×w); pass an explicit ``[(name, workers)]``
+    list to pin that axis. The compute term of each candidate is priced
+    with the profile's measured per-tier rate
+    (:meth:`HostProfile.kernel_rate`); unmeasured tiers fall back to the
+    numpy rate, so on an unprofiled host every tier ties and the stable
+    sort resolves toward the preferred (compiled) tier.
+    """
+    if kernels is None:
+        kernels = _kernel_candidates(config, None)
+    if backends is None:
+        workers = _auto_workers(config, workers)
+        backends = [("serial", 1), ("thread", workers), ("process", workers)]
+    candidates = list(backends)
+    plans = [
+        host_time_plan(
+            workload, config, cost, profile,
+            backend=cand, kernel=kern, codec_ratio=codec_ratio,
+        )
+        for kern in kernels
         for cand in candidates
     ]
     order = sorted(range(len(plans)), key=lambda i: plans[i]["total_s"])
@@ -276,11 +365,40 @@ def resolve_auto_backend(
 
     Evaluates :func:`host_time_plan` for the serial, thread, and process
     candidates against the actual workload and picks the smallest predicted
-    total. :class:`repro.core.AmpedMTTKRP` calls this once at construction
-    and pins the concrete backend into its config.
+    total. Kept as the single-axis entry point (the kernel tier stays the
+    config's); :class:`repro.core.AmpedMTTKRP` resolves both axes at once
+    through :func:`resolve_auto_execution`.
     """
     best = rank_backends(
         workload, config, cost, profile,
         workers=workers, codec_ratio=codec_ratio,
     )[0]
     return best["backend"], best["workers"]
+
+
+def resolve_auto_execution(
+    workload,
+    config,
+    cost,
+    profile: HostProfile | None = None,
+    *,
+    workers: int | None = None,
+    codec_ratio: float | None = None,
+) -> tuple[str, str, int]:
+    """The ``(kernel, backend, workers)`` triple the auto knobs mean.
+
+    Searches the (kernel × backend) product with :func:`rank_executions`,
+    holding whichever axis the config pins concrete fixed — so
+    ``backend="thread", kernel="auto"`` only ranks kernels, and
+    ``backend="auto", kernel="cc"`` only ranks backends.
+    :class:`repro.core.AmpedMTTKRP` calls this once at construction and
+    pins all three into its config.
+    """
+    backends = None
+    if getattr(config, "backend", "auto") != "auto":
+        backends = [config.resolved_backend()]
+    best = rank_executions(
+        workload, config, cost, profile,
+        workers=workers, backends=backends, codec_ratio=codec_ratio,
+    )[0]
+    return best["kernel"], best["backend"], best["workers"]

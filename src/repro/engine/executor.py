@@ -71,6 +71,7 @@ from repro.engine.prefetch import PrefetchingSource
 from repro.engine.source import InMemorySource, ShardSource
 from repro.errors import ReproError
 from repro.partition.plan import PartitionPlan
+from repro.tensor.kernelreg import resolve_kernel_name, validate_kernel_name
 from repro.tensor.reference import check_factors
 
 __all__ = [
@@ -110,6 +111,16 @@ class StreamingExecutor:
         Stage the next batch on a background thread (double buffering; see
         :mod:`repro.engine.prefetch`). Equivalent to wrapping ``source`` in
         a :class:`PrefetchingSource`.
+    kernel:
+        Name of the :mod:`repro.tensor.kernelreg` tier every batch
+        reduction dispatches to. ``None`` (the default) keeps the bit-exact
+        ``"numpy"`` reference; ``"auto"`` resolves to the best *available*
+        tier by registry preference at construction time (cost-model-driven
+        selection lives a layer up, in ``AmpedConfig(kernel="auto")``).
+        Compiled tiers (``"numba"``, ``"cc"``) are documented tolerance
+        tiers — deterministic, but not bit-identical to numpy (see
+        ``docs/kernels.md``); a tier that is unavailable on this host falls
+        back to numpy.
     """
 
     def __init__(
@@ -120,6 +131,7 @@ class StreamingExecutor:
         workers: int = 1,
         backend: str | ExecutionBackend | None = None,
         prefetch: bool = False,
+        kernel: str | None = None,
     ) -> None:
         if isinstance(source, PartitionPlan):
             source = InMemorySource(source)
@@ -150,6 +162,13 @@ class StreamingExecutor:
             self._owns_prefetcher = True
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = create_backend(backend, workers)
+        if kernel is None:
+            self.kernel = None  # numpy reference, signalled as "default"
+        else:
+            validate_kernel_name(kernel)
+            # pin the concrete tier now: dispatch stays stable for the
+            # executor's lifetime even if the registry is refreshed later
+            self.kernel = resolve_kernel_name(kernel)
         self.source = source
         self.batch_size = batch_size
         self.prefetch = bool(prefetch)
@@ -237,7 +256,7 @@ class StreamingExecutor:
             self.source.iter_batches(mode, batches) if stage else batches
         )
         for rows, partial in self.backend.map_batches(
-            part, factors, mode, items, attach=attach
+            part, factors, mode, items, attach=attach, kernel=self.kernel
         ):
             out[rows] += partial
         return out

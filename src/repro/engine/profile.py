@@ -11,6 +11,11 @@ model (:func:`repro.engine.costmodel.host_time_plan`), batch autotuning
 * ``reduce_bandwidth`` — streamed-batch bytes through one serial
   :func:`repro.engine.backend.reduce_batch_arrays` lane (the actual
   engine kernel, so the compute term tracks this host's NumPy build);
+* ``kernel_reduce_bandwidth`` — the same reduction once per *available*
+  :mod:`repro.tensor.kernelreg` tier (numpy always; numba/cc where they
+  import/compile on this host), each tier warmed before timing so JIT and
+  shared-object compilation never land on the clock — this is what lets
+  ``kernel="auto"`` rank tiers with measured rates instead of ties;
 * ``thread_efficiency`` — the realized speedup of running two of those
   reductions on a two-worker thread pool (GIL residue included);
 * ``process_efficiency`` — the realized speedup of streaming a small batch
@@ -81,10 +86,25 @@ def _reduce_case(nnz: int, seed: int = 0):
     return indices, values, factors
 
 
-def _measure_reduce(nnz: int, repeats: int) -> float:
+def _measure_reduce(nnz: int, repeats: int, kernel: str | None = None) -> float:
     indices, values, factors = _reduce_case(nnz)
-    t = _best(lambda: reduce_batch_arrays(indices, values, factors, 0), repeats)
+
+    def one():
+        reduce_batch_arrays(indices, values, factors, 0, kernel)
+
+    one()  # warm: JIT/shared-object build + first-touch never on the clock
+    t = _best(one, repeats)
     return streamed_batch_bytes(nnz, _RANK, _NMODES) / t
+
+
+def _measure_kernels(nnz: int, repeats: int) -> dict[str, float]:
+    """Measured reduce bandwidth per available kernel tier."""
+    from repro.tensor.kernelreg import available_kernels
+
+    return {
+        name: _measure_reduce(nnz, repeats, name)
+        for name in available_kernels()
+    }
 
 
 def _measure_memcpy(nbytes: int, repeats: int) -> float:
@@ -311,6 +331,9 @@ def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
 
     memcpy_bw = _measure_memcpy(big, repeats)
     reduce_bw = _measure_reduce(reduce_nnz, repeats)
+    kernel_bw = _measure_kernels(reduce_nnz, repeats)
+    # the reference tier was just measured twice; keep them consistent
+    kernel_bw["numpy"] = reduce_bw
     thread_eff = _measure_thread_efficiency(reduce_nnz, repeats)
     process_eff = _measure_process_efficiency(
         4096 if quick else 32768, 1 if quick else 3
@@ -330,6 +353,7 @@ def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
         mmap_read_bandwidth=mmap_bw,
         chunk_read_bandwidth=chunk_bw,
         decompress_bandwidth=decompress,
+        kernel_reduce_bandwidth=kernel_bw,
         serial_dispatch_s=serial_s,
         thread_dispatch_s=thread_s,
         process_task_s=task_s,

@@ -14,6 +14,16 @@ from repro.tensor.dense import (
     fold,
     unfold,
 )
+from repro.tensor.kernelreg import (
+    AUTO_KERNEL,
+    KERNEL_NAMES,
+    KernelSpec,
+    available_kernels,
+    get_kernel,
+    kernel_availability,
+    resolve_kernel_name,
+    validate_kernel_name,
+)
 from repro.tensor.khatri_rao import khatri_rao
 from repro.tensor.reference import mttkrp_coo_reference, mttkrp_dense_reference
 from repro.tensor.generate import random_coo, zipf_coo
@@ -23,6 +33,14 @@ from repro.tensor.validate import TensorDiagnostics, diagnose, require_canonical
 
 __all__ = [
     "SparseTensorCOO",
+    "AUTO_KERNEL",
+    "KERNEL_NAMES",
+    "KernelSpec",
+    "available_kernels",
+    "get_kernel",
+    "kernel_availability",
+    "resolve_kernel_name",
+    "validate_kernel_name",
     "dense_from_coo",
     "fold",
     "unfold",

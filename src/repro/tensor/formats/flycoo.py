@@ -119,8 +119,10 @@ class FlyCOOTensor:
         mats = [np.asarray(f) for f in factors]
         rank = mats[0].shape[1]
         out = np.zeros((self.shape[mode], rank), dtype=np.float64)
+        # from_coo sorts the copy by the active mode, so the scan is redundant
         mttkrp_sorted_segments(
-            self.tensor.indices, self.tensor.values, mats, mode, out
+            self.tensor.indices, self.tensor.values, mats, mode, out,
+            assume_sorted=True,
         )
         return out
 

@@ -47,6 +47,8 @@ def ec_contributions(
     Returns an ``(nnz, R)`` float64 array (or fills ``out``).
     """
     nmodes = len(factors)
+    if nmodes == 0:
+        raise TensorFormatError("factors must be a non-empty list")
     if indices.ndim != 2 or indices.shape[1] != nmodes:
         raise TensorFormatError(
             f"indices shape {indices.shape} inconsistent with {nmodes} factors"
@@ -55,6 +57,12 @@ def ec_contributions(
         raise TensorFormatError(f"mode {mode} out of range")
     nnz = indices.shape[0]
     rank = factors[0].shape[1]
+    for w, factor in enumerate(factors):
+        if factor.ndim != 2 or factor.shape[1] != rank:
+            raise TensorFormatError(
+                f"factor {w} has shape {factor.shape}; expected a rank-{rank} "
+                f"matrix matching factor 0"
+            )
     if out is None:
         out = np.empty((nnz, rank), dtype=np.float64)
     elif out.shape != (nnz, rank):
@@ -91,6 +99,13 @@ def scatter_rows_atomic(
     if out.shape[1] != contributions.shape[1]:
         raise TensorFormatError("rank mismatch between out and contributions")
     nrows = out.shape[0]
+    if rows.shape[0]:
+        lo = int(rows.min())
+        hi = int(rows.max())
+        if lo < 0 or hi >= nrows:
+            raise TensorFormatError(
+                f"row indices span [{lo}, {hi}] outside out with {nrows} rows"
+            )
     for r in range(out.shape[1]):
         out[:, r] += np.bincount(rows, weights=contributions[:, r], minlength=nrows)
     return out
@@ -112,17 +127,24 @@ def mttkrp_sorted_segments(
     factors: Sequence[np.ndarray],
     mode: int,
     out: np.ndarray,
+    *,
+    assume_sorted: bool = False,
 ) -> np.ndarray:
     """MTTKRP for a batch *sorted by output-mode index*, via reduceat.
 
     AMPED's tensor shards store elements grouped by output index (§3.1.1), so
     this is the fast path used by the simulated-GPU executor: one segmented
     reduction replaces per-element atomics across segments.
+
+    ``assume_sorted=True`` skips the O(nnz) sortedness scan — for callers
+    whose batches are sorted by construction (``BatchPlan`` slices, shard
+    partitions). External callers keep the default check; an unsorted batch
+    would silently drop contributions into the wrong segments otherwise.
     """
     keys = indices[:, mode]
     if keys.size == 0:
         return out
-    if np.any(keys[1:] < keys[:-1]):
+    if not assume_sorted and np.any(keys[1:] < keys[:-1]):
         raise TensorFormatError("batch is not sorted by output-mode index")
     contrib = ec_contributions(indices, values, factors, mode)
     starts = segment_starts(keys)

@@ -29,6 +29,20 @@ class TestTrialSpec:
         )
         assert spec.cell == "twitch/2000/chunked+zlib/threadx2/pf/r8"
 
+    def test_cell_key_pins_kernel_only_when_explicit(self):
+        # auto cells keep the pre-registry key layout so old trajectories
+        # line up; pinned tiers get their own cells
+        auto = TrialSpec(nnz=500, rank=4)
+        assert auto.kernel == "auto"
+        assert "/k-" not in auto.cell
+        pinned = TrialSpec(nnz=500, rank=4, kernel="numpy")
+        assert pinned.cell == auto.cell + "/k-numpy"
+        assert pinned.fingerprint() != auto.fingerprint()
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(ReproError, match="kernel"):
+            TrialSpec(kernel="fortran")
+
     def test_fingerprint_stable_and_sensitive(self):
         a = TrialSpec()
         assert a.fingerprint() == TrialSpec().fingerprint()
@@ -56,9 +70,12 @@ class TestExpandSweep:
             "backends": ["serial", "thread:4"],
             "prefetch": [False, True],
             "ranks": [4],
+            "kernels": ["auto", "numpy"],
         })
-        assert len(specs) == 2 * 2 * 2 * 2
+        assert len(specs) == 2 * 2 * 2 * 2 * 2
         assert len({s.cell for s in specs}) == len(specs)
+        kernels = {s.kernel for s in specs}
+        assert kernels == {"auto", "numpy"}
 
     def test_source_and_backend_suffix_parsing(self):
         specs = expand_sweep({
@@ -84,6 +101,10 @@ class TestExpandSweep:
         # the CI gate must not spawn process pools
         assert all(s.backend != "process" for s in smoke)
         assert any(s.backend == "process" for s in full)
+        # both builtin sweeps carry the kernel axis: auto cells (old key
+        # layout, comparable across trajectories) plus pinned numpy cells
+        for specs in (smoke, full):
+            assert {s.kernel for s in specs} == {"auto", "numpy"}
 
 
 class TestRunTrial:
@@ -105,6 +126,7 @@ class TestRunTrial:
         assert rec["peak_rss_bytes"] > 0
         assert len(rec["host_profile_hash"]) == 16
         assert rec["resolved_backend"] == "serial"
+        assert rec["resolved_kernel"] in ("numpy", "numba", "cc")
 
     def test_chunked_trial_records_measured_ratio(self, tmp_path):
         spec = TrialSpec(
@@ -120,6 +142,12 @@ class TestRunTrial:
         spec = TrialSpec(nnz=500, rank=4, backend="auto", warmup=0, repeats=1)
         rec = run_trial(spec)
         assert rec["resolved_backend"] in ("serial", "thread", "process")
+
+    def test_pinned_kernel_trial_records_numpy(self):
+        spec = TrialSpec(nnz=500, rank=4, kernel="numpy", warmup=0, repeats=1)
+        rec = run_trial(spec)
+        assert rec["resolved_kernel"] == "numpy"
+        assert rec["cell"].endswith("/k-numpy")
 
 
 class TestRunBench:

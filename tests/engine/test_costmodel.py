@@ -291,6 +291,142 @@ class TestAutoBackend:
             assert plan["total_s"] > 0.0
 
 
+class TestKernelAxis:
+    """The kernel tier in the cost model: per-tier rates (HostProfile v3),
+    the ``kernel`` term of ``host_time_plan``, and the two-axis
+    ``resolve_auto_execution`` search."""
+
+    def test_kernel_rate_fallback(self):
+        profile = DEFAULT_HOST_PROFILE.replace(
+            reduce_bandwidth=2.0e9,
+            kernel_reduce_bandwidth={"cc": 8.0e9},
+        )
+        assert profile.kernel_rate("cc") == 8.0e9
+        # unmeasured tiers (and the pre-registry None) price at the
+        # legacy reduce rate, so they tie rather than win or lose
+        assert profile.kernel_rate("numba") == 2.0e9
+        assert profile.kernel_rate("numpy") == 2.0e9
+        assert profile.kernel_rate(None) == 2.0e9
+
+    def test_nonpositive_kernel_rate_rejected(self):
+        with pytest.raises(ReproError):
+            HostProfile(kernel_reduce_bandwidth={"cc": 0.0})
+        with pytest.raises(ReproError):
+            HostProfile(kernel_reduce_bandwidth={"numba": -1.0})
+
+    def test_v2_profile_files_rejected(self, tmp_path):
+        """v2 files predate per-kernel calibration; the version gate must
+        send users back to ``repro profile`` instead of silently pricing
+        every tier at one rate."""
+        path = tmp_path / "v2.json"
+        path.write_text(
+            DEFAULT_HOST_PROFILE.to_json().replace(
+                f'"version": {HOST_PROFILE_VERSION}', '"version": 2'
+            )
+        )
+        with pytest.raises(ReproError, match="version 2"):
+            load_host_profile(path)
+
+    def test_plan_names_its_kernel(self, workload):
+        cfg = AmpedConfig(rank=8, n_gpus=2)
+        assert host_time_plan(workload, cfg, COST)["kernel"] == "numpy"
+        assert (
+            host_time_plan(workload, cfg.replace(kernel="cc"), COST)["kernel"]
+            == "cc"
+        )
+        plan = host_time_plan(workload, cfg, COST, kernel="cc")
+        assert plan["kernel"] == "cc"  # explicit override beats the config
+
+    def test_auto_kernel_rejected_without_resolution(self, workload):
+        cfg = AmpedConfig(rank=8, n_gpus=2, kernel="auto")
+        with pytest.raises(ReproError, match="resolve_auto_execution"):
+            host_time_plan(workload, cfg, COST)
+
+    def test_faster_tier_shrinks_compute_term(self, workload):
+        profile = DEFAULT_HOST_PROFILE.replace(
+            reduce_bandwidth=2.0e9,
+            kernel_reduce_bandwidth={"numpy": 2.0e9, "cc": 8.0e9},
+        )
+        cfg = AmpedConfig(rank=8, n_gpus=2)
+        slow = host_time_plan(workload, cfg, COST, profile, kernel="numpy")
+        fast = host_time_plan(workload, cfg, COST, profile, kernel="cc")
+        assert fast["compute_s"] == pytest.approx(slow["compute_s"] / 4)
+        for key in ("dispatch_s", "ipc_s", "stall_s"):
+            assert fast[key] == slow[key]  # only compute is repriced
+
+    def test_rank_executions_covers_the_product(self, workload):
+        from repro.engine.costmodel import rank_executions
+
+        cfg = AmpedConfig(rank=8, n_gpus=2)
+        plans = rank_executions(
+            workload, cfg, COST,
+            kernels=["numpy", "cc"],
+            backends=[("serial", 1), ("thread", 2)],
+        )
+        assert len(plans) == 4
+        assert {(p["kernel"], p["backend"]) for p in plans} == {
+            ("numpy", "serial"), ("numpy", "thread"),
+            ("cc", "serial"), ("cc", "thread"),
+        }
+        totals = [p["total_s"] for p in plans]
+        assert totals == sorted(totals)
+
+    def test_resolve_auto_execution_pins_concrete_backend(self, workload):
+        """An explicit backend must survive an ``kernel="auto"`` search —
+        only the kernel axis is ranked."""
+        from repro.engine.costmodel import resolve_auto_execution
+
+        cfg = AmpedConfig(
+            rank=8, n_gpus=2, backend="thread", workers=3, kernel="auto"
+        )
+        kernel, backend, workers = resolve_auto_execution(workload, cfg, COST)
+        assert (backend, workers) == ("thread", 3)
+        assert kernel != "auto"
+
+    def test_measured_rates_drive_the_kernel_choice(self, workload):
+        from repro.engine.costmodel import resolve_auto_execution
+        from repro.tensor.kernelreg import available_kernels
+
+        if "cc" not in available_kernels():
+            pytest.skip("no compiled tier on this host")
+        cfg = AmpedConfig(rank=8, n_gpus=2, kernel="auto")
+        # a profile where the compiled tier is slower than numpy: the
+        # search must believe the measurements over the preference order
+        profile = DEFAULT_HOST_PROFILE.replace(
+            kernel_reduce_bandwidth={"numpy": 8.0e9, "cc": 1.0e9},
+        )
+        kernel, _, _ = resolve_auto_execution(workload, cfg, COST, profile)
+        assert kernel == "numpy"
+        flipped = DEFAULT_HOST_PROFILE.replace(
+            kernel_reduce_bandwidth={"numpy": 1.0e9, "cc": 8.0e9},
+        )
+        kernel, _, _ = resolve_auto_execution(workload, cfg, COST, flipped)
+        assert kernel == "cc"
+
+    def test_amped_pins_auto_kernel(self, tensor):
+        from repro.tensor.kernelreg import resolve_kernel_name
+
+        cfg = AmpedConfig(
+            n_gpus=2, rank=8, shards_per_gpu=2, kernel="auto"
+        )
+        with AmpedMTTKRP(tensor, cfg) as ex:
+            assert ex.config.kernel != "auto"
+            assert ex.config.kernel == ex.config.resolved_kernel()
+            # unprofiled host: every tier ties, preference order decides
+            assert ex.config.kernel == resolve_kernel_name("auto")
+
+    def test_unresolved_auto_kernel_raises_in_resolved_kernel(self):
+        cfg = AmpedConfig(n_gpus=2, rank=8, kernel="auto")
+        with pytest.raises(ReproError, match="resolve_auto_execution"):
+            cfg.resolved_kernel()
+
+    def test_bad_kernel_name_rejected_at_config(self):
+        from repro.errors import TensorFormatError
+
+        with pytest.raises(TensorFormatError, match="kernel"):
+            AmpedConfig(n_gpus=2, rank=8, kernel="fortran")
+
+
 class TestConfigWiring:
     def test_host_profile_field_accepts_instance_and_path(self, tmp_path):
         path = DEFAULT_HOST_PROFILE.save(tmp_path / "p.json")

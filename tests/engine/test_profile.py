@@ -55,6 +55,28 @@ def test_process_efficiency_is_measured_not_default(measured):
     assert measured.process_efficiency != field_default
 
 
+def test_every_available_kernel_is_calibrated(measured):
+    from repro.tensor.kernelreg import available_kernels
+
+    assert set(measured.kernel_reduce_bandwidth) == set(available_kernels())
+    for name, rate in measured.kernel_reduce_bandwidth.items():
+        assert rate > 0, name
+    # the numpy tier's dedicated rate and the legacy reduce channel are
+    # the same measurement, so the single-axis model stays consistent
+    assert measured.kernel_reduce_bandwidth["numpy"] == (
+        measured.reduce_bandwidth
+    )
+    assert measured.kernel_rate("numpy") == measured.reduce_bandwidth
+
+
+def test_unmeasured_kernel_rate_falls_back(measured):
+    assert measured.kernel_rate("numba") == (
+        measured.kernel_reduce_bandwidth.get(
+            "numba", measured.reduce_bandwidth
+        )
+    )
+
+
 def test_decompress_rates_are_plausibly_ordered(measured):
     rates = measured.decompress_bandwidth
     # raw "none" frames are views/copies: far faster than real codecs

@@ -37,10 +37,23 @@ from repro.partition.plan import build_partition_plan
 from repro.simgpu.kernel import KernelCostModel
 from repro.tensor.generate import zipf_coo
 from repro.tensor.io import write_shard_cache, write_shard_cache_v2
+from repro.tensor.kernelreg import (
+    KERNEL_DISABLE_ENV,
+    KERNEL_NAMES,
+    get_kernel,
+    kernel_availability,
+    refresh_kernel_registry,
+)
 from repro.tensor.reference import mttkrp_coo_reference
 
 REF_RTOL = 1e-9
 REF_ATOL = 1e-12
+
+# Fused tiers promise FUSED_RTOL per batch; an executor accumulates many
+# batches across shards, so whole-output comparisons get one order of
+# magnitude of slack on top of the per-batch contract.
+EXEC_FUSED_RTOL = 1e-11
+EXEC_FUSED_ATOL = 1e-13
 
 N_GPUS = 4
 SHARDS_PER_GPU = 4
@@ -211,6 +224,89 @@ class TestSourceEquivalenceMatrix:
                 factors, mode, total, shard_ids=source.shards_for_gpu(mode, g)
             )
         assert np.array_equal(total, engine.mttkrp(factors, mode))
+
+
+class TestKernelEquivalenceMatrix:
+    """The kernel axis of the engine contract: every ``(kernel × source ×
+    backend)`` cell reproduces the eager output — bit-identically for
+    bit-identical tiers, within the documented fused tolerance otherwise —
+    and an unavailable tier's cell degrades to the numpy bits instead of
+    failing."""
+
+    @pytest.mark.parametrize("kernel", list(KERNEL_NAMES))
+    @pytest.mark.parametrize("kind", ["memory", "chunked"])
+    @pytest.mark.parametrize("backend", BACKEND_KINDS)
+    def test_kernel_cells_reproduce_eager(
+        self, tensor, factors, plan, cache_path, cache_v2_path, eager_outputs,
+        shared_backends, kernel, kind, backend,
+    ):
+        source = make_source(kind, plan, cache_path, cache_v2_path)
+        engine = StreamingExecutor(
+            source,
+            batch_size=7,
+            backend=shared_backends[backend],
+            kernel=kernel,
+        )
+        resolved = engine.kernel
+        if resolved != kernel:
+            # graceful fallback: the tier is genuinely unavailable here
+            assert resolved == "numpy"
+            assert kernel_availability()[kernel] is not None
+        bit_exact = get_kernel(resolved).bit_identical
+        for mode in range(tensor.nmodes):
+            got = engine.mttkrp(factors, mode)
+            if bit_exact:
+                assert np.array_equal(got, eager_outputs[mode])
+            else:
+                assert np.allclose(
+                    got,
+                    eager_outputs[mode],
+                    rtol=EXEC_FUSED_RTOL,
+                    atol=EXEC_FUSED_ATOL,
+                )
+            assert np.allclose(
+                got,
+                mttkrp_coo_reference(tensor, factors, mode),
+                rtol=REF_RTOL,
+                atol=REF_ATOL,
+            )
+
+    @pytest.mark.parametrize("kernel", list(KERNEL_NAMES))
+    def test_fused_cells_are_run_to_run_deterministic(
+        self, tensor, factors, plan, kernel
+    ):
+        """Tolerance tiers still promise the same bits on every call."""
+        engine = StreamingExecutor(
+            InMemorySource(plan), batch_size=7, kernel=kernel
+        )
+        first = engine.mttkrp(factors, 0)
+        assert np.array_equal(first, engine.mttkrp(factors, 0))
+
+    def test_unavailable_tier_falls_back_to_numpy_bits(
+        self, tensor, factors, plan, eager_outputs, monkeypatch
+    ):
+        """With every compiled tier disabled (the numba-less CI leg in
+        miniature), an explicit compiled-tier request silently runs the
+        numpy reference — same bits, no error."""
+        monkeypatch.setenv(KERNEL_DISABLE_ENV, "numba,cc")
+        refresh_kernel_registry()
+        try:
+            for requested in ("numba", "cc", "auto"):
+                engine = StreamingExecutor(
+                    InMemorySource(plan), batch_size=7, kernel=requested
+                )
+                assert engine.kernel == "numpy"
+                for mode in range(tensor.nmodes):
+                    assert np.array_equal(
+                        engine.mttkrp(factors, mode), eager_outputs[mode]
+                    )
+        finally:
+            refresh_kernel_registry()
+
+    def test_default_executor_stays_on_reference_path(self, plan):
+        """No kernel argument means the numpy reference — the golden
+        bit-identity contract of every pre-registry call site."""
+        assert StreamingExecutor(InMemorySource(plan)).kernel is None
 
 
 class TestInMemorySource:
@@ -574,6 +670,30 @@ class TestAmpedIntegration:
         for mode in range(tensor.nmodes):
             assert np.array_equal(
                 ex.mttkrp(factors, mode), baseline.mttkrp(factors, mode)
+            )
+
+    def test_amped_kernel_axis(self, tensor, factors):
+        """The config's kernel knob end-to-end: numpy stays bit-identical
+        to the default, ``auto`` pins a concrete available tier whose
+        output is within the fused tolerance, and the resolved name is
+        queryable from the pinned config."""
+        from repro.core.amped import AmpedMTTKRP
+        from repro.core.config import AmpedConfig
+
+        cfg = AmpedConfig(n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU)
+        baseline = AmpedMTTKRP(tensor, cfg)
+        pinned = AmpedMTTKRP(tensor, cfg.replace(kernel="numpy"))
+        auto = AmpedMTTKRP(tensor, cfg.replace(kernel="auto"))
+        assert auto.config.kernel in KERNEL_NAMES  # concrete after init
+        assert auto.config.resolved_kernel() == auto.config.kernel
+        for mode in range(tensor.nmodes):
+            want = baseline.mttkrp(factors, mode)
+            assert np.array_equal(pinned.mttkrp(factors, mode), want)
+            assert np.allclose(
+                auto.mttkrp(factors, mode),
+                want,
+                rtol=EXEC_FUSED_RTOL,
+                atol=EXEC_FUSED_ATOL,
             )
 
     def test_source_backed_executor_stays_lazy(self, tensor, plan, cache_path):

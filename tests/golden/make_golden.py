@@ -52,6 +52,11 @@ GOLDEN_HOST_PROFILE = HostProfile(
     quick=False,
     memcpy_bandwidth=1.0e10,
     reduce_bandwidth=2.0e9,
+    kernel_reduce_bandwidth={
+        "numpy": 2.0e9,
+        "numba": 8.0e9,
+        "cc": 6.0e9,
+    },
     mmap_read_bandwidth=5.0e9,
     chunk_read_bandwidth=2.5e9,
     decompress_bandwidth={
@@ -79,6 +84,8 @@ HOST_TIME_CASES: dict[str, dict] = {
     "process2_prefetch_resident": dict(
         backend="process", workers=2, prefetch=True
     ),
+    "serial_cc_kernel": dict(kernel="cc"),
+    "thread2_numba_kernel": dict(backend="thread", workers=2, kernel="numba"),
     "serial_mmap_oc": dict(out_of_core=True, shard_cache="golden.npz"),
     "process2_zlib_oc_prefetch": dict(
         backend="process",

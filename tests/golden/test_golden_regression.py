@@ -11,6 +11,11 @@ backend returns partial results in deterministic batch order. Format baselines r
 extremely tight tolerance instead: the measured worst-case deviation at this
 scale is ~1e-15 relative, and the 1e-12 gate leaves three orders of
 magnitude of margin while still catching any real numerical change.
+Compiled kernel tiers from the registry (``numba``/``cc``) re-associate
+only the per-segment sum, so they get the same documented tolerance gate
+(``FUSED_RTOL``/``FUSED_ATOL`` from :mod:`repro.tensor.kernelreg`); the
+numpy tier — and every tier falling back to it — stays on the bit-exact
+contract.
 
 Regenerate with ``PYTHONPATH=src python tests/golden/make_golden.py`` —
 only when a numerical change is intentional.
@@ -39,6 +44,12 @@ from repro.engine import (
 from repro.errors import UnsupportedTensorError
 from repro.partition.plan import build_partition_plan
 from repro.tensor.io import write_shard_cache, write_shard_cache_v2
+from repro.tensor.kernelreg import (
+    FUSED_ATOL,
+    FUSED_RTOL,
+    KERNEL_NAMES,
+    get_kernel,
+)
 from repro.tensor.reference import mttkrp_coo_reference, mttkrp_dense_reference
 
 CASE_NAMES = sorted(CASES)
@@ -176,6 +187,44 @@ class TestEngineBitExact:
         )
         for m in range(tensor.nmodes):
             assert np.array_equal(engine.mttkrp(factors, m), _expected(data, m))
+
+    @pytest.mark.parametrize(
+        "source_kind", ["memory", "mmap", "chunked", "synthetic"]
+    )
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("kernel", list(KERNEL_NAMES))
+    def test_shard_sources_kernel_tiers(
+        self, case, case_cache, case_cache_v2, shared_backends, source_kind,
+        backend, kernel,
+    ):
+        """The kernel axis of the golden matrix: the numpy tier (and any
+        tier that falls back to it) reproduces the golden bits exactly;
+        fused compiled tiers are held to the documented tolerance
+        (:data:`FUSED_RTOL`/:data:`FUSED_ATOL` — their per-segment
+        sequential accumulation re-associates ``np.add.reduceat``'s sum
+        tree, nothing more)."""
+        name, tensor, factors, _, config, data = case
+        cache = case_cache_v2 if source_kind == "chunked" else case_cache
+        source = _case_source(source_kind, name, tensor, config, cache)
+        engine = StreamingExecutor(
+            source,
+            batch_size=17,
+            backend=shared_backends[backend],
+            kernel=kernel,
+        )
+        resolved = engine.kernel
+        assert resolved in KERNEL_NAMES
+        for m in range(tensor.nmodes):
+            got = engine.mttkrp(factors, m)
+            if get_kernel(resolved).bit_identical:
+                assert np.array_equal(got, _expected(data, m))
+            else:
+                assert np.allclose(
+                    got,
+                    _expected(data, m),
+                    rtol=FUSED_RTOL,
+                    atol=FUSED_ATOL,
+                )
 
     @pytest.mark.parametrize(
         "batch_size,backend,workers,prefetch",

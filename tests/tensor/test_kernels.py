@@ -52,6 +52,25 @@ class TestEcContributions:
                 7,
             )
 
+    def test_empty_factors_rejected(self, tiny_tensor):
+        """Regression: an empty factor list used to fall through to
+        ``factors[0]`` (IndexError) instead of a named error."""
+        with pytest.raises(TensorFormatError, match="non-empty"):
+            ec_contributions(tiny_tensor.indices, tiny_tensor.values, [], 0)
+
+    def test_mismatched_factor_rank_rejected(self, tiny_tensor, make_factors):
+        """Regression: a factor whose rank disagrees with factor 0 used to
+        produce a broadcasting error deep in the Hadamard loop (or, for a
+        1-D factor, silently wrong shapes) instead of naming the factor."""
+        factors = make_factors(tiny_tensor.shape, rank=4)
+        factors[2] = factors[2][:, :3]
+        with pytest.raises(TensorFormatError, match="factor 2"):
+            ec_contributions(tiny_tensor.indices, tiny_tensor.values, factors, 0)
+        factors = make_factors(tiny_tensor.shape, rank=4)
+        factors[1] = factors[1][:, 0]  # 1-D, not a matrix
+        with pytest.raises(TensorFormatError, match="factor 1"):
+            ec_contributions(tiny_tensor.indices, tiny_tensor.values, factors, 0)
+
 
 class TestScatterRowsAtomic:
     def test_accumulates_duplicates(self):
@@ -78,6 +97,31 @@ class TestScatterRowsAtomic:
             scatter_rows_atomic(np.zeros((3, 2)), np.zeros(2, dtype=int), np.zeros((3, 2)))
         with pytest.raises(TensorFormatError):
             scatter_rows_atomic(np.zeros((3, 2)), np.zeros(3, dtype=int), np.zeros((3, 5)))
+
+    def test_row_out_of_range_rejected(self):
+        """Regression: ``np.add.at`` would have raised a bare IndexError
+        (and a compiled tier would have written out of bounds)."""
+        out = np.zeros((3, 2))
+        contrib = np.ones((2, 2))
+        with pytest.raises(TensorFormatError, match=r"\[1, 3\].*3 rows"):
+            scatter_rows_atomic(out, np.array([1, 3]), contrib)
+        assert np.all(out == 0)  # rejected before any partial write
+
+    def test_negative_row_rejected(self):
+        """Negative indices are *not* python-style wraparound here: a row of
+        ``-1`` silently accumulating into the last output row was the bug."""
+        out = np.zeros((3, 2))
+        contrib = np.ones((2, 2))
+        with pytest.raises(TensorFormatError, match=r"\[-1, 2\]"):
+            scatter_rows_atomic(out, np.array([-1, 2]), contrib)
+        assert np.all(out == 0)
+
+    def test_empty_rows_ok(self):
+        out = np.zeros((3, 2))
+        res = scatter_rows_atomic(
+            out, np.empty(0, dtype=np.int64), np.empty((0, 2))
+        )
+        assert res is out and np.all(out == 0)
 
 
 class TestSegmentStarts:
@@ -139,3 +183,30 @@ class TestMttkrpSortedSegments:
             np.empty((0, 3), dtype=np.int64), np.empty(0), factors, 0, out
         )
         assert np.all(out == 0)
+
+    def test_assume_sorted_fast_path_same_bits(self, small_tensor, make_factors):
+        """``assume_sorted=True`` must change only the cost, not the bits."""
+        factors = make_factors(small_tensor.shape)
+        sorted_t = small_tensor.sorted_by_mode(1)
+        checked = np.zeros((small_tensor.shape[1], 6))
+        unchecked = np.zeros_like(checked)
+        mttkrp_sorted_segments(
+            sorted_t.indices, sorted_t.values, factors, 1, checked
+        )
+        mttkrp_sorted_segments(
+            sorted_t.indices, sorted_t.values, factors, 1, unchecked,
+            assume_sorted=True,
+        )
+        assert np.array_equal(checked, unchecked)
+
+    def test_default_still_rejects_unsorted(self, small_tensor, make_factors):
+        """Regression guard for the fast path: the default entry point must
+        keep scanning — external callers rely on the check."""
+        factors = make_factors(small_tensor.shape)
+        out = np.zeros((small_tensor.shape[0], 6))
+        sorted_by_other = small_tensor.sorted_by_mode(1)
+        assert np.any(np.diff(sorted_by_other.indices[:, 0]) < 0)
+        with pytest.raises(TensorFormatError, match="not sorted"):
+            mttkrp_sorted_segments(
+                sorted_by_other.indices, sorted_by_other.values, factors, 0, out
+            )

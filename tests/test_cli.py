@@ -498,18 +498,21 @@ class TestBenchCommand:
         assert "version" in capsys.readouterr().out
 
     def test_committed_trajectory_is_valid(self):
-        """BENCH_6.json at the repo root must stay loadable (CI gate)."""
+        """BENCH_7.json at the repo root must stay loadable (CI gate) —
+        and so must its BENCH_6.json predecessor, which the comparison
+        report reads as ``--previous``."""
         import pathlib
 
         from repro.bench.trajectory import load_trajectory
 
         root = pathlib.Path(__file__).resolve().parents[1]
-        committed = root / "BENCH_6.json"
-        assert committed.is_file(), "BENCH_6.json must be committed"
-        traj = load_trajectory(committed)
-        assert traj["trials"], "committed trajectory must hold trials"
-        for t in traj["trials"]:
-            assert "prediction_error" in t
+        for name in ("BENCH_7.json", "BENCH_6.json"):
+            committed = root / name
+            assert committed.is_file(), f"{name} must be committed"
+            traj = load_trajectory(committed)
+            assert traj["trials"], "committed trajectory must hold trials"
+            for t in traj["trials"]:
+                assert "prediction_error" in t
 
     def test_profile_reports_measured_process_efficiency(
         self, tmp_path, capsys
