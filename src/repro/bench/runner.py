@@ -22,16 +22,19 @@ from repro.bench.trials import expand_sweep, git_rev, run_trial
 __all__ = ["SMOKE_SWEEP", "DEFAULT_SWEEP", "run_bench"]
 
 #: CI smoke matrix: resident + one compressed source across the in-process
-#: backends (zlib is in the stdlib; process pools are left to the full
-#: sweep so the gate stays fast and start-up-noise free).
+#: backends plus a 2-node loopback cluster cell (zlib is in the stdlib;
+#: process pools are left to the full sweep so the gate stays fast and
+#: start-up-noise free). The cluster cells carry the measured-vs-predicted
+#: comm record the CI oracle gate reads.
 SMOKE_SWEEP: dict = {
     "datasets": ["twitch"],
     "nnz": [2000],
     "sources": ["inmem", "chunked:zlib"],
-    "backends": ["serial", "thread:2", "auto"],
+    "backends": ["serial", "thread:2", "cluster:1", "auto"],
     "kernels": ["auto", "numpy"],
     "prefetch": [False],
     "ranks": [4],
+    "nodes": [2],
     "n_gpus": 2,
     "shards_per_gpu": 2,
     "warmup": 1,
@@ -43,15 +46,18 @@ SMOKE_SWEEP: dict = {
 #: resolution, both the auto-resolved and pinned-numpy kernel tiers
 #: (auto cells keep pre-registry cell keys, so trajectory comparison
 #: against older files sees the compiled tier as an in-place improvement),
-#: with and without prefetch.
+#: with and without prefetch, plus the 2-node loopback cluster column
+#: (only cluster cells grow the ``/n2`` key segment, so every
+#: pre-cluster cell key stays byte-identical and comparable).
 DEFAULT_SWEEP: dict = {
     "datasets": ["twitch"],
     "nnz": [4000],
     "sources": ["inmem", "mmap", "chunked:zlib"],
-    "backends": ["serial", "thread:2", "process:2", "auto"],
+    "backends": ["serial", "thread:2", "process:2", "cluster:1", "auto"],
     "kernels": ["auto", "numpy"],
     "prefetch": [False, True],
     "ranks": [8],
+    "nodes": [2],
     "n_gpus": 2,
     "shards_per_gpu": 2,
     "warmup": 1,

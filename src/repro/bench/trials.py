@@ -1,8 +1,8 @@
 """Scheduled benchmark trials: sweep expansion + single-trial execution.
 
 A *trial* is one measured cell of the benchmark sweep — (dataset × source ×
-backend × kernel × prefetch × codec × rank) — run with warmup iterations
-followed by
+backend × kernel × prefetch × codec × rank × nodes) — run with warmup
+iterations followed by
 timed repeats of a full MTTKRP iteration (``mttkrp_all_modes``), the same
 quantity the host-pipeline timing model predicts. Each trial produces one
 versioned JSON record holding the measured wall times, the per-phase
@@ -51,7 +51,7 @@ TRIAL_RECORD_VERSION = 1
 SOURCES = ("inmem", "mmap", "chunked")
 
 #: Execution backends a trial may request (``auto`` resolves at construction).
-BACKENDS = ("serial", "thread", "process", "auto")
+BACKENDS = ("serial", "thread", "process", "cluster", "auto")
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,7 @@ class TrialSpec:
     rank: int = 8
     n_gpus: int = 2
     shards_per_gpu: int = 2
+    nodes: int | None = None
     warmup: int = 1
     repeats: int = 3
     seed: int = 0
@@ -99,6 +100,13 @@ class TrialSpec:
                 f"codec={self.codec!r} only applies to the 'chunked' "
                 f"source, got source={self.source!r}"
             )
+        if self.nodes is not None and self.backend != "cluster":
+            raise ReproError(
+                f"nodes={self.nodes} only applies to the 'cluster' "
+                f"backend, got backend={self.backend!r}"
+            )
+        if self.nodes is not None and self.nodes < 1:
+            raise ReproError(f"nodes must be >= 1, got {self.nodes}")
         if self.repeats < 1:
             raise ReproError(f"repeats must be >= 1, got {self.repeats}")
         if self.warmup < 0:
@@ -123,6 +131,10 @@ class TrialSpec:
         )
         if self.kernel != AUTO_KERNEL:
             key += f"/k-{self.kernel}"
+        if self.nodes is not None:
+            # only cluster cells carry the segment, so every pre-cluster
+            # trajectory key stays byte-identical and comparable
+            key += f"/n{self.nodes}"
         return key
 
     def fingerprint(self) -> str:
@@ -140,14 +152,17 @@ def expand_sweep(axes: dict) -> list[TrialSpec]:
     ``"process:2"``, ``"auto"`` — suffix is the worker count), ``kernels``
     (registry tier names or ``"auto"``; unavailable explicit tiers fall
     back to numpy at run time and the record's ``resolved_kernel`` says
-    so), ``prefetch`` (bools), and ``ranks``; scalar knobs
-    ``warmup``/``repeats``/``seed`` and shape knobs
-    ``n_gpus``/``shards_per_gpu`` apply to every trial. Unknown keys raise
-    so a typoed axis cannot silently shrink the sweep.
+    so), ``prefetch`` (bools), ``ranks``, and ``nodes`` (node counts — the
+    axis only applies to ``"cluster"`` backend entries, which expand over
+    it; every other backend ignores it so non-cluster cell keys never grow
+    a node segment); scalar knobs ``warmup``/``repeats``/``seed`` and
+    shape knobs ``n_gpus``/``shards_per_gpu`` apply to every trial.
+    Unknown keys raise so a typoed axis cannot silently shrink the sweep.
     """
     known = {
         "datasets", "nnz", "sources", "backends", "kernels", "prefetch",
-        "ranks", "warmup", "repeats", "seed", "n_gpus", "shards_per_gpu",
+        "ranks", "nodes", "warmup", "repeats", "seed", "n_gpus",
+        "shards_per_gpu",
     }
     unknown = set(axes) - known
     if unknown:
@@ -165,27 +180,34 @@ def expand_sweep(axes: dict) -> list[TrialSpec]:
                         workers = int(w)
                     else:
                         workers = 2 if backend in ("thread", "process") else 1
+                    node_counts = (
+                        [int(n) for n in axes.get("nodes", [2])]
+                        if backend == "cluster"
+                        else [None]
+                    )
                     for kernel in axes.get("kernels", [AUTO_KERNEL]):
                         for prefetch in axes.get("prefetch", [False]):
                             for rank in axes.get("ranks", [8]):
-                                specs.append(TrialSpec(
-                                    dataset=dataset,
-                                    nnz=int(nnz),
-                                    source=source,
-                                    backend=backend,
-                                    kernel=str(kernel),
-                                    workers=workers,
-                                    prefetch=bool(prefetch),
-                                    codec=codec or None,
-                                    rank=int(rank),
-                                    n_gpus=int(axes.get("n_gpus", 2)),
-                                    shards_per_gpu=int(
-                                        axes.get("shards_per_gpu", 2)
-                                    ),
-                                    warmup=int(axes.get("warmup", 1)),
-                                    repeats=int(axes.get("repeats", 3)),
-                                    seed=int(axes.get("seed", 0)),
-                                ))
+                                for nodes in node_counts:
+                                    specs.append(TrialSpec(
+                                        dataset=dataset,
+                                        nnz=int(nnz),
+                                        source=source,
+                                        backend=backend,
+                                        kernel=str(kernel),
+                                        workers=workers,
+                                        prefetch=bool(prefetch),
+                                        codec=codec or None,
+                                        rank=int(rank),
+                                        n_gpus=int(axes.get("n_gpus", 2)),
+                                        shards_per_gpu=int(
+                                            axes.get("shards_per_gpu", 2)
+                                        ),
+                                        nodes=nodes,
+                                        warmup=int(axes.get("warmup", 1)),
+                                        repeats=int(axes.get("repeats", 3)),
+                                        seed=int(axes.get("seed", 0)),
+                                    ))
     return specs
 
 
@@ -270,6 +292,7 @@ def run_trial(
         workers=spec.workers,
         prefetch=spec.prefetch,
         host_profile=host_profile,
+        nodes=spec.nodes,
     )
     rng = np.random.default_rng(spec.seed + 1)
     factors = [rng.random((s, spec.rank)) for s in tensor.shape]
@@ -290,15 +313,34 @@ def run_trial(
                 profile = DEFAULT_HOST_PROFILE
             for _ in range(spec.warmup):
                 ex.mttkrp_all_modes(factors)
+            cluster = getattr(ex, "_cluster_backend", None)
+            if cluster is not None:
+                # measure the exchange over the timed repeats only — the
+                # measured side of the predicted-vs-measured comm oracle
+                cluster.reset_comm_stats()
             wall_times: list[float] = []
             for _ in range(spec.repeats):
                 timer = Timer()
                 with timer:
                     ex.mttkrp_all_modes(factors)
                 wall_times.append(timer.elapsed)
+            comm_stats = None if cluster is None else dict(cluster.comm_stats)
 
     measured_s = float(median(wall_times))
     predicted_s = float(plan["total_s"])
+    comm = None
+    if comm_stats is not None:
+        comm_measured = comm_stats["seconds"] / max(spec.repeats, 1)
+        comm_predicted = float(plan.get("comm_s", 0.0))
+        comm = {
+            "measured_s": float(comm_measured),
+            "predicted_s": comm_predicted,
+            "bytes_per_iteration": comm_stats["bytes"] // max(spec.repeats, 1),
+            # signed: positive = the analytic repro.comm model overpredicts
+            "error": float(
+                (comm_predicted - comm_measured) / max(comm_measured, 1e-12)
+            ),
+        }
     return {
         "record_version": TRIAL_RECORD_VERSION,
         "cell": spec.cell,
@@ -317,6 +359,7 @@ def run_trial(
         )},
         "predicted_total_s": predicted_s,
         "prediction_error": (predicted_s - measured_s) / measured_s,
+        "comm": comm,
         "codec_ratio": None if codec_ratio is None else float(codec_ratio),
         "peak_rss_bytes": _peak_rss_bytes(),
         "host_profile_hash": host_profile_hash(profile),

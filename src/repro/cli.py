@@ -10,6 +10,7 @@ cache         build an out-of-core shard cache (.npz) from a tensor
 profile       calibrate this host (microbenchmarks -> JSON host profile)
 trace         export a simulated AMPED run as Chrome trace JSON
 bench         trial harness: run sweeps, write/compare BENCH trajectories
+cluster       run a cluster node server (``repro cluster node HOST:PORT``)
 """
 
 from __future__ import annotations
@@ -142,10 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial",
         help="execution backend for batch reductions: serial (default), "
         "thread (persistent GIL-releasing thread pool), process "
-        "(process pool attaching to the shard cache / shared memory), or "
+        "(process pool attaching to the shard cache / shared memory), "
+        "cluster (N node processes over sockets, each running its own "
+        "local pipeline — see --nodes/--cluster-nodes), or "
         "auto (pick the backend the host cost model predicts fastest for "
         "this workload, using --host-profile when given); results are "
         "bit-identical across backends",
+    )
+    p_dec.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="node-process count for --backend cluster (default 2; "
+        "loopback processes are spawned locally); with --backend auto a "
+        "pinned count >1 also ranks the cluster backend against the "
+        "single-host backends",
+    )
+    p_dec.add_argument(
+        "--cluster-nodes",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated addresses of already running `repro cluster "
+        "node` servers to use instead of spawning loopback processes "
+        "(implies the node count; requires --backend cluster)",
     )
     p_dec.add_argument(
         "--kernel",
@@ -261,6 +281,32 @@ def build_parser() -> argparse.ArgumentParser:
         "mode) — bandwidth numbers are noisier than the full run",
     )
 
+    p_cl = sub.add_parser(
+        "cluster",
+        help="multi-node execution: run a node server the cluster backend "
+        "connects to (`repro decompose --backend cluster --cluster-nodes`)",
+    )
+    cl_sub = p_cl.add_subparsers(dest="cluster_command", required=True)
+    p_cl_node = cl_sub.add_parser(
+        "node",
+        help="serve one cluster node: listen for a coordinator, run its "
+        "work slices through a local streaming pipeline until it "
+        "disconnects",
+    )
+    p_cl_node.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="address to listen on (the coordinator's --cluster-nodes "
+        "entry for this node)",
+    )
+    p_cl_node.add_argument(
+        "--authkey",
+        default=None,
+        help="shared connection secret (default: the "
+        "REPRO_CLUSTER_AUTHKEY env var, else a fixed development key — "
+        "set a real one outside loopback)",
+    )
+
     p_tr = sub.add_parser("trace", help="export a Chrome trace of a simulated run")
     p_tr.add_argument("dataset", choices=["amazon", "patents", "reddit", "twitch"])
     p_tr.add_argument("output", help="output .json path")
@@ -278,9 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_brun.add_argument(
         "--out",
-        default="BENCH_7.json",
+        default="BENCH_8.json",
         metavar="PATH",
-        help="trajectory output path (default: BENCH_7.json)",
+        help="trajectory output path (default: BENCH_8.json)",
     )
     p_brun.add_argument(
         "--smoke",
@@ -341,9 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_brep.add_argument(
         "trajectory",
         nargs="?",
-        default="BENCH_7.json",
+        default="BENCH_8.json",
         help="trajectory JSON written by `repro bench run` "
-        "(default: BENCH_7.json)",
+        "(default: BENCH_8.json)",
     )
     p_brep.add_argument(
         "--previous",
@@ -522,6 +568,14 @@ def _cmd_decompose(args) -> int:
             "at an existing cache"
         )
         return 2
+    cluster_addresses = None
+    if args.cluster_nodes:
+        if args.backend != "cluster":
+            print("--cluster-nodes requires --backend cluster")
+            return 2
+        cluster_addresses = tuple(
+            a.strip() for a in args.cluster_nodes.split(",") if a.strip()
+        )
     config = AmpedConfig(
         n_gpus=args.gpus,
         rank=args.rank,
@@ -533,6 +587,8 @@ def _cmd_decompose(args) -> int:
         out_of_core=args.out_of_core,
         shard_cache=None if cache is None else str(cache),
         host_profile=args.host_profile,
+        nodes=args.nodes,
+        cluster_addresses=cluster_addresses,
     )
     tensor = name = None
     if cache is not None and not cache_exists:
@@ -568,9 +624,17 @@ def _cmd_decompose(args) -> int:
         if args.backend == "auto"
         else ""
     )
+    cluster_note = ""
+    if backend_name == "cluster":
+        where = (
+            f"{len(ex.config.cluster_addresses)} remote node(s)"
+            if ex.config.cluster_addresses
+            else f"{ex.config.nodes or 2} loopback node process(es)"
+        )
+        cluster_note = f", {where}"
     print(
         f"engine backend: {backend_name} (workers={backend_workers}, "
-        f"prefetch={'on' if config.prefetch else 'off'})"
+        f"prefetch={'on' if config.prefetch else 'off'}{cluster_note})"
         f"{resolved_note}"
     )
     resolved_kernel = ex.config.resolved_kernel()
@@ -600,6 +664,16 @@ def _cmd_decompose(args) -> int:
         f"{host_plan['n_batches']} batches): "
         f"{format_seconds(host_plan['total_s'])} per iteration"
     )
+    if backend_name == "cluster" and ex._cluster_backend is not None:
+        stats = ex._cluster_backend.comm_stats
+        measured = stats["seconds"] / max(stats["calls"], 1)
+        print(
+            f"cluster exchange ({ex._cluster_backend.allgather}): measured "
+            f"{format_seconds(measured)} per MTTKRP call "
+            f"({stats['calls']} calls, {stats['bytes']} bytes total); "
+            f"model predicts {format_seconds(host_plan['comm_s'])} "
+            f"comm per iteration"
+        )
     return 0
 
 
@@ -682,6 +756,10 @@ def _cmd_profile(args) -> int:
         f"process {format_seconds(profile.process_task_s)} per batch"
     )
     print(f"  pipe              {format_bytes(profile.pipe_bandwidth)}/s")
+    print(
+        f"  loopback socket   {format_bytes(profile.loopback_bandwidth)}/s, "
+        f"{format_seconds(profile.loopback_latency_s)} latency"
+    )
     print(f"  thread efficiency {profile.thread_efficiency:.2f}")
     print(
         f"  process efficiency {profile.process_efficiency:.2f} "
@@ -766,6 +844,32 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from repro.engine.cluster import parse_cluster_address, serve_node
+    from repro.errors import ReproError
+
+    # only "node" exists today; argparse enforces the subcommand
+    try:
+        host, port = parse_cluster_address(args.address)
+    except ReproError as exc:
+        print(str(exc))
+        return 2
+    print(
+        f"serving cluster node on {host}:{port} "
+        f"(stop with Ctrl-C; one coordinator connection per run)"
+    )
+    try:
+        serve_node(host, port, authkey=args.authkey)
+    except KeyboardInterrupt:
+        print("node interrupted")
+        return 130
+    except ReproError as exc:
+        print(f"cluster node failed: {exc}")
+        return 1
+    print("coordinator disconnected; node exiting")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.core.config import AmpedConfig
     from repro.bench.harness import run_amped_model
@@ -790,6 +894,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "cluster": _cmd_cluster,
 }
 
 

@@ -22,6 +22,43 @@ from repro.simgpu.platform import MultiGPUPlatform
 __all__ = ["ring_allgather", "ring_allgather_time", "direct_allgather_time"]
 
 
+def _validated_chunks(chunks: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Per-rank chunks as ndarrays, rejecting ragged rows and mixed dtypes.
+
+    Rank chunks are row blocks of one factor matrix: the leading (row)
+    dimension may differ per rank (LPT assignment), but every trailing
+    dimension and the dtype must agree — these are transport preconditions
+    for the functional collectives and the socket ring alike.
+    """
+    arrs: list[np.ndarray] = []
+    for g, chunk in enumerate(chunks):
+        try:
+            arr = np.asarray(chunk)
+        except ValueError as exc:
+            raise CommunicationError(
+                f"rank {g} chunk is ragged (cannot form a rectangular array)"
+            ) from exc
+        if arr.dtype == object:
+            raise CommunicationError(
+                f"rank {g} chunk is ragged (cannot form a rectangular array)"
+            )
+        arrs.append(arr)
+    head = arrs[0]
+    for g, arr in enumerate(arrs[1:], start=1):
+        if arr.dtype != head.dtype:
+            raise CommunicationError(
+                f"rank {g} chunk dtype {arr.dtype} does not match rank 0 "
+                f"dtype {head.dtype}"
+            )
+        if arr.ndim != head.ndim or arr.shape[1:] != head.shape[1:]:
+            raise CommunicationError(
+                f"rank {g} chunk shape {arr.shape} is ragged against rank 0 "
+                f"shape {head.shape}: chunks may differ only in their "
+                "leading (row) dimension"
+            )
+    return arrs
+
+
 def ring_allgather(chunks: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
     """Functional ring all-gather over per-rank chunks.
 
@@ -34,12 +71,13 @@ def ring_allgather(chunks: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
     m = len(chunks)
     if m == 0:
         raise CommunicationError("all-gather needs at least one rank")
+    arrs = _validated_chunks(chunks)
     # table[g][c] — rank g's copy of chunk c (None until received).
     table: list[list[np.ndarray | None]] = [
         [None] * m for _ in range(m)
     ]
     for g in range(m):
-        table[g][g] = np.array(chunks[g], copy=True)
+        table[g][g] = np.array(arrs[g], copy=True)
     for step in range(m - 1):
         sends = []
         for g in range(m):

@@ -26,9 +26,18 @@ def host_gather_merge(partials: Sequence[np.ndarray]) -> np.ndarray:
     if not partials:
         raise CommunicationError("merge needs at least one partial")
     shape = partials[0].shape
-    for p in partials[1:]:
+    dtype = np.asarray(partials[0]).dtype
+    for g, p in enumerate(partials[1:], start=1):
         if p.shape != shape:
-            raise CommunicationError("partials must share a shape")
+            raise CommunicationError(
+                f"partial {g} shape {p.shape} does not match partial 0 "
+                f"shape {shape}: partials must share a shape"
+            )
+        if np.asarray(p).dtype != dtype:
+            raise CommunicationError(
+                f"partial {g} dtype {np.asarray(p).dtype} does not match "
+                f"partial 0 dtype {dtype}: partials must share a dtype"
+            )
     out = np.zeros(shape, dtype=np.float64)
     for p in partials:
         out += p

@@ -170,12 +170,29 @@ class AmpedMTTKRP:
                 kernel=auto_kernel, backend=auto_name, workers=auto_workers
             )
         backend_name, backend_workers = self.config.resolved_backend()
+        backend: str | object = backend_name
+        self._cluster_backend = None
+        if backend_name == "cluster":
+            # The cluster backend carries topology (node count, addresses,
+            # exchange schedule) the generic registry can't know, so build
+            # it here from the config and hand the *instance* to the
+            # executor. An instance is caller-owned by the executor's
+            # contract — close() below releases the node processes.
+            from repro.engine.cluster import ClusterBackend
+
+            self._cluster_backend = ClusterBackend(
+                nodes=self.config.nodes or 2,
+                addresses=self.config.cluster_addresses,
+                workers=backend_workers,
+                allgather=self.config.allgather,
+            )
+            backend = self._cluster_backend
         self.engine = StreamingExecutor(
             source,
             batch_size=self.config.resolved_batch_size(
                 self.cost, self.tensor.nmodes
             ),
-            backend=backend_name,
+            backend=backend,
             workers=backend_workers,
             prefetch=self.config.prefetch,
             kernel=self.config.resolved_kernel(),
@@ -233,9 +250,14 @@ class AmpedMTTKRP:
     def close(self) -> None:
         """Release the engine backend (pools, shared memory) and, when this
         executor opened the source itself (:meth:`from_shard_cache`), the
-        memory-mapped views. Idempotent; the executor is a context manager.
+        memory-mapped views. A cluster backend built here is owned here too
+        (the executor treats backend instances as caller-owned), so its node
+        processes are shut down as well. Idempotent; the executor is a
+        context manager.
         """
         self.engine.close()
+        if self._cluster_backend is not None:
+            self._cluster_backend.close()
         if self._owns_source and hasattr(self.source, "close"):
             self.source.close()
 
@@ -326,10 +348,23 @@ class AmpedMTTKRP:
         workload and (resolved) config; ``profile`` overrides the config's
         host profile. When the source is a v2 chunked cache, the manifest's
         measured ``codec_ratio`` replaces the analytic per-codec default in
-        the staging-read term.
+        the staging-read term. A cluster config dispatches to
+        :func:`repro.engine.costmodel.cluster_time_plan` — the returned
+        plan keeps every ``host_time_plan`` key (callers see one schema)
+        and adds the comm/scatter terms and node topology.
         """
-        from repro.core.simulate import host_time_plan
+        from repro.engine.costmodel import cluster_time_plan, host_time_plan
 
+        name, workers = self.config.resolved_backend()
+        if name == "cluster":
+            return cluster_time_plan(
+                self.workload, self.config, self.cost, profile,
+                nodes=self.config.nodes or 2,
+                sub_backend=(
+                    "thread" if workers > 1 else "serial", workers
+                ),
+                codec_ratio=self.cache_codec_ratio,
+            )
         return host_time_plan(
             self.workload, self.config, self.cost, profile,
             codec_ratio=self.cache_codec_ratio,

@@ -131,6 +131,21 @@ class AmpedConfig:
         shared parser (:func:`repro.util.humanize.parse_size`), so the CLI
         and the API can never disagree on a literal. Each stream lane
         double-buffers two decompressed chunks of this size.
+    nodes: node-process count of the multi-node cluster backend
+        (:class:`repro.engine.cluster.ClusterBackend`). ``None`` (the
+        default) means single-host; with ``backend="cluster"`` it defaults
+        to 2 at backend construction. A pinned ``nodes > 1`` also makes
+        ``backend="auto"`` rank the cluster backend against the
+        single-host backends (:func:`repro.engine.costmodel.rank_executions`
+        prices it with :func:`repro.engine.costmodel.cluster_time_plan`).
+        Results stay bit-identical to single-host for any node count
+        (numpy tier) — nodes own contiguous disjoint element runs and
+        partial results are merged in rank order.
+    cluster_addresses: explicit ``"host:port"`` node addresses of already
+        running ``repro cluster node`` servers. ``None`` (the default)
+        spawns loopback node processes locally. When given, ``nodes`` must
+        be unset or equal to ``len(cluster_addresses)``; each entry is
+        validated at construction.
     """
 
     n_gpus: int = 4
@@ -152,6 +167,8 @@ class AmpedConfig:
     cache_codec: str | None = None
     cache_chunk_nnz: int | str | None = None
     host_profile: HostProfile | str | None = None
+    nodes: int | None = None
+    cluster_addresses: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus <= 0:
@@ -197,6 +214,36 @@ class AmpedConfig:
         # otherwise lie in wait for the next unconfigured run.
         stream_cache_fraction(self.stream_cache_fraction, profile)
         stream_cache_fraction(None, None)
+        # Cluster topology: validate eagerly (bad addresses or an
+        # inconsistent node count must fail at config construction, not
+        # when the first socket dial times out mid-decomposition).
+        if self.cluster_addresses is not None:
+            from repro.engine.cluster import parse_cluster_address
+
+            addrs = tuple(self.cluster_addresses)
+            if not addrs:
+                raise ReproError(
+                    "cluster_addresses must be a non-empty sequence of "
+                    "'host:port' strings (or None to spawn loopback node "
+                    "processes)"
+                )
+            for spec in addrs:
+                parse_cluster_address(spec)  # raises ClusterError on junk
+            if self.nodes is not None and self.nodes != len(addrs):
+                raise ReproError(
+                    f"nodes={self.nodes} disagrees with the "
+                    f"{len(addrs)} cluster_addresses given — drop nodes "
+                    f"or make them match"
+                )
+            object.__setattr__(self, "cluster_addresses", addrs)
+            object.__setattr__(self, "nodes", len(addrs))
+        if self.nodes is not None:
+            from repro.engine.cluster import MAX_NODES
+
+            if not 1 <= self.nodes <= MAX_NODES:
+                raise ReproError(
+                    f"nodes must be in [1, {MAX_NODES}], got {self.nodes}"
+                )
         if self.out_of_core and not self.shard_cache:
             raise ReproError(
                 "out_of_core=True requires shard_cache: point it at a .npz "

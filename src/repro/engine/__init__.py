@@ -13,6 +13,11 @@
   and its serial (:class:`SerialBackend`), persistent-thread-pool
   (:class:`ThreadBackend`), and shared-memory process-pool
   (:class:`ProcessBackend`) implementations;
+* :mod:`cluster` — :class:`ClusterBackend`, the multi-node execution
+  backend: N node processes over sockets (loopback-spawned or remote
+  ``repro cluster node`` servers via :func:`serve_node`), each running its
+  own local pipeline, exchanging factor-row partials with a real ring
+  all-gather;
 * :mod:`prefetch` — :class:`PrefetchingSource`, double-buffered batch
   staging on a background thread (async page read-ahead for mmap sources);
 * :mod:`autotune` — cache-model batch sizing behind ``batch_size="auto"``;
@@ -51,10 +56,17 @@ from repro.engine.backend import (
     validate_workers,
 )
 from repro.engine.batch import BatchPlan, ElementBatch, build_batch_plan, slice_segments
+from repro.engine.cluster import (
+    ClusterBackend,
+    parse_cluster_address,
+    serve_node,
+    split_contiguous,
+)
 from repro.engine.costmodel import (
     DEFAULT_HOST_PROFILE,
     HOST_PROFILE_ENV,
     HostProfile,
+    cluster_time_plan,
     host_time_plan,
     load_host_profile,
     rank_backends,
@@ -94,6 +106,10 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "ClusterBackend",
+    "serve_node",
+    "parse_cluster_address",
+    "split_contiguous",
     "create_backend",
     "validate_backend_name",
     "validate_workers",
@@ -110,6 +126,7 @@ __all__ = [
     "HOST_PROFILE_ENV",
     "load_host_profile",
     "resolve_host_profile",
+    "cluster_time_plan",
     "host_time_plan",
     "rank_backends",
     "rank_executions",

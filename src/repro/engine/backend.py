@@ -66,7 +66,10 @@ __all__ = [
 MAX_WORKERS = 256
 
 #: The backend registry: ``create_backend`` accepts these names.
-BACKEND_NAMES = ("serial", "thread", "process")
+#: ``"cluster"`` resolves to :class:`repro.engine.cluster.ClusterBackend`
+#: (a 2-node loopback by default — callers wanting more nodes or remote
+#: addresses construct the instance themselves and pass it through).
+BACKEND_NAMES = ("serial", "thread", "process", "cluster")
 
 #: Cap on cached shared-memory mode copies (coordinator side) and cached
 #: attachments (worker side). Regenerating sources (SyntheticSource) produce
@@ -118,6 +121,10 @@ def create_backend(spec, workers: int = 1) -> "ExecutionBackend":
         return SerialBackend(workers)
     if spec == "thread":
         return ThreadBackend(workers)
+    if spec == "cluster":
+        from repro.engine.cluster import ClusterBackend  # avoid cycle
+
+        return ClusterBackend(workers=workers)
     return ProcessBackend(workers)
 
 

@@ -10,7 +10,11 @@
   ``backend="auto"`` / ``kernel="auto"`` resolution built on it
   (:func:`rank_backends` / :func:`resolve_auto_backend` for the backend
   axis alone, :func:`rank_executions` / :func:`resolve_auto_execution`
-  across the (kernel × backend) product).
+  across the (kernel × backend) product), plus
+  :func:`cluster_time_plan` — the N-node extension pricing per-node
+  pipelines with :func:`host_time_plan` and the socket exchange with the
+  ``repro.comm`` collectives over :func:`loopback_platform` (the
+  HostProfile v4 measured links).
 
 The profiler that fills a :class:`HostProfile` lives in
 :mod:`repro.engine.profile` (CLI: ``repro profile``); the residency-side
@@ -30,7 +34,9 @@ from repro.engine.costmodel.hostprofile import (
 from repro.engine.costmodel.timing import (
     AUTO_BACKEND_WORKERS,
     DEFAULT_CODEC_RATIO,
+    cluster_time_plan,
     host_time_plan,
+    loopback_platform,
     rank_backends,
     rank_executions,
     resolve_auto_backend,
@@ -47,7 +53,9 @@ __all__ = [
     "resolve_host_profile",
     "AUTO_BACKEND_WORKERS",
     "DEFAULT_CODEC_RATIO",
+    "cluster_time_plan",
     "host_time_plan",
+    "loopback_platform",
     "rank_backends",
     "rank_executions",
     "resolve_auto_backend",

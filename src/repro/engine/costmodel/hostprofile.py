@@ -47,7 +47,11 @@ __all__ = [
 #: (``kernel_reduce_bandwidth``) so ``kernel="auto"`` can rank
 #: (kernel × backend) candidates; v2 files predate the kernel registry and
 #: are rejected with the same re-profile pointer.
-HOST_PROFILE_VERSION = 3
+#: v4: the profiler measures the socket transport used by the cluster
+#: backend (``loopback_bandwidth`` / ``loopback_latency_s``) so
+#: ``cluster_time_plan`` can price multi-node comm; v3 files predate the
+#: cluster backend and are rejected with the same re-profile pointer.
+HOST_PROFILE_VERSION = 4
 
 #: Environment variable naming the profile file a host was calibrated into.
 HOST_PROFILE_ENV = "REPRO_HOST_PROFILE"
@@ -105,6 +109,14 @@ class HostProfile:
         worker scaling is modeled as ``1 + (workers - 1) * efficiency``.
     prefetch_overhead_s: per-batch cost of the staging-thread handoff
         (queue put/get) when prefetch is on.
+    loopback_bandwidth: bytes/s through one loopback socket stream
+        (``multiprocessing.connection`` over 127.0.0.1) — the transport the
+        cluster backend's ring all-gather and coordinator gather ride on.
+        Remote (NIC) links are approximated by the same figure until a
+        per-link calibration lands.
+    loopback_latency_s: one-way latency of a small message on that socket
+        (half the measured ping-pong round trip) — the per-hop constant of
+        ``cluster_time_plan``'s ring model.
     stream_cache_fraction: measured effective cache fraction for
         ``batch_size="auto"`` (``None``: not measured — resolution falls
         through to the env var / built-in calibration; see
@@ -130,6 +142,8 @@ class HostProfile:
     thread_efficiency: float = 0.55
     process_efficiency: float = 0.70
     prefetch_overhead_s: float = 15e-6
+    loopback_bandwidth: float = 1.2e9
+    loopback_latency_s: float = 60e-6
     stream_cache_fraction: float | None = None
 
     def __post_init__(self) -> None:
@@ -143,6 +157,7 @@ class HostProfile:
             "mmap_read_bandwidth",
             "chunk_read_bandwidth",
             "pipe_bandwidth",
+            "loopback_bandwidth",
         ):
             if not float(getattr(self, name)) > 0.0:
                 raise ReproError(
@@ -150,7 +165,8 @@ class HostProfile:
                     f"{getattr(self, name)!r}"
                 )
         for name in ("serial_dispatch_s", "thread_dispatch_s",
-                     "process_task_s", "prefetch_overhead_s"):
+                     "process_task_s", "prefetch_overhead_s",
+                     "loopback_latency_s"):
             if float(getattr(self, name)) < 0.0:
                 raise ReproError(
                     f"host profile {name} must be >= 0, got "

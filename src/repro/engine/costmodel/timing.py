@@ -55,6 +55,8 @@ __all__ = [
     "DEFAULT_CODEC_RATIO",
     "AUTO_BACKEND_WORKERS",
     "host_time_plan",
+    "cluster_time_plan",
+    "loopback_platform",
     "rank_backends",
     "rank_executions",
     "resolve_auto_backend",
@@ -149,9 +151,10 @@ def host_time_plan(
         workers = int(workers)
     if backend_name not in ("serial", "thread", "process"):
         raise ReproError(
-            f"host_time_plan needs a concrete backend (serial/thread/"
-            f"process), got {backend_name!r}; resolve 'auto' with "
-            f"resolve_auto_backend first"
+            f"host_time_plan needs a concrete single-host backend (serial/"
+            f"thread/process), got {backend_name!r}; resolve 'auto' with "
+            f"resolve_auto_backend first, and price 'cluster' with "
+            f"cluster_time_plan"
         )
     if kernel is None:
         kernel = getattr(config, "kernel", None) or "numpy"
@@ -259,6 +262,146 @@ def host_time_plan(
     }
 
 
+class _LoopbackPlatform:
+    """The minimal platform surface the ``repro.comm`` analytic collectives
+    need (``n_gpus`` + ``p2p``), priced with the HostProfile v4 socket
+    measurements instead of simulated GPU links — node processes take the
+    place of ranks. Built by :func:`loopback_platform`."""
+
+    def __init__(self, nodes: int, profile: HostProfile) -> None:
+        self.n_gpus = int(nodes)
+        self._latency = float(profile.loopback_latency_s)
+        self._bandwidth = float(profile.loopback_bandwidth)
+
+    def link_time(self, nbytes: float) -> float:
+        return self._latency + float(nbytes) / self._bandwidth
+
+    def p2p(self, src: int, dst: int, nbytes: float, start: float,
+            *, label: str = "") -> float:
+        return float(start) + self.link_time(nbytes)
+
+
+def loopback_platform(nodes: int, profile: HostProfile) -> _LoopbackPlatform:
+    """A ``repro.comm``-compatible platform over measured socket links.
+
+    This is what keeps ``ring_allgather_time`` the cluster's
+    predicted-vs-measured oracle: the same schedule arithmetic that prices
+    the simulated GPU grid prices the socket ring, with the profile's
+    measured loopback bandwidth/latency as the link model.
+    """
+    if int(nodes) < 1:
+        raise ReproError(f"need at least one node, got {nodes}")
+    return _LoopbackPlatform(int(nodes), profile)
+
+
+def cluster_time_plan(
+    workload,
+    config,
+    cost,
+    profile: HostProfile | None = None,
+    *,
+    nodes: int | None = None,
+    sub_backend: tuple[str, int] | None = None,
+    kernel: str | None = None,
+    codec_ratio: float | None = None,
+) -> dict:
+    """Predict one MTTKRP iteration on the N-node cluster backend.
+
+    Per-node pipeline terms come from :func:`host_time_plan` evaluated for
+    the node's *local* sub-backend and divided by ``nodes`` (contiguous
+    nnz-balanced slices — each node owns ``1/nodes`` of every mode pass);
+    the exchange is priced by the ``repro.comm`` analytic collectives over
+    :func:`loopback_platform`: per mode pass a ring all-gather of the
+    per-node result chunks (``allgather="ring"``), or a sequential
+    gather-merge drain at the coordinator (``"direct"``), plus the factor
+    broadcast and — for resident sources — the element-window scatter.
+
+    Returns the :func:`host_time_plan` keys (so every consumer of a plan
+    dict keeps working) plus ``nodes``, ``sub_backend``, ``comm_s`` and
+    ``scatter_s``; ``backend`` is ``"cluster"``. The model deliberately
+    excludes per-call Python/pickling overhead, so it *underpredicts* small
+    workloads — the committed bench records the signed error, which is the
+    oracle methodology: the gap is measured, not hidden.
+    """
+    from repro.comm.allgather import direct_allgather_time, ring_allgather_time
+
+    if profile is None:
+        profile = resolve_host_profile(getattr(config, "host_profile", None))
+        if profile is None:
+            profile = DEFAULT_HOST_PROFILE
+    if nodes is None:
+        nodes = getattr(config, "nodes", None) or 2
+    nodes = int(nodes)
+    if nodes < 1:
+        raise ReproError(f"cluster_time_plan needs nodes >= 1, got {nodes}")
+    if sub_backend is None:
+        workers = int(getattr(config, "workers", 1))
+        sub_backend = ("thread" if workers > 1 else "serial", workers)
+    base = host_time_plan(
+        workload, config, cost, profile,
+        backend=sub_backend, kernel=kernel, codec_ratio=codec_ratio,
+    )
+    scaled = {
+        key: base[key] / nodes
+        for key in (
+            "compute_s", "dispatch_s", "ipc_s", "staging_read_s",
+            "decompress_s", "stall_s", "prefetch_overhead_s",
+        )
+    }
+
+    rank = config.rank
+    platform = loopback_platform(nodes, profile)
+    allgather = getattr(config, "allgather", "ring")
+    comm_s = 0.0
+    for mw in workload.modes:
+        mb = _mode_batches(mw.shard_nnz, base["batch_size"])
+        result_rows = min(int(mw.nnz), int(mw.extent)) + mb
+        chunk = result_rows * _result_row_bytes(rank) / nodes
+        if nodes == 1:
+            continue
+        if allgather == "ring":
+            comm_s += ring_allgather_time(
+                platform, [chunk] * nodes, [0.0] * nodes
+            )[0]
+            # node 0 forwards the assembled set to the coordinator
+            comm_s += platform.link_time(chunk * nodes)
+        else:
+            comm_s += direct_allgather_time(
+                platform, [chunk] * nodes, [0.0] * nodes
+            )[0]
+
+    # per mode pass the coordinator ships the factor set to every node;
+    # resident (non-out-of-core) sources additionally scatter the element
+    # windows (attached caches are re-opened node-side instead)
+    nmodes = workload.nmodes
+    factor_bytes = sum(int(mw.extent) for mw in workload.modes) * rank * 8
+    scatter_s = nmodes * nodes * platform.link_time(factor_bytes)
+    if not config.out_of_core:
+        elem_bytes = nmodes * workload.nnz * cost.host_element_bytes(nmodes)
+        scatter_s += nmodes * nodes * platform._latency + (
+            elem_bytes / platform._bandwidth
+        )
+
+    total_s = sum(
+        scaled[key]
+        for key in ("compute_s", "dispatch_s", "ipc_s", "stall_s",
+                    "prefetch_overhead_s")
+    ) + comm_s + scatter_s
+    plan = dict(base)
+    plan.update(scaled)
+    plan.update(
+        backend="cluster",
+        workers=sub_backend[1],
+        nodes=nodes,
+        sub_backend=sub_backend[0],
+        allgather=str(allgather),
+        comm_s=float(comm_s),
+        scatter_s=float(scatter_s),
+        total_s=float(total_s),
+    )
+    return plan
+
+
 def _auto_workers(config, workers: int | None) -> int:
     if workers is None:
         return config.workers if config.workers > 1 else AUTO_BACKEND_WORKERS
@@ -339,14 +482,28 @@ def rank_executions(
     if backends is None:
         workers = _auto_workers(config, workers)
         backends = [("serial", 1), ("thread", workers), ("process", workers)]
+        # a pinned node count opts the cluster into the auto search: with
+        # --nodes N and backend="auto" the ranking decides whether N-node
+        # scale-out beats the best single-host pipeline
+        if getattr(config, "nodes", None) and config.nodes > 1:
+            backends.append(("cluster", config.workers))
     candidates = list(backends)
-    plans = [
-        host_time_plan(
+
+    def plan_for(cand, kern):
+        if cand[0] == "cluster":
+            w = int(cand[1])
+            return cluster_time_plan(
+                workload, config, cost, profile,
+                sub_backend=("thread" if w > 1 else "serial", w),
+                kernel=kern, codec_ratio=codec_ratio,
+            )
+        return host_time_plan(
             workload, config, cost, profile,
             backend=cand, kernel=kern, codec_ratio=codec_ratio,
         )
-        for kern in kernels
-        for cand in candidates
+
+    plans = [
+        plan_for(cand, kern) for kern in kernels for cand in candidates
     ]
     order = sorted(range(len(plans)), key=lambda i: plans[i]["total_s"])
     return [plans[i] for i in order]

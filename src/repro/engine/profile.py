@@ -29,6 +29,9 @@ model (:func:`repro.engine.costmodel.host_time_plan`), batch autotuning
   ``pipe_bandwidth`` / ``prefetch_overhead_s`` — the per-batch overheads
   of each dispatch path (Python call, pool submit, process-pool round
   trip + pickled pipe traffic, staging-queue handoff);
+* ``loopback_bandwidth`` / ``loopback_latency_s`` — echo ping-pong with a
+  child process over a ``multiprocessing.connection`` loopback socket (the
+  cluster backend's transport), feeding ``cluster_time_plan``'s comm terms;
 * ``stream_cache_fraction`` — a batch-size sweep of the reduction kernel:
   the largest batch within 10% of peak throughput, expressed as the
   fraction of the cost model's effective cache its streamed block occupies.
@@ -293,6 +296,77 @@ def _measure_process(payload_bytes: int, repeats: int) -> tuple[float, float]:
     return task_s, pipe_bw
 
 
+def _loopback_echo_child(address, authkey: bytes) -> None:
+    """Child process: connect back and echo every payload until EOF."""
+    from multiprocessing.connection import Client
+
+    from repro.engine.cluster import _enable_nodelay
+
+    with Client(address, authkey=authkey) as conn:
+        _enable_nodelay(conn)
+        while True:
+            try:
+                blob = conn.recv_bytes()
+            except EOFError:
+                return
+            conn.send_bytes(blob)
+
+
+def _measure_loopback_socket(
+    payload_bytes: int, repeats: int
+) -> tuple[float, float]:
+    """(bytes/s, one-way latency s) of a loopback socket stream.
+
+    Spawns an echo child connected over ``multiprocessing.connection`` on
+    127.0.0.1 — the exact transport :class:`repro.engine.cluster.
+    ClusterBackend` rings factor rows through. A small-message ping-pong
+    pins the per-hop latency (half the round trip); a large echoed payload,
+    with that round trip subtracted, pins the stream bandwidth (the payload
+    crosses the wire twice per echo).
+    """
+    import multiprocessing as mp
+    from multiprocessing.connection import Listener
+
+    from repro.engine.cluster import _enable_nodelay
+
+    authkey = b"repro-profile-loopback"
+    with Listener(("127.0.0.1", 0), authkey=authkey) as listener:
+        child = mp.get_context().Process(
+            target=_loopback_echo_child,
+            args=(listener.address, authkey),
+            daemon=True,
+        )
+        child.start()
+        conn = listener.accept()
+    try:
+        _enable_nodelay(conn)
+        ping = b"\x00" * 64
+
+        def pong(blob):
+            conn.send_bytes(blob)
+            return conn.recv_bytes()
+
+        pong(ping)  # warm: connection + child scheduling off the clock
+        n = 100 * repeats
+
+        def ping_pongs():
+            for _ in range(n):
+                pong(ping)
+
+        rtt = _best(ping_pongs, 3) / n
+        payload = b"\x00" * payload_bytes
+        pong(payload)  # warm the big buffers
+        echo_t = _best(lambda: pong(payload), max(3, repeats))
+        bandwidth = 2 * payload_bytes / max(echo_t - rtt, 1e-9)
+        return float(bandwidth), float(max(rtt / 2, 1e-9))
+    finally:
+        conn.close()
+        child.join(timeout=5)
+        if child.is_alive():
+            child.terminate()
+            child.join(timeout=5)
+
+
 def _measure_cache_fraction(quick: bool, cost=None) -> float:
     """Batch-size sweep of the reduction: the plateau edge as a fraction.
 
@@ -342,6 +416,9 @@ def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
     decompress = _measure_decompress(blob, repeats, memcpy_bw)
     serial_s, thread_s, prefetch_s = _measure_dispatch(1 if quick else 3)
     task_s, pipe_bw = _measure_process(blob, 1 if quick else 3)
+    loopback_bw, loopback_lat = _measure_loopback_socket(
+        blob, 1 if quick else 3
+    )
     fraction = _measure_cache_fraction(quick, cost)
 
     return HostProfile(
@@ -361,6 +438,8 @@ def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
         thread_efficiency=thread_eff,
         process_efficiency=process_eff,
         prefetch_overhead_s=prefetch_s,
+        loopback_bandwidth=loopback_bw,
+        loopback_latency_s=loopback_lat,
         stream_cache_fraction=fraction,
     )
 

@@ -41,6 +41,13 @@ class CommunicationError(ReproError):
     """An inter-device communication call was malformed."""
 
 
+class ClusterError(CommunicationError):
+    """A multi-node cluster operation failed (node died, bad address,
+    protocol violation). Subclasses :class:`CommunicationError` because the
+    cluster transport is the functional counterpart of the ``repro.comm``
+    collectives — callers guarding comm failures catch both."""
+
+
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 

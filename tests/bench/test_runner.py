@@ -60,6 +60,21 @@ class TestTrialSpec:
         with pytest.raises(ReproError, match="warmup"):
             TrialSpec(warmup=-1)
 
+    def test_nodes_axis_only_for_cluster(self):
+        # the node count is a cluster-only knob, and only cluster cells
+        # grow the /nN key segment — pre-cluster cells stay byte-identical
+        with pytest.raises(ReproError, match="cluster"):
+            TrialSpec(backend="thread", nodes=2)
+        with pytest.raises(ReproError, match="nodes"):
+            TrialSpec(backend="cluster", nodes=0)
+        plain = TrialSpec(nnz=500, rank=4)
+        assert "/n" not in plain.cell.replace("/nopf", "")
+        clustered = TrialSpec(
+            nnz=500, rank=4, backend="cluster", workers=1, nodes=2
+        )
+        assert clustered.cell.endswith("/n2")
+        assert clustered.fingerprint() != plain.fingerprint()
+
 
 class TestExpandSweep:
     def test_cartesian_product_size(self):
@@ -94,6 +109,17 @@ class TestExpandSweep:
         with pytest.raises(ReproError, match="unknown sweep axes"):
             expand_sweep({"dataset": ["twitch"]})  # typo: singular
 
+    def test_nodes_axis_expands_cluster_only(self):
+        specs = expand_sweep({
+            "backends": ["serial", "cluster:1"],
+            "nodes": [2, 3],
+        })
+        by_backend = {}
+        for s in specs:
+            by_backend.setdefault(s.backend, []).append(s.nodes)
+        assert by_backend["serial"] == [None]
+        assert sorted(by_backend["cluster"]) == [2, 3]
+
     def test_builtin_sweeps_expand(self):
         smoke = expand_sweep(SMOKE_SWEEP)
         full = expand_sweep(DEFAULT_SWEEP)
@@ -103,8 +129,10 @@ class TestExpandSweep:
         assert any(s.backend == "process" for s in full)
         # both builtin sweeps carry the kernel axis: auto cells (old key
         # layout, comparable across trajectories) plus pinned numpy cells
+        # and a 2-node loopback cluster column for the comm oracle gate
         for specs in (smoke, full):
             assert {s.kernel for s in specs} == {"auto", "numpy"}
+            assert any(s.backend == "cluster" and s.nodes == 2 for s in specs)
 
 
 class TestRunTrial:
@@ -148,6 +176,26 @@ class TestRunTrial:
         rec = run_trial(spec)
         assert rec["resolved_kernel"] == "numpy"
         assert rec["cell"].endswith("/k-numpy")
+        assert rec["comm"] is None  # single-host cells carry no comm record
+
+    def test_cluster_trial_records_comm_oracle(self):
+        """A cluster cell measures the factor-row exchange and records it
+        next to the model's prediction with a signed relative error."""
+        spec = TrialSpec(
+            nnz=500, rank=4, backend="cluster", workers=1, nodes=2,
+            warmup=1, repeats=2,
+        )
+        rec = run_trial(spec)
+        assert rec["resolved_backend"] == "cluster"
+        comm = rec["comm"]
+        assert comm["measured_s"] > 0
+        assert comm["predicted_s"] > 0
+        assert comm["bytes_per_iteration"] > 0
+        assert comm["error"] == pytest.approx(
+            (comm["predicted_s"] - comm["measured_s"]) / comm["measured_s"]
+        )
+        # the exchange is a slice of the whole iteration, never more
+        assert comm["measured_s"] <= rec["median_s"] * spec.repeats
 
 
 class TestRunBench:

@@ -40,6 +40,22 @@ class TestFunctionalRing:
         for v in views:
             assert [c.shape[0] for c in v] == [1, 2, 3, 4]
 
+    def test_ragged_chunk_rejected(self):
+        """A chunk that cannot form a rectangular array is a named error."""
+        with pytest.raises(CommunicationError, match="ragged"):
+            ring_allgather([np.ones((2, 3)), [[1.0, 2.0], [3.0]]])
+
+    def test_trailing_dim_mismatch_rejected(self):
+        """Row counts may differ, but the rank (column) dim must agree."""
+        with pytest.raises(CommunicationError, match="ragged"):
+            ring_allgather([np.ones((2, 3)), np.ones((2, 4))])
+
+    def test_mixed_dtypes_rejected(self):
+        with pytest.raises(CommunicationError, match="dtype"):
+            ring_allgather(
+                [np.ones((2, 3)), np.ones((2, 3), dtype=np.float32)]
+            )
+
 
 class TestTimedRing:
     def test_single_gpu_is_noop(self):

@@ -33,6 +33,12 @@ class TestMergeFunctional:
         with pytest.raises(CommunicationError):
             host_gather_merge([])
 
+    def test_dtype_mismatch(self):
+        with pytest.raises(CommunicationError, match="dtype"):
+            host_gather_merge(
+                [np.zeros((2, 2)), np.zeros((2, 2), dtype=np.float32)]
+            )
+
 
 class TestMergeTimed:
     def test_charges_d2h_host_h2d(self):

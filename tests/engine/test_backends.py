@@ -86,7 +86,7 @@ class TestSharedValidation:
             validate_backend_name(bad)
 
     def test_registry_names(self):
-        assert BACKEND_NAMES == ("serial", "thread", "process")
+        assert BACKEND_NAMES == ("serial", "thread", "process", "cluster")
         for name in BACKEND_NAMES:
             assert validate_backend_name(name) == name
 

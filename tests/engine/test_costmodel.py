@@ -23,9 +23,12 @@ from repro.engine.costmodel import (
     HOST_PROFILE_ENV,
     HOST_PROFILE_VERSION,
     HostProfile,
+    cluster_time_plan,
     host_time_plan,
     load_host_profile,
+    loopback_platform,
     rank_backends,
+    rank_executions,
     resolve_auto_backend,
     resolve_host_profile,
 )
@@ -74,6 +77,8 @@ class TestHostProfile:
             {"decompress_bandwidth": {"zlib": 0.0}},
             {"stream_cache_fraction": 0.0},
             {"stream_cache_fraction": 2.0},
+            {"loopback_bandwidth": 0.0},
+            {"loopback_latency_s": -1e-6},
         ],
     )
     def test_invalid_rejected(self, kw):
@@ -289,6 +294,73 @@ class TestAutoBackend:
             plan = ex.host_time_plan()
             assert plan["backend"] == "serial"
             assert plan["total_s"] > 0.0
+
+
+class TestClusterTimePlan:
+    """The N-node pricing extension: per-node pipelines through
+    host_time_plan, the exchange through the repro.comm collectives over
+    the measured loopback links."""
+
+    def test_keeps_host_plan_schema(self, workload):
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        single = host_time_plan(workload, cfg, COST)
+        plan = cluster_time_plan(workload, cfg, COST, nodes=2)
+        assert set(single) <= set(plan)
+        assert plan["backend"] == "cluster"
+        assert plan["nodes"] == 2
+        assert plan["comm_s"] > 0.0 and plan["scatter_s"] > 0.0
+        assert plan["total_s"] > 0.0
+
+    def test_compute_scales_down_with_nodes(self, workload):
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        p2 = cluster_time_plan(workload, cfg, COST, nodes=2)
+        p4 = cluster_time_plan(workload, cfg, COST, nodes=4)
+        assert p4["compute_s"] < p2["compute_s"]
+        # ...but the exchange grows with participant count
+        assert p4["comm_s"] > p2["comm_s"]
+
+    def test_exchange_schedule_prices_differently(self, workload):
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        ring = cluster_time_plan(workload, cfg, COST, nodes=3)
+        direct = cluster_time_plan(
+            workload, cfg.replace(allgather="direct"), COST, nodes=3
+        )
+        assert ring["allgather"] == "ring"
+        assert direct["allgather"] == "direct"
+        assert ring["comm_s"] != direct["comm_s"]
+
+    def test_measured_loopback_drives_comm_term(self, workload):
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        fast = DEFAULT_HOST_PROFILE.replace(
+            loopback_bandwidth=100e9, loopback_latency_s=1e-7
+        )
+        slow = DEFAULT_HOST_PROFILE.replace(
+            loopback_bandwidth=1e8, loopback_latency_s=1e-3
+        )
+        fast_plan = cluster_time_plan(workload, cfg, COST, fast, nodes=2)
+        slow_plan = cluster_time_plan(workload, cfg, COST, slow, nodes=2)
+        assert fast_plan["comm_s"] < slow_plan["comm_s"]
+
+    def test_loopback_platform_prices_links(self):
+        platform = loopback_platform(3, DEFAULT_HOST_PROFILE)
+        assert platform.n_gpus == 3
+        expected = (
+            DEFAULT_HOST_PROFILE.loopback_latency_s
+            + 1000 / DEFAULT_HOST_PROFILE.loopback_bandwidth
+        )
+        assert platform.p2p(0, 1, 1000, 2.0) == pytest.approx(2.0 + expected)
+
+    def test_auto_ranks_cluster_only_when_nodes_pinned(self, workload):
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        without = rank_executions(workload, cfg, COST)
+        assert "cluster" not in {plan["backend"] for plan in without}
+        with_nodes = rank_executions(
+            workload, cfg.replace(nodes=2), COST
+        )
+        assert "cluster" in {plan["backend"] for plan in with_nodes}
+        # ranking stays sorted by predicted total
+        totals = [plan["total_s"] for plan in with_nodes]
+        assert totals == sorted(totals)
 
 
 class TestKernelAxis:

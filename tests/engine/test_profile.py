@@ -77,6 +77,37 @@ def test_unmeasured_kernel_rate_falls_back(measured):
     )
 
 
+def test_quick_profile_measures_loopback_socket(measured):
+    """v4: the socket transport the cluster backend runs on is calibrated
+    — a real loopback echo, not the dataclass defaults."""
+    defaults = HostProfile.__dataclass_fields__
+    assert measured.loopback_bandwidth > 0
+    assert measured.loopback_latency_s > 0
+    assert measured.loopback_bandwidth != (
+        defaults["loopback_bandwidth"].default
+    )
+    assert measured.loopback_latency_s != (
+        defaults["loopback_latency_s"].default
+    )
+
+
+def test_stale_profile_version_rejected_with_pointer(tmp_path, measured):
+    """A pre-cluster (v3) profile lacks the loopback channel; loading one
+    must point at re-profiling instead of silently mispricing comm."""
+    import json
+
+    from repro.errors import ReproError
+
+    data = json.loads(measured.to_json())
+    data["version"] = HOST_PROFILE_VERSION - 1
+    data.pop("loopback_bandwidth")
+    data.pop("loopback_latency_s")
+    path = tmp_path / "v3.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(ReproError, match="re-run `repro profile`"):
+        load_host_profile(path)
+
+
 def test_decompress_rates_are_plausibly_ordered(measured):
     rates = measured.decompress_bandwidth
     # raw "none" frames are views/copies: far faster than real codecs

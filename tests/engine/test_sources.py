@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.engine import (
+    ClusterBackend,
     CompressedChunkSource,
     InMemorySource,
     MmapNpzSource,
@@ -307,6 +308,75 @@ class TestKernelEquivalenceMatrix:
         """No kernel argument means the numpy reference — the golden
         bit-identity contract of every pre-registry call site."""
         assert StreamingExecutor(InMemorySource(plan)).kernel is None
+
+
+class TestClusterCell:
+    """The multi-node cluster backend rides the same engine contract: a
+    2-node loopback cluster reproduces the eager bits exactly over the
+    resident source (elements shipped over the socket) and both
+    out-of-core sources (nodes attach to the cache by path), for both
+    exchange schedules."""
+
+    @pytest.fixture(scope="class")
+    def cluster_backend(self):
+        """One persistent 2-node loopback cluster for the whole class —
+        node processes are spawned once, like production reuse."""
+        backend = ClusterBackend(nodes=2, workers=1)
+        yield backend
+        backend.close()
+
+    @pytest.mark.parametrize("kind", ["memory", "mmap", "chunked"])
+    @pytest.mark.parametrize("batch_size", [7, None])
+    def test_bit_identical_to_eager(
+        self, tensor, factors, plan, cache_path, cache_v2_path,
+        eager_outputs, cluster_backend, kind, batch_size,
+    ):
+        source = make_source(kind, plan, cache_path, cache_v2_path)
+        engine = StreamingExecutor(
+            source, batch_size=batch_size, backend=cluster_backend
+        )
+        for mode in range(tensor.nmodes):
+            got = engine.mttkrp(factors, mode)
+            assert np.array_equal(got, eager_outputs[mode])
+
+    def test_direct_exchange_same_bits(
+        self, tensor, factors, plan, cache_path, eager_outputs
+    ):
+        with ClusterBackend(nodes=2, allgather="direct") as backend:
+            source = make_source("mmap", plan, cache_path)
+            engine = StreamingExecutor(
+                source, batch_size=16, backend=backend
+            )
+            for mode in range(tensor.nmodes):
+                assert np.array_equal(
+                    engine.mttkrp(factors, mode), eager_outputs[mode]
+                )
+
+    def test_three_nodes_same_bits(
+        self, tensor, factors, plan, cache_path, eager_outputs
+    ):
+        """Bit-identity holds for any slice count, not just 2."""
+        with ClusterBackend(nodes=3) as backend:
+            source = make_source("mmap", plan, cache_path)
+            engine = StreamingExecutor(source, backend=backend)
+            assert np.array_equal(
+                engine.mttkrp(factors, 0), eager_outputs[0]
+            )
+
+    def test_comm_stats_accumulate(
+        self, tensor, factors, plan, cache_path, cluster_backend
+    ):
+        """Every MTTKRP call records one measured exchange — the
+        measured side of the predicted-vs-measured comm oracle."""
+        cluster_backend.reset_comm_stats()
+        source = make_source("mmap", plan, cache_path)
+        engine = StreamingExecutor(source, backend=cluster_backend)
+        engine.mttkrp(factors, 0)
+        engine.mttkrp(factors, 1)
+        stats = cluster_backend.comm_stats
+        assert stats["calls"] == 2
+        assert stats["seconds"] > 0.0
+        assert stats["bytes"] > 0
 
 
 class TestInMemorySource:

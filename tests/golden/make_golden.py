@@ -72,6 +72,8 @@ GOLDEN_HOST_PROFILE = HostProfile(
     thread_efficiency=0.6,
     process_efficiency=0.75,
     prefetch_overhead_s=1e-5,
+    loopback_bandwidth=1.5e9,
+    loopback_latency_s=5e-5,
     stream_cache_fraction=0.03125,
 )
 

@@ -286,6 +286,52 @@ class TestEngineBitExact:
         assert got == pytest.approx(float(data["cpals_fit"]), abs=CPALS_FIT_TOL)
 
 
+class TestClusterGolden:
+    """The scale-out acceptance bar: a 2-node loopback cluster (numpy
+    tier) reproduces the golden bits and the golden CP-ALS trajectory
+    exactly — node count never moves a bit, because nodes own contiguous
+    disjoint batch runs and partials merge in rank order."""
+
+    @pytest.fixture(scope="module")
+    def cluster_backend(self):
+        from repro.engine import ClusterBackend
+
+        backend = ClusterBackend(nodes=2)
+        yield backend
+        backend.close()
+
+    @pytest.mark.parametrize("batch_size", [17, None])
+    def test_mttkrp_bits(self, case, cluster_backend, batch_size):
+        _, tensor, factors, _, config, data = case
+        plan = build_partition_plan(
+            tensor, config.n_gpus, shards_per_gpu=config.shards_per_gpu
+        )
+        engine = StreamingExecutor(
+            plan, batch_size=batch_size, backend=cluster_backend
+        )
+        for m in range(tensor.nmodes):
+            assert np.array_equal(engine.mttkrp(factors, m), _expected(data, m))
+
+    def test_cpals_bit_identical_over_mmap(
+        self, case, case_cache, cluster_backend
+    ):
+        """CP-ALS on 2 nodes streaming the mmap cache lands on the exact
+        single-host fit (bit-identical trajectory) and the golden pin."""
+        _, tensor, _, rank, config, data = case
+        als_kw = dict(
+            rank=rank, n_iters=int(data["cpals_iters"]), tol=0.0, seed=42
+        )
+        in_memory = AmpedMTTKRP(tensor, config)
+        want = cp_als(tensor, mttkrp=in_memory.mttkrp, **als_kw).final_fit
+        source = _case_source("mmap", None, tensor, config, case_cache)
+        engine = StreamingExecutor(
+            source, batch_size=17, backend=cluster_backend
+        )
+        got = cp_als(tensor, mttkrp=engine.mttkrp, **als_kw).final_fit
+        assert got == want  # bit-identical trajectory, not just close
+        assert got == pytest.approx(float(data["cpals_fit"]), abs=CPALS_FIT_TOL)
+
+
 class TestReferencesAndBaselines:
     @pytest.mark.parametrize("reference", [mttkrp_coo_reference, mttkrp_dense_reference])
     def test_references(self, case, reference):

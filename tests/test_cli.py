@@ -498,21 +498,33 @@ class TestBenchCommand:
         assert "version" in capsys.readouterr().out
 
     def test_committed_trajectory_is_valid(self):
-        """BENCH_7.json at the repo root must stay loadable (CI gate) —
-        and so must its BENCH_6.json predecessor, which the comparison
-        report reads as ``--previous``."""
+        """BENCH_8.json at the repo root must stay loadable (CI gate) —
+        and so must its predecessors, which the comparison report reads
+        as ``--previous``. The current file must carry the 2-node
+        loopback cluster cells with the measured-vs-predicted comm
+        record."""
         import pathlib
 
         from repro.bench.trajectory import load_trajectory
 
         root = pathlib.Path(__file__).resolve().parents[1]
-        for name in ("BENCH_7.json", "BENCH_6.json"):
+        for name in ("BENCH_8.json", "BENCH_7.json", "BENCH_6.json"):
             committed = root / name
             assert committed.is_file(), f"{name} must be committed"
             traj = load_trajectory(committed)
             assert traj["trials"], "committed trajectory must hold trials"
             for t in traj["trials"]:
                 assert "prediction_error" in t
+        cluster = [
+            t
+            for t in load_trajectory(root / "BENCH_8.json")["trials"]
+            if t["resolved_backend"] == "cluster"
+        ]
+        assert cluster, "BENCH_8.json must hold cluster cells"
+        for t in cluster:
+            assert t["comm"]["measured_s"] > 0
+            assert t["comm"]["predicted_s"] > 0
+            assert "error" in t["comm"]
 
     def test_profile_reports_measured_process_efficiency(
         self, tmp_path, capsys
