@@ -1,0 +1,130 @@
+"""Walkthrough: the always-on multi-tenant decomposition service.
+
+Run:  python examples/service_jobs.py
+
+`repro.serve` turns the engine into a long-lived job server
+(`docs/service.md`): many concurrent users submit CP-ALS jobs, each with
+its own `AmpedConfig`; a bounded priority queue applies backpressure; the
+cost model does admission control; jobs streaming the same shard cache
+share one open source through a refcounted pool; progress streams
+per-sweep; cancellation is cooperative; shutdown drains.
+
+This example drives the HTTP-free core (`DecompositionService`) directly
+— no sockets, so it runs anywhere — through the service's whole story:
+mixed concurrent tenants, digest-checked bit-identity with direct runs,
+an admission rejection, a mid-run cancellation, and the graceful drain.
+`repro serve HOST:PORT` + `python -m repro.serve.client` expose exactly
+this over HTTP (the CI service leg exercises that path).
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.amped import AmpedMTTKRP
+from repro.core.config import AmpedConfig
+from repro.cpd.als import cp_als
+from repro.datasets.profiles import profile_by_name
+from repro.datasets.synthetic import materialize
+from repro.errors import AdmissionError
+from repro.serve import DecompositionService, factor_digest
+from repro.tensor.io import write_shard_cache_v2
+
+RANK = 4
+ITERS = 5
+SEED = 11
+
+
+def wait_done(service, job, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while not job.done:
+        if time.monotonic() > deadline:
+            raise SystemExit(f"FAIL: job {job.id} stuck in {job.state}")
+        time.sleep(0.02)
+    return service.get(job.id).snapshot()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+
+        # --- 1. a shard cache two tenants will share ----------------------
+        tensor = materialize(profile_by_name("twitch"), 2000, seed=3)
+        cache = write_shard_cache_v2(tensor, tmp / "shared", codec="zlib")
+        print(f"shared v2 cache: {cache.name} (nnz={tensor.nnz})")
+
+        service = DecompositionService(max_jobs=2, queue_depth=8)
+        try:
+            # --- 2. mixed concurrent tenants ------------------------------
+            # two out-of-core jobs over the SAME cache (one open source via
+            # the pool) racing a third, purely in-memory synthetic job
+            pooled_a = service.submit({
+                "shard_cache": str(cache), "rank": RANK,
+                "n_iters": ITERS, "seed": SEED,
+            })
+            pooled_b = service.submit({
+                "shard_cache": str(cache), "rank": RANK,
+                "n_iters": ITERS, "seed": SEED,
+                "config": {"backend": "thread", "workers": 2},
+            })
+            inmem = service.submit({
+                "dataset": "twitch", "nnz": 1200, "rank": 3,
+                "n_iters": ITERS, "seed": 5, "priority": 1,
+            })
+            while service.pool.stats() == {} and not pooled_a.done:
+                time.sleep(0.01)
+            print(f"pool while jobs run: {service.pool.stats()}")
+
+            snaps = [wait_done(service, j)
+                     for j in (pooled_a, pooled_b, inmem)]
+            for s in snaps:
+                print(
+                    f"job {s['id']}: {s['state']} after {s['iterations']} "
+                    f"sweeps, fit {s['result']['final_fit']:.6f}, "
+                    f"backend {s['result']['resolved_backend']}"
+                )
+
+            # --- 3. digests == direct runs: tenancy never changes bits ----
+            oc = AmpedConfig(rank=RANK, out_of_core=True,
+                             shard_cache=str(cache))
+            with AmpedMTTKRP.from_shard_cache(cache, oc) as ex:
+                direct = cp_als(ex.tensor, RANK, mttkrp=ex.mttkrp,
+                                n_iters=ITERS, seed=SEED)
+            want = factor_digest(direct)
+            for s in snaps[:2]:
+                if s["result"]["result_digest"] != want:
+                    raise SystemExit("FAIL: service digest diverged")
+            print(f"pooled jobs bit-identical to direct run ({want[:12]}…)")
+            if service.pool.stats() != {}:
+                raise SystemExit("FAIL: pool leaked a source")
+
+            # --- 4. admission: oversized jobs never start -----------------
+            try:
+                service.submit({"dataset": "twitch", "nnz": 10**9})
+            except AdmissionError as exc:
+                print(f"oversized job rejected up front: {exc}")
+            else:
+                raise SystemExit("FAIL: admission let a 24 GB job through")
+
+            # --- 5. cooperative cancellation at a sweep boundary ----------
+            slow = service.submit({
+                "nnz": 1500, "rank": RANK, "n_iters": 500, "tol": 0.0,
+            })
+            while len(slow.snapshot()["fits"]) < 2:
+                time.sleep(0.01)
+            service.cancel(slow.id)
+            snap = wait_done(service, slow)
+            print(
+                f"cancelled mid-run: state={snap['state']} after "
+                f"{snap['iterations']}/500 sweeps (fit stream kept)"
+            )
+            if snap["state"] != "cancelled" or snap["iterations"] >= 500:
+                raise SystemExit("FAIL: cancellation did not stop the job")
+        finally:
+            # --- 6. graceful shutdown: accepted work drains ---------------
+            service.stop(drain=True)
+        print(f"drained and stopped: {service.stats()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -240,6 +240,21 @@ def _peak_rss_bytes() -> int:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
+def _symmetric_ratio_error(predicted: float, measured: float) -> float:
+    """Signed ratio error, symmetric in over/underprediction.
+
+    ``+ (predicted/measured - 1)`` when the model overpredicts,
+    ``- (measured/predicted - 1)`` when it underpredicts — so a 5x miss
+    reads as ±4 whichever side it lands on, and ``|error| < 1`` is exactly
+    "within 2x". The naive relative error is bounded in (-1, 0) for every
+    underprediction, which made "within 2x" untestable on the side the
+    comm model actually misses.
+    """
+    p = max(float(predicted), 1e-12)
+    m = max(float(measured), 1e-12)
+    return float(p / m - 1.0) if p >= m else float(-(m / p - 1.0))
+
+
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
@@ -336,10 +351,13 @@ def run_trial(
             "measured_s": float(comm_measured),
             "predicted_s": comm_predicted,
             "bytes_per_iteration": comm_stats["bytes"] // max(spec.repeats, 1),
-            # signed: positive = the analytic repro.comm model overpredicts
-            "error": float(
-                (comm_predicted - comm_measured) / max(comm_measured, 1e-12)
-            ),
+            # symmetric signed ratio error: positive = the analytic
+            # repro.comm model overpredicts, and |error| < 1 means the
+            # prediction is within 2x of the measurement in either
+            # direction. (The old (pred - meas) / meas definition was
+            # bounded in (-1, 0) for ANY underprediction, so a 5-8x miss
+            # still read as |error| < 1 — see docs/benchmarking.md.)
+            "error": _symmetric_ratio_error(comm_predicted, comm_measured),
         }
     return {
         "record_version": TRIAL_RECORD_VERSION,

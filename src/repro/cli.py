@@ -11,6 +11,7 @@ profile       calibrate this host (microbenchmarks -> JSON host profile)
 trace         export a simulated AMPED run as Chrome trace JSON
 bench         trial harness: run sweeps, write/compare BENCH trajectories
 cluster       run a cluster node server (``repro cluster node HOST:PORT``)
+serve         run the always-on decomposition job server (HTTP)
 """
 
 from __future__ import annotations
@@ -305,6 +306,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared connection secret (default: the "
         "REPRO_CLUSTER_AUTHKEY env var, else a fixed development key — "
         "set a real one outside loopback)",
+    )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the always-on multi-tenant decomposition job server "
+        "(HTTP; submit jobs with repro.serve.ServiceClient or "
+        "`python -m repro.serve.client`)",
+    )
+    p_srv.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="address to listen on, e.g. 127.0.0.1:8752 (port 0 picks an "
+        "ephemeral port and prints it)",
+    )
+    p_srv.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="concurrent decomposition workers (default 2)",
+    )
+    p_srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="pending jobs buffered before 429 backpressure (default 8)",
+    )
+    p_srv.add_argument(
+        "--host-profile",
+        default=None,
+        help="measured host profile JSON (repro profile) pinned for every "
+        "admission plan; default: REPRO_HOST_PROFILE, else the committed "
+        "synthetic default",
+    )
+    p_srv.add_argument(
+        "--mem-budget",
+        type=_size_arg,
+        default=None,
+        metavar="BYTES",
+        help="host-memory budget for planned job residency (binary k/M/G "
+        "suffixes; default 2G) — jobs planning over it are rejected, jobs "
+        "that fit wait for running reservations to drain",
+    )
+    p_srv.add_argument(
+        "--max-predicted-s",
+        type=float,
+        default=None,
+        help="reject jobs whose predicted iteration time exceeds this "
+        "many seconds (default: no ceiling)",
     )
 
     p_tr = sub.add_parser("trace", help="export a Chrome trace of a simulated run")
@@ -758,7 +807,8 @@ def _cmd_profile(args) -> int:
     print(f"  pipe              {format_bytes(profile.pipe_bandwidth)}/s")
     print(
         f"  loopback socket   {format_bytes(profile.loopback_bandwidth)}/s, "
-        f"{format_seconds(profile.loopback_latency_s)} latency"
+        f"{format_seconds(profile.loopback_latency_s)} latency, "
+        f"{format_seconds(profile.loopback_frame_overhead_s)} per frame"
     )
     print(f"  thread efficiency {profile.thread_efficiency:.2f}")
     print(
@@ -870,6 +920,49 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.engine.cluster import parse_cluster_address
+    from repro.errors import ReproError
+    from repro.serve.server import (
+        DEFAULT_MAX_JOBS,
+        DEFAULT_QUEUE_DEPTH,
+        serve_forever,
+    )
+    from repro.serve.admission import DEFAULT_MEMORY_BUDGET
+
+    try:
+        host, port = parse_cluster_address(args.address)
+    except ReproError as exc:
+        print(str(exc))
+        return 2
+
+    def ready(bound):
+        print(
+            f"serving decomposition jobs on http://{bound[0]}:{bound[1]} "
+            f"(POST /jobs; stop with POST /shutdown or Ctrl-C)"
+        )
+
+    try:
+        serve_forever(
+            host,
+            port,
+            max_jobs=args.max_jobs or DEFAULT_MAX_JOBS,
+            queue_depth=args.queue_depth or DEFAULT_QUEUE_DEPTH,
+            host_profile=args.host_profile,
+            memory_budget=args.mem_budget or DEFAULT_MEMORY_BUDGET,
+            max_predicted_s=args.max_predicted_s,
+            ready=ready,
+        )
+    except ReproError as exc:
+        print(f"serve failed: {exc}")
+        return 1
+    except OSError as exc:
+        print(f"cannot bind {host}:{port}: {exc}")
+        return 1
+    print("server drained and stopped")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.core.config import AmpedConfig
     from repro.bench.harness import run_amped_model
@@ -895,6 +988,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "cluster": _cmd_cluster,
+    "serve": _cmd_serve,
 }
 
 

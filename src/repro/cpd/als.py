@@ -56,6 +56,7 @@ def cp_als(
     tol: float = 1e-5,
     init: str = "random",
     seed=None,
+    callback: Callable[[int, float], bool] | None = None,
 ) -> ALSResult:
     """Run CP-ALS; returns the fitted model and the per-iteration fits.
 
@@ -67,6 +68,14 @@ def cp_als(
         Optional initial factors (overrides ``init``/``seed``).
     tol:
         Convergence threshold on the change in fit between sweeps.
+    callback:
+        Optional per-sweep observer ``callback(iteration, fit) -> bool``,
+        called after each sweep's fit is computed. Returning ``True``
+        stops the run cooperatively at the sweep boundary (the factors of
+        completed sweeps are returned, ``converged`` stays whatever the
+        tolerance said) — the hook the decomposition service uses for
+        streaming progress and mid-run cancellation without ever tearing
+        down a sweep half way.
     """
     if rank <= 0:
         raise ReproError("rank must be positive")
@@ -109,6 +118,8 @@ def cp_als(
         fits.append(float(fit))
         if it > 0 and abs(fits[-1] - fits[-2]) < tol:
             converged = True
+            break
+        if callback is not None and callback(it, fits[-1]):
             break
     wall = time.perf_counter() - t0
     return ALSResult(

@@ -55,6 +55,7 @@ leaves no listener or helper thread behind.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import socket
@@ -96,8 +97,36 @@ CLUSTER_AUTHKEY_ENV = "REPRO_CLUSTER_AUTHKEY"
 
 _DEFAULT_AUTHKEY = b"repro-cluster"
 
+logger = logging.getLogger(__name__)
+
 #: errors that mean "the peer is gone", wrapped into ClusterError
 _LINK_ERRORS = (EOFError, BrokenPipeError, ConnectionError, OSError)
+
+#: errors teardown may swallow silently: the peer already went away.
+#: Anything else raised while closing is a bug worth seeing — it is
+#: logged at debug instead of vanishing in a blanket ``except``.
+_TEARDOWN_ERRORS = (OSError, EOFError, BrokenPipeError)
+
+
+def _close_quietly(resource, what: str) -> None:
+    """Close a teardown resource without raising.
+
+    Gone-peer errors (:data:`_TEARDOWN_ERRORS`) are expected during
+    teardown — a node may have exited first — and pass silently. Any
+    other exception is logged at debug with the traceback so teardown
+    bugs stop disappearing into ``except Exception: pass``.
+    """
+    if resource is None:
+        return
+    try:
+        resource.close()
+    except _TEARDOWN_ERRORS:
+        pass
+    except Exception:
+        logger.debug(
+            "unexpected error closing %s during cluster teardown",
+            what, exc_info=True,
+        )
 
 
 def _resolve_authkey(authkey: bytes | str | None) -> bytes:
@@ -325,12 +354,9 @@ def _node_loop(conn, authkey: bytes, ring_host: str) -> None:
                      f"unknown cluster message {kind!r}")
                 )
     finally:
-        for c in (state.ring_prev, state.ring_next, ring_listener):
-            if c is not None:
-                try:
-                    c.close()
-                except Exception:
-                    pass
+        _close_quietly(state.ring_prev, "ring_prev link")
+        _close_quietly(state.ring_next, "ring_next link")
+        _close_quietly(ring_listener, "ring listener")
         if state.backend is not None:
             state.backend.close()
 
@@ -509,15 +535,17 @@ class ClusterBackend(ExecutionBackend):
         """Tear the cluster down; idempotent and tolerant of dead nodes."""
         conns, self._conns = self._conns, []
         procs, self._procs = self._procs, []
-        for conn in conns:
+        for rank, conn in enumerate(conns):
             try:
                 conn.send(("close",))
+            except _TEARDOWN_ERRORS:
+                pass  # node already gone — close() tolerates dead peers
             except Exception:
-                pass
-            try:
-                conn.close()
-            except Exception:
-                pass
+                logger.debug(
+                    "unexpected error sending close to cluster node %d",
+                    rank, exc_info=True,
+                )
+            _close_quietly(conn, f"coordinator link to node {rank}")
         for p in procs:
             p.join(timeout=5)
             if p.is_alive():  # pragma: no cover - wedged node
@@ -529,8 +557,16 @@ class ClusterBackend(ExecutionBackend):
     def __del__(self):  # pragma: no cover - GC safety net
         try:
             self.close()
-        except Exception:
+        except _TEARDOWN_ERRORS:
             pass
+        except Exception:
+            try:
+                logger.debug(
+                    "unexpected error in ClusterBackend.__del__",
+                    exc_info=True,
+                )
+            except Exception:
+                pass  # interpreter shutdown: logging may be gone
 
     # ---- link helpers --------------------------------------------------
     def _send(self, rank: int, msg) -> None:

@@ -51,7 +51,15 @@ __all__ = [
 #: backend (``loopback_bandwidth`` / ``loopback_latency_s``) so
 #: ``cluster_time_plan`` can price multi-node comm; v3 files predate the
 #: cluster backend and are rejected with the same re-profile pointer.
-HOST_PROFILE_VERSION = 4
+#: v5: the profiler measures the per-frame overhead of one framed socket
+#: hop (``loopback_frame_overhead_s`` — pickle framing plus the scheduler
+#: wakeup of a peer that was not already parked in ``recv``, measured in
+#: the loopback echo child at exchange cadence). ``cluster_time_plan``
+#: charges it on every exchange hop; v4 files priced hops with
+#: latency + bytes/bandwidth alone — the ~5–8× loopback underprediction
+#: committed in BENCH_8 — and are rejected with the same re-profile
+#: pointer.
+HOST_PROFILE_VERSION = 5
 
 #: Environment variable naming the profile file a host was calibrated into.
 HOST_PROFILE_ENV = "REPRO_HOST_PROFILE"
@@ -117,6 +125,15 @@ class HostProfile:
     loopback_latency_s: one-way latency of a small message on that socket
         (half the measured ping-pong round trip) — the per-hop constant of
         ``cluster_time_plan``'s ring model.
+    loopback_frame_overhead_s: per-frame cost of one *framed* exchange hop
+        beyond latency + bytes/bandwidth: pickle length-prefix framing, the
+        helper-thread send the ring uses so send/recv overlap, and the
+        scheduler wakeup of a peer process that was computing rather than
+        parked in ``recv``. Measured at exchange cadence (idle gaps between
+        framed round trips, so wakeups are cold like a real iteration);
+        charged once per hop by every ``cluster_time_plan`` link term. The
+        synthetic default is calibrated against the committed loopback
+        bench band (BENCH_8's ~5–8× underprediction), not a measurement.
     stream_cache_fraction: measured effective cache fraction for
         ``batch_size="auto"`` (``None``: not measured — resolution falls
         through to the env var / built-in calibration; see
@@ -144,6 +161,7 @@ class HostProfile:
     prefetch_overhead_s: float = 15e-6
     loopback_bandwidth: float = 1.2e9
     loopback_latency_s: float = 60e-6
+    loopback_frame_overhead_s: float = 5e-4
     stream_cache_fraction: float | None = None
 
     def __post_init__(self) -> None:
@@ -166,7 +184,7 @@ class HostProfile:
                 )
         for name in ("serial_dispatch_s", "thread_dispatch_s",
                      "process_task_s", "prefetch_overhead_s",
-                     "loopback_latency_s"):
+                     "loopback_latency_s", "loopback_frame_overhead_s"):
             if float(getattr(self, name)) < 0.0:
                 raise ReproError(
                     f"host profile {name} must be >= 0, got "

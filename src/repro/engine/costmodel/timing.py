@@ -264,17 +264,29 @@ def host_time_plan(
 
 class _LoopbackPlatform:
     """The minimal platform surface the ``repro.comm`` analytic collectives
-    need (``n_gpus`` + ``p2p``), priced with the HostProfile v4 socket
+    need (``n_gpus`` + ``p2p``), priced with the HostProfile socket
     measurements instead of simulated GPU links — node processes take the
-    place of ranks. Built by :func:`loopback_platform`."""
+    place of ranks. Built by :func:`loopback_platform`.
+
+    Every hop is one pickle frame on the cluster transport, so
+    :meth:`link_time` charges the v5 ``loopback_frame_overhead_s`` (pickle
+    framing + helper-thread send + cold scheduler wakeup) on top of the v4
+    latency + bytes/bandwidth terms — the small-message correction that
+    closes the ~5–8× loopback underprediction BENCH_8 recorded.
+    """
 
     def __init__(self, nodes: int, profile: HostProfile) -> None:
         self.n_gpus = int(nodes)
         self._latency = float(profile.loopback_latency_s)
         self._bandwidth = float(profile.loopback_bandwidth)
+        self._frame_overhead = float(profile.loopback_frame_overhead_s)
 
     def link_time(self, nbytes: float) -> float:
-        return self._latency + float(nbytes) / self._bandwidth
+        return (
+            self._latency
+            + self._frame_overhead
+            + float(nbytes) / self._bandwidth
+        )
 
     def p2p(self, src: int, dst: int, nbytes: float, start: float,
             *, label: str = "") -> float:
@@ -318,10 +330,13 @@ def cluster_time_plan(
 
     Returns the :func:`host_time_plan` keys (so every consumer of a plan
     dict keeps working) plus ``nodes``, ``sub_backend``, ``comm_s`` and
-    ``scatter_s``; ``backend`` is ``"cluster"``. The model deliberately
-    excludes per-call Python/pickling overhead, so it *underpredicts* small
-    workloads — the committed bench records the signed error, which is the
-    oracle methodology: the gap is measured, not hidden.
+    ``scatter_s``; ``backend`` is ``"cluster"``. Every hop charges the
+    profile's measured per-frame overhead (``loopback_frame_overhead_s``,
+    v5) on top of latency + bytes/bandwidth — the pickle-framing +
+    scheduler-wakeup term whose omission underpredicted small-message
+    loopback exchange ~5–8× in BENCH_8. The committed bench still records
+    the signed error per trial: the residual gap (compute skew between
+    nodes landing in the recv wait) stays measured, not hidden.
     """
     from repro.comm.allgather import direct_allgather_time, ring_allgather_time
 
@@ -378,9 +393,9 @@ def cluster_time_plan(
     scatter_s = nmodes * nodes * platform.link_time(factor_bytes)
     if not config.out_of_core:
         elem_bytes = nmodes * workload.nnz * cost.host_element_bytes(nmodes)
-        scatter_s += nmodes * nodes * platform._latency + (
-            elem_bytes / platform._bandwidth
-        )
+        scatter_s += nmodes * nodes * (
+            platform._latency + platform._frame_overhead
+        ) + elem_bytes / platform._bandwidth
 
     total_s = sum(
         scaled[key]

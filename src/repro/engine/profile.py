@@ -29,9 +29,15 @@ model (:func:`repro.engine.costmodel.host_time_plan`), batch autotuning
   ``pipe_bandwidth`` / ``prefetch_overhead_s`` — the per-batch overheads
   of each dispatch path (Python call, pool submit, process-pool round
   trip + pickled pipe traffic, staging-queue handoff);
-* ``loopback_bandwidth`` / ``loopback_latency_s`` — echo ping-pong with a
-  child process over a ``multiprocessing.connection`` loopback socket (the
-  cluster backend's transport), feeding ``cluster_time_plan``'s comm terms;
+* ``loopback_bandwidth`` / ``loopback_latency_s`` /
+  ``loopback_frame_overhead_s`` — echo ping-pong with a child process over
+  a ``multiprocessing.connection`` loopback socket (the cluster backend's
+  transport), feeding ``cluster_time_plan``'s comm terms. The frame
+  overhead is the residual cost of one *framed* hop at exchange cadence —
+  a helper-thread send of a factor-block-sized payload against a peer
+  that must be woken from idle, minus the analytic latency + bytes/
+  bandwidth charge — the pickle-framing + scheduler-wakeup term the v4
+  model omitted;
 * ``stream_cache_fraction`` — a batch-size sweep of the reduction kernel:
   the largest batch within 10% of peak throughput, expressed as the
   fraction of the cost model's effective cache its streamed block occupies.
@@ -312,10 +318,16 @@ def _loopback_echo_child(address, authkey: bytes) -> None:
             conn.send_bytes(blob)
 
 
+#: Payload of one framed-hop cycle in the frame-overhead measurement —
+#: the order of magnitude of a per-node factor-row blob in the functional
+#: bench cells (tens of KB), so the subtracted bandwidth term is realistic.
+_FRAME_PROBE_BYTES = 16384
+
+
 def _measure_loopback_socket(
     payload_bytes: int, repeats: int
-) -> tuple[float, float]:
-    """(bytes/s, one-way latency s) of a loopback socket stream.
+) -> tuple[float, float, float]:
+    """(bytes/s, one-way latency s, per-frame overhead s) of loopback sockets.
 
     Spawns an echo child connected over ``multiprocessing.connection`` on
     127.0.0.1 — the exact transport :class:`repro.engine.cluster.
@@ -323,8 +335,20 @@ def _measure_loopback_socket(
     pins the per-hop latency (half the round trip); a large echoed payload,
     with that round trip subtracted, pins the stream bandwidth (the payload
     crosses the wire twice per echo).
+
+    The third figure is the v5 per-frame overhead: the cost of one *framed*
+    exchange hop beyond what latency + bytes/bandwidth explain. One cycle
+    mirrors a ring step exactly — a helper ``threading.Thread`` issues
+    ``send_bytes`` of a factor-block-sized payload while the main thread
+    blocks in ``recv_bytes`` (the :func:`repro.engine.cluster._ring_exchange`
+    shape) — and cycles are separated by short idle gaps so both processes
+    sleep between hops, the way cluster nodes compute between exchanges:
+    the scheduler wakeups on the clock are cold ones, not hot-loop ones.
+    The mean cycle time minus the analytic round-trip charge is the
+    per-hop residual (pickle framing, thread spawn, cold wakeups).
     """
     import multiprocessing as mp
+    import threading
     from multiprocessing.connection import Listener
 
     from repro.engine.cluster import _enable_nodelay
@@ -358,7 +382,33 @@ def _measure_loopback_socket(
         pong(payload)  # warm the big buffers
         echo_t = _best(lambda: pong(payload), max(3, repeats))
         bandwidth = 2 * payload_bytes / max(echo_t - rtt, 1e-9)
-        return float(bandwidth), float(max(rtt / 2, 1e-9))
+
+        frame_payload = b"\x00" * _FRAME_PROBE_BYTES
+
+        def framed_cycle() -> float:
+            t0 = time.perf_counter()
+            sender = threading.Thread(
+                target=conn.send_bytes, args=(frame_payload,)
+            )
+            sender.start()
+            conn.recv_bytes()
+            sender.join()
+            return time.perf_counter() - t0
+
+        framed_cycle()  # warm the thread machinery
+        cycles = []
+        for _ in range(10 * max(repeats, 1)):
+            time.sleep(0.002)  # both sides go idle: cold wakeups on clock
+            cycles.append(framed_cycle())
+        analytic = rtt + 2 * _FRAME_PROBE_BYTES / bandwidth
+        frame_overhead = max(
+            sum(cycles) / len(cycles) - analytic, 1e-6
+        )
+        return (
+            float(bandwidth),
+            float(max(rtt / 2, 1e-9)),
+            float(frame_overhead),
+        )
     finally:
         conn.close()
         child.join(timeout=5)
@@ -416,7 +466,7 @@ def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
     decompress = _measure_decompress(blob, repeats, memcpy_bw)
     serial_s, thread_s, prefetch_s = _measure_dispatch(1 if quick else 3)
     task_s, pipe_bw = _measure_process(blob, 1 if quick else 3)
-    loopback_bw, loopback_lat = _measure_loopback_socket(
+    loopback_bw, loopback_lat, loopback_frame = _measure_loopback_socket(
         blob, 1 if quick else 3
     )
     fraction = _measure_cache_fraction(quick, cost)
@@ -440,6 +490,7 @@ def profile_host(*, quick: bool = False, cost=None) -> HostProfile:
         prefetch_overhead_s=prefetch_s,
         loopback_bandwidth=loopback_bw,
         loopback_latency_s=loopback_lat,
+        loopback_frame_overhead_s=loopback_frame,
         stream_cache_fraction=fraction,
     )
 

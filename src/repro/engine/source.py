@@ -503,10 +503,17 @@ class CompressedChunkSource(ShardSource):
         Only the most recently used mode's column is kept (planning touches
         one mode at a time), so key residency is ``nnz * 8`` bytes, not
         ``nmodes * nnz * 8``.
+
+        Concurrency: the cache slot is read through a local snapshot and
+        replaced with one atomic assignment, so concurrent readers (two
+        service jobs sharing this source through the pool) can at worst
+        recompute redundantly — never hand back another mode's keys. The
+        underlying chunk reader takes its own lock.
         """
         mode = self._check_mode(mode)
-        if self._keys_cache is not None and self._keys_cache[0] == mode:
-            return self._keys_cache[1]
+        cached = self._keys_cache  # snapshot: concurrent writers swap whole tuples
+        if cached is not None and cached[0] == mode:
+            return cached[1]
         keys = np.asarray(self._checked_reader().array(f"mode{mode}_keys"))
         self._keys_cache = (mode, keys)
         return keys

@@ -54,3 +54,39 @@ class SimulationError(ReproError):
 
 class ConvergenceError(ReproError):
     """CP-ALS failed to make progress (e.g. non-finite fit)."""
+
+
+class ServiceError(ReproError):
+    """The decomposition service (:mod:`repro.serve`) rejected a request.
+
+    Base of every named service failure so clients can guard the whole
+    service surface with one except clause without masking engine errors.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The job queue is at its configured depth — backpressure, retry later.
+
+    ``retry_after_s`` is the server's hint (also sent as the HTTP
+    ``Retry-After`` header): the estimated seconds until a queue slot
+    frees, from the admission plans of the work in flight.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class AdmissionError(ServiceError):
+    """Admission control rejected a job before execution: its planned
+    resource footprint (:func:`repro.core.simulate.host_memory_plan`) or
+    predicted runtime exceeds what the server is configured to run."""
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists on this server."""
+
+
+class ServiceShutdownError(ServiceError):
+    """The server is draining: accepted work completes, new work is
+    rejected."""

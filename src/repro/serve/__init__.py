@@ -1,0 +1,50 @@
+"""Always-on multi-tenant decomposition service (``repro serve``).
+
+A long-lived job server accepting CP-ALS decomposition jobs, each with
+its own :class:`repro.core.config.AmpedConfig`:
+
+* :mod:`~repro.serve.jobs` — job specs, lifecycle records, the bounded
+  priority queue, and the bit-identity digest;
+* :mod:`~repro.serve.pool` — the shared refcounted shard-source pool
+  (one open :class:`~repro.engine.ShardSource` per cache path);
+* :mod:`~repro.serve.admission` — cost-model admission control: every
+  job is planned through :func:`repro.core.simulate.host_memory_plan`
+  and :func:`repro.engine.costmodel.host_time_plan` /
+  :func:`~repro.engine.costmodel.cluster_time_plan` before it may run;
+* :mod:`~repro.serve.server` — the HTTP-free
+  :class:`~repro.serve.server.DecompositionService` core and the stdlib
+  ``ThreadingHTTPServer`` front end;
+* :mod:`~repro.serve.client` — the matching stdlib HTTP client.
+
+See ``docs/service.md`` for the REST surface and operational contract.
+"""
+
+from repro.serve.admission import DEFAULT_MEMORY_BUDGET, AdmissionController
+from repro.serve.client import ServiceClient
+from repro.serve.jobs import JOB_STATES, Job, JobQueue, JobSpec, factor_digest
+from repro.serve.pool import SourceLease, SourcePool
+from repro.serve.server import (
+    DEFAULT_MAX_JOBS,
+    DEFAULT_QUEUE_DEPTH,
+    DecompositionService,
+    ServiceHTTPServer,
+    serve_forever,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_MAX_JOBS",
+    "DEFAULT_MEMORY_BUDGET",
+    "DEFAULT_QUEUE_DEPTH",
+    "DecompositionService",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "SourceLease",
+    "SourcePool",
+    "factor_digest",
+    "serve_forever",
+]

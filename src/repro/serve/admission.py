@@ -1,0 +1,166 @@
+"""Admission control: plan every job's footprint before it may run.
+
+The service prices each submitted job with the same analytic models the
+rest of the repo trusts — :func:`repro.core.simulate.host_memory_plan`
+for host residency and :func:`repro.engine.costmodel.host_time_plan` /
+:func:`~repro.engine.costmodel.cluster_time_plan` for predicted wall time
+— and decides one of three outcomes **before execution**:
+
+* *reject* (named :class:`repro.errors.AdmissionError`): the job can never
+  run here — its planned resident footprint exceeds the server's memory
+  budget outright, or its predicted runtime exceeds the configured limit;
+* *queue*: the job fits the budget but not *right now* next to the jobs
+  already running — it waits for reservations to drain;
+* *run*: a worker reserves the planned bytes and starts it.
+
+Synthetic resident jobs get a zero-cost analytic pre-check
+(:meth:`AdmissionController.quick_check`) from the dataset profile alone
+— ``nmodes * nnz * element_bytes`` plus the factor matrices — so a job
+that could never fit is rejected without materializing a single nonzero.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.simulate import host_memory_plan
+from repro.datasets.profiles import profile_by_name
+from repro.datasets.synthetic import scaled_shape
+from repro.engine.costmodel import cluster_time_plan, host_time_plan
+from repro.errors import AdmissionError
+from repro.simgpu.kernel import KernelCostModel
+
+__all__ = ["DEFAULT_MEMORY_BUDGET", "AdmissionController"]
+
+#: Default host-memory budget for planned job residency (bytes). Small on
+#: purpose: the service targets interactive functional-scale jobs; point
+#: ``--mem-budget`` at real capacity for bigger tenants.
+DEFAULT_MEMORY_BUDGET = 2 * 1024**3
+
+
+def _memory_total(plan: dict) -> int:
+    return int(sum(plan.values()))
+
+
+class AdmissionController:
+    """Budgeted admission: plan, reject, or make jobs wait their turn."""
+
+    def __init__(
+        self,
+        *,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        max_predicted_s: float | None = None,
+        cost: KernelCostModel | None = None,
+    ) -> None:
+        if memory_budget <= 0:
+            raise AdmissionError(
+                f"memory budget must be positive, got {memory_budget}"
+            )
+        self.memory_budget = int(memory_budget)
+        self.max_predicted_s = (
+            None if max_predicted_s is None else float(max_predicted_s)
+        )
+        self.cost = cost or KernelCostModel()
+        self._reserved = 0
+        self._lock = threading.Lock()
+        self._freed = threading.Condition(self._lock)
+
+    # ---- planning -----------------------------------------------------
+    def quick_check(self, spec, config) -> None:
+        """Reject a synthetic resident job that can never fit — analytically,
+        before any tensor bytes exist.
+
+        Out-of-core jobs skip this (their residency is O(batch), priced by
+        the full plan once the pooled source is open).
+        """
+        if spec.shard_cache is not None:
+            return
+        shape = scaled_shape(profile_by_name(spec.dataset), spec.nnz)
+        nmodes = len(shape)
+        elem = self.cost.host_element_bytes(nmodes)
+        resident = nmodes * spec.nnz * elem
+        factors = sum(shape) * config.rank * self.cost.host_value_bytes
+        if resident + factors > self.memory_budget:
+            raise AdmissionError(
+                f"job needs ~{resident + factors:,} resident bytes "
+                f"({nmodes} mode copies of {spec.nnz:,} elements + factor "
+                f"matrices), over the server's {self.memory_budget:,}-byte "
+                f"budget — stream it out of core (shard_cache) or shrink it"
+            )
+
+    def plan(self, config, workload, *, codec_ratio=None) -> dict:
+        """The full admission plan for a buildable job (named rejections).
+
+        Returns ``{"memory": {...}, "memory_total_bytes", "time": {...},
+        "predicted_s"}``; raises :class:`AdmissionError` when the memory
+        plan exceeds the budget or the time plan exceeds the configured
+        ceiling. ``backend="auto"`` is priced at the serial/numpy floor —
+        the executor may pick something faster, never something bigger.
+        """
+        profile = config.resolved_host_profile()
+        memory = host_memory_plan(workload, config, self.cost)
+        total = _memory_total(memory)
+        if total > self.memory_budget:
+            raise AdmissionError(
+                f"planned host residency {total:,} bytes exceeds the "
+                f"server's {self.memory_budget:,}-byte budget"
+            )
+        backend = ("serial", 1) if config.backend == "auto" else None
+        kernel = "numpy" if config.kernel == "auto" else None
+        if config.backend == "cluster":
+            time_plan = cluster_time_plan(
+                workload, config, self.cost, profile,
+                kernel=kernel, codec_ratio=codec_ratio,
+            )
+        else:
+            time_plan = host_time_plan(
+                workload, config, self.cost, profile,
+                backend=backend, kernel=kernel, codec_ratio=codec_ratio,
+            )
+        predicted_s = float(time_plan["total_s"])
+        if (
+            self.max_predicted_s is not None
+            and predicted_s > self.max_predicted_s
+        ):
+            raise AdmissionError(
+                f"predicted iteration time {predicted_s:.3f}s exceeds the "
+                f"server's {self.max_predicted_s:.3f}s ceiling"
+            )
+        return {
+            "memory": {k: int(v) for k, v in memory.items()},
+            "memory_total_bytes": total,
+            "time": {
+                k: (float(v) if isinstance(v, float) else v)
+                for k, v in time_plan.items()
+            },
+            "predicted_s": predicted_s,
+        }
+
+    # ---- runtime reservations ----------------------------------------
+    def reserve(self, nbytes: int, cancel_event=None) -> bool:
+        """Block until ``nbytes`` fit next to the running reservations.
+
+        Returns ``False`` (without reserving) if ``cancel_event`` is set
+        while waiting — a queued job cancelled before its turn must not
+        hold budget. Jobs wait here in worker pop order, so a big job
+        parks its worker until enough running work drains; it is never
+        starved by later small jobs on the same worker.
+        """
+        nbytes = int(nbytes)
+        with self._freed:
+            while self._reserved + nbytes > self.memory_budget:
+                if cancel_event is not None and cancel_event.is_set():
+                    return False
+                self._freed.wait(timeout=0.05)
+            self._reserved += nbytes
+            return True
+
+    def release(self, nbytes: int) -> None:
+        with self._freed:
+            self._reserved = max(0, self._reserved - int(nbytes))
+            self._freed.notify_all()
+
+    @property
+    def reserved_bytes(self) -> int:
+        with self._lock:
+            return self._reserved

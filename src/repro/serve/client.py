@@ -1,0 +1,165 @@
+"""Stdlib HTTP client of the decomposition service.
+
+:class:`ServiceClient` maps the REST surface of
+:mod:`repro.serve.server` back onto the same named exceptions the server
+raises — a ``429`` comes back as :class:`repro.errors.QueueFullError`
+with the server's ``Retry-After`` hint attached, a ``422`` as
+:class:`~repro.errors.AdmissionError`, and so on — so caller code is
+identical whether it drives :class:`DecompositionService` in-process or
+over the wire.
+
+The module doubles as a tiny CLI for scripting and CI::
+
+    python -m repro.serve.client http://127.0.0.1:8752 submit '{"rank": 4}'
+    python -m repro.serve.client http://127.0.0.1:8752 wait job-1
+    python -m repro.serve.client http://127.0.0.1:8752 shutdown
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import (
+    AdmissionError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+    ServiceShutdownError,
+)
+
+__all__ = ["ServiceClient"]
+
+#: HTTP status → the named error the server meant (the client re-raises
+#: the same exception types the in-process API uses).
+_STATUS_ERRORS = {
+    400: ServiceError,
+    404: JobNotFoundError,
+    422: AdmissionError,
+    429: QueueFullError,
+    503: ServiceShutdownError,
+}
+
+#: States after which a job snapshot stops changing.
+_TERMINAL = ("done", "failed", "cancelled", "rejected")
+
+
+class ServiceClient:
+    """Thin blocking client over ``urllib`` (no dependencies)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ---- transport ----------------------------------------------------
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode()
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode() or "{}")
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode(errors="replace")
+            try:
+                message = json.loads(body).get("message", body)
+            except ValueError:
+                message = body
+            err_cls = _STATUS_ERRORS.get(exc.code, ServiceError)
+            if err_cls is QueueFullError:
+                retry = float(exc.headers.get("Retry-After") or 1.0)
+                raise QueueFullError(message, retry_after_s=retry) from None
+            raise err_cls(message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    # ---- surface ------------------------------------------------------
+    def submit(self, payload: dict) -> dict:
+        """POST a job; returns the created snapshot (named errors on 4xx)."""
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain accepted work and stop."""
+        return self._request("POST", "/shutdown")
+
+    def wait(
+        self, job_id: str, *, timeout: float = 120.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the final
+        snapshot. Raises :class:`ServiceError` on timeout — the job keeps
+        running server-side (cancel it explicitly if that is not wanted)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snap = self.job(job_id)
+            if snap["state"] in _TERMINAL:
+                return snap
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for {job_id} "
+                    f"(state {snap['state']!r})"
+                )
+            time.sleep(poll_s)
+
+    def submit_and_wait(self, payload: dict, *, timeout: float = 120.0) -> dict:
+        return self.wait(self.submit(payload)["id"], timeout=timeout)
+
+
+def main(argv=None) -> int:
+    """``python -m repro.serve.client URL CMD [ARG]`` — scripting surface."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.client",
+        description="drive a running repro decomposition server",
+    )
+    parser.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8752")
+    parser.add_argument(
+        "command",
+        choices=["submit", "wait", "job", "jobs", "cancel", "health", "shutdown"],
+    )
+    parser.add_argument(
+        "arg", nargs="?",
+        help="JSON payload (submit) or job id (wait/job/cancel)",
+    )
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.url)
+    if args.command == "submit":
+        out = client.submit(json.loads(args.arg or "{}"))
+    elif args.command == "wait":
+        out = client.wait(args.arg)
+    elif args.command == "job":
+        out = client.job(args.arg)
+    elif args.command == "jobs":
+        out = client.jobs()
+    elif args.command == "cancel":
+        out = client.cancel(args.arg)
+    elif args.command == "health":
+        out = client.health()
+    else:
+        out = client.shutdown()
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

@@ -1,0 +1,474 @@
+"""The always-on multi-tenant decomposition service.
+
+Two layers, deliberately separable:
+
+* :class:`DecompositionService` — the HTTP-free engine: a bounded
+  priority :class:`~repro.serve.jobs.JobQueue`, a fixed pool of worker
+  threads, the :class:`~repro.serve.admission.AdmissionController`, and
+  the shared :class:`~repro.serve.pool.SourcePool`. Every public method
+  is thread-safe; the concurrency test suite drives this layer directly.
+* the stdlib HTTP front end (:class:`ServiceHTTPServer` +
+  :func:`serve_forever`) — ``http.server.ThreadingHTTPServer`` mapping
+  the REST surface onto it. No third-party dependency.
+
+REST surface
+------------
+========  ==================  ========================================
+POST      ``/jobs``           submit a job payload (JSON); ``201`` with
+                              the job snapshot, ``400`` malformed,
+                              ``422`` admission-rejected, ``429`` queue
+                              full (``Retry-After`` header), ``503``
+                              draining
+GET       ``/jobs``           every job snapshot
+GET       ``/jobs/<id>``      one snapshot: state, phase, per-iteration
+                              fits, admission plan, result (``404``
+                              unknown)
+DELETE    ``/jobs/<id>``      cooperative cancel (stops at the next
+                              sweep boundary)
+GET       ``/healthz``        queue depth / running / reserved bytes /
+                              pool stats
+POST      ``/shutdown``       graceful drain-then-stop
+========  ==================  ========================================
+
+Execution contract: a job's decomposition runs the same
+:func:`repro.cpd.cp_als` over the same :class:`repro.core.AmpedMTTKRP`
+executor a direct caller would build, so a service job is **bit-identical**
+to the equivalent direct run — the ``result_digest`` in the terminal
+snapshot equals :func:`repro.serve.jobs.factor_digest` of the local result.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.engine.costmodel.hostprofile import resolve_host_profile
+from repro.errors import (
+    AdmissionError,
+    JobNotFoundError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+    ServiceShutdownError,
+)
+from repro.serve.admission import DEFAULT_MEMORY_BUDGET, AdmissionController
+from repro.serve.jobs import Job, JobQueue, JobSpec, factor_digest
+from repro.serve.pool import SourcePool
+
+__all__ = [
+    "DEFAULT_MAX_JOBS",
+    "DEFAULT_QUEUE_DEPTH",
+    "DecompositionService",
+    "ServiceHTTPServer",
+    "serve_forever",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Concurrent decomposition workers (``--max-jobs``).
+DEFAULT_MAX_JOBS = 2
+
+#: Pending jobs the queue buffers before 429 backpressure
+#: (``--queue-depth``).
+DEFAULT_QUEUE_DEPTH = 8
+
+
+class DecompositionService:
+    """Long-lived multi-tenant job engine (HTTP-free core)."""
+
+    def __init__(
+        self,
+        *,
+        max_jobs: int = DEFAULT_MAX_JOBS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        host_profile=None,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        max_predicted_s: float | None = None,
+    ) -> None:
+        if max_jobs < 1:
+            raise ServiceError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.max_jobs = int(max_jobs)
+        # resolve once at startup: every admission plan prices against the
+        # same calibration, and a bad --host-profile path fails here
+        self.host_profile = resolve_host_profile(host_profile)
+        self.queue = JobQueue(queue_depth)
+        self.pool = SourcePool()
+        self.admission = AdmissionController(
+            memory_budget=memory_budget, max_predicted_s=max_predicted_s
+        )
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._seq = 0
+        self._running = 0
+        self._state_lock = threading.Lock()
+        self._draining = False
+        self._stop = threading.Event()
+        self._idle = threading.Condition(self._state_lock)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.max_jobs)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # ------------------------------------------------------------------
+    # Submission path (request threads)
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict) -> Job:
+        """Validate, admit, and enqueue one job (named errors throughout).
+
+        Order matters: payload/config validation and the analytic
+        admission pre-check run *before* the job exists — a rejected job
+        still gets a ``rejected`` record so clients can read why.
+        """
+        if self._draining or self._stop.is_set():
+            raise ServiceShutdownError(
+                "server is shutting down; new jobs are rejected "
+                "(accepted work is draining)"
+            )
+        spec = JobSpec.from_payload(payload)
+        config = spec.build_config(self.host_profile)
+        with self._jobs_lock:
+            self._seq += 1
+            job = Job(f"job-{self._seq}", spec)
+            self._jobs[job.id] = job
+        try:
+            self.admission.quick_check(spec, config)
+        except AdmissionError as exc:
+            job.rejected(str(exc))
+            raise
+        try:
+            self.queue.push(job, retry_after_s=self._retry_hint())
+        except QueueFullError as exc:
+            job.rejected(str(exc))
+            raise
+        return job
+
+    def _retry_hint(self) -> float:
+        """Seconds until a slot plausibly frees: planned time in flight
+        spread over the workers (floor 0.1s so clients never hot-spin)."""
+        pending = len(self.queue)
+        with self._state_lock:
+            in_flight = pending + self._running
+        return max(0.1, 0.25 * in_flight / self.max_jobs)
+
+    # ------------------------------------------------------------------
+    # Introspection / control
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no job {job_id!r} on this server")
+        return job
+
+    def jobs(self) -> list[dict]:
+        with self._jobs_lock:
+            return [j.snapshot() for j in self._jobs.values()]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cooperative cancel: a queued job never starts; a running job
+        stops at its next sweep boundary (factors of completed sweeps are
+        simply discarded — the record keeps the fit stream)."""
+        job = self.get(job_id)
+        job.cancel_event.set()
+        return job
+
+    def stats(self) -> dict:
+        with self._state_lock:
+            running = self._running
+        return {
+            "queued": len(self.queue),
+            "running": running,
+            "max_jobs": self.max_jobs,
+            "queue_depth": self.queue.depth,
+            "draining": self._draining,
+            "reserved_bytes": self.admission.reserved_bytes,
+            "memory_budget_bytes": self.admission.memory_budget,
+            "pool": self.pool.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def stop(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        """Graceful drain-then-stop.
+
+        ``drain=True`` (the default): reject new submissions, let every
+        accepted job — running *and* queued — finish, then stop the
+        workers. ``drain=False`` additionally cancels the queue (running
+        sweeps still stop only at their boundary). Idempotent.
+        """
+        self._draining = True
+        if not drain:
+            for job in self.queue.drain():
+                job.cancel_event.set()
+                job.cancelled()
+        with self._idle:
+            waited = 0.0
+            while (len(self.queue) > 0 or self._running > 0) and waited < timeout:
+                self._idle.wait(timeout=0.1)
+                waited += 0.1
+        self._stop.set()
+        for w in self._workers:
+            w.join(timeout=5)
+        self.pool.close_all()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.pop(timeout=0.1)
+            if job is None:
+                continue
+            with self._state_lock:
+                self._running += 1
+            try:
+                self._run_job(job)
+            except Exception:  # pragma: no cover - last-resort guard
+                logger.exception("unhandled error running %s", job.id)
+                job.fail("internal service error (see server log)")
+            finally:
+                with self._idle:
+                    self._running -= 1
+                    self._idle.notify_all()
+
+    def _run_job(self, job: Job) -> None:
+        from repro.core.amped import AmpedMTTKRP
+        from repro.cpd.als import cp_als
+        from repro.datasets.profiles import profile_by_name
+        from repro.datasets.synthetic import materialize
+
+        if job.cancel_event.is_set():  # cancelled while queued
+            job.cancelled()
+            return
+        spec = job.spec
+        config = spec.build_config(self.host_profile)
+        lease = None
+        reserved = 0
+        executor = None
+        try:
+            job.set_phase("admitting")
+            if spec.shard_cache is not None:
+                lease = self.pool.acquire(
+                    spec.shard_cache,
+                    n_gpus=config.n_gpus,
+                    shards_per_gpu=config.shards_per_gpu,
+                    policy=config.policy,
+                )
+                executor = AmpedMTTKRP.from_source(
+                    lease.source, config, name=job.id
+                )
+                tensor = executor.tensor
+            else:
+                tensor = materialize(
+                    profile_by_name(spec.dataset), spec.nnz, seed=spec.seed
+                )
+                executor = AmpedMTTKRP(tensor, config, name=job.id)
+            planned = self.admission.plan(
+                executor.config, executor.workload,
+                codec_ratio=executor.cache_codec_ratio,
+            )
+            job.set_planned(planned)
+            # wait for the planned bytes to fit next to the running jobs;
+            # a cancel while waiting releases the slot without running
+            if not self.admission.reserve(
+                planned["memory_total_bytes"], job.cancel_event
+            ):
+                job.cancelled()
+                return
+            reserved = planned["memory_total_bytes"]
+            job.start()
+
+            stopped_mid_run = [False]
+
+            def progress(iteration: int, fit: float) -> bool:
+                job.record_fit(iteration, fit)
+                if job.cancel_event.is_set():
+                    stopped_mid_run[0] = True
+                    return True
+                return False
+
+            result = cp_als(
+                tensor,
+                spec.rank,
+                mttkrp=executor.mttkrp,
+                n_iters=spec.n_iters,
+                tol=spec.tol,
+                seed=spec.seed,
+                callback=progress,
+            )
+            if stopped_mid_run[0]:
+                job.cancelled()
+                return
+            job.finish({
+                "final_fit": result.final_fit,
+                "n_iters": result.n_iters,
+                "converged": result.converged,
+                "wall_seconds": result.wall_seconds,
+                "result_digest": factor_digest(result),
+                "resolved_backend": executor.config.resolved_backend()[0],
+                "resolved_kernel": executor.config.resolved_kernel(),
+            })
+        except AdmissionError as exc:
+            job.rejected(str(exc))
+        except ReproError as exc:
+            job.fail(str(exc))
+        finally:
+            if executor is not None:
+                executor.close()
+            if reserved:
+                self.admission.release(reserved)
+            if lease is not None:
+                lease.release()
+
+
+# ----------------------------------------------------------------------
+# HTTP front end (stdlib only)
+# ----------------------------------------------------------------------
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` carrying the service instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: DecompositionService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # ---- plumbing -----------------------------------------------------
+    def log_message(self, fmt, *args):  # route access logs to logging
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+    def _json(self, status: int, body: dict, headers: dict | None = None):
+        blob = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _error(self, status: int, exc: Exception, headers=None):
+        self._json(
+            status,
+            {"error": type(exc).__name__, "message": str(exc)},
+            headers,
+        )
+
+    def _read_payload(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw.decode() or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}")
+
+    # ---- routes -------------------------------------------------------
+    def do_POST(self):  # noqa: N802 - http.server naming
+        service = self.server.service
+        if self.path == "/jobs":
+            try:
+                job = service.submit(self._read_payload())
+            except QueueFullError as exc:
+                self._error(
+                    429, exc,
+                    {"Retry-After": f"{exc.retry_after_s:.3f}"},
+                )
+            except AdmissionError as exc:
+                self._error(422, exc)
+            except ServiceShutdownError as exc:
+                self._error(503, exc)
+            except ServiceError as exc:
+                self._error(400, exc)
+            else:
+                self._json(201, job.snapshot())
+        elif self.path == "/shutdown":
+            self._json(202, {"status": "draining"})
+            # drain on a side thread: the HTTP response must go out first,
+            # and ThreadingHTTPServer.shutdown() deadlocks when called
+            # from a handler thread
+            def _drain():
+                service.stop(drain=True)
+                self.server.shutdown()
+
+            threading.Thread(
+                target=_drain, name="repro-serve-shutdown", daemon=True
+            ).start()
+        else:
+            self._json(404, {"error": "NotFound", "message": self.path})
+
+    def do_GET(self):  # noqa: N802
+        service = self.server.service
+        if self.path == "/healthz":
+            self._json(200, {"status": "ok", **service.stats()})
+        elif self.path == "/jobs":
+            self._json(200, {"jobs": service.jobs()})
+        elif self.path.startswith("/jobs/"):
+            try:
+                job = service.get(self.path[len("/jobs/"):])
+            except JobNotFoundError as exc:
+                self._error(404, exc)
+            else:
+                self._json(200, job.snapshot())
+        else:
+            self._json(404, {"error": "NotFound", "message": self.path})
+
+    def do_DELETE(self):  # noqa: N802
+        service = self.server.service
+        if self.path.startswith("/jobs/"):
+            try:
+                job = service.cancel(self.path[len("/jobs/"):])
+            except JobNotFoundError as exc:
+                self._error(404, exc)
+            else:
+                self._json(200, job.snapshot())
+        else:
+            self._json(404, {"error": "NotFound", "message": self.path})
+
+
+def serve_forever(
+    host: str,
+    port: int,
+    *,
+    max_jobs: int = DEFAULT_MAX_JOBS,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    host_profile=None,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    max_predicted_s: float | None = None,
+    ready=None,
+) -> None:
+    """Run the service until ``POST /shutdown`` (or KeyboardInterrupt).
+
+    ``ready`` is an optional callable receiving the bound
+    ``(host, port)`` once the socket is listening (the CLI prints it;
+    tests pass ``port=0`` and capture the ephemeral port).
+    """
+    service = DecompositionService(
+        max_jobs=max_jobs,
+        queue_depth=queue_depth,
+        host_profile=host_profile,
+        memory_budget=memory_budget,
+        max_predicted_s=max_predicted_s,
+    )
+    httpd = ServiceHTTPServer((host, port), service)
+    try:
+        if ready is not None:
+            ready(httpd.server_address[:2])
+        httpd.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        service.stop(drain=True)
+    finally:
+        httpd.server_close()

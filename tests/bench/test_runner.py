@@ -180,7 +180,10 @@ class TestRunTrial:
 
     def test_cluster_trial_records_comm_oracle(self):
         """A cluster cell measures the factor-row exchange and records it
-        next to the model's prediction with a signed relative error."""
+        next to the model's prediction with a symmetric signed ratio error
+        (|error| < 1 means within 2x, on either side)."""
+        from repro.bench.trials import _symmetric_ratio_error
+
         spec = TrialSpec(
             nnz=500, rank=4, backend="cluster", workers=1, nodes=2,
             warmup=1, repeats=2,
@@ -191,11 +194,37 @@ class TestRunTrial:
         assert comm["measured_s"] > 0
         assert comm["predicted_s"] > 0
         assert comm["bytes_per_iteration"] > 0
-        assert comm["error"] == pytest.approx(
-            (comm["predicted_s"] - comm["measured_s"]) / comm["measured_s"]
-        )
+        assert comm["error"] == pytest.approx(_symmetric_ratio_error(
+            comm["predicted_s"], comm["measured_s"]
+        ))
         # the exchange is a slice of the whole iteration, never more
         assert comm["measured_s"] <= rec["median_s"] * spec.repeats
+
+    @pytest.mark.slow
+    def test_smoke_loopback_cell_error_within_tolerance(self):
+        """The bug this PR closes: with the v5 per-frame overhead charged
+        per exchange hop, the 2-node loopback smoke cell's comm prediction
+        lands within 2x of the measurement (|symmetric error| < 1) instead
+        of the ~5-8x underprediction band BENCH_8 committed (which the
+        old one-sided error definition reported as a mere -0.79..-0.88)."""
+        spec = TrialSpec(
+            nnz=2000, rank=4, backend="cluster", workers=1, nodes=2,
+            warmup=1, repeats=3,
+        )
+        rec = run_trial(spec)
+        comm = rec["comm"]
+        assert abs(comm["error"]) < 1.0, comm
+
+    def test_symmetric_error_definition(self):
+        """5x misses read as ±4 on either side; the old definition pinned
+        every underprediction inside (-1, 0)."""
+        from repro.bench.trials import _symmetric_ratio_error
+
+        assert _symmetric_ratio_error(1.0, 5.0) == pytest.approx(-4.0)
+        assert _symmetric_ratio_error(5.0, 1.0) == pytest.approx(4.0)
+        assert _symmetric_ratio_error(1.0, 1.0) == 0.0
+        assert abs(_symmetric_ratio_error(1.0, 1.9)) < 1.0
+        assert abs(_symmetric_ratio_error(1.0, 2.1)) > 1.0
 
 
 class TestRunBench:

@@ -40,6 +40,35 @@ class TestConvergence:
         res = cp_als(t, rank=2, n_iters=60, tol=1e-12, seed=1)
         assert res.final_fit > 0.99
 
+    def test_callback_streams_fits_and_stops_cooperatively(
+        self, fitted_tensor
+    ):
+        """The service hook: callback sees every sweep's fit, and
+        returning True stops the run at the sweep boundary."""
+        seen = []
+
+        def watch(it, fit):
+            seen.append((it, fit))
+            return len(seen) >= 3
+
+        res = cp_als(
+            fitted_tensor, rank=4, n_iters=50, tol=0.0, seed=0, callback=watch
+        )
+        assert res.n_iters == 3
+        assert not res.converged  # stopped, not converged
+        assert seen == [(i, f) for i, f in enumerate(res.fits)]
+        # the completed sweeps match an uninterrupted run exactly
+        full = cp_als(fitted_tensor, rank=4, n_iters=50, tol=0.0, seed=0)
+        assert res.fits == pytest.approx(full.fits[:3], rel=0, abs=0)
+
+    def test_convergence_wins_over_callback(self, fitted_tensor):
+        # tol stops before the callback would: converged stays True
+        res = cp_als(
+            fitted_tensor, rank=4, n_iters=100, tol=1e-3, seed=0,
+            callback=lambda it, fit: False,
+        )
+        assert res.converged
+
 
 class TestBackends:
     def test_amped_backend_matches_reference_fit(self, fitted_tensor):

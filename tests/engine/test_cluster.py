@@ -177,6 +177,47 @@ class TestLifecycle:
             got = StreamingExecutor(plan, backend=backend).mttkrp(factors, 0)
         assert np.array_equal(got, want)
 
+    def test_unexpected_teardown_error_is_logged_not_lost(self, caplog):
+        """Teardown tolerates gone peers (OSError family, silently) but a
+        blanket ``except Exception: pass`` used to hide genuine bugs; an
+        unexpected exception while closing must land in the debug log."""
+
+        class ExplodingConn:
+            closed = False
+
+            def send(self, msg):
+                raise RuntimeError("teardown bug: bad state")
+
+            def close(self):
+                self.closed = True
+                raise RuntimeError("teardown bug: bad state")
+
+        backend = ClusterBackend(nodes=2)
+        conn = ExplodingConn()
+        backend._conns = [conn]
+        with caplog.at_level("DEBUG", logger="repro.engine.cluster"):
+            backend.close()  # must not raise
+        assert conn.closed
+        messages = [r.message for r in caplog.records]
+        assert any("sending close" in m for m in messages)
+        assert any("teardown" in m for m in messages)
+
+    def test_gone_peer_teardown_stays_silent(self, caplog):
+        """The expected case — the node already exited — logs nothing."""
+
+        class DeadConn:
+            def send(self, msg):
+                raise BrokenPipeError
+
+            def close(self):
+                raise OSError(9, "Bad file descriptor")
+
+        backend = ClusterBackend(nodes=2)
+        backend._conns = [DeadConn()]
+        with caplog.at_level("DEBUG", logger="repro.engine.cluster"):
+            backend.close()
+        assert not caplog.records
+
 
 class TestConfigIntegration:
     def test_config_validates_cluster_fields(self):

@@ -344,11 +344,32 @@ class TestClusterTimePlan:
     def test_loopback_platform_prices_links(self):
         platform = loopback_platform(3, DEFAULT_HOST_PROFILE)
         assert platform.n_gpus == 3
+        # every hop is one pickle frame: the v5 per-frame overhead rides
+        # on top of the v4 latency + bytes/bandwidth link terms
         expected = (
             DEFAULT_HOST_PROFILE.loopback_latency_s
+            + DEFAULT_HOST_PROFILE.loopback_frame_overhead_s
             + 1000 / DEFAULT_HOST_PROFILE.loopback_bandwidth
         )
         assert platform.p2p(0, 1, 1000, 2.0) == pytest.approx(2.0 + expected)
+
+    def test_frame_overhead_drives_comm_term(self, workload):
+        """The v5 small-message correction: a profile with a larger
+        per-frame overhead must predict strictly more exchange time at
+        identical bandwidth/latency, on both allgather schedules."""
+        cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)
+        cheap = DEFAULT_HOST_PROFILE.replace(loopback_frame_overhead_s=1e-6)
+        dear = DEFAULT_HOST_PROFILE.replace(loopback_frame_overhead_s=2e-3)
+        for allgather in ("ring", "direct"):
+            c = cluster_time_plan(
+                workload, cfg.replace(allgather=allgather), COST, cheap,
+                nodes=2,
+            )
+            d = cluster_time_plan(
+                workload, cfg.replace(allgather=allgather), COST, dear,
+                nodes=2,
+            )
+            assert d["comm_s"] > c["comm_s"], allgather
 
     def test_auto_ranks_cluster_only_when_nodes_pinned(self, workload):
         cfg = AmpedConfig(n_gpus=2, rank=8, shards_per_gpu=2)

@@ -91,18 +91,33 @@ def test_quick_profile_measures_loopback_socket(measured):
     )
 
 
+def test_quick_profile_measures_frame_overhead(measured):
+    """v5: the per-frame hop overhead (pickle framing + cold scheduler
+    wakeup) is measured in the echo child, not the calibrated synthetic
+    default — it is what closes the BENCH_8 comm underprediction."""
+    defaults = HostProfile.__dataclass_fields__
+    assert measured.loopback_frame_overhead_s > 0
+    assert measured.loopback_frame_overhead_s != (
+        defaults["loopback_frame_overhead_s"].default
+    )
+    # a framed hop costs more than the bare wire latency and stays far
+    # below one full iteration — sanity bounds, not a pin
+    assert measured.loopback_frame_overhead_s < 0.1
+
+
 def test_stale_profile_version_rejected_with_pointer(tmp_path, measured):
-    """A pre-cluster (v3) profile lacks the loopback channel; loading one
-    must point at re-profiling instead of silently mispricing comm."""
+    """A pre-frame-overhead (v4) profile priced exchange hops with
+    latency + bytes/bandwidth alone — the ~5–8× loopback underprediction;
+    loading one must point at re-profiling instead of silently mispricing
+    comm."""
     import json
 
     from repro.errors import ReproError
 
     data = json.loads(measured.to_json())
     data["version"] = HOST_PROFILE_VERSION - 1
-    data.pop("loopback_bandwidth")
-    data.pop("loopback_latency_s")
-    path = tmp_path / "v3.json"
+    data.pop("loopback_frame_overhead_s")
+    path = tmp_path / "v4.json"
     path.write_text(json.dumps(data))
     with pytest.raises(ReproError, match="re-run `repro profile`"):
         load_host_profile(path)

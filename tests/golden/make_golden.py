@@ -74,6 +74,7 @@ GOLDEN_HOST_PROFILE = HostProfile(
     prefetch_overhead_s=1e-5,
     loopback_bandwidth=1.5e9,
     loopback_latency_s=5e-5,
+    loopback_frame_overhead_s=5e-4,
     stream_cache_fraction=0.03125,
 )
 
