@@ -128,7 +128,42 @@ def validate_trajectory(data) -> dict:
                 f"appears once per trajectory"
             )
         seen.add(rec["cell"])
+        _validate_trial_plan(i, rec)
     return data
+
+
+def _validate_trial_plan(i: int, rec: dict) -> None:
+    """The v2-record plan gate: the embedded ExecutionPlan must be intact
+    and must hash to the recorded ``plan_fingerprint``.
+
+    v1 records (the committed ``BENCH_6``–``BENCH_8`` trajectories)
+    predate the plan layer and are exempt; from v2 on, a record whose
+    plan was edited — or whose fingerprint no longer matches what the
+    executor recorded — fails validation instead of silently reporting a
+    prediction for a different execution.
+    """
+    if rec.get("record_version", 0) < 2:
+        return
+    from repro.engine.plan import ExecutionPlan
+
+    missing = [k for k in ("plan", "plan_fingerprint") if k not in rec]
+    if missing:
+        raise ReproError(
+            f"trial {i} ({rec['cell']}): v{rec['record_version']} record "
+            f"is missing keys {missing}"
+        )
+    try:
+        plan = ExecutionPlan.from_dict(rec["plan"])
+    except ReproError as exc:
+        raise ReproError(
+            f"trial {i} ({rec['cell']}): invalid execution plan: {exc}"
+        ) from None
+    if plan.fingerprint != rec["plan_fingerprint"]:
+        raise ReproError(
+            f"trial {i} ({rec['cell']}): recorded plan_fingerprint "
+            f"{rec['plan_fingerprint']!r} does not match the embedded "
+            f"plan's {plan.fingerprint!r}"
+        )
 
 
 def save_trajectory(path, trajectory: dict) -> Path:

@@ -45,7 +45,13 @@ __all__ = [
 ]
 
 #: Format version of one per-trial record (the ``record_version`` field).
-TRIAL_RECORD_VERSION = 1
+#: v2 (PR 10) embeds the executor's serialized
+#: :class:`repro.engine.plan.ExecutionPlan` plus its ``plan_fingerprint``
+#: — recorded verbatim from the executor instead of re-deriving
+#: ``resolved_backend()`` — and the trajectory validator gates their
+#: self-consistency. v1 records (``BENCH_6``–``BENCH_8``) predate plans
+#: and stay loadable.
+TRIAL_RECORD_VERSION = 2
 
 #: How a trial's element data reaches the engine.
 SOURCES = ("inmem", "mmap", "chunked")
@@ -231,8 +237,15 @@ def git_rev() -> str | None:
 
 
 def host_profile_hash(profile) -> str:
-    """Stable hash of the resolved host profile a prediction used."""
-    return hashlib.sha256(profile.to_json().encode()).hexdigest()[:16]
+    """Stable hash of the resolved host profile a prediction used.
+
+    Canonically defined by the plan layer now (the same identity an
+    :class:`repro.engine.plan.ExecutionPlan` stores); kept here as a
+    re-export for existing callers.
+    """
+    from repro.engine.plan import host_profile_hash as _hash
+
+    return _hash(profile)
 
 
 def _peak_rss_bytes() -> int:
@@ -283,9 +296,11 @@ def run_trial(
 ) -> dict:
     """Run one trial and return its versioned JSON record.
 
-    Builds the dataset and source, predicts the host pipeline with
-    :meth:`AmpedMTTKRP.host_time_plan` (which feeds a v2 cache's measured
-    ``codec_ratio`` automatically), runs ``warmup`` untimed iterations, then
+    Builds the dataset and source, takes the prediction straight off the
+    executor's :class:`repro.engine.plan.ExecutionPlan` (which a v2
+    cache's measured ``codec_ratio`` feeds automatically) and records the
+    serialized plan + fingerprint verbatim — what was priced is what is
+    measured — runs ``warmup`` untimed iterations, then
     times ``repeats`` full MTTKRP iterations. ``host_profile`` overrides
     the prediction's calibration (profile object or path); ``workdir``
     holds trial shard caches (a temporary directory by default).
@@ -317,15 +332,12 @@ def run_trial(
         base = Path(workdir) if workdir is not None else Path(tmp)
         ex = _build_executor(spec, tensor, config, base)
         with ex:
-            plan = ex.host_time_plan()
+            # The executor's ExecutionPlan *is* the record of what ran:
+            # resolved axes, pricing, and fingerprint come off it verbatim
+            # instead of being re-derived from the config here.
+            execution_plan = ex.plan
+            plan = execution_plan.time_plan
             codec_ratio = ex.cache_codec_ratio
-            resolved_backend, resolved_workers = ex.config.resolved_backend()
-            resolved_kernel = ex.config.resolved_kernel()
-            profile = ex.config.resolved_host_profile()
-            if profile is None:
-                from repro.engine.costmodel import DEFAULT_HOST_PROFILE
-
-                profile = DEFAULT_HOST_PROFILE
             for _ in range(spec.warmup):
                 ex.mttkrp_all_modes(factors)
             cluster = getattr(ex, "_cluster_backend", None)
@@ -364,9 +376,11 @@ def run_trial(
         "cell": spec.cell,
         "spec": asdict(spec),
         "config_fingerprint": spec.fingerprint(),
-        "resolved_backend": resolved_backend,
-        "resolved_workers": int(resolved_workers),
-        "resolved_kernel": resolved_kernel,
+        "plan": execution_plan.to_dict(),
+        "plan_fingerprint": execution_plan.fingerprint,
+        "resolved_backend": execution_plan.backend,
+        "resolved_workers": int(execution_plan.workers),
+        "resolved_kernel": execution_plan.kernel,
         "nnz": int(tensor.nnz),
         "wall_times_s": [float(t) for t in wall_times],
         "median_s": measured_s,
@@ -380,7 +394,7 @@ def run_trial(
         "comm": comm,
         "codec_ratio": None if codec_ratio is None else float(codec_ratio),
         "peak_rss_bytes": _peak_rss_bytes(),
-        "host_profile_hash": host_profile_hash(profile),
+        "host_profile_hash": execution_plan.host_profile_hash,
         "git_rev": git_rev(),
         "started": started,
     }

@@ -217,6 +217,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="refuse to materialize a .tns with more nonzeros than this",
     )
 
+    p_plan = sub.add_parser(
+        "plan",
+        help="explain a decompose without running it: resolve the "
+        "execution plan, print the per-phase pricing, and the plan "
+        "fingerprint `repro decompose` would report for the same flags",
+    )
+    psrc = p_plan.add_mutually_exclusive_group(required=False)
+    psrc.add_argument("--tns", help="FROSTT .tns file")
+    psrc.add_argument(
+        "--dataset",
+        choices=["amazon", "patents", "reddit", "twitch"],
+        help="scaled synthetic instance of a Table 3 dataset",
+    )
+    p_plan.add_argument("--nnz", type=int, default=100_000, help="scaled nnz")
+    p_plan.add_argument("--rank", type=int, default=16)
+    p_plan.add_argument("--gpus", type=int, default=4)
+    p_plan.add_argument("--shards-per-gpu", type=int, default=16)
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument(
+        "--batch-size", type=_batch_size_arg, default="auto",
+        help="streaming batch granularity: int, 'auto', or 'none'",
+    )
+    p_plan.add_argument(
+        "--backend", default="serial",
+        help="serial/thread/process/cluster/auto (same semantics as "
+        "`repro decompose --backend`)",
+    )
+    p_plan.add_argument("--workers", type=int, default=1)
+    p_plan.add_argument(
+        "--kernel", default="numpy",
+        choices=["auto", "numpy", "numba", "cc"],
+    )
+    p_plan.add_argument("--prefetch", action="store_true")
+    p_plan.add_argument(
+        "--nodes", type=int, default=None,
+        help="node-process count for --backend cluster",
+    )
+    p_plan.add_argument(
+        "--cluster-nodes", default=None, metavar="HOST:PORT,...",
+        help="addresses of running `repro cluster node` servers "
+        "(requires --backend cluster)",
+    )
+    p_plan.add_argument(
+        "--shard-cache",
+        help="existing shard cache to plan against (metadata only is read)",
+    )
+    p_plan.add_argument(
+        "--out-of-core", action="store_true",
+        help="plan the streaming out-of-core execution of --shard-cache",
+    )
+    p_plan.add_argument(
+        "--host-profile", default=None, metavar="PATH",
+        help="measured host profile JSON the pricing calibrates against; "
+        "default: the REPRO_HOST_PROFILE env var, else the committed "
+        "synthetic calibration",
+    )
+    p_plan.add_argument(
+        "--max-nnz", type=int, default=None,
+        help="refuse to materialize a .tns with more nonzeros than this",
+    )
+    p_plan.add_argument(
+        "--json", action="store_true",
+        help="print the serialized ExecutionPlan JSON instead of the "
+        "human-readable summary (pipe to a file, rebuild with "
+        "repro.engine.plan.build_executor)",
+    )
+
     p_cache = sub.add_parser(
         "cache", help="build an out-of-core shard cache (.npz) from a tensor"
     )
@@ -487,33 +554,6 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
-def _cache_plan_inputs(cfg, cache):
-    """``(annotated config, measured codec_ratio)`` for an existing cache.
-
-    Marks the config out-of-core against ``cache`` and, for a v2 chunked
-    cache, records the manifest's codec/chunk size and returns its measured
-    compressed/raw byte ratio so ``host_time_plan`` prices the staging-read
-    term with real on-disk bytes. A v1 mmap cache (stored uncompressed)
-    returns ``None`` — the analytic default applies.
-    """
-    from repro.tensor.io import detect_shard_cache_version, shard_cache_path
-    from repro.tensor.io_v2 import ChunkedCacheReader
-
-    cache = shard_cache_path(cache)
-    version = detect_shard_cache_version(cache)
-    cfg = cfg.replace(out_of_core=True, shard_cache=str(cache))
-    if version != 2:
-        return cfg, None
-    reader = ChunkedCacheReader(cache)
-    try:
-        cfg = cfg.replace(
-            cache_codec=reader.codec_name, cache_chunk_nnz=reader.chunk_nnz
-        )
-        return cfg, reader.codec_ratio
-    finally:
-        reader.close()
-
-
 def _cmd_simulate(args) -> int:
     from repro.baselines.registry import make_backend
     from repro.core.config import AmpedConfig
@@ -551,22 +591,23 @@ def _cmd_simulate(args) -> int:
     for key, share in res.breakdown().items():
         print(f"  {key:<15} {share:6.1%}")
     if args.method == "amped":
-        from repro.core.simulate import host_time_plan
+        from repro.engine.plan import cache_plan_inputs, plan_execution
         from repro.errors import ReproError
 
         plan_cfg = cfg.replace(host_profile=args.host_profile)
         codec_ratio = None
         if args.shard_cache:
             try:
-                plan_cfg, codec_ratio = _cache_plan_inputs(
+                plan_cfg, codec_ratio = cache_plan_inputs(
                     plan_cfg, args.shard_cache
                 )
             except ReproError as exc:
                 print(f"--shard-cache: {exc}")
                 return 2
-        plan = host_time_plan(
-            wl, plan_cfg, KernelCostModel(), codec_ratio=codec_ratio
+        eplan = plan_execution(
+            plan_cfg, wl, cost=KernelCostModel(), codec_ratio=codec_ratio
         )
+        plan = eplan.time_plan
         print(
             f"host pipeline ({plan['backend']}, "
             f"{plan['n_batches']} batches): "
@@ -577,6 +618,7 @@ def _cmd_simulate(args) -> int:
                 f"  staging priced at measured codec ratio "
                 f"{codec_ratio:.3f} ({plan_cfg.cache_codec} manifest)"
             )
+        print(f"plan fingerprint: {eplan.fingerprint}")
     return 0
 
 
@@ -665,9 +707,10 @@ def _cmd_decompose(args) -> int:
                 name = f"{cache} (loaded into memory)"
         ex = AmpedMTTKRP(tensor, config, name="cli")
     print(f"tensor: {name}, shape={tensor.shape}, nnz={tensor.nnz}")
-    # The executor's config carries the concrete backend even when the
-    # user asked for --backend auto (resolution happens at construction).
-    backend_name, backend_workers = ex.config.resolved_backend()
+    # The executor's ExecutionPlan carries the concrete backend even when
+    # the user asked for --backend auto (resolution happens once, at
+    # construction, through the plan layer).
+    backend_name, backend_workers = ex.plan.backend, ex.plan.workers
     resolved_note = (
         " (resolved from 'auto' by the host cost model)"
         if args.backend == "auto"
@@ -686,13 +729,14 @@ def _cmd_decompose(args) -> int:
         f"prefetch={'on' if config.prefetch else 'off'}{cluster_note})"
         f"{resolved_note}"
     )
-    resolved_kernel = ex.config.resolved_kernel()
+    resolved_kernel = ex.plan.kernel
     kernel_note = ""
     if args.kernel == "auto":
         kernel_note = " (resolved from 'auto' by the host cost model)"
     elif resolved_kernel != args.kernel:
         kernel_note = f" (fallback: {args.kernel!r} unavailable on this host)"
     print(f"engine kernel: {resolved_kernel}{kernel_note}")
+    print(f"plan fingerprint: {ex.plan.fingerprint}")
     with ex:  # close pools / shared memory / mmap views deterministically
         res = cp_als(
             tensor, rank=args.rank, n_iters=args.iters, seed=args.seed,
@@ -703,7 +747,7 @@ def _cmd_decompose(args) -> int:
             f"{res.n_iters} iterations ({format_seconds(res.wall_seconds)} wall)"
         )
         sim = ex.simulate()
-        host_plan = ex.host_time_plan()
+        host_plan = ex.plan.time_plan
     print(
         f"simulated MTTKRP iteration on {args.gpus} GPU(s): "
         f"{format_seconds(sim.total_time)}"
@@ -723,6 +767,128 @@ def _cmd_decompose(args) -> int:
             f"model predicts {format_seconds(host_plan['comm_s'])} "
             f"comm per iteration"
         )
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    """Explain-style planning: resolve + price, print, never execute.
+
+    Builds the exact config ``repro decompose`` would from the same flags
+    and resolves it through the plan layer — so the printed fingerprint is
+    the one a subsequent ``repro decompose`` reports. No engine, backend
+    pool, or cluster node process is constructed; a shard cache is opened
+    for metadata only.
+    """
+    from repro.core.config import AmpedConfig
+    from repro.engine.plan import plan_shard_cache, plan_tensor
+    from repro.errors import ReproError
+    from repro.tensor.io import shard_cache_path
+    from repro.util.humanize import format_bytes, format_seconds
+
+    if args.out_of_core and not args.shard_cache:
+        print("--out-of-core requires --shard-cache PATH")
+        return 2
+    cache = shard_cache_path(args.shard_cache) if args.shard_cache else None
+    cache_exists = cache is not None and cache.is_file()
+    if args.out_of_core and not cache_exists:
+        print(f"--shard-cache {cache} does not exist; build it with `repro cache`")
+        return 2
+    if not (args.tns or args.dataset or cache_exists):
+        print(
+            "no tensor source: pass --tns/--dataset, or point --shard-cache "
+            "at an existing cache"
+        )
+        return 2
+    cluster_addresses = None
+    if args.cluster_nodes:
+        if args.backend != "cluster":
+            print("--cluster-nodes requires --backend cluster")
+            return 2
+        cluster_addresses = tuple(
+            a.strip() for a in args.cluster_nodes.split(",") if a.strip()
+        )
+    config = AmpedConfig(
+        n_gpus=args.gpus,
+        rank=args.rank,
+        shards_per_gpu=args.shards_per_gpu,
+        batch_size=args.batch_size,
+        backend=args.backend,
+        workers=args.workers,
+        kernel=args.kernel,
+        prefetch=args.prefetch,
+        out_of_core=args.out_of_core,
+        shard_cache=None if cache is None else str(cache),
+        host_profile=args.host_profile,
+        nodes=args.nodes,
+        cluster_addresses=cluster_addresses,
+    )
+    try:
+        if args.out_of_core:
+            plan = plan_shard_cache(cache, config, name="cli")
+        else:
+            if args.tns or args.dataset:
+                tensor, _ = _load_cli_tensor(args)
+            else:  # an existing cache is the only tensor source given
+                from repro.engine.source import open_shard_source
+
+                cache_src = open_shard_source(cache, n_gpus=args.gpus)
+                tensor = cache_src.tensor_view().as_coo()
+            plan = plan_tensor(tensor, config, name="cli")
+    except ReproError as exc:
+        print(f"planning failed: {exc}")
+        return 1
+    if args.json:
+        print(plan.to_json(), end="")
+        return 0
+    t = plan.time_plan
+    print(
+        f"execution plan ({plan.source}"
+        f"{'' if plan.shard_cache is None else ' ' + plan.shard_cache}):"
+    )
+    print(
+        f"  tensor: shape={plan.shape}, nnz={plan.nnz}, "
+        f"{plan.n_gpus} GPU(s) x {plan.shards_per_gpu} shards ({plan.policy})"
+    )
+    topo = ""
+    if plan.backend == "cluster":
+        where = (
+            f"{len(plan.cluster_addresses)} remote node(s)"
+            if plan.cluster_addresses
+            else f"{plan.nodes} loopback node process(es)"
+        )
+        topo = f", {where}, allgather={plan.allgather}"
+    print(
+        f"  backend: {plan.backend} (workers={plan.workers}, "
+        f"prefetch={'on' if plan.prefetch else 'off'}{topo})"
+    )
+    print(f"  kernel: {plan.kernel}")
+    print(
+        f"  batch_size: "
+        f"{'whole shards' if plan.batch_size is None else plan.batch_size}"
+    )
+    if plan.cache_codec is not None:
+        ratio = (
+            "analytic default" if plan.codec_ratio is None
+            else f"measured ratio {plan.codec_ratio:.3f}"
+        )
+        print(f"  cache codec: {plan.cache_codec} ({ratio})")
+    print(f"  host profile: {plan.host_profile_hash}")
+    print(
+        f"  predicted host pipeline ({t['backend']}, {t['n_batches']} "
+        f"batches): {format_seconds(t['total_s'])} per iteration"
+    )
+    phases = [
+        "compute_s", "dispatch_s", "ipc_s", "stall_s", "prefetch_overhead_s",
+    ]
+    if plan.backend == "cluster":
+        phases += ["comm_s", "scatter_s"]
+    for key in phases:
+        print(f"    {key:<20} {format_seconds(float(t[key]))}")
+    total_mem = sum(plan.memory_plan.values())
+    print(f"  planned host residency: {format_bytes(total_mem)}")
+    for key, val in plan.memory_plan.items():
+        print(f"    {key:<20} {format_bytes(val)}")
+    print(f"plan fingerprint: {plan.fingerprint}")
     return 0
 
 
@@ -983,6 +1149,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "simulate": _cmd_simulate,
     "decompose": _cmd_decompose,
+    "plan": _cmd_plan,
     "cache": _cmd_cache,
     "profile": _cmd_profile,
     "trace": _cmd_trace,

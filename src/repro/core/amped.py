@@ -26,7 +26,11 @@ from repro.core.config import AmpedConfig
 from repro.core.results import RunResult
 from repro.core.simulate import simulate_amped
 from repro.core.workload import TensorWorkload
-from repro.engine.executor import StreamingExecutor
+from repro.engine.plan import (
+    build_engine_stack,
+    normalize_source_config,
+    plan_execution,
+)
 from repro.engine.source import InMemorySource, ShardSource, open_shard_source
 from repro.errors import ReproError
 from repro.partition.plan import PartitionPlan, build_partition_plan
@@ -124,20 +128,9 @@ class AmpedMTTKRP:
                     f"source was sharded for {source.n_gpus} GPUs, "
                     f"config requests {self.config.n_gpus}"
                 )
-            if source.is_out_of_core and not self.config.out_of_core:
-                # Normalize so autotuning and host accounting see streaming.
-                self.config = self.config.replace(
-                    out_of_core=True,
-                    shard_cache=str(getattr(source, "path", "<shard source>")),
-                )
-            codec = getattr(source, "codec", None)
-            if codec is not None and self.config.cache_codec is None:
-                # A v2 chunked source: record its codec/chunk size so the
-                # host accounting charges the decompression staging.
-                self.config = self.config.replace(
-                    cache_codec=codec,
-                    cache_chunk_nnz=getattr(source, "chunk_nnz", None),
-                )
+            # Normalize so autotuning, host accounting, and the execution
+            # plan all see the streaming residency and the v2 codec.
+            self.config = normalize_source_config(self.config, source)
             # No whole-plan materialization: the workload comes straight off
             # the source's key columns and shard metadata, so lazy sources
             # (mmap, synthetic) keep their residency guarantees.
@@ -153,58 +146,41 @@ class AmpedMTTKRP:
         # (backend="auto" below, host_time_plan()) uses it instead of the
         # analytic per-codec default. None for v1/in-memory sources.
         self.cache_codec_ratio = getattr(source, "codec_ratio", None)
+        # Resolve -> price -> build, once, through the plan layer: any
+        # "auto" axis is decided against this actual workload (measured
+        # host profile preferred; an axis the config pins concrete is held
+        # fixed), the pipeline is priced, and the whole decision lands in
+        # a serializable ExecutionPlan every later consumer (admission
+        # control, bench records, the CLI) reads instead of re-deriving.
+        self.plan = plan_execution(
+            self.config, self.workload,
+            cost=self.cost, codec_ratio=self.cache_codec_ratio,
+        )
         if self.config.backend == "auto" or self.config.kernel == "auto":
-            # Pick the (kernel, backend) pair with the smallest
-            # host-pipeline prediction for this actual workload (measured
-            # host profile preferred; an axis the config pins concrete is
-            # held fixed) and pin all of it, so every later consumer sees
-            # concrete choices.
-            from repro.engine.costmodel import resolve_auto_execution
-
-            auto_kernel, auto_name, auto_workers = resolve_auto_execution(
-                self.workload, self.config, self.cost,
-                self.config.resolved_host_profile(),
-                codec_ratio=self.cache_codec_ratio,
-            )
+            # Pin the resolved axes so every later consumer of the config
+            # sees concrete choices.
             self.config = self.config.replace(
-                kernel=auto_kernel, backend=auto_name, workers=auto_workers
+                kernel=self.plan.kernel,
+                backend=self.plan.backend,
+                workers=self.plan.workers,
             )
-        backend_name, backend_workers = self.config.resolved_backend()
-        backend: str | object = backend_name
-        self._cluster_backend = None
-        if backend_name == "cluster":
-            # The cluster backend carries topology (node count, addresses,
-            # exchange schedule) the generic registry can't know, so build
-            # it here from the config and hand the *instance* to the
-            # executor. An instance is caller-owned by the executor's
-            # contract — close() below releases the node processes.
-            from repro.engine.cluster import ClusterBackend
-
-            self._cluster_backend = ClusterBackend(
-                nodes=self.config.nodes or 2,
-                addresses=self.config.cluster_addresses,
-                workers=backend_workers,
-                allgather=self.config.allgather,
-            )
-            backend = self._cluster_backend
-        self.engine = StreamingExecutor(
-            source,
-            batch_size=self.config.resolved_batch_size(
-                self.cost, self.tensor.nmodes
-            ),
-            backend=backend,
-            workers=backend_workers,
-            prefetch=self.config.prefetch,
-            kernel=self.config.resolved_kernel(),
+        # build_engine_stack is the single construction chokepoint: the
+        # engine (and, for cluster plans, the node-process backend — an
+        # instance is caller-owned by the executor's contract, so close()
+        # below releases it) is built from the plan that was priced.
+        self.engine, self._cluster_backend = build_engine_stack(
+            self.plan, source
         )
 
     @property
-    def plan(self) -> PartitionPlan:
+    def partition_plan(self) -> PartitionPlan:
         """The :class:`PartitionPlan` view of the shard layout.
 
         Built lazily for source-backed executors (for a
         :class:`repro.engine.SyntheticSource` this materializes every mode
-        copy at once — prefer the per-mode ``source`` accessors).
+        copy at once — prefer the per-mode ``source`` accessors). Distinct
+        from :attr:`plan`, the resolved+priced
+        :class:`repro.engine.plan.ExecutionPlan`.
         """
         if self._plan is None:
             self._plan = self.source.partition_plan()

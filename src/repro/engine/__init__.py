@@ -28,6 +28,11 @@
   (:func:`resolve_auto_backend`);
 * :mod:`profile` — the microbenchmark profiler filling a
   :class:`HostProfile` (CLI: ``repro profile``);
+* :mod:`plan` — :class:`ExecutionPlan`, the frozen JSON-round-trippable
+  resolve→price→build record (:func:`plan_execution` resolves and
+  prices, :func:`build_engine_stack`/:func:`build_executor` are the only
+  constructors of the executor stack) shared by core, CLI, serve, and
+  bench;
 * :mod:`executor` — :class:`StreamingExecutor`, the batched MTTKRP driver
   used by :class:`repro.core.AmpedMTTKRP`, CP-ALS, and the benchmark suite.
 
@@ -76,6 +81,19 @@ from repro.engine.costmodel import (
     resolve_host_profile,
 )
 from repro.engine.executor import StreamingExecutor, reduce_batch, reduce_batch_arrays
+from repro.engine.plan import (
+    EXECUTION_PLAN_VERSION,
+    ExecutionPlan,
+    build_engine_stack,
+    build_executor,
+    cache_plan_inputs,
+    host_profile_hash,
+    normalize_source_config,
+    plan_config,
+    plan_execution,
+    plan_shard_cache,
+    plan_tensor,
+)
 from repro.engine.prefetch import LoadedBatch, PrefetchingSource
 from repro.engine.source import (
     CompressedChunkSource,
@@ -132,4 +150,15 @@ __all__ = [
     "rank_executions",
     "resolve_auto_backend",
     "resolve_auto_execution",
+    "EXECUTION_PLAN_VERSION",
+    "ExecutionPlan",
+    "build_engine_stack",
+    "build_executor",
+    "cache_plan_inputs",
+    "host_profile_hash",
+    "normalize_source_config",
+    "plan_config",
+    "plan_execution",
+    "plan_shard_cache",
+    "plan_tensor",
 ]

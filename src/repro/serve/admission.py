@@ -1,10 +1,14 @@
 """Admission control: plan every job's footprint before it may run.
 
-The service prices each submitted job with the same analytic models the
-rest of the repo trusts — :func:`repro.core.simulate.host_memory_plan`
-for host residency and :func:`repro.engine.costmodel.host_time_plan` /
-:func:`~repro.engine.costmodel.cluster_time_plan` for predicted wall time
-— and decides one of three outcomes **before execution**:
+The service admits each buildable job off the executor's own
+:class:`repro.engine.plan.ExecutionPlan` — the serialized record of the
+resolve→price→build decision, carrying the
+:func:`repro.core.simulate.host_memory_plan` residency dict and the
+:func:`repro.engine.costmodel.host_time_plan` /
+:func:`~repro.engine.costmodel.cluster_time_plan` wall-time dict for the
+*exact* stack the worker then runs (PR 10: admission used to re-price the
+config separately, so the admitted numbers could drift from the executed
+ones). The decision is one of three outcomes **before execution**:
 
 * *reject* (named :class:`repro.errors.AdmissionError`): the job can never
   run here — its planned resident footprint exceeds the server's memory
@@ -23,10 +27,8 @@ from __future__ import annotations
 
 import threading
 
-from repro.core.simulate import host_memory_plan
 from repro.datasets.profiles import profile_by_name
 from repro.datasets.synthetic import scaled_shape
-from repro.engine.costmodel import cluster_time_plan, host_time_plan
 from repro.errors import AdmissionError
 from repro.simgpu.kernel import KernelCostModel
 
@@ -88,36 +90,27 @@ class AdmissionController:
                 f"budget — stream it out of core (shard_cache) or shrink it"
             )
 
-    def plan(self, config, workload, *, codec_ratio=None) -> dict:
-        """The full admission plan for a buildable job (named rejections).
+    def admit(self, plan) -> dict:
+        """The admission decision for a resolved execution plan.
 
-        Returns ``{"memory": {...}, "memory_total_bytes", "time": {...},
-        "predicted_s"}``; raises :class:`AdmissionError` when the memory
-        plan exceeds the budget or the time plan exceeds the configured
-        ceiling. ``backend="auto"`` is priced at the serial/numpy floor —
-        the executor may pick something faster, never something bigger.
+        ``plan`` is the :class:`repro.engine.plan.ExecutionPlan` of the
+        very executor the worker will run — there is no separate
+        admission pricing to drift from execution. Returns the job
+        record's ``planned`` dict: ``{"memory": {...},
+        "memory_total_bytes", "time": {...}, "predicted_s", "plan",
+        "plan_fingerprint"}`` (the serialized plan rides along so a job
+        record can be persisted and the decision replayed); raises
+        :class:`AdmissionError` when the plan's residency exceeds the
+        budget or its predicted time exceeds the configured ceiling.
         """
-        profile = config.resolved_host_profile()
-        memory = host_memory_plan(workload, config, self.cost)
+        memory = plan.memory_plan
         total = _memory_total(memory)
         if total > self.memory_budget:
             raise AdmissionError(
                 f"planned host residency {total:,} bytes exceeds the "
                 f"server's {self.memory_budget:,}-byte budget"
             )
-        backend = ("serial", 1) if config.backend == "auto" else None
-        kernel = "numpy" if config.kernel == "auto" else None
-        if config.backend == "cluster":
-            time_plan = cluster_time_plan(
-                workload, config, self.cost, profile,
-                kernel=kernel, codec_ratio=codec_ratio,
-            )
-        else:
-            time_plan = host_time_plan(
-                workload, config, self.cost, profile,
-                backend=backend, kernel=kernel, codec_ratio=codec_ratio,
-            )
-        predicted_s = float(time_plan["total_s"])
+        predicted_s = float(plan.time_plan["total_s"])
         if (
             self.max_predicted_s is not None
             and predicted_s > self.max_predicted_s
@@ -131,9 +124,11 @@ class AdmissionController:
             "memory_total_bytes": total,
             "time": {
                 k: (float(v) if isinstance(v, float) else v)
-                for k, v in time_plan.items()
+                for k, v in plan.time_plan.items()
             },
             "predicted_s": predicted_s,
+            "plan": plan.to_dict(),
+            "plan_fingerprint": plan.fingerprint,
         }
 
     # ---- runtime reservations ----------------------------------------

@@ -272,10 +272,11 @@ class DecompositionService:
                     profile_by_name(spec.dataset), spec.nnz, seed=spec.seed
                 )
                 executor = AmpedMTTKRP(tensor, config, name=job.id)
-            planned = self.admission.plan(
-                executor.config, executor.workload,
-                codec_ratio=executor.cache_codec_ratio,
-            )
+            # Admit off the executor's own ExecutionPlan: the dicts the
+            # client sees under "planned" are, key for key, the pricing of
+            # the exact stack that runs below — and the serialized plan
+            # rides along in the job record.
+            planned = self.admission.admit(executor.plan)
             job.set_planned(planned)
             # wait for the planned bytes to fit next to the running jobs;
             # a cancel while waiting releases the slot without running
@@ -314,8 +315,9 @@ class DecompositionService:
                 "converged": result.converged,
                 "wall_seconds": result.wall_seconds,
                 "result_digest": factor_digest(result),
-                "resolved_backend": executor.config.resolved_backend()[0],
-                "resolved_kernel": executor.config.resolved_kernel(),
+                "resolved_backend": executor.plan.backend,
+                "resolved_kernel": executor.plan.kernel,
+                "plan_fingerprint": executor.plan.fingerprint,
             })
         except AdmissionError as exc:
             job.rejected(str(exc))

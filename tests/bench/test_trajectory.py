@@ -27,6 +27,22 @@ from repro.bench.trials import TRIAL_RECORD_VERSION
 from repro.errors import ReproError
 
 
+def _example_plan() -> dict:
+    """One real serialized ExecutionPlan, built once and shared by the
+    synthetic records (v2 validation checks its embedded fingerprint)."""
+    from repro.core.config import AmpedConfig
+    from repro.datasets.profiles import profile_by_name
+    from repro.datasets.synthetic import materialize
+    from repro.engine.plan import plan_tensor
+
+    tensor = materialize(profile_by_name("twitch"), 300, seed=0)
+    cfg = AmpedConfig(n_gpus=2, shards_per_gpu=2, rank=4)
+    return plan_tensor(tensor, cfg).to_dict()
+
+
+EXAMPLE_PLAN = _example_plan()
+
+
 def make_record(cell: str, times: list[float], predicted: float = 0.01) -> dict:
     """A minimal schema-complete synthetic trial record."""
     from statistics import median
@@ -37,6 +53,8 @@ def make_record(cell: str, times: list[float], predicted: float = 0.01) -> dict:
         "cell": cell,
         "spec": {"dataset": "twitch", "source": "inmem"},
         "config_fingerprint": "f" * 16,
+        "plan": dict(EXAMPLE_PLAN),
+        "plan_fingerprint": EXAMPLE_PLAN["fingerprint"],
         "wall_times_s": list(times),
         "median_s": measured,
         "predicted_total_s": predicted,
@@ -108,6 +126,33 @@ class TestValidation:
         rec = make_record("same", [0.01])
         with pytest.raises(ReproError, match="duplicate cell"):
             build_trajectory([rec, dict(rec)])
+
+    # ---- v2 plan gate -------------------------------------------------
+    def test_v2_record_requires_plan_keys(self):
+        traj = make_trajectory({"a": [0.01]})
+        del traj["trials"][0]["plan"]
+        with pytest.raises(ReproError, match="plan"):
+            validate_trajectory(traj)
+
+    def test_tampered_plan_rejected(self):
+        traj = make_trajectory({"a": [0.01]})
+        plan = dict(traj["trials"][0]["plan"])
+        plan["backend"] = "process"  # edited after resolution
+        traj["trials"][0]["plan"] = plan
+        with pytest.raises(ReproError, match="fingerprint"):
+            validate_trajectory(traj)
+
+    def test_plan_fingerprint_must_match_recorded_one(self):
+        traj = make_trajectory({"a": [0.01]})
+        traj["trials"][0]["plan_fingerprint"] = "0" * 16
+        with pytest.raises(ReproError, match="plan_fingerprint"):
+            validate_trajectory(traj)
+
+    def test_v1_records_are_exempt_from_plan_gate(self):
+        rec = make_record("legacy", [0.01])
+        rec["record_version"] = 1
+        del rec["plan"], rec["plan_fingerprint"]
+        validate_trajectory(build_trajectory([rec]))
 
 
 class TestBootstrapCi:

@@ -774,9 +774,9 @@ class TestAmpedIntegration:
 
         cfg = AmpedConfig(n_gpus=N_GPUS, rank=6, shards_per_gpu=SHARDS_PER_GPU)
         ex = AmpedMTTKRP.from_shard_cache(cache_path, cfg)
-        assert ex._plan is None  # lazy until .plan is asked for
+        assert ex._plan is None  # lazy until .partition_plan is asked for
         assert ex.workload.nnz == tensor.nnz
-        assert ex.plan.nmodes == tensor.nmodes  # property materializes
+        assert ex.partition_plan.nmodes == tensor.nmodes  # materializes
         assert ex._plan is not None
 
     def test_workload_matches_in_memory(self, tensor, cache_path):

@@ -22,6 +22,12 @@ the exact :func:`repro.core.simulate.host_time_plan` output for the
 committed synthetic host profile (``host_profile.json``) over a matrix of
 backend/out-of-core configs on the ``zipf3`` workload — the model is pure
 arithmetic, so any diff is a deliberate cost-model change.
+
+``execution_plan.json`` pins the plan layer the same way: the serialized
+:class:`repro.engine.plan.ExecutionPlan` (resolved axes, pricing, and
+sha256 fingerprint) for a (source × backend × prefetch) matrix against
+the committed profile — any resolver or pricing change shows up as a
+fingerprint diff that must be regenerated deliberately.
 """
 
 from __future__ import annotations
@@ -114,6 +120,48 @@ def compute_host_time_plans() -> dict[str, dict]:
         )
     return plans
 
+#: config matrix pinned by execution_plan.json (name -> AmpedConfig
+#: kwargs): the full resolved+priced ExecutionPlan — fingerprint included —
+#: for a (source × backend × prefetch) matrix over the ``zipf3`` workload,
+#: priced against the committed ``host_profile.json``. Only the ``numpy``
+#: kernel appears (compiled tiers resolve by host availability, which
+#: would make the pinned fingerprints host-dependent).
+EXECUTION_PLAN_CASES: dict[str, dict] = {
+    "inmem_serial": {},
+    "inmem_thread2_prefetch": dict(backend="thread", workers=2, prefetch=True),
+    "inmem_process2": dict(backend="process", workers=2),
+    "mmap_oc_serial": dict(out_of_core=True, shard_cache="golden.npz"),
+    "mmap_oc_serial_prefetch": dict(
+        out_of_core=True, shard_cache="golden.npz", prefetch=True
+    ),
+    "chunked_oc_thread2_prefetch": dict(
+        backend="thread",
+        workers=2,
+        prefetch=True,
+        out_of_core=True,
+        shard_cache="golden_v2.npz",
+        cache_codec="zlib",
+        cache_chunk_nnz=4096,
+    ),
+    "cluster2_serial": dict(backend="cluster", nodes=2),
+}
+
+
+def compute_execution_plans() -> dict[str, dict]:
+    """Serialized ExecutionPlan per EXECUTION_PLAN_CASES entry (zipf3)."""
+    from repro.engine.plan import plan_execution
+
+    tensor, _factors, _rank, config = build_case("zipf3")
+    profile = load_host_profile(DATA_DIR / "host_profile.json")
+    ex = AmpedMTTKRP(tensor, config, name="zipf3")
+    plans = {}
+    for case, kw in EXECUTION_PLAN_CASES.items():
+        plans[case] = plan_execution(
+            config.replace(**kw), ex.workload, cost=ex.cost, profile=profile
+        ).to_dict()
+    return plans
+
+
 #: name -> (tensor builder, factor seed, rank, AmpedConfig kwargs)
 CASES: dict[str, dict] = {
     "zipf3": dict(
@@ -193,6 +241,10 @@ def main() -> None:
     out = DATA_DIR / "host_time_plan.json"
     out.write_text(json.dumps(plans, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({len(plans)} host-pipeline plans)")
+    eplans = compute_execution_plans()
+    out = DATA_DIR / "execution_plan.json"
+    out.write_text(json.dumps(eplans, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(eplans)} execution plans)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,70 @@
+"""Golden pin of the execution-plan layer.
+
+``plan_execution`` is deterministic arithmetic over a workload, a config,
+and a host profile, so for the committed synthetic profile
+(``data/host_profile.json``) the full serialized
+:class:`repro.engine.plan.ExecutionPlan` — resolved axes, priced dicts,
+and sha256 fingerprint — is exactly reproducible on the ``zipf3`` golden
+workload. ``data/execution_plan.json`` pins it over a
+(source × backend × prefetch) matrix; a diff is a deliberate resolver or
+pricing change regenerated with ``make_golden.py`` and explained in
+review. The round-trip tests additionally pin the serialization contract:
+a committed plan reloads through ``from_dict``/``from_json`` unchanged,
+and tampering is detected by the fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from make_golden import DATA_DIR, EXECUTION_PLAN_CASES, compute_execution_plans
+
+from repro.engine.plan import ExecutionPlan
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def pinned() -> dict:
+    return json.loads((DATA_DIR / "execution_plan.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def computed() -> dict:
+    return compute_execution_plans()
+
+
+def test_every_case_is_pinned(pinned):
+    assert set(pinned) == set(EXECUTION_PLAN_CASES)
+
+
+@pytest.mark.parametrize("case", sorted(EXECUTION_PLAN_CASES))
+def test_plan_matches_pin_exactly(case, pinned, computed):
+    # Dict equality covers every resolved axis, both priced dicts, and —
+    # because the fingerprint hashes all of it — the fingerprint itself.
+    assert computed[case] == pinned[case], (
+        f"{case}: resolver/pricing drifted from the committed plan "
+        f"(regenerate deliberately with make_golden.py)"
+    )
+
+
+@pytest.mark.parametrize("case", sorted(EXECUTION_PLAN_CASES))
+def test_pinned_plan_round_trips(case, pinned):
+    plan = ExecutionPlan.from_dict(pinned[case])
+    assert plan.to_dict() == pinned[case]
+    again = ExecutionPlan.from_json(plan.to_json())
+    assert again == plan
+    assert again.fingerprint == pinned[case]["fingerprint"]
+
+
+def test_tampered_pin_is_detected(pinned):
+    case = dict(next(iter(pinned.values())))
+    case["workers"] = case["workers"] + 1
+    with pytest.raises(ReproError, match="fingerprint"):
+        ExecutionPlan.from_dict(case)
+
+
+def test_fingerprints_distinguish_cases(pinned):
+    prints = [p["fingerprint"] for p in pinned.values()]
+    assert len(set(prints)) == len(prints)

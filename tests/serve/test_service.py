@@ -332,6 +332,53 @@ class TestConcurrentJobs:
 
 
 # ----------------------------------------------------------------------
+# Admission == execution (PR 10): one plan, priced once, run once
+# ----------------------------------------------------------------------
+class TestAdmissionMatchesExecution:
+    def test_planned_pricing_equals_executed_plan(self, service, chunked_cache):
+        """The dicts admission enforced are, key for key, the pricing of
+        the plan the worker executed — zero drift by construction."""
+        payload = {
+            "rank": 4, "nnz": 1500, "seed": 3, "n_iters": 2,
+            "shard_cache": str(chunked_cache),
+            "config": {"n_gpus": 2, "shards_per_gpu": 2},
+        }
+        snap = _wait(service.submit(payload))
+        assert snap["state"] == "done"
+        planned = snap["planned"]
+
+        # rebuild the same executor the worker ran, directly
+        config = JobSpec.from_payload(payload).build_config()
+        with AmpedMTTKRP.from_shard_cache(chunked_cache, config) as ex:
+            assert planned["time"] == ex.plan.time_plan
+            assert planned["memory"] == ex.plan.memory_plan
+            assert planned["plan_fingerprint"] == ex.plan.fingerprint
+        assert planned["predicted_s"] == planned["time"]["total_s"]
+        assert planned["memory_total_bytes"] == sum(
+            planned["memory"].values()
+        )
+        # the serialized plan rides in the job record and reloads intact
+        from repro.engine.plan import ExecutionPlan
+
+        reloaded = ExecutionPlan.from_dict(planned["plan"])
+        assert reloaded.fingerprint == planned["plan_fingerprint"]
+        assert snap["result"]["plan_fingerprint"] == reloaded.fingerprint
+        assert snap["result"]["resolved_backend"] == reloaded.backend
+        assert snap["result"]["resolved_kernel"] == reloaded.kernel
+
+    def test_inmem_job_plan_also_matches(self, service):
+        snap = _wait(
+            service.submit({"rank": 4, "nnz": 800, "n_iters": 2, "seed": 7})
+        )
+        assert snap["state"] == "done"
+        planned = snap["planned"]
+        assert planned["plan"]["fingerprint"] == planned["plan_fingerprint"]
+        assert planned["time"] == planned["plan"]["time_plan"]
+        assert planned["memory"] == planned["plan"]["memory_plan"]
+        assert snap["result"]["plan_fingerprint"] == planned["plan_fingerprint"]
+
+
+# ----------------------------------------------------------------------
 # HTTP round trip
 # ----------------------------------------------------------------------
 class TestHTTPSurface:
